@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the FlowCache data path, including the
+//! Cuckoo-hash ablation the paper argues against (§3.2: 2.43× worse
+//! 99.9th-percentile latency for Cuckoo under the same budget).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use smartwatch_bench::workloads;
+use smartwatch_net::FlowHasher;
+use smartwatch_snic::concurrent::ConcurrentCache;
+use smartwatch_snic::cuckoo::CuckooTable;
+use smartwatch_snic::{CachePolicy, FlowCache, FlowCacheConfig, Mode};
+use smartwatch_trace::background::Preset;
+use std::sync::Arc;
+
+fn bench_flowcache(c: &mut Criterion) {
+    let pkts = workloads::caida_64b(Preset::Caida2018, 1, 7).into_packets();
+    let mut g = c.benchmark_group("flowcache_process");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    for (name, cfg, mode) in [
+        ("general_4_8", FlowCacheConfig::split(12, 4, 8, CachePolicy::LRU_LPC), Mode::General),
+        ("lite_2_0", FlowCacheConfig::general(12), Mode::Lite),
+        ("flat_lru_12", FlowCacheConfig::flat(12, 12, CachePolicy::LRU), Mode::General),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut fc = FlowCache::new(cfg.clone());
+                    fc.set_mode(mode);
+                    fc
+                },
+                |mut fc| {
+                    for p in &pkts {
+                        std::hint::black_box(fc.process(p));
+                    }
+                    fc
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_cuckoo_ablation(c: &mut Criterion) {
+    let pkts = workloads::caida_64b(Preset::Caida2018, 1, 7).into_packets();
+    let mut g = c.benchmark_group("cuckoo_ablation");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.bench_function("cuckoo_table", |b| {
+        b.iter_batched(
+            || CuckooTable::new(1 << 16, 5),
+            |mut t| {
+                for p in &pkts {
+                    std::hint::black_box(t.process(p));
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_concurrent_cache(c: &mut Criterion) {
+    // Multi-threaded wall-clock throughput of the Algorithm-2 cache: the
+    // real-atomics counterpart of the deterministic DES numbers.
+    let pkts = workloads::caida_64b(Preset::Caida2018, 1, 7).into_packets();
+    let hasher = FlowHasher::new(0x51CC);
+    let digests: Arc<Vec<u64>> =
+        Arc::new(pkts.iter().map(|p| hasher.hash_symmetric(&p.key).0.max(1)).collect());
+    let mut g = c.benchmark_group("concurrent_cache");
+    for threads in [1usize, 4, 8] {
+        g.throughput(Throughput::Elements(digests.len() as u64));
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let cache = Arc::new(ConcurrentCache::new(12));
+                let chunk = digests.len() / threads + 1;
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let cache = Arc::clone(&cache);
+                        let digests = Arc::clone(&digests);
+                        s.spawn(move || {
+                            for d in digests.iter().skip(t * chunk).take(chunk) {
+                                std::hint::black_box(cache.process_digest(*d));
+                            }
+                        });
+                    }
+                });
+                cache
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flowcache, bench_cuckoo_ablation, bench_concurrent_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark of the full platform pipeline per deployment mode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use smartwatch_bench::workloads;
+use smartwatch_core::deploy::DeployMode;
+use smartwatch_core::platform::{standard_queries, PlatformConfig, SmartWatch};
+
+fn bench_platform(c: &mut Criterion) {
+    let trace = workloads::attack_mix(1, 3);
+    let pkts = trace.packets();
+    let mut g = c.benchmark_group("platform_run");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.sample_size(10);
+    for mode in [DeployMode::SmartWatch, DeployMode::SnicHost, DeployMode::SwitchHost] {
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter_batched(
+                || SmartWatch::new(PlatformConfig::new(mode), standard_queries()),
+                |sw| sw.run(pkts),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_platform
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the sketch baselines (feeds Fig. 11b's
+//! relative-throughput narrative with real wall-clock numbers).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use smartwatch_bench::workloads;
+use smartwatch_sketch::{CountMin, ElasticSketch, FlowCounter, MvSketch, NitroSketch};
+use smartwatch_trace::background::Preset;
+
+fn bench_sketch_updates(c: &mut Criterion) {
+    let pkts = workloads::caida_64b(Preset::Caida2018, 1, 9).into_packets();
+    let mut g = c.benchmark_group("sketch_update");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.bench_function("countmin_d4", |b| {
+        b.iter_batched(
+            || CountMin::new(4, 1 << 16, 1),
+            |mut s| {
+                for p in &pkts {
+                    s.update(&p.key, 1);
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("elastic", |b| {
+        b.iter_batched(
+            || ElasticSketch::with_memory(1 << 20, 1),
+            |mut s| {
+                for p in &pkts {
+                    s.update(&p.key, 1);
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("mv_d2", |b| {
+        b.iter_batched(
+            || MvSketch::with_memory(1 << 20, 2, 1),
+            |mut s| {
+                for p in &pkts {
+                    s.update(&p.key, 1);
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("nitro_p05", |b| {
+        b.iter_batched(
+            || NitroSketch::new(4, 1 << 16, 0.05, 1),
+            |mut s| {
+                for p in &pkts {
+                    s.update(&p.key, 1);
+                }
+                s
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sketch_updates
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! repro all                # every experiment at default scale
+//! repro fig5 table4        # selected experiments
+//! repro all --scale 4      # bigger workloads (slower, tighter shapes)
+//! repro fig10 --json       # machine-readable output
+//! repro list               # experiment index
+//! ```
+
+use smartwatch_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1usize;
+    let mut json = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive integer"));
+                if scale == 0 {
+                    die("--scale must be ≥ 1");
+                }
+            }
+            "--json" => json = true,
+            "-h" | "--help" => {
+                usage();
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        usage();
+        return;
+    }
+
+    let experiments = all_experiments();
+    if selected.iter().any(|s| s == "list") {
+        println!("available experiments:");
+        for (id, _) in &experiments {
+            println!("  {id}");
+        }
+        return;
+    }
+    let run_all = selected.iter().any(|s| s == "all");
+    let mut ran = 0;
+    for (id, f) in &experiments {
+        if run_all || selected.iter().any(|s| s == id) {
+            let table = f(scale);
+            if json {
+                println!("{}", serde_json::to_string_pretty(&table).expect("serializable"));
+            } else {
+                println!("{}", table.render());
+            }
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        die(&format!(
+            "no experiment matched {selected:?}; try `repro list`"
+        ));
+    }
+}
+
+fn usage() {
+    println!(
+        "repro — regenerate the SmartWatch paper's tables and figures\n\n\
+         usage: repro <experiment…|all|list> [--scale N] [--json]\n\n\
+         Experiments map 1:1 to the paper's evaluation (see DESIGN.md §3\n\
+         and EXPERIMENTS.md for the paper-vs-measured record)."
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}

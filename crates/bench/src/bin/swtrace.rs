@@ -1,0 +1,234 @@
+//! `swtrace` — generate, transform and inspect traces as pcap files.
+//!
+//! The workspace-native equivalent of the paper's MoonGen + editcap +
+//! mergecap + tcprewrite toolchain:
+//!
+//! ```sh
+//! swtrace gen --preset caida2018 --flows 5000 --secs 4 --seed 1 -o bg.pcap
+//! swtrace attack portscan --delay-ms 50 --probes 200 -o scan.pcap
+//! swtrace merge bg.pcap scan.pcap -o mixed.pcap        # mergecap
+//! swtrace shift mixed.pcap --ms 500 -o shifted.pcap    # editcap -t
+//! swtrace rewrite64 mixed.pcap -o stress.pcap          # tcprewrite
+//! swtrace info mixed.pcap                              # capinfos
+//! ```
+//!
+//! Output pcaps are classic little-endian/µs files readable by tcpdump
+//! and wireshark. Note that ground-truth labels are generation-side
+//! metadata and do not survive the pcap round trip (a capture is what a
+//! monitor would actually see).
+
+use smartwatch_net::{pcap, Dur, Ts};
+use smartwatch_trace::attacks::auth::{bruteforce, BruteforceConfig};
+use smartwatch_trace::attacks::portscan::{portscan, ScanConfig};
+use smartwatch_trace::attacks::rst::{forged_rst, ForgedRstConfig};
+use smartwatch_trace::attacks::slowloris::{slowloris, SlowlorisConfig};
+use smartwatch_trace::background::{preset_trace, Preset};
+use smartwatch_trace::Trace;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let cmd = args[0].as_str();
+    let rest = &args[1..];
+    let result = match cmd {
+        "gen" => cmd_gen(rest),
+        "attack" => cmd_attack(rest),
+        "merge" => cmd_merge(rest),
+        "shift" => cmd_shift(rest),
+        "rewrite64" => cmd_rewrite64(rest),
+        "info" => cmd_info(rest),
+        "-h" | "--help" | "help" => {
+            usage();
+            return;
+        }
+        other => Err(format!("unknown command {other:?}; try `swtrace help`")),
+    };
+    if let Err(e) = result {
+        eprintln!("swtrace: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    println!(
+        "swtrace — generate, transform and inspect SmartWatch traces as pcap\n\n\
+         commands:\n  \
+         gen --preset <caida2015|caida2016|caida2018|caida2019|wisconsin>\n      \
+         [--flows N] [--secs S] [--seed N] -o <file>\n  \
+         attack <portscan|ssh|slowloris|rst> [options] -o <file>\n      \
+         portscan: [--delay-ms N] [--probes N] [--seed N]\n      \
+         ssh:      [--attackers N] [--attempts N] [--seed N]\n      \
+         slowloris/rst: [--seed N]\n  \
+         merge <in.pcap>… -o <file>\n  \
+         shift <in.pcap> --ms <signed offset> -o <file>\n  \
+         rewrite64 <in.pcap> -o <file>\n  \
+         info <in.pcap>"
+    );
+}
+
+/// Parse `--key value` options plus positional arguments.
+fn parse(rest: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut opts = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let v = it.next().cloned().unwrap_or_default();
+            opts.insert(key.to_string(), v);
+        } else if a == "-o" {
+            let v = it.next().cloned().unwrap_or_default();
+            opts.insert("out".to_string(), v);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, opts)
+}
+
+fn opt<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value {v:?}")),
+    }
+}
+
+fn out_path(opts: &HashMap<String, String>) -> Result<PathBuf, String> {
+    opts.get("out")
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing -o <file>".to_string())
+}
+
+fn save(trace: &Trace, path: &PathBuf) -> Result<(), String> {
+    let bytes = pcap::write(trace.packets());
+    std::fs::write(path, &bytes).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!(
+        "wrote {}: {} packets, {:.3}s, {} bytes",
+        path.display(),
+        trace.len(),
+        trace.duration().as_secs_f64(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let pkts = pcap::read(&bytes).map_err(|e| format!("parse {path}: {e}"))?;
+    Ok(Trace::from_packets(pkts))
+}
+
+fn cmd_gen(rest: &[String]) -> Result<(), String> {
+    let (_, opts) = parse(rest);
+    let preset = match opts.get("preset").map(String::as_str) {
+        Some("caida2015") => Preset::Caida2015,
+        Some("caida2016") => Preset::Caida2016,
+        Some("caida2018") | None => Preset::Caida2018,
+        Some("caida2019") => Preset::Caida2019,
+        Some("wisconsin") => Preset::WisconsinDc,
+        Some(other) => return Err(format!("unknown preset {other:?}")),
+    };
+    let flows = opt(&opts, "flows", 5_000usize)?;
+    let secs = opt(&opts, "secs", 4u64)?;
+    let seed = opt(&opts, "seed", 1u64)?;
+    let trace = preset_trace(preset, flows, Dur::from_secs(secs), seed);
+    save(&trace, &out_path(&opts)?)
+}
+
+fn cmd_attack(rest: &[String]) -> Result<(), String> {
+    let (positional, opts) = parse(rest);
+    let kind = positional.first().map(String::as_str).unwrap_or("");
+    let seed = opt(&opts, "seed", 1u64)?;
+    let trace = match kind {
+        "portscan" => {
+            let delay = opt(&opts, "delay-ms", 50u64)?;
+            let probes = opt(&opts, "probes", 200u32)?;
+            portscan(&ScanConfig::with_delay(Dur::from_millis(delay), probes, seed))
+        }
+        "ssh" => {
+            let mut cfg = BruteforceConfig::ssh(
+                smartwatch_trace::attacks::victim_ip(0),
+                Ts::ZERO,
+                seed,
+            );
+            cfg.attackers = opt(&opts, "attackers", 4u32)?;
+            cfg.attempts_per_attacker = opt(&opts, "attempts", 8u32)?;
+            bruteforce(&cfg)
+        }
+        "slowloris" => slowloris(&SlowlorisConfig::new(
+            smartwatch_trace::attacks::victim_ip(1),
+            Ts::ZERO,
+            seed,
+        )),
+        "rst" => forged_rst(&ForgedRstConfig { seed, ..Default::default() }),
+        other => return Err(format!("unknown attack {other:?} (portscan|ssh|slowloris|rst)")),
+    };
+    save(&trace, &out_path(&opts)?)
+}
+
+fn cmd_merge(rest: &[String]) -> Result<(), String> {
+    let (positional, opts) = parse(rest);
+    if positional.is_empty() {
+        return Err("merge needs at least one input pcap".into());
+    }
+    let traces: Result<Vec<Trace>, String> =
+        positional.iter().map(|p| load(p)).collect();
+    let merged = Trace::merge(traces?);
+    save(&merged, &out_path(&opts)?)
+}
+
+fn cmd_shift(rest: &[String]) -> Result<(), String> {
+    let (positional, opts) = parse(rest);
+    let input = positional.first().ok_or("shift needs an input pcap")?;
+    let ms: i64 = opt(&opts, "ms", 0i64)?;
+    let shifted = load(input)?.time_shifted(ms * 1_000_000);
+    save(&shifted, &out_path(&opts)?)
+}
+
+fn cmd_rewrite64(rest: &[String]) -> Result<(), String> {
+    let (positional, opts) = parse(rest);
+    let input = positional.first().ok_or("rewrite64 needs an input pcap")?;
+    let rewritten = load(input)?.truncated_64b();
+    save(&rewritten, &out_path(&opts)?)
+}
+
+fn cmd_info(rest: &[String]) -> Result<(), String> {
+    let (positional, _) = parse(rest);
+    let input = positional.first().ok_or("info needs an input pcap")?;
+    let trace = load(input)?;
+    let mut flows = std::collections::HashSet::new();
+    let (mut tcp, mut udp, mut syns, mut rsts) = (0u64, 0u64, 0u64, 0u64);
+    for p in trace.iter() {
+        flows.insert(p.key.canonical().0);
+        if p.is_tcp() {
+            tcp += 1;
+            if p.flags.is_syn_only() {
+                syns += 1;
+            }
+            if p.flags.rst() {
+                rsts += 1;
+            }
+        } else if p.is_udp() {
+            udp += 1;
+        }
+    }
+    println!("{input}:");
+    println!("  packets   : {}", trace.len());
+    println!("  flows     : {}", flows.len());
+    println!("  duration  : {:.3}s", trace.duration().as_secs_f64());
+    println!("  mean rate : {:.1} kpps", trace.mean_pps() / 1e3);
+    println!("  bytes     : {}", trace.total_bytes());
+    println!("  tcp/udp   : {tcp}/{udp}");
+    println!("  syn-only  : {syns}");
+    println!("  rst       : {rsts}");
+    Ok(())
+}

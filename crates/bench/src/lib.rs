@@ -1,0 +1,50 @@
+//! # smartwatch-bench
+//!
+//! The reproduction harness: one function per table/figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index), shared
+//! workload builders, and output formatting. The `repro` binary drives
+//! everything; Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_ablation;
+pub mod exp_cache;
+pub mod exp_covert;
+pub mod exp_detect;
+pub mod exp_scale;
+pub mod exp_traffic;
+pub mod output;
+pub mod workloads;
+
+use output::Table;
+
+/// Every reproducible experiment, in paper order.
+pub fn all_experiments() -> Vec<(&'static str, fn(usize) -> Table)> {
+    vec![
+        ("fig2a", |s| exp_scale::fig2(s, false)),
+        ("fig2b", |s| exp_scale::fig2(s, true)),
+        ("fig3", |_| exp_scale::fig3()),
+        ("fig4", exp_cache::fig4),
+        ("fig5", exp_cache::fig5),
+        ("fig6a", exp_cache::fig6a),
+        ("fig6b", exp_cache::fig6b),
+        ("fig7", exp_cache::fig7),
+        ("fig8a", exp_detect::fig8a),
+        ("fig8b", exp_detect::fig8b),
+        ("fig8c", exp_detect::fig8c),
+        ("fig9a", exp_covert::fig9a),
+        ("fig9b", exp_covert::fig9b),
+        ("fig10", exp_traffic::fig10),
+        ("fig11a", exp_traffic::fig11a),
+        ("fig11b", exp_traffic::fig11b),
+        ("table2", exp_detect::table2),
+        ("table3", exp_cache::table3),
+        ("table4", exp_detect::table4),
+        ("ablation-cuckoo", exp_ablation::ablation_cuckoo),
+        ("ablation-pinning", exp_ablation::ablation_pinning),
+        ("ablation-steer-width", exp_ablation::ablation_steer_width),
+        ("ablation-cleanup", exp_ablation::ablation_cleanup),
+        ("ablation-sampling", exp_ablation::ablation_sampling),
+    ]
+}

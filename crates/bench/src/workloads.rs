@@ -1,0 +1,183 @@
+//! Shared workload builders for the reproduction harness.
+//!
+//! All experiments run on scaled-down stand-ins for the paper's traces
+//! (see DESIGN.md §1). `scale` multiplies the default workload size;
+//! scale 1 keeps every experiment in seconds on a laptop.
+
+use smartwatch_net::{Dur, Ts};
+use smartwatch_trace::attacks::auth::{
+    bruteforce, kerberos_tickets, tls_with_certs, ArtefactInfo, BruteforceConfig,
+    KerberosConfig, TlsConfig,
+};
+use smartwatch_trace::attacks::dns_amp::{dns_amplification, DnsAmpConfig};
+use smartwatch_trace::attacks::portscan::{incomplete_flows, portscan, ScanConfig};
+use smartwatch_trace::attacks::rst::{forged_rst, ForgedRstConfig};
+use smartwatch_trace::attacks::slowloris::{slowloris, SlowlorisConfig};
+use smartwatch_trace::attacks::worm::{worm_outbreak, WormConfig};
+use smartwatch_trace::background::{preset_trace, Preset};
+use smartwatch_trace::Trace;
+
+/// A CAIDA-year stand-in sized for FlowCache experiments.
+pub fn caida(preset: Preset, scale: usize, seed: u64) -> Trace {
+    preset_trace(preset, 25_000 * scale, Dur::from_secs(4), seed)
+}
+
+/// The 64-byte stress rewrite of a CAIDA trace (the paper's worst case).
+pub fn caida_64b(preset: Preset, scale: usize, seed: u64) -> Trace {
+    caida(preset, scale, seed).truncated_64b()
+}
+
+/// The Table-4 evaluation mix plus the TLS/Kerberos artefact registries
+/// the host analyzers resolve against.
+pub fn attack_mix_full(scale: usize, seed: u64) -> (Trace, Vec<ArtefactInfo>, Vec<ArtefactInfo>) {
+    let base = attack_mix(scale, seed);
+    let (tls, certs) = tls_with_certs(&TlsConfig {
+        seed: seed + 8,
+        sessions: 60,
+        expiring_fraction: 0.25,
+        window: Dur::from_secs(8),
+        now: Ts::from_millis(600),
+        horizon: Dur::from_secs(30 * 86_400),
+    });
+    let (krb, tickets) = kerberos_tickets(&KerberosConfig {
+        seed: seed + 9,
+        requests: 60,
+        suspicious_fraction: 0.25,
+        window: Dur::from_secs(8),
+        now: Ts::from_millis(700),
+        max_lifetime: Dur::from_secs(36_000),
+    });
+    (Trace::merge([base, tls, krb]), certs, tickets)
+}
+
+/// The Table-4 evaluation mix: background plus every labelled attack the
+/// relative-detection comparison scores, with disjoint attacker pools.
+pub fn attack_mix(scale: usize, seed: u64) -> Trace {
+    let bg = preset_trace(Preset::Caida2018, 600 * scale, Dur::from_secs(12), seed);
+
+    let mut ssh = BruteforceConfig::ssh(
+        smartwatch_trace::attacks::victim_ip(0),
+        Ts::from_millis(300),
+        seed,
+    );
+    ssh.attempt_gap = Dur::from_millis(600);
+    ssh.source_base = 0;
+
+    let mut ftp = BruteforceConfig::ftp(
+        smartwatch_trace::attacks::victim_ip(2),
+        Ts::from_millis(500),
+        seed + 1,
+    );
+    ftp.attempt_gap = Dur::from_millis(700);
+    ftp.source_base = 16;
+
+    let scan = portscan(&ScanConfig {
+        scanner: 32,
+        ..ScanConfig::with_delay(Dur::from_millis(80), 80, seed + 2)
+    });
+
+    let rst = forged_rst(&ForgedRstConfig {
+        seed: seed + 3,
+        forged_victims: 12,
+        genuine_rsts: 12,
+        race_gap: Dur::from_millis(40),
+        rst_retransmit_fraction: 0.3,
+        start: Ts::from_secs(1),
+    });
+
+    let slow = slowloris(&SlowlorisConfig {
+        conns_per_attacker: 28,
+        fragments: 8,
+        fragment_gap: Dur::from_millis(2_200),
+        ..SlowlorisConfig::new(smartwatch_trace::attacks::victim_ip(1), Ts::from_millis(800), seed + 4)
+    });
+
+    let mut amp_cfg =
+        DnsAmpConfig::new(smartwatch_trace::background::client_ip(999), Ts::from_secs(2), seed + 5);
+    amp_cfg.query_gap = Dur::from_millis(120);
+    amp_cfg.queries_per_resolver = 60;
+    let amp = dns_amplification(&amp_cfg);
+
+    // Worm sized so the outbreak is detectable but does not flood the
+    // whole mix with single-packet flows (the default saturates its pool).
+    let worm = worm_outbreak(&WormConfig {
+        signature: 0x3333_0000_5EED_0001,
+        start: Ts::from_secs(1),
+        patient_zeros: 4,
+        probe_rate: 8.0,
+        infect_prob: 0.08,
+        address_pool: 2_000,
+        duration: Dur::from_secs(8),
+        ..WormConfig::new(seed + 6)
+    });
+
+    let incomplete = incomplete_flows(80, Ts::from_millis(400), seed + 7);
+
+    Trace::merge([bg, bruteforce(&ssh), bruteforce(&ftp), scan, rst, slow, amp, worm, incomplete])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_net::AttackKind;
+
+    #[test]
+    fn attack_mix_contains_all_scored_kinds() {
+        let t = attack_mix(1, 5);
+        for kind in [
+            AttackKind::SshBruteforce,
+            AttackKind::FtpBruteforce,
+            AttackKind::StealthyPortScan,
+            AttackKind::ForgedTcpRst,
+            AttackKind::Slowloris,
+            AttackKind::DnsAmplification,
+            AttackKind::Worm,
+            AttackKind::TcpIncompleteFlows,
+        ] {
+            assert!(!t.labelled_flows(kind).is_empty(), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn attacker_pools_are_disjoint() {
+        let t = attack_mix(1, 5);
+        use std::collections::{HashMap, HashSet};
+        let mut per_kind: HashMap<AttackKind, HashSet<std::net::Ipv4Addr>> = HashMap::new();
+        for p in t.iter() {
+            if let Some(k) = p.label.kind() {
+                if matches!(k, AttackKind::SshBruteforce | AttackKind::FtpBruteforce | AttackKind::StealthyPortScan) {
+                    per_kind.entry(k).or_default().insert(p.key.src_ip);
+                }
+            }
+        }
+        let ssh = &per_kind[&AttackKind::SshBruteforce];
+        let ftp = &per_kind[&AttackKind::FtpBruteforce];
+        let scan: HashSet<_> = per_kind[&AttackKind::StealthyPortScan]
+            .iter()
+            .filter(|ip| u32::from(**ip) >> 17 == 0xC612_0000 >> 17)
+            .copied()
+            .collect();
+        assert!(ssh.is_disjoint(ftp), "ssh/ftp sources overlap");
+        assert!(ssh.is_disjoint(&scan), "ssh/scan sources overlap");
+    }
+}
+
+#[cfg(test)]
+mod full_mix_tests {
+    use super::*;
+    use smartwatch_net::AttackKind;
+
+    #[test]
+    fn full_mix_carries_artefacts_on_the_wire() {
+        let (trace, certs, tickets) = attack_mix_full(1, 5);
+        assert!(!certs.is_empty() && !tickets.is_empty());
+        // Every registered digest appears on some packet.
+        let wire: std::collections::HashSet<u64> =
+            trace.iter().map(|p| p.payload_digest).filter(|d| *d != 0).collect();
+        for a in certs.iter().chain(&tickets) {
+            assert!(wire.contains(&a.digest), "digest {:x} missing", a.digest);
+        }
+        assert!(!trace.labelled_flows(AttackKind::ExpiringSslCert).is_empty());
+        assert!(!trace.labelled_flows(AttackKind::KerberosTicket).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration tests that execute the real `repro` and `swtrace`
+//! binaries, exercising argument parsing, pcap I/O and experiment output
+//! end to end.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn repro_list_shows_every_experiment() {
+    let (stdout, _, ok) = run(env!("CARGO_BIN_EXE_repro"), &["list"]);
+    assert!(ok);
+    for id in ["fig2a", "fig5", "fig10", "table4", "ablation-cuckoo"] {
+        assert!(stdout.contains(id), "missing {id} in repro list");
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_experiment() {
+    let (_, stderr, ok) = run(env!("CARGO_BIN_EXE_repro"), &["fig99"]);
+    assert!(!ok);
+    assert!(stderr.contains("no experiment matched"));
+}
+
+#[test]
+fn repro_json_output_parses() {
+    let (stdout, _, ok) = run(env!("CARGO_BIN_EXE_repro"), &["fig3", "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["id"], "fig3");
+    assert!(v["rows"].as_array().map(|r| !r.is_empty()).unwrap_or(false));
+}
+
+#[test]
+fn swtrace_pipeline_round_trips() {
+    let dir = std::env::temp_dir().join(format!("swtrace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bg = dir.join("bg.pcap");
+    let scan = dir.join("scan.pcap");
+    let mixed = dir.join("mixed.pcap");
+    let stress = dir.join("stress.pcap");
+    let sw = env!("CARGO_BIN_EXE_swtrace");
+
+    let (_, e, ok) = run(sw, &[
+        "gen", "--preset", "caida2018", "--flows", "200", "--secs", "2",
+        "--seed", "5", "-o", bg.to_str().unwrap(),
+    ]);
+    assert!(ok, "gen failed: {e}");
+    let (_, e, ok) = run(sw, &[
+        "attack", "portscan", "--delay-ms", "20", "--probes", "50",
+        "-o", scan.to_str().unwrap(),
+    ]);
+    assert!(ok, "attack failed: {e}");
+    let (_, e, ok) = run(sw, &[
+        "merge", bg.to_str().unwrap(), scan.to_str().unwrap(),
+        "-o", mixed.to_str().unwrap(),
+    ]);
+    assert!(ok, "merge failed: {e}");
+    let (_, e, ok) =
+        run(sw, &["rewrite64", mixed.to_str().unwrap(), "-o", stress.to_str().unwrap()]);
+    assert!(ok, "rewrite64 failed: {e}");
+
+    let (info, _, ok) = run(sw, &["info", mixed.to_str().unwrap()]);
+    assert!(ok);
+    assert!(info.contains("packets"));
+    assert!(info.contains("syn-only"));
+
+    // The merged pcap parses back in-process with the right packet count.
+    let merged = smartwatch_net::pcap::read(&std::fs::read(&mixed).unwrap()).unwrap();
+    let background = smartwatch_net::pcap::read(&std::fs::read(&bg).unwrap()).unwrap();
+    let scan_pkts = smartwatch_net::pcap::read(&std::fs::read(&scan).unwrap()).unwrap();
+    assert_eq!(merged.len(), background.len() + scan_pkts.len());
+    // And the 64 B rewrite really truncates every frame.
+    let rewritten = smartwatch_net::pcap::read(&std::fs::read(&stress).unwrap()).unwrap();
+    assert!(rewritten.iter().all(|p| p.wire_len == 64));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn swtrace_reports_missing_output_flag() {
+    let (_, stderr, ok) = run(env!("CARGO_BIN_EXE_swtrace"), &["gen", "--flows", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("-o"));
+}

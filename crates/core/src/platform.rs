@@ -1,0 +1,617 @@
+//! The SmartWatch platform: switch + sNIC + host wired into the
+//! cooperative two-stage detector with its control loop (paper §2.3, §3).
+//!
+//! Per monitoring interval the control loop:
+//!
+//! 1. reads the switch queries' over-threshold keys and asks each
+//!    [`Refiner`] what to do — SmartWatch-mode refiners install steering
+//!    rules (traffic subsets head to the sNIC from the next interval);
+//!    Sonata-mode refiners zoom the query instead;
+//! 2. snapshots the FlowCache and drains the eviction rings into the host
+//!    aggregator, flushing per-interval flow logs;
+//! 3. whitelists the top-k heavy *benign* flows on the switch (the
+//!    "hoverboard" intuition) and blacklists alert sources;
+//! 4. runs the interval detectors (Slowloris & friends) over the flow
+//!    log.
+//!
+//! Per packet, the deployment mode decides the path: everything through
+//! the host (HostOnly), everything through sNIC+host (SnicHost), switch
+//! pre-filtering with sNIC fine-graining (SmartWatch), or switch-only
+//! aggregate detection (SwitchHost / Sonata).
+
+use crate::deploy::DeployMode;
+use crate::suite::{DetectorSuite, HostNeed};
+use smartwatch_detect::{Alert, Subject};
+use smartwatch_host::{FlowLogStore, HostCostModel, SnapshotAggregator};
+use smartwatch_net::{Dur, Packet, Ts};
+use smartwatch_p4sim::{Decision, P4Switch, RefineMode, RefineOutcome, Refiner, SwitchQuery};
+use smartwatch_snic::hw::service_time;
+use smartwatch_snic::{CycleCosts, FlowCache, FlowCacheConfig, HwProfile, NETRONOME_AGILIO_LX};
+
+/// Platform configuration.
+#[derive(Clone, Debug)]
+pub struct PlatformConfig {
+    /// Deployment architecture.
+    pub mode: DeployMode,
+    /// Switch monitoring interval.
+    pub interval: Dur,
+    /// How many heavy benign flows to whitelist per interval.
+    pub whitelist_top_k: usize,
+    /// Minimum cumulative packets before a flow qualifies as "heavy"
+    /// enough to whitelist (the hoverboard picks elephants, not mice).
+    pub whitelist_min_packets: u64,
+    /// FlowCache geometry.
+    pub cache: FlowCacheConfig,
+    /// sNIC hardware profile for latency accounting.
+    pub hw: HwProfile,
+    /// Host path cost model.
+    pub host_cost: HostCostModel,
+    /// Blacklist alert sources on the switch (intrusion *prevention*).
+    pub blacklist_sources: bool,
+    /// Let detector verdicts (e.g. successful SSH authentication)
+    /// whitelist flows on the switch. Disable to isolate the top-k
+    /// heavy-flow whitelisting when studying Fig. 2's trade-off.
+    pub suite_whitelist: bool,
+}
+
+impl PlatformConfig {
+    /// Defaults for a given mode: 1-second intervals, a 2^14-row cache
+    /// (laptop-sized; pass 21 row bits for the paper's full table).
+    pub fn new(mode: DeployMode) -> PlatformConfig {
+        PlatformConfig {
+            mode,
+            interval: Dur::from_secs(1),
+            whitelist_top_k: 64,
+            whitelist_min_packets: 200,
+            cache: FlowCacheConfig::general(14),
+            hw: NETRONOME_AGILIO_LX,
+            host_cost: HostCostModel::default(),
+            blacklist_sources: true,
+            suite_whitelist: true,
+        }
+    }
+}
+
+/// Where packets went and what they cost (the latency/tier ledger).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TierMetrics {
+    /// Total packets offered.
+    pub total: u64,
+    /// Dropped by the switch blacklist.
+    pub dropped: u64,
+    /// Forwarded by the switch without monitoring-tier involvement.
+    pub forwarded_direct: u64,
+    /// Steered into the sNIC tier.
+    pub snic_processed: u64,
+    /// Escalated to host NFs.
+    pub host_processed: u64,
+    /// Sum of per-packet processing latency (ns) across monitored packets.
+    pub latency_sum_ns: f64,
+    /// Monitored packets (denominator for mean latency).
+    pub monitored: u64,
+    /// Packets whose FlowCache row was fully pinned (not in flow logs).
+    pub unlogged: u64,
+}
+
+impl TierMetrics {
+    /// Mean per-packet processing latency over monitored packets, ns.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.monitored == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns / self.monitored as f64
+        }
+    }
+
+    /// Packets that could not update any flow record (fully pinned rows)
+    /// and therefore are missing from the flow logs.
+    pub fn to_host_unlogged(&self) -> u64 {
+        self.unlogged
+    }
+
+    /// Fraction of sNIC-tier packets that continued to the host.
+    pub fn host_fraction(&self) -> f64 {
+        if self.snic_processed == 0 {
+            0.0
+        } else {
+            self.host_processed as f64 / self.snic_processed as f64
+        }
+    }
+}
+
+/// One Sonata on-switch detection: (/32 prefix, width, when).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SonataDetection {
+    /// Detected prefix value.
+    pub prefix: u32,
+    /// Prefix width (always the finest ladder level).
+    pub width: u8,
+    /// Interval-end time of the detection.
+    pub ts: Ts,
+}
+
+/// Output of a platform run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// All alerts raised (suite + interval detectors).
+    pub alerts: Vec<Alert>,
+    /// Tier/latency ledger.
+    pub metrics: TierMetrics,
+    /// Sonata-mode on-switch detections.
+    pub sonata_detections: Vec<SonataDetection>,
+    /// Switch statistics (steered bytes etc.).
+    pub steered_bytes: u64,
+    /// Whitelist entries installed over the run.
+    pub whitelist_entries: usize,
+    /// Switch SRAM high-water mark, bytes.
+    pub switch_sram_peak: usize,
+    /// The interval-keyed flow logs (offline analysis input).
+    pub flow_log: FlowLogStore,
+}
+
+/// The platform.
+pub struct SmartWatch {
+    cfg: PlatformConfig,
+    /// The programmable switch (present in SmartWatch / SwitchHost modes).
+    pub switch: P4Switch,
+    /// The sNIC FlowCache.
+    pub cache: FlowCache,
+    /// The detector suite.
+    pub suite: DetectorSuite,
+    /// Host aggregation of sNIC exports (per interval, flushed to logs).
+    pub aggregator: SnapshotAggregator,
+    /// Cumulative host view across all snapshots (paper §3.4: the host
+    /// "collects and stores all flow-related information over multiple
+    /// snapshots" — flow *durations* only exist here).
+    pub long_term: SnapshotAggregator,
+    /// Interval-keyed flow logs.
+    pub flowlog: FlowLogStore,
+    refiners: Vec<Refiner>,
+    costs: CycleCosts,
+    metrics: TierMetrics,
+    alerts: Vec<Alert>,
+    sonata_detections: Vec<SonataDetection>,
+    interval_idx: u64,
+    next_interval: Ts,
+    whitelist_entries: usize,
+    sram_peak: usize,
+}
+
+impl SmartWatch {
+    /// Build a platform; `refiner_specs` are the coarse base queries to
+    /// run on the switch (ignored in switch-less modes).
+    pub fn new(cfg: PlatformConfig, base_queries: Vec<SwitchQuery>) -> SmartWatch {
+        let refine_mode = match cfg.mode {
+            DeployMode::SwitchHost => RefineMode::Sonata,
+            _ => RefineMode::SmartWatch,
+        };
+        let mut switch = P4Switch::new();
+        let refiners: Vec<Refiner> = base_queries
+            .into_iter()
+            .map(|q| {
+                // Each query's ladder starts at its own coarse width and
+                // climbs through the paper's levels above it.
+                let base_width = q.key.prefix_width().unwrap_or(8);
+                let mut levels: Vec<u8> = std::iter::once(base_width)
+                    .chain(Refiner::paper_levels().into_iter().filter(|w| *w > base_width))
+                    .collect();
+                levels.dedup();
+                Refiner::new(refine_mode, q, levels)
+            })
+            .collect();
+        if uses_switch(cfg.mode) {
+            for r in &refiners {
+                assert!(
+                    switch.install_query(r.initial_query()),
+                    "monitoring stage budget exhausted at startup"
+                );
+            }
+        }
+        SmartWatch {
+            cache: FlowCache::new(cfg.cache.clone()),
+            switch,
+            suite: DetectorSuite::new(),
+            aggregator: SnapshotAggregator::new(),
+            long_term: SnapshotAggregator::new(),
+            flowlog: FlowLogStore::new(),
+            refiners,
+            costs: CycleCosts::default(),
+            metrics: TierMetrics::default(),
+            alerts: Vec::new(),
+            sonata_detections: Vec::new(),
+            interval_idx: 0,
+            next_interval: Ts::ZERO + cfg.interval,
+            whitelist_entries: 0,
+            sram_peak: 0,
+            cfg,
+        }
+    }
+
+    /// Replace the default detector suite (e.g. to attach registries).
+    pub fn with_suite(mut self, suite: DetectorSuite) -> SmartWatch {
+        self.suite = suite;
+        self
+    }
+
+    /// Deployment mode.
+    pub fn mode(&self) -> DeployMode {
+        self.cfg.mode
+    }
+
+    /// Process one packet.
+    pub fn on_packet(&mut self, pkt: &Packet) {
+        while pkt.ts >= self.next_interval {
+            let at = self.next_interval;
+            self.end_interval(at);
+            self.next_interval = at + self.cfg.interval;
+        }
+        self.metrics.total += 1;
+
+        let monitor = match self.cfg.mode {
+            DeployMode::HostOnly => {
+                // Everything to host NFs. The host keeps its own flow
+                // table (the cache stands in for it) so flow-log driven
+                // detectors still run; latency is charged at host rates.
+                self.metrics.monitored += 1;
+                self.metrics.host_processed += 1;
+                self.metrics.latency_sum_ns +=
+                    self.cfg.host_cost.host_path_latency(pkt.wire_len).as_nanos() as f64;
+                self.cache.process(pkt);
+                let outcome = self.suite.on_packet(pkt);
+                self.ingest_alerts(outcome.alerts);
+                return;
+            }
+            DeployMode::SnicHost => true,
+            DeployMode::SmartWatch | DeployMode::SwitchHost => {
+                match self.switch.process(pkt) {
+                    Decision::Drop => {
+                        self.metrics.dropped += 1;
+                        return;
+                    }
+                    Decision::Forward => {
+                        self.metrics.forwarded_direct += 1;
+                        false
+                    }
+                    Decision::Steer => true,
+                }
+            }
+        };
+
+        if !monitor {
+            return;
+        }
+
+        if self.cfg.mode == DeployMode::SwitchHost {
+            // Sonata: steered packets burn host CPU but there is no
+            // flow-state tier; detection happens via query refinement.
+            self.metrics.monitored += 1;
+            self.metrics.host_processed += 1;
+            self.metrics.latency_sum_ns +=
+                self.cfg.host_cost.host_path_latency(pkt.wire_len).as_nanos() as f64;
+            return;
+        }
+
+        // sNIC tier: FlowCache + detector suite.
+        self.metrics.monitored += 1;
+        self.metrics.snic_processed += 1;
+        let access = self.cache.process(pkt);
+        if access.outcome == smartwatch_snic::Outcome::ToHost {
+            self.metrics.unlogged += 1;
+        }
+        let (busy, wait) = service_time(&self.cfg.hw, &self.costs, &access);
+        self.metrics.latency_sum_ns += busy + wait;
+
+        let outcome = self.suite.on_packet(pkt);
+        if outcome.host == HostNeed::Host {
+            self.metrics.host_processed += 1;
+            self.metrics.latency_sum_ns +=
+                self.cfg.host_cost.host_path_latency(pkt.wire_len).as_nanos() as f64;
+            // Pin the flow: its state must stay sNIC-resident while the
+            // host works on it (§3.2 "Pinning Flow Records").
+            self.cache.pin(&pkt.key);
+        }
+        for flow in &outcome.whitelist {
+            self.cache.unpin(flow);
+            if self.cfg.suite_whitelist && uses_switch(self.cfg.mode) {
+                self.switch.whitelist(*flow);
+                self.whitelist_entries += 1;
+            }
+        }
+        self.ingest_alerts(outcome.alerts);
+    }
+
+    fn ingest_alerts(&mut self, alerts: Vec<Alert>) {
+        for a in alerts {
+            if self.cfg.blacklist_sources && uses_switch(self.cfg.mode) {
+                if let Subject::Source(src) = a.subject {
+                    self.switch.blacklist(src);
+                }
+            }
+            self.alerts.push(a);
+        }
+    }
+
+    /// Interval boundary: control loop + exports + interval detectors.
+    fn end_interval(&mut self, now: Ts) {
+        // 1. Switch query results drive refinement / steering.
+        if uses_switch(self.cfg.mode) {
+            let results = self.switch.end_interval();
+            let mut outcomes = Vec::with_capacity(self.refiners.len());
+            for r in &mut self.refiners {
+                // Collect this refiner's results under any of its level
+                // names (name@width).
+                let base = refiner_base(r);
+                let over: Vec<(u64, u64)> = results
+                    .iter()
+                    .filter(|(name, _)| name.split('@').next().unwrap_or("") == base)
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect();
+                let initial = r.initial_query();
+                outcomes.push((r.on_results(&over), initial));
+            }
+            if std::env::var("SW_DEBUG_REFINE").is_ok() {
+                eprintln!("interval@{now}: results={:?}", results.keys().collect::<Vec<_>>());
+            }
+            for (outcome, initial) in outcomes {
+                if std::env::var("SW_DEBUG_REFINE").is_ok() {
+                    eprintln!("  outcome for {}: {:?}", initial.name, match &outcome {
+                        RefineOutcome::SteerSubsets(r) => format!("steer {}", r.len()),
+                        RefineOutcome::NextQuery(q) => format!("zoom {}", q.name),
+                        RefineOutcome::Detected(p) => format!("DETECTED {p:?}"),
+                        RefineOutcome::Restart(q) => format!("restart {}", q.name),
+                    });
+                }
+                match outcome {
+                    RefineOutcome::SteerSubsets(rules) => {
+                        for rule in rules {
+                            self.switch.install_steer(rule);
+                        }
+                    }
+                    RefineOutcome::NextQuery(q) => {
+                        // Sonata zoom: swap the installed query.
+                        self.replace_refiner_query(q);
+                    }
+                    RefineOutcome::Detected(prefixes) => {
+                        for (prefix, width) in prefixes {
+                            self.sonata_detections.push(SonataDetection {
+                                prefix,
+                                width,
+                                ts: now,
+                            });
+                        }
+                        self.replace_refiner_query(initial);
+                    }
+                    RefineOutcome::Restart(q) => {
+                        self.replace_refiner_query(q);
+                    }
+                }
+            }
+            self.sram_peak = self.sram_peak.max(self.switch.sram_bytes());
+        }
+
+        // 2. sNIC exports: snapshot deltas + ring drains → host aggregate
+        // (both the per-interval view and the cumulative store).
+        let snapshot = self.cache.snapshot_delta();
+        self.long_term.ingest_batch(snapshot.iter().copied());
+        self.aggregator.ingest_batch(snapshot);
+        let evicted = self.cache.rings().drain();
+        self.long_term.ingest_batch(evicted.iter().copied());
+        self.aggregator.ingest_batch(evicted);
+
+        // 3. Whitelist top-k heavy benign flows (hoverboard): elephants
+        // by cumulative count, never mice — whitelisting a low-and-slow
+        // flow would blind the fine-grained tier to exactly the traffic
+        // it exists for.
+        if uses_switch(self.cfg.mode) && self.cfg.whitelist_top_k > 0 {
+            for rec in self.long_term.top_k(self.cfg.whitelist_top_k) {
+                if rec.packets >= self.cfg.whitelist_min_packets {
+                    self.switch.whitelist(rec.key);
+                }
+            }
+            self.whitelist_entries = self.switch.whitelist_len();
+        }
+
+        // 4. Flush the interval view to the flow log, then run the
+        // interval detectors over the *cumulative* records (durations).
+        let records = self.aggregator.flush();
+        self.flowlog.store(self.interval_idx, records);
+        let cumulative: Vec<smartwatch_snic::FlowRecord> =
+            self.long_term.iter().copied().collect();
+        let interval_alerts = self.suite.end_interval(&cumulative, now);
+        self.ingest_alerts(interval_alerts);
+        self.interval_idx += 1;
+    }
+
+    fn replace_refiner_query(&mut self, q: SwitchQuery) {
+        // Remove any same-base query at another level, then install.
+        let base = q.name.split('@').next().unwrap_or("").to_string();
+        let stale: Vec<String> = self
+            .switch
+            .query_names()
+            .into_iter()
+            .filter(|n| n.split('@').next().unwrap_or("") == base)
+            .map(String::from)
+            .collect();
+        for n in stale {
+            self.switch.remove_query(&n);
+        }
+        // The stale removal freed this query's stages; re-installation at
+        // another granularity costs the same, so this cannot fail.
+        let installed = self.switch.install_query(q);
+        debug_assert!(installed, "refined query lost its stages");
+    }
+
+    /// Finish the run: close the last interval and final-sweep detectors.
+    pub fn finish(mut self, now: Ts) -> RunReport {
+        self.end_interval(now);
+        let final_alerts = self.suite.finish(now);
+        self.ingest_alerts(final_alerts);
+        // Drain the residual cache so flow logs are complete.
+        let residue = self.cache.drain_all();
+        self.aggregator.ingest_batch(residue);
+        let records = self.aggregator.flush();
+        self.flowlog.store(self.interval_idx, records);
+        RunReport {
+            alerts: self.alerts,
+            metrics: self.metrics,
+            sonata_detections: self.sonata_detections,
+            steered_bytes: self.switch.stats().steered_bytes,
+            whitelist_entries: self.whitelist_entries,
+            switch_sram_peak: self.sram_peak,
+            flow_log: self.flowlog,
+        }
+    }
+
+    /// Convenience: run a whole packet stream.
+    pub fn run(mut self, packets: &[Packet]) -> RunReport {
+        for p in packets {
+            self.on_packet(p);
+        }
+        let end = packets.last().map(|p| p.ts).unwrap_or(Ts::ZERO) + Dur::from_secs(1);
+        self.finish(end)
+    }
+}
+
+fn uses_switch(mode: DeployMode) -> bool {
+    matches!(mode, DeployMode::SmartWatch | DeployMode::SwitchHost)
+}
+
+fn refiner_base(r: &Refiner) -> String {
+    r.initial_query().name.split('@').next().unwrap_or("").to_string()
+}
+
+/// The paper's standing coarse queries for the cooperative experiments.
+pub fn standard_queries() -> Vec<SwitchQuery> {
+    vec![
+        SwitchQuery::ssh_attempts(8, 10),
+        SwitchQuery {
+            name: "ftp-attempts".into(),
+            filter: smartwatch_p4sim::Filter::And(
+                Box::new(smartwatch_p4sim::Filter::DstPort(21)),
+                Box::new(smartwatch_p4sim::Filter::SynOnly),
+            ),
+            key: smartwatch_p4sim::KeyExpr::DstPrefix(8),
+            distinct: None,
+            threshold: 10,
+        },
+        SwitchQuery::scan_probes(8, 12),
+        SwitchQuery {
+            name: "conn-attempts".into(),
+            filter: smartwatch_p4sim::Filter::SynOnly,
+            key: smartwatch_p4sim::KeyExpr::DstPrefix(24),
+            distinct: None,
+            threshold: 48,
+        },
+        // RSTs aggregate on their *sender* side: a forged RST spoofs the
+        // victim server's address, so the victim /24 accumulates counts
+        // even though the targeted clients are scattered.
+        SwitchQuery {
+            name: "rst".into(),
+            filter: smartwatch_p4sim::Filter::Rst,
+            key: smartwatch_p4sim::KeyExpr::SrcPrefix(24),
+            distinct: None,
+            threshold: 8,
+        },
+        SwitchQuery::dns_responses(24, 48),
+        SwitchQuery::conn_fanout(24, 64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_net::AttackKind;
+    use smartwatch_trace::attacks::portscan::{portscan, ScanConfig};
+    use smartwatch_trace::background::{preset_trace, Preset};
+    use smartwatch_trace::Trace;
+
+    fn mixed_trace() -> Trace {
+        let bg = preset_trace(Preset::Caida2018, 400, Dur::from_secs(4), 3);
+        let scan = portscan(&ScanConfig::with_delay(Dur::from_millis(40), 80, 4));
+        Trace::merge([bg, scan])
+    }
+
+    #[test]
+    fn smartwatch_mode_detects_scan_with_low_monitoring_share() {
+        let trace = mixed_trace();
+        let sw = SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries());
+        let report = sw.run(trace.packets());
+        assert!(
+            report.alerts.iter().any(|a| a.kind == AttackKind::StealthyPortScan),
+            "scan must be detected"
+        );
+        let m = report.metrics;
+        // The switch forwards the bulk directly.
+        assert!(
+            m.forwarded_direct > m.snic_processed,
+            "bulk should bypass the sNIC: fwd={} snic={}",
+            m.forwarded_direct,
+            m.snic_processed
+        );
+    }
+
+    #[test]
+    fn snic_offload_cuts_processing_latency() {
+        // The paper's 72.32% claim compares processing the same traffic
+        // on the sNIC+host partitioning vs entirely on the host.
+        let trace = mixed_trace();
+        let host_rep = SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![])
+            .run(trace.packets());
+        let snic_rep = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
+            .run(trace.packets());
+        assert!(host_rep.alerts.iter().any(|a| a.kind == AttackKind::StealthyPortScan));
+        let reduction =
+            1.0 - snic_rep.metrics.mean_latency_ns() / host_rep.metrics.mean_latency_ns();
+        assert!(
+            reduction > 0.5,
+            "sNIC offload should cut mean processing latency sharply: {:.1}%",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn snic_host_mode_monitors_everything() {
+        let trace = mixed_trace();
+        let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
+            .run(trace.packets());
+        assert_eq!(rep.metrics.snic_processed, rep.metrics.total);
+        assert!(rep.metrics.host_fraction() < 0.20);
+    }
+
+    #[test]
+    fn sonata_mode_produces_switch_detections_only() {
+        let trace = mixed_trace();
+        let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SwitchHost), standard_queries())
+            .run(trace.packets());
+        // Sonata raises no flow-level alerts (no sNIC tier) …
+        assert!(rep.alerts.is_empty());
+        // … but the zoom pipeline should reach /32 on the scanner.
+        assert!(
+            !rep.sonata_detections.is_empty(),
+            "refinement should reach terminal detections"
+        );
+    }
+
+    #[test]
+    fn blacklisted_scanner_gets_dropped() {
+        let trace = mixed_trace();
+        let sw = SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries());
+        let rep = sw.run(trace.packets());
+        // After the alert fires, subsequent scanner packets are dropped at
+        // the switch — prevention, not just detection.
+        assert!(rep.metrics.dropped > 0, "post-alert packets should drop");
+    }
+
+    #[test]
+    fn flow_logs_reconstruct_monitored_packet_counts() {
+        let trace = preset_trace(Preset::Caida2018, 100, Dur::from_secs(2), 9);
+        let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
+            .run(trace.packets());
+        let logged: u64 = (0..rep.flow_log.n_intervals() as u64)
+            .map(|i| rep.flow_log.flow_counts(i).values().sum::<u64>())
+            .sum();
+        // Lossless flow logging: every sNIC-processed packet is accounted
+        // for in the flow logs (to-host escalations still update records).
+        assert_eq!(logged, rep.metrics.snic_processed - rep.metrics.to_host_unlogged());
+    }
+}

@@ -1,0 +1,184 @@
+//! DNS amplification detection (paper §5.1.3 "Similar Attacks").
+//!
+//! Instead of the port-scan indicator φ, the detector computes the
+//! amplification factor `sizeof(response)/sizeof(request)` per
+//! (client, resolver) session. Reflection victims show high factors
+//! across *many* resolvers simultaneously, so the alert keys on the
+//! victim address once enough amplified sessions accumulate.
+
+use crate::{Alert, Subject};
+use smartwatch_net::{AttackKind, Packet};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Per-(client, resolver) byte accounting.
+#[derive(Clone, Copy, Debug, Default)]
+struct PairBytes {
+    request: u64,
+    response: u64,
+}
+
+/// DNS amplification detector.
+#[derive(Clone, Debug)]
+pub struct DnsAmpDetector {
+    /// Response/request byte ratio that marks a session amplified.
+    pub factor_threshold: f64,
+    /// Minimum request bytes before a ratio is meaningful.
+    pub min_request_bytes: u64,
+    /// Amplified (client, resolver) pairs needed to flag a victim.
+    pub pair_threshold: usize,
+    pairs: HashMap<(Ipv4Addr, Ipv4Addr), PairBytes>,
+    alerted: HashSet<Ipv4Addr>,
+}
+
+impl DnsAmpDetector {
+    /// Defaults: factor ≥ 10 over ≥ 4 resolvers.
+    pub fn new() -> DnsAmpDetector {
+        DnsAmpDetector {
+            factor_threshold: 10.0,
+            min_request_bytes: 120,
+            pair_threshold: 4,
+            pairs: HashMap::new(),
+            alerted: HashSet::new(),
+        }
+    }
+
+    /// Feed one packet (only UDP/53 packets are considered).
+    pub fn on_packet(&mut self, p: &Packet) -> Option<Alert> {
+        if !p.is_udp() {
+            return None;
+        }
+        let (client, resolver, response) = if p.key.dst_port == 53 {
+            (p.key.src_ip, p.key.dst_ip, false)
+        } else if p.key.src_port == 53 {
+            (p.key.dst_ip, p.key.src_ip, true)
+        } else {
+            return None;
+        };
+        let e = self.pairs.entry((client, resolver)).or_default();
+        if response {
+            e.response += u64::from(p.payload_len);
+        } else {
+            e.request += u64::from(p.payload_len);
+        }
+        // Check victim status.
+        if self.alerted.contains(&client) {
+            return None;
+        }
+        let amplified = self
+            .pairs
+            .iter()
+            .filter(|((c, _), b)| {
+                *c == client
+                    && b.request >= self.min_request_bytes
+                    && b.response as f64 / b.request.max(1) as f64 >= self.factor_threshold
+            })
+            .count();
+        if amplified >= self.pair_threshold {
+            self.alerted.insert(client);
+            Some(Alert::new(
+                AttackKind::DnsAmplification,
+                Subject::Destination(client),
+                p.ts,
+                format!("amplified responses from {amplified} resolvers"),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Mean amplification factor observed for an address (diagnostics).
+    pub fn amplification_factor(&self, client: Ipv4Addr) -> f64 {
+        let (req, resp) = self
+            .pairs
+            .iter()
+            .filter(|((c, _), _)| *c == client)
+            .fold((0u64, 0u64), |(rq, rs), (_, b)| (rq + b.request, rs + b.response));
+        if req == 0 {
+            0.0
+        } else {
+            resp as f64 / req as f64
+        }
+    }
+}
+
+impl Default for DnsAmpDetector {
+    fn default() -> Self {
+        DnsAmpDetector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_net::Ts;
+    use smartwatch_net::packet::udp;
+    use smartwatch_net::Dur;
+
+    fn victim() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 99)
+    }
+
+    fn resolver(i: u8) -> Ipv4Addr {
+        Ipv4Addr::new(172, 16, 50, i)
+    }
+
+    #[test]
+    fn amplified_reflection_flags_victim() {
+        let mut d = DnsAmpDetector::new();
+        let mut alerts = Vec::new();
+        let mut t = Ts::ZERO;
+        for r in 0..6u8 {
+            for _ in 0..3 {
+                t += Dur::from_millis(1);
+                alerts.extend(d.on_packet(&udp(victim(), 5353, resolver(r), 53, t, 64)));
+                t += Dur::from_millis(1);
+                alerts.extend(d.on_packet(&udp(resolver(r), 53, victim(), 5353, t, 1400)));
+            }
+        }
+        assert_eq!(alerts.len(), 1, "exactly one alert for the victim");
+        let a = alerts.remove(0);
+        assert_eq!(a.subject, Subject::Destination(victim()));
+        assert!(d.amplification_factor(victim()) > 10.0);
+    }
+
+    #[test]
+    fn normal_dns_not_flagged() {
+        let mut d = DnsAmpDetector::new();
+        let client = Ipv4Addr::new(10, 0, 0, 5);
+        let mut t = Ts::ZERO;
+        for r in 0..8u8 {
+            for _ in 0..10 {
+                t += Dur::from_millis(1);
+                assert!(d.on_packet(&udp(client, 40000, resolver(r), 53, t, 60)).is_none());
+                t += Dur::from_millis(1);
+                // Typical response ~2–4× the query.
+                assert!(d
+                    .on_packet(&udp(resolver(r), 53, client, 40000, t, 180))
+                    .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn single_resolver_is_not_enough() {
+        let mut d = DnsAmpDetector::new();
+        let mut t = Ts::ZERO;
+        for _ in 0..50 {
+            t += Dur::from_millis(1);
+            d.on_packet(&udp(victim(), 5353, resolver(0), 53, t, 64));
+            t += Dur::from_millis(1);
+            assert!(d
+                .on_packet(&udp(resolver(0), 53, victim(), 5353, t, 1400))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn non_dns_traffic_ignored() {
+        let mut d = DnsAmpDetector::new();
+        assert!(d
+            .on_packet(&udp(victim(), 1000, resolver(0), 2000, Ts::ZERO, 1400))
+            .is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! In-sequence forged TCP RST detection (paper §5.1.2).
+//!
+//! Strategy (Weaver–Sommer–Paxson): buffer suspect RST packets in a
+//! timing wheel for T (= 2 s) instead of delivering them. If genuine data
+//! from the allegedly-resetting endpoint arrives while the RST is
+//! buffered — the *race condition* — the RST was forged: discard it and
+//! alert. If the timer expires quietly, release the RST to its
+//! destination.
+//!
+//! The Bloom-filter fast path reproduces the paper's measurement: before
+//! paying for a wheel scan (needed to detect *duplicate* RSTs for the
+//! same flow), a membership check answers "no previous RST buffered" in
+//! O(k) hashes — 69.7% of RSTs take this path in their trace.
+
+use crate::{Alert, Subject};
+use smartwatch_host::TimingWheel;
+use smartwatch_net::{AttackKind, Dur, FlowKey, Packet, Ts};
+use smartwatch_sketch::BloomFilter;
+
+/// A buffered suspect RST.
+#[derive(Clone, Copy, Debug)]
+pub struct BufferedRst {
+    /// Canonical flow the RST belongs to.
+    pub flow: FlowKey,
+    /// Direction marker: true if the RST travelled in canonical-forward
+    /// direction.
+    pub forward: bool,
+    /// Sequence number carried by the RST.
+    pub seq: u32,
+    /// Arrival time.
+    pub arrived: Ts,
+}
+
+/// Events the detector reports per packet.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RstEvent {
+    /// RST buffered pending verification (took the Bloom fast path).
+    BufferedFast,
+    /// RST buffered after a wheel scan (Bloom hit ⇒ possible duplicate).
+    BufferedSlow,
+    /// Second RST for a flow that already has one buffered — immediately
+    /// suspicious (duplicate-RST signature).
+    DuplicateRst(Alert),
+    /// Genuine data raced a buffered RST: forged. RST discarded.
+    ForgedDetected(Alert),
+    /// Timer expired; RST released to its destination (genuine).
+    Released(FlowKey),
+}
+
+/// The forged-RST detector.
+pub struct ForgedRstDetector {
+    /// Buffering horizon T (paper: 2 s).
+    pub horizon: Dur,
+    wheel: TimingWheel<BufferedRst>,
+    bloom: BloomFilter,
+    hasher: smartwatch_net::FlowHasher,
+    /// RSTs that took the fast path (no scan needed).
+    pub fast_path: u64,
+    /// RSTs that required a wheel scan.
+    pub slow_path: u64,
+}
+
+impl ForgedRstDetector {
+    /// Detector with horizon T. The wheel tick is T/256.
+    pub fn new(horizon: Dur) -> ForgedRstDetector {
+        let tick = Dur::from_nanos((horizon.as_nanos() / 128).max(1_000));
+        ForgedRstDetector {
+            horizon,
+            wheel: TimingWheel::new(512, tick),
+            bloom: BloomFilter::for_items(100_000, 0.01, 0xF0F0),
+            hasher: smartwatch_net::FlowHasher::new(0xF0F0),
+            fast_path: 0,
+            slow_path: 0,
+        }
+    }
+
+    /// Paper configuration: T = 2 s.
+    pub fn paper_default() -> ForgedRstDetector {
+        ForgedRstDetector::new(Dur::from_secs(2))
+    }
+
+    fn flow_id(&self, flow: &FlowKey) -> u64 {
+        self.hasher.hash_symmetric(flow).0
+    }
+
+    /// Buffered RST count.
+    pub fn buffered(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Process one packet at its timestamp. Expired RSTs are released as
+    /// `Released` events; the packet itself may buffer, duplicate-flag, or
+    /// race-detect.
+    pub fn on_packet(&mut self, pkt: &Packet) -> Vec<RstEvent> {
+        let mut events: Vec<RstEvent> = self
+            .wheel
+            .advance(pkt.ts)
+            .into_iter()
+            .map(|(_, r)| RstEvent::Released(r.flow))
+            .collect();
+
+        if !pkt.is_tcp() {
+            return events;
+        }
+        let (flow, dir) = pkt.key.canonical();
+        let forward = dir == smartwatch_net::key::Direction::Forward;
+
+        if pkt.flags.rst() {
+            let fid = self.flow_id(&flow);
+            if self.bloom.contains(fid) {
+                // Possible duplicate: scan the wheel (slow path).
+                self.slow_path += 1;
+                let dup = self.wheel.scan(|r| r.flow == flow).first().is_some();
+                if dup {
+                    events.push(RstEvent::DuplicateRst(Alert::new(
+                        AttackKind::ForgedTcpRst,
+                        Subject::Flow(flow),
+                        pkt.ts,
+                        "duplicate RST while one is buffered",
+                    )));
+                    return events;
+                }
+                events.push(RstEvent::BufferedSlow);
+            } else {
+                self.fast_path += 1;
+                events.push(RstEvent::BufferedFast);
+            }
+            self.bloom.insert(fid);
+            self.wheel.schedule(
+                pkt.ts + self.horizon,
+                BufferedRst { flow, forward, seq: pkt.seq, arrived: pkt.ts },
+            );
+            return events;
+        }
+
+        // Data packet: does it race a buffered RST from the same sender?
+        if pkt.payload_len > 0 {
+            if let Some(rst) = self
+                .wheel
+                .remove_first(|r| r.flow == flow && r.forward == forward)
+            {
+                events.push(RstEvent::ForgedDetected(Alert::new(
+                    AttackKind::ForgedTcpRst,
+                    Subject::Flow(flow),
+                    pkt.ts,
+                    format!(
+                        "data seq {} raced RST seq {} after {}",
+                        pkt.seq,
+                        rst.seq,
+                        pkt.ts.since(rst.arrived)
+                    ),
+                )));
+            }
+        }
+        events
+    }
+
+    /// Flush: release everything still buffered (end of trace).
+    pub fn finish(&mut self, now: Ts) -> Vec<RstEvent> {
+        self.wheel
+            .advance(now + self.horizon + Dur::from_secs(1))
+            .into_iter()
+            .map(|(_, r)| RstEvent::Released(r.flow))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_net::{PacketBuilder, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn flow(i: u32) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            40000,
+            Ipv4Addr::from(0xAC100001u32),
+            443,
+        )
+    }
+
+    fn rst(f: FlowKey, ts: Ts, seq: u32) -> Packet {
+        PacketBuilder::new(f, ts).flags(TcpFlags::RST).seq(seq).build()
+    }
+
+    fn data(f: FlowKey, ts: Ts, seq: u32) -> Packet {
+        PacketBuilder::new(f, ts).flags(TcpFlags::PSH | TcpFlags::ACK).seq(seq).payload(500).build()
+    }
+
+    #[test]
+    fn forged_rst_detected_via_race() {
+        let mut d = ForgedRstDetector::paper_default();
+        // RST "from server" (reverse direction of flow(1)).
+        let server_side = flow(1).reversed();
+        let ev = d.on_packet(&rst(server_side, Ts::from_millis(10), 5000));
+        assert_eq!(ev, vec![RstEvent::BufferedFast]);
+        // Genuine server data 30 ms later: race detected.
+        let ev = d.on_packet(&data(server_side, Ts::from_millis(40), 5000));
+        assert!(matches!(ev.as_slice(), [RstEvent::ForgedDetected(_)]));
+        assert_eq!(d.buffered(), 0, "forged RST discarded");
+    }
+
+    #[test]
+    fn genuine_rst_released_after_horizon() {
+        let mut d = ForgedRstDetector::paper_default();
+        d.on_packet(&rst(flow(2), Ts::from_millis(10), 1));
+        // No data follows; a later unrelated packet advances the wheel.
+        let ev = d.on_packet(&data(flow(3), Ts::from_secs(3), 0));
+        assert!(ev.contains(&RstEvent::Released(flow(2).canonical().0)));
+    }
+
+    #[test]
+    fn duplicate_rst_flagged() {
+        let mut d = ForgedRstDetector::paper_default();
+        d.on_packet(&rst(flow(4), Ts::from_millis(10), 1));
+        let ev = d.on_packet(&rst(flow(4), Ts::from_millis(20), 2));
+        assert!(matches!(ev.as_slice(), [RstEvent::DuplicateRst(_)]));
+    }
+
+    #[test]
+    fn data_from_other_side_does_not_trip_race() {
+        // The race requires data from the *same sender* as the RST.
+        let mut d = ForgedRstDetector::paper_default();
+        let server_side = flow(5).reversed();
+        d.on_packet(&rst(server_side, Ts::from_millis(10), 1));
+        // Client keeps sending: not a race.
+        let ev = d.on_packet(&data(flow(5), Ts::from_millis(30), 77));
+        assert!(ev.is_empty());
+        assert_eq!(d.buffered(), 1);
+    }
+
+    #[test]
+    fn fast_path_dominates_distinct_flows() {
+        let mut d = ForgedRstDetector::paper_default();
+        for i in 0..100 {
+            d.on_packet(&rst(flow(100 + i), Ts::from_millis(u64::from(i)), 1));
+        }
+        assert!(d.fast_path >= 95, "fast {} slow {}", d.fast_path, d.slow_path);
+    }
+
+    #[test]
+    fn finish_releases_everything() {
+        let mut d = ForgedRstDetector::paper_default();
+        d.on_packet(&rst(flow(6), Ts::from_millis(1), 1));
+        d.on_packet(&rst(flow(7), Ts::from_millis(2), 1));
+        let ev = d.finish(Ts::from_millis(3));
+        assert_eq!(ev.len(), 2);
+        assert_eq!(d.buffered(), 0);
+    }
+}

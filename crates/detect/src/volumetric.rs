@@ -1,0 +1,273 @@
+//! Volumetric analysis harness (paper §5.3.1, Fig. 10).
+//!
+//! SmartWatch's pitch for volumetric tasks is *lossless flow logging*: the
+//! FlowCache + host aggregation reconstructs exact per-flow counts, so
+//! heavy-hitter / heavy-change / flow-size-distribution queries have zero
+//! error by construction, while sketches degrade as intervals grow. This
+//! module provides the shared evaluation machinery: ground-truth
+//! computation, estimator adapters, and the mean-relative-error metric
+//! the paper plots.
+
+use smartwatch_net::{FlowKey, Packet};
+use smartwatch_sketch::FlowCounter;
+use std::collections::HashMap;
+
+/// Exact per-flow packet counts of an interval (the ground truth).
+pub fn ground_truth(packets: &[Packet]) -> HashMap<FlowKey, u64> {
+    let mut m = HashMap::new();
+    for p in packets {
+        *m.entry(p.key.canonical().0).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Mean relative error of `estimate` against `truth` over the flows in
+/// `flows` (the paper computes MRE over the true heavy hitters).
+pub fn mean_relative_error(
+    truth: &HashMap<FlowKey, u64>,
+    flows: &[FlowKey],
+    estimate: impl Fn(&FlowKey) -> u64,
+) -> f64 {
+    if flows.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for f in flows {
+        let t = truth.get(f).copied().unwrap_or(0).max(1) as f64;
+        let e = estimate(f) as f64;
+        total += (e - t).abs() / t;
+    }
+    total / flows.len() as f64
+}
+
+/// True heavy hitters: flows with at least `threshold` packets.
+pub fn true_heavy_hitters(truth: &HashMap<FlowKey, u64>, threshold: u64) -> Vec<FlowKey> {
+    let mut v: Vec<FlowKey> = truth
+        .iter()
+        .filter(|(_, c)| **c >= threshold)
+        .map(|(k, _)| *k)
+        .collect();
+    v.sort();
+    v
+}
+
+/// True heavy changers between two intervals.
+pub fn true_heavy_changes(
+    a: &HashMap<FlowKey, u64>,
+    b: &HashMap<FlowKey, u64>,
+    threshold: u64,
+) -> Vec<FlowKey> {
+    let mut keys: Vec<FlowKey> = a.keys().chain(b.keys()).copied().collect();
+    keys.sort();
+    keys.dedup();
+    keys.retain(|k| {
+        a.get(k).copied().unwrap_or(0).abs_diff(b.get(k).copied().unwrap_or(0)) >= threshold
+    });
+    keys
+}
+
+/// Flow-size-distribution mean relative error across decade buckets:
+/// compare per-bucket flow counts.
+pub fn fsd_mre(
+    truth: &HashMap<FlowKey, u64>,
+    estimate: impl Fn(&FlowKey) -> u64,
+    decades: usize,
+) -> Vec<f64> {
+    let mut true_hist = vec![0u64; decades];
+    let mut est_hist = vec![0u64; decades];
+    for (k, &c) in truth {
+        let td = decade(c, decades);
+        true_hist[td] += 1;
+        let e = estimate(k);
+        if e > 0 {
+            est_hist[decade(e, decades)] += 1;
+        }
+    }
+    true_hist
+        .iter()
+        .zip(&est_hist)
+        .map(|(&t, &e)| {
+            if t == 0 {
+                if e == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                (e as f64 - t as f64).abs() / t as f64
+            }
+        })
+        .collect()
+}
+
+fn decade(count: u64, decades: usize) -> usize {
+    ((count.max(1) as f64).log10().floor() as usize).min(decades - 1)
+}
+
+/// Run one sketch over an interval's packets and report (HH MRE, #missed
+/// heavy hitters): the Fig. 10a primitive.
+pub fn evaluate_heavy_hitters<C: FlowCounter>(
+    sketch: &mut C,
+    packets: &[Packet],
+    hh_fraction: f64,
+) -> (f64, usize) {
+    let truth = ground_truth(packets);
+    for p in packets {
+        sketch.update(&p.key, 1);
+    }
+    let threshold = ((packets.len() as f64) * hh_fraction).max(1.0) as u64;
+    let hh = true_heavy_hitters(&truth, threshold);
+    let mre = mean_relative_error(&truth, &hh, |k| sketch.estimate(k));
+    let missed = hh
+        .iter()
+        .filter(|k| sketch.estimate(k) < threshold)
+        .count();
+    (mre, missed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_net::{PacketBuilder, Ts};
+    use smartwatch_sketch::{CountMin, ElasticSketch};
+    use std::net::Ipv4Addr;
+
+    fn packets(flows: &[(u32, u64)]) -> Vec<Packet> {
+        let mut v = Vec::new();
+        let mut t = 0u64;
+        for (id, count) in flows {
+            let key = FlowKey::tcp(
+                Ipv4Addr::from(0x0A000000 + id),
+                1,
+                Ipv4Addr::from(0xAC100001u32),
+                80,
+            );
+            for _ in 0..*count {
+                t += 1;
+                v.push(PacketBuilder::new(key, Ts::from_micros(t)).build());
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn ground_truth_counts() {
+        let pkts = packets(&[(1, 5), (2, 3)]);
+        let t = ground_truth(&pkts);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.values().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn exact_estimator_has_zero_mre() {
+        let pkts = packets(&[(1, 100), (2, 50), (3, 5)]);
+        let truth = ground_truth(&pkts);
+        let hh = true_heavy_hitters(&truth, 50);
+        assert_eq!(hh.len(), 2);
+        let mre = mean_relative_error(&truth, &hh, |k| truth[k]);
+        assert_eq!(mre, 0.0);
+    }
+
+    #[test]
+    fn tight_sketch_has_positive_mre() {
+        let pkts = packets(&(0..300u32).map(|i| (i, 20u64)).collect::<Vec<_>>());
+        let mut cm = CountMin::new(2, 32, 1); // absurdly tight
+        let (mre, _) = evaluate_heavy_hitters(&mut cm, &pkts, 0.001);
+        assert!(mre > 0.0, "tight CountMin must overcount");
+    }
+
+    #[test]
+    fn elastic_beats_tight_countmin_on_heavy_hitters() {
+        let mut flows: Vec<(u32, u64)> = (0..200u32).map(|i| (i, 3u64)).collect();
+        flows.push((999, 2_000));
+        let pkts = packets(&flows);
+        let mut cm = CountMin::new(2, 64, 1);
+        let mut es = ElasticSketch::new(256, 1024, 1);
+        let (cm_mre, _) = evaluate_heavy_hitters(&mut cm, &pkts, 0.01);
+        let (es_mre, _) = evaluate_heavy_hitters(&mut es, &pkts, 0.01);
+        assert!(es_mre <= cm_mre, "elastic {es_mre} vs countmin {cm_mre}");
+    }
+
+    #[test]
+    fn heavy_changes_ground_truth() {
+        let a = ground_truth(&packets(&[(1, 100), (2, 10)]));
+        let b = ground_truth(&packets(&[(1, 100), (2, 500), (3, 60)]));
+        let hc = true_heavy_changes(&a, &b, 50);
+        assert_eq!(hc.len(), 2); // flow 2 (+490) and flow 3 (+60)
+    }
+
+    #[test]
+    fn fsd_zero_error_for_exact() {
+        let pkts = packets(&[(1, 5), (2, 50), (3, 500), (4, 7)]);
+        let truth = ground_truth(&pkts);
+        let errs = fsd_mre(&truth, |k| truth[k], 6);
+        assert!(errs.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    fn fsd_detects_small_flow_distortion() {
+        let pkts = packets(&(0..100u32).map(|i| (i, 2u64)).collect::<Vec<_>>());
+        let truth = ground_truth(&pkts);
+        // An estimator that inflates everything to 100 puts all flows in
+        // the wrong decade.
+        let errs = fsd_mre(&truth, |_| 100, 6);
+        assert!(errs[0] > 0.9, "decade-0 error {}", errs[0]);
+    }
+}
+
+/// Cardinality estimation over a flow stream (Table 2's "Cardinality"
+/// row): a HyperLogLog fed with canonical flow identities, compared
+/// against the flow log's exact count.
+pub fn estimate_cardinality<'a, I: IntoIterator<Item = &'a FlowKey>>(
+    flows: I,
+    precision: u32,
+) -> smartwatch_sketch::HyperLogLog {
+    let hasher = smartwatch_net::FlowHasher::new(0xCA2D);
+    let mut hll = smartwatch_sketch::HyperLogLog::new(precision, 0xCA2D);
+    for k in flows {
+        hll.insert(hasher.hash_symmetric(k).0);
+    }
+    hll
+}
+
+#[cfg(test)]
+mod cardinality_tests {
+    use super::*;
+    use smartwatch_net::{PacketBuilder, Ts};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn hll_matches_exact_cardinality_within_error() {
+        let mut pkts = Vec::new();
+        for i in 0..5_000u32 {
+            let key = FlowKey::tcp(
+                Ipv4Addr::from(0x0A00_0000 + i),
+                1,
+                Ipv4Addr::from(0xAC10_0001u32),
+                80,
+            );
+            // Several packets per flow: cardinality counts flows, not pkts.
+            for t in 0..3 {
+                pkts.push(PacketBuilder::new(key, Ts::from_micros(u64::from(i) * 10 + t)).build());
+            }
+        }
+        let truth = ground_truth(&pkts);
+        let hll = estimate_cardinality(truth.keys(), 12);
+        let est = hll.estimate();
+        let err = (est - truth.len() as f64).abs() / truth.len() as f64;
+        assert!(err < 0.05, "cardinality err {err}");
+    }
+
+    #[test]
+    fn direction_does_not_double_count() {
+        let key = FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            5,
+            Ipv4Addr::new(172, 16, 0, 1),
+            80,
+        );
+        let flows = [key, key.reversed()];
+        let hll = estimate_cardinality(flows.iter(), 10);
+        assert!(hll.estimate() < 1.5, "both directions are one flow");
+    }
+}

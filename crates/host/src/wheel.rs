@@ -1,0 +1,213 @@
+//! Hashed timing wheel (Varghese & Lauck), paper §3.4 / §5.1.2.
+//!
+//! The forged-RST detector buffers suspect RST packets for T = 2 s; a
+//! timing wheel gives O(1) schedule/expire. This is the classic hashed
+//! wheel: `n_slots` buckets of width `tick`; an item due at time `t` lands
+//! in slot `(t / tick) % n_slots` carrying its absolute deadline, and
+//! `advance(now)` sweeps slots whose time has come, returning expired
+//! items in deadline order.
+
+use smartwatch_net::{Dur, Ts};
+use std::collections::VecDeque;
+
+/// One scheduled entry.
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    deadline: Ts,
+    item: T,
+}
+
+/// A hashed timing wheel holding items of type `T`.
+#[derive(Clone, Debug)]
+pub struct TimingWheel<T> {
+    slots: Vec<VecDeque<Entry<T>>>,
+    tick: Dur,
+    /// The wheel's current position in time (everything strictly before
+    /// `now` has been expired).
+    now: Ts,
+    len: usize,
+}
+
+impl<T> TimingWheel<T> {
+    /// Wheel with `n_slots` slots of `tick` width. The horizon
+    /// (`n_slots × tick`) bounds how far ahead items can be scheduled.
+    pub fn new(n_slots: usize, tick: Dur) -> TimingWheel<T> {
+        assert!(n_slots > 1 && tick > Dur::ZERO);
+        TimingWheel {
+            slots: (0..n_slots).map(|_| VecDeque::new()).collect(),
+            tick,
+            now: Ts::ZERO,
+            len: 0,
+        }
+    }
+
+    /// Scheduling horizon.
+    pub fn horizon(&self) -> Dur {
+        Dur::from_nanos(self.tick.as_nanos() * self.slots.len() as u64)
+    }
+
+    /// Items currently scheduled.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current wheel time.
+    pub fn now(&self) -> Ts {
+        self.now
+    }
+
+    fn slot_of(&self, deadline: Ts) -> usize {
+        ((deadline.as_nanos() / self.tick.as_nanos()) % self.slots.len() as u64) as usize
+    }
+
+    /// Schedule `item` to expire at `deadline`.
+    ///
+    /// # Panics
+    /// Panics if the deadline is further than one horizon ahead of the
+    /// wheel's current time (a hashed wheel would mis-order it).
+    pub fn schedule(&mut self, deadline: Ts, item: T) {
+        assert!(
+            deadline.since(self.now) < self.horizon(),
+            "deadline beyond wheel horizon"
+        );
+        let deadline = deadline.max(self.now);
+        let slot = self.slot_of(deadline);
+        self.slots[slot].push_back(Entry { deadline, item });
+        self.len += 1;
+    }
+
+    /// Advance to `now`, returning every item whose deadline has passed,
+    /// in deadline order.
+    pub fn advance(&mut self, now: Ts) -> Vec<(Ts, T)> {
+        if now < self.now {
+            return Vec::new();
+        }
+        let mut expired: Vec<(Ts, T)> = Vec::new();
+        let start_tick = self.now.as_nanos() / self.tick.as_nanos();
+        let end_tick = now.as_nanos() / self.tick.as_nanos();
+        // Sweep at most one full revolution.
+        let revolutions = (end_tick - start_tick).min(self.slots.len() as u64);
+        for t in start_tick..=start_tick + revolutions {
+            let slot = (t % self.slots.len() as u64) as usize;
+            let mut keep = VecDeque::new();
+            while let Some(e) = self.slots[slot].pop_front() {
+                if e.deadline <= now {
+                    expired.push((e.deadline, e.item));
+                    self.len -= 1;
+                } else {
+                    keep.push_back(e);
+                }
+            }
+            self.slots[slot] = keep;
+        }
+        self.now = now;
+        expired.sort_by_key(|(d, _)| *d);
+        expired
+    }
+
+    /// Scan all buffered items (the paper's slow path: checking for a
+    /// previous unexpired RST of the same flow). Returns matches of
+    /// `pred`. Cost is O(buffered), which is exactly why the Bloom-filter
+    /// fast path exists.
+    pub fn scan<F: Fn(&T) -> bool>(&self, pred: F) -> Vec<&T> {
+        self.slots
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|e| pred(&e.item))
+            .map(|e| &e.item)
+            .collect()
+    }
+
+    /// Remove the first buffered item matching `pred` (e.g. discard a
+    /// forged RST once the race is detected). Returns it if found.
+    pub fn remove_first<F: Fn(&T) -> bool>(&mut self, pred: F) -> Option<T> {
+        for slot in &mut self.slots {
+            if let Some(pos) = slot.iter().position(|e| pred(&e.item)) {
+                self.len -= 1;
+                return slot.remove(pos).map(|e| e.item);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimingWheel<u32> {
+        TimingWheel::new(256, Dur::from_millis(50)) // 12.8 s horizon
+    }
+
+    #[test]
+    fn expires_in_deadline_order() {
+        let mut w = wheel();
+        w.schedule(Ts::from_millis(300), 3);
+        w.schedule(Ts::from_millis(100), 1);
+        w.schedule(Ts::from_millis(200), 2);
+        let out = w.advance(Ts::from_millis(400));
+        let items: Vec<u32> = out.iter().map(|(_, i)| *i).collect();
+        assert_eq!(items, vec![1, 2, 3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn partial_advance_expires_partially() {
+        let mut w = wheel();
+        w.schedule(Ts::from_millis(100), 1);
+        w.schedule(Ts::from_secs(5), 2);
+        let out = w.advance(Ts::from_secs(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(w.len(), 1);
+        let out = w.advance(Ts::from_secs(6));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn same_slot_different_revolutions() {
+        // Two items one horizon apart hash to the same slot; only the due
+        // one may expire.
+        let mut w: TimingWheel<u32> = TimingWheel::new(4, Dur::from_millis(10));
+        w.schedule(Ts::from_millis(5), 1);
+        // Advance a little, then schedule something 35 ms out (same slot
+        // ring position as a long-expired tick).
+        let _ = w.advance(Ts::from_millis(6));
+        w.schedule(Ts::from_millis(39), 2);
+        let out = w.advance(Ts::from_millis(20));
+        assert!(out.is_empty(), "late item must not fire early: {out:?}");
+        let out = w.advance(Ts::from_millis(40));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn scan_and_remove() {
+        let mut w = wheel();
+        w.schedule(Ts::from_millis(500), 10);
+        w.schedule(Ts::from_millis(600), 20);
+        assert_eq!(w.scan(|&x| x > 5).len(), 2);
+        assert_eq!(w.remove_first(|&x| x == 10), Some(10));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.remove_first(|&x| x == 10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn beyond_horizon_rejected() {
+        let mut w = wheel();
+        w.schedule(Ts::from_secs(60), 1);
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let mut w = wheel();
+        let _ = w.advance(Ts::from_secs(1));
+        w.schedule(Ts::from_millis(500), 7); // already past
+        let out = w.advance(Ts::from_millis(1_001));
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! The hash family used across SmartWatch.
+//!
+//! Three requirements drive this module:
+//!
+//! 1. **Symmetry** — the FlowCache must map both directions of a session to
+//!    the same row (paper §4 "Symmetric Hash Function"). We achieve this by
+//!    hashing the *canonical* orientation of the 5-tuple.
+//! 2. **Digest splitting** — Algorithm 1 of the paper consumes one hash
+//!    digest two ways: the low `x` bits select the hash-table row and the
+//!    bits above `x` select the Lite-mode bucket offset. [`HashDigest`]
+//!    packages that contract.
+//! 3. **Independent hash functions** — sketches (CountMin, Elastic, MV)
+//!    need `d` pairwise-independent functions; [`FlowHasher`] is seedable so
+//!    each sketch row gets its own function.
+//!
+//! The mixer is a xxhash/murmur-style 64-bit finalizer over the packed
+//! 13-byte 5-tuple. It is not cryptographic — neither is the hardware CRC
+//! the Netronome uses — but it passes avalanche sanity tests (see below).
+
+use crate::key::FlowKey;
+
+/// A 64-bit flow hash digest with the splitting accessors used by the
+/// FlowCache (Algorithm 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct HashDigest(pub u64);
+
+impl HashDigest {
+    /// Row index: the low `row_bits` bits of the digest
+    /// (`hash_digest & (rows - 1)` in Algorithm 1 line 4).
+    pub fn row(self, row_bits: u32) -> usize {
+        debug_assert!(row_bits <= 63);
+        (self.0 & ((1u64 << row_bits) - 1)) as usize
+    }
+
+    /// The bits above the row index, used by Lite mode to pick a bucket
+    /// group within the row (`hash_digest >> x` in Algorithm 1 line 8).
+    pub fn high(self, row_bits: u32) -> u64 {
+        self.0 >> row_bits
+    }
+
+    /// Reduce the digest onto `m` counters (for sketches). Uses the
+    /// multiply-shift trick to avoid modulo bias for non-power-of-two `m`.
+    pub fn bucket(self, m: usize) -> usize {
+        (((self.0 >> 32) * m as u64) >> 32) as usize
+    }
+}
+
+/// Seedable 64-bit hasher over flow keys and raw bytes.
+///
+/// Distinct seeds give (empirically) independent functions, which is what
+/// the sketch baselines require.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowHasher {
+    seed: u64,
+}
+
+const K0: u64 = 0x9e37_79b9_7f4a_7c15;
+const K1: u64 = 0xbf58_476d_1ce4_e5b9;
+const K2: u64 = 0x94d0_49bb_1331_11eb;
+
+#[inline]
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(K1);
+    h ^= h >> 27;
+    h = h.wrapping_mul(K2);
+    h ^= h >> 31;
+    h
+}
+
+impl Default for FlowHasher {
+    fn default() -> Self {
+        FlowHasher::new(0)
+    }
+}
+
+impl FlowHasher {
+    /// Create a hasher with the given seed. Each distinct seed yields an
+    /// (empirically) independent hash function.
+    pub fn new(seed: u64) -> FlowHasher {
+        FlowHasher { seed: seed.wrapping_mul(K0).wrapping_add(K1) }
+    }
+
+    /// Hash a directed flow key exactly as given (no canonicalisation).
+    pub fn hash_directed(&self, key: &FlowKey) -> HashDigest {
+        let a = (u64::from(u32::from(key.src_ip)) << 16) | u64::from(key.src_port);
+        let b = (u64::from(u32::from(key.dst_ip)) << 16) | u64::from(key.dst_port);
+        let p = u64::from(key.proto.number());
+        let mut h = self.seed;
+        h = mix(h ^ a.wrapping_mul(K0));
+        h = mix(h ^ b.wrapping_mul(K1));
+        h = mix(h ^ p.wrapping_mul(K2));
+        HashDigest(h)
+    }
+
+    /// Hash the *session* identity of a flow key: both directions of the
+    /// connection produce the same digest. This is the paper's symmetric
+    /// hash (§4), implemented via canonical orientation.
+    pub fn hash_symmetric(&self, key: &FlowKey) -> HashDigest {
+        let (canon, _) = key.canonical();
+        self.hash_directed(&canon)
+    }
+
+    /// Hash an arbitrary byte string (used for worm payload digests and
+    /// sketch keys that are not 5-tuples).
+    pub fn hash_bytes(&self, bytes: &[u8]) -> HashDigest {
+        let mut h = self.seed ^ (bytes.len() as u64).wrapping_mul(K0);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            h = mix(h ^ v.wrapping_mul(K1));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            h = mix(h ^ u64::from_le_bytes(buf).wrapping_mul(K2));
+        }
+        HashDigest(mix(h))
+    }
+
+    /// Hash a u64 key (used for prefix-aggregated switch queries).
+    pub fn hash_u64(&self, v: u64) -> HashDigest {
+        HashDigest(mix(self.seed ^ v.wrapping_mul(K0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Proto;
+    use std::collections::HashSet;
+    use std::net::Ipv4Addr;
+
+    fn key(a: u32, ap: u16, b: u32, bp: u16) -> FlowKey {
+        FlowKey::new(Ipv4Addr::from(a), Ipv4Addr::from(b), ap, bp, Proto::Tcp)
+    }
+
+    #[test]
+    fn symmetric_hash_matches_reverse() {
+        let h = FlowHasher::new(7);
+        for i in 0..1000u32 {
+            let k = key(0x0a00_0001 + i, 1000 + (i as u16), 0x0a00_ffff - i, 22);
+            assert_eq!(h.hash_symmetric(&k), h.hash_symmetric(&k.reversed()));
+        }
+    }
+
+    #[test]
+    fn directed_hash_differs_by_direction() {
+        let h = FlowHasher::new(7);
+        let k = key(0x0a00_0001, 1000, 0x0a00_0002, 22);
+        assert_ne!(h.hash_directed(&k), h.hash_directed(&k.reversed()));
+    }
+
+    #[test]
+    fn seeds_give_different_functions() {
+        let k = key(1, 2, 3, 4);
+        let d: HashSet<u64> =
+            (0..64).map(|s| FlowHasher::new(s).hash_directed(&k).0).collect();
+        assert_eq!(d.len(), 64, "64 seeds should give 64 distinct digests");
+    }
+
+    #[test]
+    fn row_and_high_split_digest() {
+        let d = HashDigest(0xABCD_EF01_2345_6789);
+        assert_eq!(d.row(21), (0x2345_6789 & ((1 << 21) - 1)) as usize);
+        assert_eq!(d.high(21), 0xABCD_EF01_2345_6789u64 >> 21);
+    }
+
+    #[test]
+    fn bucket_reduction_in_range_and_spread() {
+        let h = FlowHasher::new(3);
+        let m = 1000;
+        let mut hits = vec![0u32; m];
+        for i in 0..100_000u32 {
+            let b = h.hash_u64(i as u64).bucket(m);
+            assert!(b < m);
+            hits[b] += 1;
+        }
+        // Expect ~100 per bucket; fail if any bucket is wildly off.
+        assert!(hits.iter().all(|&c| c > 40 && c < 200), "poor spread: {:?}",
+            hits.iter().copied().max());
+    }
+
+    #[test]
+    fn avalanche_on_single_bit_flip() {
+        let h = FlowHasher::new(0);
+        let base = h.hash_u64(0x1234_5678).0;
+        for bit in 0..64 {
+            let flipped = h.hash_u64(0x1234_5678 ^ (1u64 << bit)).0;
+            let dist = (base ^ flipped).count_ones();
+            assert!(dist >= 16, "bit {bit} avalanche too weak: {dist}");
+        }
+    }
+
+    #[test]
+    fn byte_hash_handles_all_lengths() {
+        let h = FlowHasher::new(1);
+        let data: Vec<u8> = (0..=40u8).collect();
+        let mut seen = HashSet::new();
+        for l in 0..=40 {
+            assert!(seen.insert(h.hash_bytes(&data[..l]).0));
+        }
+    }
+}

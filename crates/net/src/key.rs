@@ -1,0 +1,249 @@
+//! Flow identity: the 5-tuple and its symmetric canonical form.
+//!
+//! SmartWatch's detectors are *session*-oriented (SSH bruteforce, forged RST,
+//! port scan outcomes), so packets travelling in opposite directions of the
+//! same connection must land in the same FlowCache bucket. The paper solves
+//! this with a symmetric hash function (§4, citing Woo & Park's symmetric
+//! receive-side scaling). We go one step further and define a *canonical*
+//! orientation of the 5-tuple, so symmetric hashing falls out for free and
+//! flow state can also record which direction a given packet travelled.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Transport protocol of a flow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Proto {
+    /// Transmission Control Protocol (IP proto 6).
+    Tcp = 6,
+    /// User Datagram Protocol (IP proto 17).
+    Udp = 17,
+    /// Internet Control Message Protocol (IP proto 1).
+    Icmp = 1,
+    /// Anything else, carrying the raw IP protocol number.
+    Other(u8),
+}
+
+impl Proto {
+    /// The raw IP protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Icmp => 1,
+            Proto::Other(n) => n,
+        }
+    }
+
+    /// Build from a raw IP protocol number.
+    pub fn from_number(n: u8) -> Proto {
+        match n {
+            6 => Proto::Tcp,
+            17 => Proto::Udp,
+            1 => Proto::Icmp,
+            other => Proto::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Tcp => write!(f, "tcp"),
+            Proto::Udp => write!(f, "udp"),
+            Proto::Icmp => write!(f, "icmp"),
+            Proto::Other(n) => write!(f, "proto{n}"),
+        }
+    }
+}
+
+/// The direction a packet travels relative to the canonical orientation of
+/// its flow (see [`FlowKey::canonical`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Packet's (src, dst) matches the canonical (a, b) orientation.
+    Forward,
+    /// Packet travels from canonical b to canonical a.
+    Reverse,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Reverse,
+            Direction::Reverse => Direction::Forward,
+        }
+    }
+}
+
+/// A directed 5-tuple: (src ip, dst ip, src port, dst port, protocol).
+///
+/// `FlowKey` is directed as constructed; call [`FlowKey::canonical`] to get
+/// the session-level identity shared by both directions, plus the
+/// [`Direction`] this particular key had.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port (0 for port-less protocols).
+    pub src_port: u16,
+    /// Destination transport port (0 for port-less protocols).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// Construct a directed flow key.
+    pub fn new(
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        proto: Proto,
+    ) -> FlowKey {
+        FlowKey { src_ip, dst_ip, src_port, dst_port, proto }
+    }
+
+    /// Convenience constructor for TCP flows.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FlowKey {
+        FlowKey::new(src_ip, dst_ip, src_port, dst_port, Proto::Tcp)
+    }
+
+    /// Convenience constructor for UDP flows.
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FlowKey {
+        FlowKey::new(src_ip, dst_ip, src_port, dst_port, Proto::Udp)
+    }
+
+    /// The same flow viewed from the other direction.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Canonical (direction-free) form of this key plus the direction this
+    /// key represented.
+    ///
+    /// The canonical orientation puts the lexicographically smaller
+    /// (ip, port) endpoint first, so `k.canonical().0 ==
+    /// k.reversed().canonical().0` always holds.
+    pub fn canonical(&self) -> (FlowKey, Direction) {
+        let a = (u32::from(self.src_ip), self.src_port);
+        let b = (u32::from(self.dst_ip), self.dst_port);
+        if a <= b {
+            (*self, Direction::Forward)
+        } else {
+            (self.reversed(), Direction::Reverse)
+        }
+    }
+
+    /// True if this key is already in canonical orientation.
+    pub fn is_canonical(&self) -> bool {
+        self.canonical().1 == Direction::Forward
+    }
+
+    /// The destination IP truncated to a prefix of `bits` bits, as used by
+    /// the switch's iterative refinement (dIP/8 → dIP/16 → dIP/32).
+    pub fn dst_prefix(&self, bits: u8) -> u32 {
+        prefix_of(self.dst_ip, bits)
+    }
+
+    /// The source IP truncated to a prefix of `bits` bits.
+    pub fn src_prefix(&self, bits: u8) -> u32 {
+        prefix_of(self.src_ip, bits)
+    }
+}
+
+/// Truncate an IPv4 address to its top `bits` bits (returned left-aligned,
+/// i.e. as the network address of the prefix).
+pub fn prefix_of(ip: Ipv4Addr, bits: u8) -> u32 {
+    let raw = u32::from(ip);
+    if bits == 0 {
+        0
+    } else if bits >= 32 {
+        raw
+    } else {
+        raw & (u32::MAX << (32 - bits))
+    }
+}
+
+impl fmt::Debug for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}->{}:{}/{}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto
+        )
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn reversal_is_involutive() {
+        let k = FlowKey::tcp(ip("10.0.0.1"), 1234, ip("10.0.0.2"), 22);
+        assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn canonical_is_direction_free() {
+        let k = FlowKey::tcp(ip("10.0.0.9"), 40000, ip("10.0.0.2"), 22);
+        let (c1, d1) = k.canonical();
+        let (c2, d2) = k.reversed().canonical();
+        assert_eq!(c1, c2);
+        assert_ne!(d1, d2);
+        assert!(c1.is_canonical());
+    }
+
+    #[test]
+    fn canonical_ties_on_ip_break_on_port() {
+        let k = FlowKey::tcp(ip("10.0.0.1"), 80, ip("10.0.0.1"), 22);
+        let (c, _) = k.canonical();
+        assert_eq!(c.src_port, 22);
+    }
+
+    #[test]
+    fn prefix_truncation() {
+        let k = FlowKey::tcp(ip("1.2.3.4"), 1, ip("192.168.37.41"), 2);
+        assert_eq!(k.dst_prefix(16), u32::from(ip("192.168.0.0")));
+        assert_eq!(k.dst_prefix(8), u32::from(ip("192.0.0.0")));
+        assert_eq!(k.dst_prefix(32), u32::from(ip("192.168.37.41")));
+        assert_eq!(k.dst_prefix(0), 0);
+        assert_eq!(k.src_prefix(24), u32::from(ip("1.2.3.0")));
+    }
+
+    #[test]
+    fn proto_numbers_round_trip() {
+        for n in 0u8..=255 {
+            assert_eq!(Proto::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Forward.flip(), Direction::Reverse);
+        assert_eq!(Direction::Reverse.flip().flip(), Direction::Reverse);
+    }
+}

@@ -1,0 +1,370 @@
+//! Wire-format encode/decode: Ethernet II / IPv4 / TCP / UDP.
+//!
+//! The simulators mostly exchange [`crate::Packet`] metadata records
+//! directly, but the platform also has to interoperate with byte-level
+//! sources (pcap-style ingestion, the MoonGen-equivalent replay driver, and
+//! wire-level tests that confirm the metadata model is faithful). This
+//! module provides smoltcp-flavoured encoding and parsing: explicit,
+//! checksum-correct, no clever tricks.
+//!
+//! Only the subset of each protocol that SmartWatch observes is supported:
+//! Ethernet II frames, IPv4 without options or fragmentation, TCP without
+//! options beyond padding, and UDP. Anything else parses as
+//! [`WireError::Unsupported`].
+
+use crate::key::{FlowKey, Proto};
+use crate::packet::Packet;
+use crate::tcp::TcpFlags;
+use crate::time::Ts;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Ethernet II header length.
+pub const ETH_HDR_LEN: usize = 14;
+/// IPv4 header length (no options).
+pub const IPV4_HDR_LEN: usize = 20;
+/// TCP header length (no options).
+pub const TCP_HDR_LEN: usize = 20;
+/// UDP header length.
+pub const UDP_HDR_LEN: usize = 8;
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// Errors from wire parsing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Frame shorter than the headers it claims to carry.
+    Truncated,
+    /// Not an IPv4 frame / unsupported header variant.
+    Unsupported,
+    /// IPv4 header checksum mismatch.
+    BadIpChecksum,
+    /// TCP/UDP checksum mismatch.
+    BadTransportChecksum,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Unsupported => write!(f, "unsupported header"),
+            WireError::BadIpChecksum => write!(f, "bad IPv4 checksum"),
+            WireError::BadTransportChecksum => write!(f, "bad transport checksum"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// RFC 1071 internet checksum over `data`, starting from `initial`
+/// (used to fold in the pseudo-header).
+pub fn checksum(data: &[u8], initial: u32) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, len: u16) -> u32 {
+    let s = src.octets();
+    let d = dst.octets();
+    u32::from(u16::from_be_bytes([s[0], s[1]]))
+        + u32::from(u16::from_be_bytes([s[2], s[3]]))
+        + u32::from(u16::from_be_bytes([d[0], d[1]]))
+        + u32::from(u16::from_be_bytes([d[2], d[3]]))
+        + u32::from(proto)
+        + u32::from(len)
+}
+
+/// Encode a [`Packet`] as an Ethernet II / IPv4 / {TCP,UDP} frame.
+///
+/// The payload is synthesised as `payload_len` zero bytes (SmartWatch never
+/// inspects payload contents; the digest field exists for that). MAC
+/// addresses are fixed documentation values. Checksums are valid.
+pub fn encode(p: &Packet) -> Bytes {
+    let transport_hdr = match p.key.proto {
+        Proto::Tcp => TCP_HDR_LEN,
+        Proto::Udp => UDP_HDR_LEN,
+        _ => 0,
+    };
+    let ip_total = IPV4_HDR_LEN + transport_hdr + usize::from(p.payload_len);
+    let mut buf = BytesMut::with_capacity(ETH_HDR_LEN + ip_total);
+
+    // Ethernet II.
+    buf.put_slice(&[0x02, 0x00, 0x00, 0x00, 0x00, 0x01]); // dst MAC
+    buf.put_slice(&[0x02, 0x00, 0x00, 0x00, 0x00, 0x02]); // src MAC
+    buf.put_u16(ETHERTYPE_IPV4);
+
+    // IPv4.
+    let ip_start = buf.len();
+    buf.put_u8(0x45); // version 4, IHL 5
+    buf.put_u8(0); // DSCP/ECN
+    buf.put_u16(ip_total as u16);
+    buf.put_u16(0); // identification
+    buf.put_u16(0x4000); // don't fragment
+    buf.put_u8(64); // TTL
+    buf.put_u8(p.key.proto.number());
+    buf.put_u16(0); // checksum placeholder
+    buf.put_slice(&p.key.src_ip.octets());
+    buf.put_slice(&p.key.dst_ip.octets());
+    let ip_csum = checksum(&buf[ip_start..ip_start + IPV4_HDR_LEN], 0);
+    buf[ip_start + 10..ip_start + 12].copy_from_slice(&ip_csum.to_be_bytes());
+
+    // Transport.
+    let t_start = buf.len();
+    match p.key.proto {
+        Proto::Tcp => {
+            buf.put_u16(p.key.src_port);
+            buf.put_u16(p.key.dst_port);
+            buf.put_u32(p.seq);
+            buf.put_u32(p.ack);
+            buf.put_u8(0x50); // data offset 5
+            buf.put_u8(p.flags.0);
+            buf.put_u16(0xFFFF); // window
+            buf.put_u16(0); // checksum placeholder
+            buf.put_u16(0); // urgent pointer
+        }
+        Proto::Udp => {
+            buf.put_u16(p.key.src_port);
+            buf.put_u16(p.key.dst_port);
+            buf.put_u16((UDP_HDR_LEN + usize::from(p.payload_len)) as u16);
+            buf.put_u16(0); // checksum placeholder
+        }
+        _ => {}
+    }
+    buf.put_bytes(0, usize::from(p.payload_len));
+
+    // Transport checksum over pseudo-header + segment.
+    let seg_len = (buf.len() - t_start) as u16;
+    match p.key.proto {
+        Proto::Tcp => {
+            let ph = pseudo_header_sum(p.key.src_ip, p.key.dst_ip, 6, seg_len);
+            let csum = checksum(&buf[t_start..], ph);
+            buf[t_start + 16..t_start + 18].copy_from_slice(&csum.to_be_bytes());
+        }
+        Proto::Udp => {
+            let ph = pseudo_header_sum(p.key.src_ip, p.key.dst_ip, 17, seg_len);
+            let csum = checksum(&buf[t_start..], ph);
+            // UDP transmits 0xFFFF when the computed checksum is zero.
+            let csum = if csum == 0 { 0xFFFF } else { csum };
+            buf[t_start + 6..t_start + 8].copy_from_slice(&csum.to_be_bytes());
+        }
+        _ => {}
+    }
+
+    buf.freeze()
+}
+
+/// Parse an Ethernet II / IPv4 / {TCP,UDP} frame back into a [`Packet`]
+/// metadata record, validating checksums. `ts` is supplied by the capture
+/// layer (frames do not carry timestamps).
+pub fn decode(frame: &[u8], ts: Ts) -> Result<Packet, WireError> {
+    let mut buf = frame;
+    if buf.len() < ETH_HDR_LEN + IPV4_HDR_LEN {
+        return Err(WireError::Truncated);
+    }
+    buf.advance(12); // MACs
+    if buf.get_u16() != ETHERTYPE_IPV4 {
+        return Err(WireError::Unsupported);
+    }
+
+    let ip = &frame[ETH_HDR_LEN..];
+    let vihl = ip[0];
+    if vihl >> 4 != 4 {
+        return Err(WireError::Unsupported);
+    }
+    let ihl = usize::from(vihl & 0x0F) * 4;
+    if ihl != IPV4_HDR_LEN {
+        return Err(WireError::Unsupported); // options not modelled
+    }
+    if checksum(&ip[..IPV4_HDR_LEN], 0) != 0 {
+        return Err(WireError::BadIpChecksum);
+    }
+    let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+    if ip.len() < total_len || total_len < IPV4_HDR_LEN {
+        return Err(WireError::Truncated);
+    }
+    let proto = Proto::from_number(ip[9]);
+    let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+    let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+    let seg = &ip[IPV4_HDR_LEN..total_len];
+
+    let (src_port, dst_port, seq, ack, flags, payload_len) = match proto {
+        Proto::Tcp => {
+            if seg.len() < TCP_HDR_LEN {
+                return Err(WireError::Truncated);
+            }
+            let data_off = usize::from(seg[12] >> 4) * 4;
+            if data_off < TCP_HDR_LEN || seg.len() < data_off {
+                return Err(WireError::Truncated);
+            }
+            let ph = pseudo_header_sum(src_ip, dst_ip, 6, seg.len() as u16);
+            if checksum(seg, ph) != 0 {
+                return Err(WireError::BadTransportChecksum);
+            }
+            (
+                u16::from_be_bytes([seg[0], seg[1]]),
+                u16::from_be_bytes([seg[2], seg[3]]),
+                u32::from_be_bytes([seg[4], seg[5], seg[6], seg[7]]),
+                u32::from_be_bytes([seg[8], seg[9], seg[10], seg[11]]),
+                TcpFlags(seg[13]),
+                (seg.len() - data_off) as u16,
+            )
+        }
+        Proto::Udp => {
+            if seg.len() < UDP_HDR_LEN {
+                return Err(WireError::Truncated);
+            }
+            let udp_csum = u16::from_be_bytes([seg[6], seg[7]]);
+            if udp_csum != 0 {
+                let ph = pseudo_header_sum(src_ip, dst_ip, 17, seg.len() as u16);
+                if checksum(seg, ph) != 0 {
+                    return Err(WireError::BadTransportChecksum);
+                }
+            }
+            (
+                u16::from_be_bytes([seg[0], seg[1]]),
+                u16::from_be_bytes([seg[2], seg[3]]),
+                0,
+                0,
+                TcpFlags::NONE,
+                (seg.len() - UDP_HDR_LEN) as u16,
+            )
+        }
+        _ => (0, 0, 0, 0, TcpFlags::NONE, 0),
+    };
+
+    Ok(Packet {
+        key: FlowKey::new(src_ip, dst_ip, src_port, dst_port, proto),
+        ts,
+        wire_len: frame.len().max(usize::from(Packet::MIN_WIRE_LEN)) as u16,
+        payload_len,
+        flags,
+        seq,
+        ack,
+        payload_digest: 0,
+        label: Default::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBuilder;
+
+    fn tcp_packet() -> Packet {
+        let key = FlowKey::tcp(
+            Ipv4Addr::new(10, 1, 2, 3),
+            43210,
+            Ipv4Addr::new(172, 16, 9, 8),
+            443,
+        );
+        PacketBuilder::new(key, Ts::from_micros(777))
+            .flags(TcpFlags::PSH | TcpFlags::ACK)
+            .seq(0xDEADBEEF)
+            .ack(0x01020304)
+            .payload(37)
+            .build()
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let p = tcp_packet();
+        let frame = encode(&p);
+        let q = decode(&frame, p.ts).unwrap();
+        assert_eq!(q.key, p.key);
+        assert_eq!(q.flags, p.flags);
+        assert_eq!(q.seq, p.seq);
+        assert_eq!(q.ack, p.ack);
+        assert_eq!(q.payload_len, p.payload_len);
+    }
+
+    #[test]
+    fn udp_round_trip() {
+        let key = FlowKey::udp(
+            Ipv4Addr::new(192, 168, 1, 1),
+            53,
+            Ipv4Addr::new(192, 168, 1, 99),
+            34567,
+        );
+        let p = PacketBuilder::new(key, Ts::ZERO).payload(120).build();
+        let frame = encode(&p);
+        let q = decode(&frame, Ts::ZERO).unwrap();
+        assert_eq!(q.key, key);
+        assert_eq!(q.payload_len, 120);
+        assert!(!q.is_tcp());
+    }
+
+    #[test]
+    fn corrupted_ip_checksum_rejected() {
+        let frame = encode(&tcp_packet());
+        let mut bad = frame.to_vec();
+        bad[ETH_HDR_LEN + 12] ^= 0xFF; // flip a src-ip byte
+        assert_eq!(decode(&bad, Ts::ZERO), Err(WireError::BadIpChecksum));
+    }
+
+    #[test]
+    fn corrupted_tcp_payload_rejected() {
+        let frame = encode(&tcp_packet());
+        let mut bad = frame.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01; // flip a payload bit
+        assert_eq!(decode(&bad, Ts::ZERO), Err(WireError::BadTransportChecksum));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = encode(&tcp_packet());
+        assert_eq!(decode(&frame[..20], Ts::ZERO), Err(WireError::Truncated));
+        assert_eq!(decode(&[], Ts::ZERO), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let mut frame = encode(&tcp_packet()).to_vec();
+        frame[12] = 0x86; // EtherType -> 0x86DD (IPv6)
+        frame[13] = 0xDD;
+        assert_eq!(decode(&frame, Ts::ZERO), Err(WireError::Unsupported));
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // RFC 1071 example: the checksum of this sequence is well defined.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let c = checksum(&data, 0);
+        // Verify by summing back: data + checksum must fold to 0xFFFF.
+        let mut sum: u32 = data
+            .chunks(2)
+            .map(|c| u32::from(u16::from_be_bytes([c[0], c[1]])))
+            .sum();
+        sum += u32::from(c);
+        while sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        assert_eq!(sum, 0xFFFF);
+    }
+
+    #[test]
+    fn odd_length_payload_checksums() {
+        let key = FlowKey::udp(
+            Ipv4Addr::new(1, 2, 3, 4),
+            1,
+            Ipv4Addr::new(5, 6, 7, 8),
+            2,
+        );
+        for len in [0u16, 1, 2, 3, 255] {
+            let p = PacketBuilder::new(key, Ts::ZERO).payload(len).build();
+            let frame = encode(&p);
+            assert!(decode(&frame, Ts::ZERO).is_ok(), "len={len}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! HyperLogLog cardinality estimator.
+//!
+//! Backs the "Cardinality" row of Table 2: estimating the number of
+//! distinct flows (or distinct sources per destination) from the flow log.
+//! Standard HLL with the small-range linear-counting correction.
+
+use smartwatch_net::FlowHasher;
+
+/// HyperLogLog with 2^p registers.
+#[derive(Clone, Debug)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+    p: u32,
+    hasher: FlowHasher,
+}
+
+impl HyperLogLog {
+    /// Estimator with `2^p` registers (`4 ≤ p ≤ 18`). Standard error is
+    /// roughly `1.04 / sqrt(2^p)`.
+    pub fn new(p: u32, seed: u64) -> HyperLogLog {
+        assert!((4..=18).contains(&p));
+        HyperLogLog { registers: vec![0; 1 << p], p, hasher: FlowHasher::new(seed) }
+    }
+
+    /// Observe a u64 item.
+    pub fn insert(&mut self, item: u64) {
+        let h = self.hasher.hash_u64(item).0;
+        let idx = (h >> (64 - self.p)) as usize;
+        let rest = h << self.p;
+        // Rank: position of the leftmost 1-bit in the remaining bits.
+        let rank = (rest.leading_zeros() + 1).min(64 - self.p + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Current cardinality estimate.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(i32::from(r)))).sum();
+        let raw = alpha * m * m / sum;
+        // Small-range correction: linear counting.
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Merge another HLL (union of the observed sets). Both must share
+    /// precision and seed.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.p, other.p, "precision mismatch");
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Reset.
+    pub fn clear(&mut self) {
+        self.registers.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_within_expected_error() {
+        for &n in &[100u64, 10_000, 1_000_000] {
+            let mut hll = HyperLogLog::new(12, 7);
+            for i in 0..n {
+                hll.insert(i);
+            }
+            let est = hll.estimate();
+            let err = (est - n as f64).abs() / n as f64;
+            assert!(err < 0.08, "n={n} est={est} err={err}");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut hll = HyperLogLog::new(10, 1);
+        for _ in 0..100 {
+            for i in 0..500u64 {
+                hll.insert(i);
+            }
+        }
+        let est = hll.estimate();
+        assert!((est - 500.0).abs() / 500.0 < 0.15, "est={est}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(12, 3);
+        let mut b = HyperLogLog::new(12, 3);
+        for i in 0..5_000u64 {
+            a.insert(i);
+        }
+        for i in 2_500..7_500u64 {
+            b.insert(i);
+        }
+        a.merge(&b);
+        let est = a.estimate();
+        assert!((est - 7_500.0).abs() / 7_500.0 < 0.08, "est={est}");
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let hll = HyperLogLog::new(8, 0);
+        assert!(hll.estimate() < 1.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut hll = HyperLogLog::new(8, 0);
+        for i in 0..1000u64 {
+            hll.insert(i);
+        }
+        hll.clear();
+        assert!(hll.estimate() < 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! # smartwatch-sketch
+//!
+//! The approximate-measurement baselines SmartWatch is evaluated against,
+//! plus the probabilistic helpers the platform itself uses.
+//!
+//! Baselines (paper §5.3, Figs. 10 and 11b):
+//! - [`CountMin`] — the classic conservative count sketch.
+//! - [`ElasticSketch`] — heavy part (vote-based hash table) + light part
+//!   (counter array); invertible for heavy flows.
+//! - [`MvSketch`] — invertible majority-vote sketch for heavy flow
+//!   detection.
+//! - [`NitroSketch`] — sampled CountMin updates: higher throughput, looser
+//!   error, as in the paper's Fig. 11b throughput comparison.
+//!
+//! Platform helpers:
+//! - [`BloomFilter`] — used on the RST fast path (§5.1.2).
+//! - [`HyperLogLog`] — cardinality estimation over flow logs.
+//!
+//! All sketches implement [`FlowCounter`], the estimation interface the
+//! volumetric-analysis harness (heavy hitter / heavy change / flow size
+//! distribution) is written against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod countmin;
+pub mod elastic;
+pub mod hll;
+pub mod mv;
+pub mod nitro;
+
+pub use bloom::BloomFilter;
+pub use countmin::CountMin;
+pub use elastic::ElasticSketch;
+pub use hll::HyperLogLog;
+pub use mv::MvSketch;
+pub use nitro::NitroSketch;
+
+use smartwatch_net::FlowKey;
+
+/// Common interface over per-flow packet counting structures, whether
+/// approximate (sketches) or exact (the FlowCache-backed flow log).
+pub trait FlowCounter {
+    /// Record `count` packets of `key`.
+    fn update(&mut self, key: &FlowKey, count: u64);
+
+    /// Estimated packet count of `key`.
+    fn estimate(&self, key: &FlowKey) -> u64;
+
+    /// Bytes of memory the structure occupies (for like-for-like accuracy
+    /// comparisons at equal memory, as in Fig. 10).
+    fn memory_bytes(&self) -> usize;
+
+    /// Flows whose estimated count is at least `threshold`, if the
+    /// structure is invertible (can enumerate candidates without an
+    /// external key list). Non-invertible sketches return `None` and must
+    /// be probed with a candidate list instead.
+    fn heavy_hitters(&self, threshold: u64) -> Option<Vec<(FlowKey, u64)>>;
+
+    /// Reset all state (start of a new monitoring interval).
+    fn clear(&mut self);
+}
+
+/// Heavy-change detection between two interval snapshots of the same
+/// (cleared-between-intervals) structure: flows whose |count_a - count_b|
+/// is at least `threshold`. `candidates` supplies the key universe for
+/// non-invertible structures; invertible structures are still probed via
+/// `candidates` so both paths measure the same task.
+pub fn heavy_change<C: FlowCounter>(
+    a: &C,
+    b: &C,
+    candidates: &[FlowKey],
+    threshold: u64,
+) -> Vec<(FlowKey, u64)> {
+    let mut out = Vec::new();
+    for k in candidates {
+        let ca = a.estimate(k);
+        let cb = b.estimate(k);
+        let delta = ca.abs_diff(cb);
+        if delta >= threshold {
+            out.push((*k, delta));
+        }
+    }
+    out.sort_by_key(|(_, d)| std::cmp::Reverse(*d));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1000, Ipv4Addr::from(0xAC100001), 80)
+    }
+
+    #[test]
+    fn heavy_change_finds_changed_flows() {
+        let mut a = CountMin::new(4, 4096, 1);
+        let mut b = CountMin::new(4, 4096, 1);
+        let keys: Vec<FlowKey> = (0..100).map(key).collect();
+        for k in &keys {
+            a.update(k, 10);
+            b.update(k, 10);
+        }
+        // Flow 0 surges in interval b.
+        b.update(&keys[0], 1000);
+        let changes = heavy_change(&a, &b, &keys, 500);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].0, keys[0]);
+        assert!(changes[0].1 >= 1000);
+    }
+}

@@ -1,0 +1,464 @@
+//! Discrete-event simulation of the sNIC micro-engine array.
+//!
+//! Drives a [`FlowCache`] with a packet stream, costing every access via
+//! the [`hw`](crate::hw) model and simulating the PME pool as a bank of
+//! parallel servers with a bounded ingress buffer. Outputs the numbers the
+//! paper's Figs. 4b, 5, 6, 11b and Table 3 report: achieved throughput
+//! (Mpps), loss, and the packet-latency distribution.
+//!
+//! The PME pool is modelled as `pmes` servers whose per-packet holding
+//! time is `max(busy, (busy + wait) / threads)` — threads overlap memory
+//! waits but a core can never beat its CPU-bound rate. Packets that would
+//! wait longer than the ingress buffer horizon are dropped, which is how
+//! "violating the cycle budget leads to dropping of packets at higher
+//! arrival rates" (§2.3.2) manifests.
+
+use crate::cme::SwitchOver;
+use crate::flowcache::{FlowCache, Outcome};
+use crate::hw::{service_time, CycleCosts, HwProfile};
+use smartwatch_net::{Dur, Packet};
+use std::collections::BinaryHeap;
+
+/// DES configuration.
+#[derive(Clone, Debug)]
+pub struct DesConfig {
+    /// Hardware profile to cost against.
+    pub hw: HwProfile,
+    /// Per-operation cycle costs.
+    pub costs: CycleCosts,
+    /// PMEs dedicated to packet processing (paper: 80 total MEs, 3 kept as
+    /// CMEs ⇒ 77–80 swept in Fig. 6b).
+    pub pmes: u32,
+    /// Offered rate override in packets/sec. When set, packet timestamps
+    /// are re-spaced uniformly at this rate (MoonGen-style replay);
+    /// otherwise trace timestamps are used as-is.
+    pub offered_pps: Option<f64>,
+    /// Ingress buffering horizon: a packet that would wait longer than
+    /// this is dropped.
+    pub max_queue_delay: Dur,
+    /// Optional Algorithm 4 controller that reconfigures the cache while
+    /// the simulation runs (sampled every `rate_sample_every` packets).
+    pub switchover: Option<SwitchOver>,
+    /// Arrival-rate sampling stride for the controller.
+    pub rate_sample_every: usize,
+    /// Packet-sampling fraction for the FlowCache (1.0 = every packet).
+    /// Sampling buys throughput the way NitroSketch does — and exactly as
+    /// the paper notes (§2.3.2), it forfeits flow-state tracking: sampled-
+    /// out packets never reach the cache.
+    pub sampling: f64,
+}
+
+impl DesConfig {
+    /// Netronome defaults with a fixed offered rate.
+    pub fn netronome(offered_pps: f64) -> DesConfig {
+        DesConfig {
+            hw: crate::hw::NETRONOME_AGILIO_LX,
+            costs: CycleCosts::default(),
+            pmes: 80,
+            offered_pps: Some(offered_pps),
+            max_queue_delay: Dur::from_micros(12),
+            switchover: None,
+            rate_sample_every: 4096,
+            sampling: 1.0,
+        }
+    }
+}
+
+/// Latency percentiles in nanoseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyDist {
+    /// Mean latency.
+    pub mean_ns: f64,
+    /// 50th percentile.
+    pub p50_ns: u64,
+    /// 75th percentile.
+    pub p75_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Maximum observed.
+    pub max_ns: u64,
+}
+
+impl LatencyDist {
+    /// Build from raw latency samples (consumed).
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencyDist {
+        if samples.is_empty() {
+            return LatencyDist::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pct = |p: f64| samples[(((n - 1) as f64) * p) as usize];
+        LatencyDist {
+            mean_ns: samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64,
+            p50_ns: pct(0.50),
+            p75_ns: pct(0.75),
+            p99_ns: pct(0.99),
+            p999_ns: pct(0.999),
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Simulation output.
+#[derive(Clone, Debug, Default)]
+pub struct DesReport {
+    /// Packets offered to the NIC.
+    pub offered: u64,
+    /// Packets fully processed.
+    pub completed: u64,
+    /// Packets dropped at ingress (buffer horizon exceeded).
+    pub dropped: u64,
+    /// Packets skipped by sampling (forwarded unmonitored).
+    pub sampled_out: u64,
+    /// Offered rate over the run, packets/sec.
+    pub offered_pps: f64,
+    /// Achieved (completed) rate, packets/sec.
+    pub achieved_pps: f64,
+    /// Overall latency distribution.
+    pub latency: LatencyDist,
+    /// Latency distribution of cache hits only (Fig. 4b).
+    pub hit_latency: LatencyDist,
+    /// Latency distribution of misses only (Fig. 4b).
+    pub miss_latency: LatencyDist,
+    /// Mode switches performed by the controller during the run.
+    pub mode_switches: u32,
+}
+
+impl DesReport {
+    /// Loss fraction.
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+
+    /// Achieved throughput in Mpps.
+    pub fn achieved_mpps(&self) -> f64 {
+        self.achieved_pps / 1e6
+    }
+}
+
+/// Run the simulation: feed `packets` through `cache` on the configured
+/// hardware.
+pub fn simulate(cache: &mut FlowCache, packets: &[Packet], cfg: &DesConfig) -> DesReport {
+    let mut report = DesReport { offered: packets.len() as u64, ..Default::default() };
+    if packets.is_empty() {
+        return report;
+    }
+
+    // Server pool: min-heap of next-free times (ns). BinaryHeap is a
+    // max-heap, so store negated values via Reverse.
+    use std::cmp::Reverse;
+    let mut servers: BinaryHeap<Reverse<u64>> = (0..cfg.pmes).map(|_| Reverse(0u64)).collect();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(packets.len().min(1 << 22));
+    let mut hit_lat: Vec<u64> = Vec::new();
+    let mut miss_lat: Vec<u64> = Vec::new();
+    let mut switchover = cfg.switchover.clone();
+    let mut window_start_ns = 0u64;
+    let mut window_count = 0u64;
+
+    let t0 = packets[0].ts.as_nanos();
+    let respace = cfg.offered_pps.map(|r| 1e9 / r);
+    let mut first_arrival = u64::MAX;
+    let mut last_arrival = 0u64;
+
+    for (i, pkt) in packets.iter().enumerate() {
+        let arrival = match respace {
+            Some(gap_ns) => t0 + (i as f64 * gap_ns) as u64,
+            None => pkt.ts.as_nanos(),
+        };
+        first_arrival = first_arrival.min(arrival);
+        last_arrival = last_arrival.max(arrival);
+
+        // Algorithm 4 controller: sample the arrival rate periodically.
+        if let Some(ctrl) = switchover.as_mut() {
+            window_count += 1;
+            if window_count as usize >= cfg.rate_sample_every {
+                let span = arrival.saturating_sub(window_start_ns).max(1);
+                let rate = window_count as f64 * 1e9 / span as f64;
+                if let Some(mode) = ctrl.observe(rate) {
+                    cache.set_mode(mode);
+                    report.mode_switches += 1;
+                }
+                window_start_ns = arrival;
+                window_count = 0;
+            }
+        }
+
+        let Reverse(free_at) = servers.pop().expect("non-empty pool");
+        let start = free_at.max(arrival);
+        let queue_wait = start - arrival;
+        if queue_wait > cfg.max_queue_delay.as_nanos() {
+            // Drop at ingress; the server's schedule is unchanged.
+            servers.push(Reverse(free_at));
+            report.dropped += 1;
+            continue;
+        }
+
+        // Deterministic stride sampling (NitroSketch-style throughput
+        // relief): sampled-out packets pay only the forwarding pipeline.
+        let sampled_out = cfg.sampling < 1.0
+            && (i as f64 * cfg.sampling).fract() >= cfg.sampling;
+        let (access, busy, wait) = if sampled_out {
+            report.sampled_out += 1;
+            let a = crate::flowcache::Access {
+                outcome: Outcome::PHit,
+                probes: 0,
+                writes: 0,
+                ring_pushes: 0,
+                cleaned_row: false,
+            };
+            let busy = f64::from(cfg.costs.pipeline)
+                / (cfg.hw.clock_ghz * cfg.hw.perf_factor);
+            (a, busy, 0.0)
+        } else {
+            let access = cache.process(pkt);
+            let (busy, wait) = service_time(&cfg.hw, &cfg.costs, &access);
+            (access, busy, wait)
+        };
+        // Per-packet holding time on its PME: threads overlap this
+        // packet's memory waits with other packets' work, so the server is
+        // held for the larger of its CPU-bound and thread-shared time.
+        let hold = busy.max((busy + wait) / f64::from(cfg.hw.overlap_contexts));
+        // The packet itself experiences the full busy+wait latency.
+        let service_latency = (busy + wait) as u64;
+        let done = start + hold as u64;
+        servers.push(Reverse(done));
+
+        let latency = queue_wait + service_latency;
+        latencies.push(latency);
+        if !sampled_out {
+            match access.outcome {
+                Outcome::PHit | Outcome::EHit => hit_lat.push(latency),
+                Outcome::Miss => miss_lat.push(latency),
+                Outcome::ToHost => {}
+            }
+        }
+        report.completed += 1;
+    }
+
+    let span_ns = (last_arrival - first_arrival).max(1);
+    report.offered_pps = report.offered as f64 * 1e9 / span_ns as f64;
+    report.achieved_pps = report.completed as f64 * 1e9 / span_ns as f64;
+    report.latency = LatencyDist::from_samples(latencies);
+    report.hit_latency = LatencyDist::from_samples(hit_lat);
+    report.miss_latency = LatencyDist::from_samples(miss_lat);
+    report
+}
+
+/// Sweep offered rate until loss exceeds `loss_budget`, returning the
+/// highest loss-free rate found (the paper's "loss-free mode for arrival
+/// rates up to X Mpps" statements). Binary-searches between `lo` and `hi`
+/// Mpps with fresh clones of `cache` per probe.
+pub fn max_lossfree_mpps(
+    cache: &FlowCache,
+    packets: &[Packet],
+    cfg: &DesConfig,
+    lo: f64,
+    hi: f64,
+    loss_budget: f64,
+) -> f64 {
+    let mut lo = lo;
+    let mut hi = hi;
+    for _ in 0..8 {
+        let mid = (lo + hi) / 2.0;
+        let mut c = cache.clone();
+        let mut probe_cfg = cfg.clone();
+        probe_cfg.offered_pps = Some(mid * 1e6);
+        let rep = simulate(&mut c, packets, &probe_cfg);
+        if rep.loss_rate() <= loss_budget {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowcache::FlowCacheConfig;
+    use crate::policy::CachePolicy;
+    use smartwatch_net::{FlowKey, PacketBuilder, Ts};
+    use std::net::Ipv4Addr;
+
+    fn packets(n: usize, flows: u32) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                let key = FlowKey::tcp(
+                    Ipv4Addr::from(0x0A000000 + (i as u32 % flows)),
+                    1000,
+                    Ipv4Addr::from(0xAC100001u32),
+                    80,
+                );
+                PacketBuilder::new(key, Ts::from_nanos(i as u64 * 50)).build()
+            })
+            .collect()
+    }
+
+    fn cache() -> FlowCache {
+        FlowCache::new(FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC))
+    }
+
+    #[test]
+    fn low_rate_is_lossless() {
+        let mut fc = cache();
+        let cfg = DesConfig::netronome(1.0e6);
+        let rep = simulate(&mut fc, &packets(20_000, 500), &cfg);
+        assert_eq!(rep.dropped, 0);
+        assert!(rep.achieved_mpps() > 0.9 && rep.achieved_mpps() < 1.1);
+    }
+
+    #[test]
+    fn absurd_rate_drops_packets() {
+        let mut fc = cache();
+        let cfg = DesConfig::netronome(500.0e6); // 500 Mpps >> capacity
+        let rep = simulate(&mut fc, &packets(50_000, 500), &cfg);
+        assert!(rep.loss_rate() > 0.5, "loss {}", rep.loss_rate());
+    }
+
+    #[test]
+    fn hits_are_faster_than_misses() {
+        let mut fc = cache();
+        let cfg = DesConfig::netronome(5.0e6);
+        let rep = simulate(&mut fc, &packets(50_000, 2_000), &cfg);
+        assert!(rep.hit_latency.mean_ns > 0.0 && rep.miss_latency.mean_ns > 0.0);
+        assert!(
+            rep.miss_latency.mean_ns > rep.hit_latency.mean_ns,
+            "miss {} !> hit {}",
+            rep.miss_latency.mean_ns,
+            rep.hit_latency.mean_ns
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let mut fc = cache();
+        let cfg = DesConfig::netronome(20.0e6);
+        let rep = simulate(&mut fc, &packets(100_000, 5_000), &cfg);
+        let l = rep.latency;
+        assert!(l.p50_ns <= l.p75_ns);
+        assert!(l.p75_ns <= l.p99_ns);
+        assert!(l.p99_ns <= l.p999_ns);
+        assert!(l.p999_ns <= l.max_ns);
+    }
+
+    #[test]
+    fn fewer_pmes_less_throughput() {
+        let run = |pmes: u32| {
+            let mut fc = cache();
+            let mut cfg = DesConfig::netronome(60.0e6);
+            cfg.pmes = pmes;
+            simulate(&mut fc, &packets(100_000, 2_000), &cfg).achieved_mpps()
+        };
+        assert!(run(20) < run(80) * 0.6);
+    }
+
+    #[test]
+    fn controller_switches_modes_under_overload() {
+        let mut fc = cache();
+        let mut cfg = DesConfig::netronome(43.0e6);
+        cfg.switchover = Some(SwitchOver::paper_default());
+        cfg.rate_sample_every = 2_000;
+        let rep = simulate(&mut fc, &packets(100_000, 2_000), &cfg);
+        assert!(rep.mode_switches >= 1, "should have switched to Lite");
+        assert_eq!(fc.mode(), crate::flowcache::Mode::Lite);
+    }
+
+    #[test]
+    fn lossfree_search_is_monotone_sane() {
+        let fc = cache();
+        let cfg = DesConfig::netronome(1.0);
+        let pkts = packets(30_000, 1_000);
+        let max = max_lossfree_mpps(&fc, &pkts, &cfg, 1.0, 100.0, 0.001);
+        assert!(max > 5.0 && max < 100.0, "max loss-free {max}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_report() {
+        let mut fc = cache();
+        let rep = simulate(&mut fc, &[], &DesConfig::netronome(1.0e6));
+        assert_eq!(rep.offered, 0);
+        assert_eq!(rep.completed, 0);
+    }
+}
+
+#[cfg(test)]
+mod sampling_tests {
+    use super::*;
+    use crate::flowcache::{FlowCache, FlowCacheConfig};
+    use crate::policy::CachePolicy;
+    use smartwatch_net::{FlowKey, PacketBuilder, Ts};
+    use std::net::Ipv4Addr;
+
+    fn packets(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                let key = FlowKey::tcp(
+                    Ipv4Addr::from(0x0A000000 + (i as u32 % 700)),
+                    1000,
+                    Ipv4Addr::from(0xAC100001u32),
+                    80,
+                );
+                PacketBuilder::new(key, Ts::from_nanos(i as u64 * 40)).build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampling_skips_the_right_fraction() {
+        let mut fc =
+            FlowCache::new(FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC));
+        let mut cfg = DesConfig::netronome(10.0e6);
+        cfg.sampling = 0.25;
+        let rep = simulate(&mut fc, &packets(40_000), &cfg);
+        let frac = rep.sampled_out as f64 / rep.completed.max(1) as f64;
+        assert!((frac - 0.75).abs() < 0.02, "sampled-out fraction {frac}");
+        // The cache saw only the sampled quarter.
+        let processed = fc.stats().processed();
+        assert!(
+            (processed as f64 - rep.completed as f64 * 0.25).abs()
+                < rep.completed as f64 * 0.02,
+            "cache processed {processed} of {}",
+            rep.completed
+        );
+    }
+
+    #[test]
+    fn sampling_raises_achievable_throughput() {
+        let run = |sampling: f64| {
+            let mut fc =
+                FlowCache::new(FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC));
+            let mut cfg = DesConfig::netronome(90.0e6);
+            cfg.sampling = sampling;
+            simulate(&mut fc, &packets(60_000), &cfg).achieved_mpps()
+        };
+        let lossless = run(1.0);
+        let sampled = run(0.1);
+        assert!(
+            sampled > lossless * 1.3,
+            "1/10 sampling should lift throughput: {lossless} -> {sampled}"
+        );
+    }
+
+    #[test]
+    fn sampling_one_is_identity() {
+        let mut a = FlowCache::new(FlowCacheConfig::split(8, 4, 8, CachePolicy::LRU_LPC));
+        let mut b = FlowCache::new(FlowCacheConfig::split(8, 4, 8, CachePolicy::LRU_LPC));
+        let pkts = packets(5_000);
+        let cfg = DesConfig::netronome(5.0e6);
+        let mut cfg1 = cfg.clone();
+        cfg1.sampling = 1.0;
+        let r1 = simulate(&mut a, &pkts, &cfg1);
+        let r2 = simulate(&mut b, &pkts, &cfg);
+        assert_eq!(r1.sampled_out, 0);
+        assert_eq!(r1.completed, r2.completed);
+        assert_eq!(a.stats().processed(), b.stats().processed());
+    }
+}

@@ -1,0 +1,41 @@
+//! # smartwatch-snic
+//!
+//! The SmartNIC half of SmartWatch: the FlowCache data structure and a
+//! cycle-cost simulator of the micro-engine array it runs on.
+//!
+//! | Paper artefact | Module |
+//! |---|---|
+//! | FlowCache: P/E buffers, policies, pinning, rings (§3.2) | [`flowcache`], [`policy`], [`ring`] |
+//! | Reconfigurable General/Lite modes, Algorithms 1 & 3 (§3.3) | [`flowcache`] |
+//! | CME switch-over, Algorithm 4 (§9.4) | [`cme`] |
+//! | Lockless PME update protocol, Algorithm 2 (§9.1–9.2) | [`concurrent`] |
+//! | sNIC hardware profiles & cycle model (Table 3, §4.1) | [`hw`] |
+//! | Throughput / latency / loss simulation (Figs. 4–6, 11b) | [`des`] |
+//! | Microburst log `L` and queue trigger (§5.3.2) | [`burstlog`] |
+//! | Rejected Cuckoo-hash baseline ablation (§3.2) | [`cuckoo`] |
+//!
+//! The FlowCache here is the deterministic reference used by experiments;
+//! [`concurrent`] demonstrates the same row semantics under real atomics
+//! and multi-threaded contention.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burstlog;
+pub mod cme;
+pub mod concurrent;
+pub mod cuckoo;
+pub mod des;
+pub mod flowcache;
+pub mod hw;
+pub mod policy;
+pub mod record;
+pub mod ring;
+
+pub use cme::SwitchOver;
+pub use des::{simulate, DesConfig, DesReport, LatencyDist};
+pub use flowcache::{Access, CacheStats, FlowCache, FlowCacheConfig, Mode, Outcome};
+pub use hw::{CycleCosts, HwProfile, BLUEFIELD, LIQUIDIO_TX2, NETRONOME_AGILIO_LX};
+pub use policy::{CachePolicy, Policy};
+pub use record::FlowRecord;
+pub use ring::RingSet;

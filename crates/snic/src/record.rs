@@ -1,0 +1,127 @@
+//! Flow records: the unit the FlowCache caches and the sNIC exports.
+
+use serde::{Deserialize, Serialize};
+use smartwatch_net::{FlowKey, Ts};
+
+/// One cached flow's state.
+///
+/// The layout mirrors the paper's description (§2.1.2): 5-tuple, packet
+/// count, timestamps, and a small amount of attack-specific state
+/// ("required-state depending on the specific attack being monitored").
+/// Two generic `u32` scratch slots plus a flags byte keep the record at a
+/// fixed 64-ish bytes so 25 M entries fit the sNIC's DRAM budget the paper
+/// quotes (768 MB).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Canonical (direction-free) 5-tuple.
+    pub key: FlowKey,
+    /// Packets observed.
+    pub packets: u64,
+    /// Bytes observed on the wire.
+    pub bytes: u64,
+    /// First packet timestamp.
+    pub first_ts: Ts,
+    /// Most recent packet timestamp (LRU metadata).
+    pub last_ts: Ts,
+    /// Insertion timestamp (FIFO metadata).
+    pub inserted_ts: Ts,
+    /// Detector scratch slot A (e.g. SYN/FIN/RST observation bits,
+    /// failed-attempt counters).
+    pub state_a: u32,
+    /// Detector scratch slot B.
+    pub state_b: u32,
+    /// Pinned records are never evicted (per-packet state tracking for
+    /// suspect flows, §3.2 "Pinning Flow Records").
+    pub pinned: bool,
+}
+
+impl FlowRecord {
+    /// Fresh record for a flow first seen at `ts`.
+    pub fn new(key: FlowKey, ts: Ts, wire_len: u16) -> FlowRecord {
+        FlowRecord {
+            key,
+            packets: 1,
+            bytes: u64::from(wire_len),
+            first_ts: ts,
+            last_ts: ts,
+            inserted_ts: ts,
+            state_a: 0,
+            state_b: 0,
+            pinned: false,
+        }
+    }
+
+    /// Fold one more packet into the record.
+    pub fn update(&mut self, ts: Ts, wire_len: u16) {
+        self.packets += 1;
+        self.bytes += u64::from(wire_len);
+        self.last_ts = ts;
+    }
+
+    /// Merge another record for the same flow (host-side aggregation of
+    /// repeated exports, §3.4).
+    pub fn merge(&mut self, other: &FlowRecord) {
+        debug_assert_eq!(self.key, other.key);
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.first_ts = self.first_ts.min(other.first_ts);
+        self.last_ts = self.last_ts.max(other.last_ts);
+        // Detector scratch: bitwise OR is the safe merge for flag-style
+        // state; counter-style users re-derive from packets/bytes.
+        self.state_a |= other.state_a;
+        self.state_b |= other.state_b;
+    }
+
+    /// Flow duration so far.
+    pub fn duration(&self) -> smartwatch_net::Dur {
+        self.last_ts - self.first_ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key() -> FlowKey {
+        FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 9, Ipv4Addr::new(10, 0, 0, 2), 80)
+    }
+
+    #[test]
+    fn update_accumulates() {
+        let mut r = FlowRecord::new(key(), Ts::from_secs(1), 100);
+        r.update(Ts::from_secs(2), 200);
+        r.update(Ts::from_secs(3), 300);
+        assert_eq!(r.packets, 3);
+        assert_eq!(r.bytes, 600);
+        assert_eq!(r.first_ts, Ts::from_secs(1));
+        assert_eq!(r.last_ts, Ts::from_secs(3));
+        assert_eq!(r.duration(), smartwatch_net::Dur::from_secs(2));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_on_counts() {
+        let mut a = FlowRecord::new(key(), Ts::from_secs(1), 100);
+        a.update(Ts::from_secs(2), 50);
+        let mut b = FlowRecord::new(key(), Ts::from_secs(5), 70);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab.packets, ba.packets);
+        assert_eq!(ab.bytes, ba.bytes);
+        assert_eq!(ab.first_ts, ba.first_ts);
+        assert_eq!(ab.last_ts, ba.last_ts);
+        b.update(Ts::from_secs(6), 1);
+    }
+
+    #[test]
+    fn merge_ors_state_flags() {
+        let mut a = FlowRecord::new(key(), Ts::ZERO, 64);
+        a.state_a = 0b0011;
+        let mut b = FlowRecord::new(key(), Ts::ZERO, 64);
+        b.state_a = 0b0101;
+        a.merge(&b);
+        assert_eq!(a.state_a, 0b0111);
+    }
+}

@@ -1,0 +1,161 @@
+//! Eviction ring buffers (paper §3.2).
+//!
+//! The FlowCache dedicates 8 ring buffers of 64 Ki entries each; evicted
+//! flow records land in a ring and are drained by the host's snapshot
+//! thread. Eight rings exist to spread contention across the 80 PMEs; in
+//! the deterministic simulator the ring index is derived from the row hash
+//! so the distribution is reproducible.
+
+use crate::record::FlowRecord;
+use std::collections::VecDeque;
+
+/// A set of fixed-capacity eviction rings.
+#[derive(Clone, Debug)]
+pub struct RingSet {
+    rings: Vec<VecDeque<FlowRecord>>,
+    capacity: usize,
+    /// Evictions that found their ring full and had to go straight to the
+    /// host (an overload signal the reconfigurable cache reacts to).
+    pub overflow_to_host: u64,
+    /// Total records ever pushed.
+    pub pushed: u64,
+}
+
+impl RingSet {
+    /// `n_rings` rings of `capacity` records each (paper: 8 × 65 536).
+    pub fn new(n_rings: usize, capacity: usize) -> RingSet {
+        assert!(n_rings > 0 && capacity > 0);
+        RingSet {
+            rings: vec![VecDeque::with_capacity(capacity.min(1024)); n_rings],
+            capacity,
+            overflow_to_host: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Paper configuration: 8 rings × 64 Ki entries.
+    pub fn paper_default() -> RingSet {
+        RingSet::new(8, 64 * 1024)
+    }
+
+    /// Number of rings.
+    pub fn n_rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Push an evicted record; `row` selects the ring. Returns `false` if
+    /// the ring was full (record counted as overflow-to-host).
+    pub fn push(&mut self, row: usize, rec: FlowRecord) -> bool {
+        self.pushed += 1;
+        let n = self.rings.len();
+        let ring = &mut self.rings[row % n];
+        if ring.len() >= self.capacity {
+            self.overflow_to_host += 1;
+            false
+        } else {
+            ring.push_back(rec);
+            true
+        }
+    }
+
+    /// Records currently buffered across all rings.
+    pub fn len(&self) -> usize {
+        self.rings.iter().map(|r| r.len()).sum()
+    }
+
+    /// True if no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.rings.iter().all(|r| r.is_empty())
+    }
+
+    /// Drain everything (the host snapshot thread's read).
+    pub fn drain(&mut self) -> Vec<FlowRecord> {
+        let mut out = Vec::with_capacity(self.len());
+        for ring in &mut self.rings {
+            out.extend(ring.drain(..));
+        }
+        out
+    }
+
+    /// Drain at most `max` records round-robin across rings (models a
+    /// host thread with a bounded per-wakeup budget).
+    pub fn drain_up_to(&mut self, max: usize) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        'outer: loop {
+            let mut any = false;
+            for ring in &mut self.rings {
+                if let Some(r) = ring.pop_front() {
+                    out.push(r);
+                    any = true;
+                    if out.len() >= max {
+                        break 'outer;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_net::{FlowKey, Ts};
+    use std::net::Ipv4Addr;
+
+    fn rec(i: u32) -> FlowRecord {
+        let key =
+            FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80);
+        FlowRecord::new(key, Ts::ZERO, 64)
+    }
+
+    #[test]
+    fn push_and_drain_preserves_records() {
+        let mut rs = RingSet::new(4, 100);
+        for i in 0..50 {
+            assert!(rs.push(i, rec(i as u32)));
+        }
+        assert_eq!(rs.len(), 50);
+        let drained = rs.drain();
+        assert_eq!(drained.len(), 50);
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn overflow_counts_to_host() {
+        let mut rs = RingSet::new(1, 3);
+        for i in 0..5 {
+            rs.push(0, rec(i));
+        }
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.overflow_to_host, 2);
+        assert_eq!(rs.pushed, 5);
+    }
+
+    #[test]
+    fn rows_spread_over_rings() {
+        let mut rs = RingSet::new(8, 10);
+        for row in 0..8 {
+            rs.push(row, rec(row as u32));
+        }
+        for ring in &rs.rings {
+            assert_eq!(ring.len(), 1);
+        }
+    }
+
+    #[test]
+    fn bounded_drain_respects_budget() {
+        let mut rs = RingSet::new(2, 100);
+        for i in 0..20 {
+            rs.push(i, rec(i as u32));
+        }
+        let batch = rs.drain_up_to(7);
+        assert_eq!(batch.len(), 7);
+        assert_eq!(rs.len(), 13);
+        let rest = rs.drain_up_to(1000);
+        assert_eq!(rest.len(), 13);
+    }
+}

@@ -1,0 +1,377 @@
+//! Authentication-abuse generators: SSH / FTP bruteforcing, expiring SSL
+//! certificates, and Kerberos ticket monitoring traffic.
+//!
+//! These four attacks share a shape — repeated short application sessions
+//! whose outcome must be inferred from connection dynamics (the paper's
+//! Table 1: "SSH connections are encrypted; the detector requires the
+//! conn-attempt outcome, determined heuristically using protocol state
+//! transitions and traffic volume"). The generators therefore encode
+//! failure/success purely in session *shape*: failed authentications are
+//! short sessions with few bytes that the client immediately retries;
+//! successes run long.
+//!
+//! For SSL and Kerberos, the application-level artefact (certificate /
+//! ticket) is modelled as a payload digest on the server's first data
+//! segment plus an out-of-band registry mapping digest → metadata,
+//! standing in for the certificate store a real Zeek deployment consults.
+
+use crate::session::{tcp_session, HandshakeOutcome, SessionSpec, Teardown};
+use crate::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartwatch_net::{AttackKind, Dur, Label, Packet, Ts};
+use std::net::Ipv4Addr;
+
+/// Configuration for an SSH or FTP bruteforce campaign.
+#[derive(Clone, Debug)]
+pub struct BruteforceConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Service under attack: 22 for SSH, 21 for FTP.
+    pub service_port: u16,
+    /// The login server being guessed at.
+    pub server: Ipv4Addr,
+    /// Number of attacking source addresses (distributed bruteforce).
+    pub attackers: u32,
+    /// Failed attempts per attacker.
+    pub attempts_per_attacker: u32,
+    /// Mean gap between one attacker's successive attempts.
+    pub attempt_gap: Dur,
+    /// Campaign start time.
+    pub start: Ts,
+    /// Whether the final attempt of attacker 0 succeeds (credential found).
+    pub final_success: bool,
+    /// Offset into the attacker address pool (lets several campaigns in
+    /// one experiment use disjoint sources).
+    pub source_base: u32,
+}
+
+impl BruteforceConfig {
+    /// SSH defaults: 4 attackers × 8 attempts, 20 s gaps.
+    pub fn ssh(server: Ipv4Addr, start: Ts, seed: u64) -> BruteforceConfig {
+        BruteforceConfig {
+            seed,
+            service_port: 22,
+            server,
+            attackers: 4,
+            attempts_per_attacker: 8,
+            attempt_gap: Dur::from_secs(20),
+            start,
+            final_success: false,
+            source_base: 0,
+        }
+    }
+
+    /// FTP defaults.
+    pub fn ftp(server: Ipv4Addr, start: Ts, seed: u64) -> BruteforceConfig {
+        BruteforceConfig { service_port: 21, ..BruteforceConfig::ssh(server, start, seed) }
+    }
+}
+
+/// Generate a bruteforce campaign trace.
+///
+/// Failed attempts: established connection, a handful of small segments in
+/// each direction (banner + auth exchange), then server-side teardown with
+/// little data — the signature the Zeek heuristic keys on. A successful
+/// attempt (if configured) runs long with significant server→client volume.
+pub fn bruteforce(cfg: &BruteforceConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let kind = if cfg.service_port == 21 {
+        AttackKind::FtpBruteforce
+    } else {
+        AttackKind::SshBruteforce
+    };
+    let mut packets: Vec<Packet> = Vec::new();
+    for a in 0..cfg.attackers {
+        let src = super::attacker_ip(cfg.source_base + a);
+        let mut t = cfg.start + Dur::from_millis(rng.gen_range(0..500));
+        for attempt in 0..cfg.attempts_per_attacker {
+            let is_last = a == 0 && attempt + 1 == cfg.attempts_per_attacker;
+            let success = is_last && cfg.final_success;
+            let spec = SessionSpec {
+                client: (src, rng.gen_range(32768..61000)),
+                server: (cfg.server, cfg.service_port),
+                start: t,
+                rtt: Dur::from_micros(rng.gen_range(200..2_000)),
+                outcome: HandshakeOutcome::Established,
+                // Failure: 3 small exchanges (banner, kex, rejected auth).
+                // Success: long interactive session.
+                c2s_data_pkts: if success { 120 } else { 3 },
+                s2c_data_pkts: if success { 160 } else { 3 },
+                c2s_payload: 96,
+                s2c_payload: if success { 512 } else { 112 },
+                mean_gap: if success { Dur::from_millis(40) } else { Dur::from_millis(8) },
+                teardown: Teardown::Fin,
+                label: Label::attack(kind, a),
+                s2c_digest: 0,
+                c2s_digest: 0,
+            };
+            packets.extend(tcp_session(&mut rng, &spec));
+            let gap = cfg.attempt_gap.as_nanos().max(1);
+            t += Dur::from_nanos(rng.gen_range(gap / 2..gap * 3 / 2));
+        }
+    }
+    Trace::from_packets(packets)
+}
+
+/// Generate `n` *benign* sessions to the same service (successful logins),
+/// for measuring false positives and the whitelist path.
+pub fn benign_logins(
+    server: Ipv4Addr,
+    service_port: u16,
+    n: u32,
+    start: Ts,
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::new();
+    for i in 0..n {
+        let spec = SessionSpec {
+            client: (crate::background::client_ip(rng.gen_range(0..10_000)), 33000 + i as u16),
+            server: (server, service_port),
+            start: start + Dur::from_millis(rng.gen_range(0..(20 + n as u64 * 50))),
+            rtt: Dur::from_micros(400),
+            outcome: HandshakeOutcome::Established,
+            c2s_data_pkts: 40,
+            s2c_data_pkts: 60,
+            c2s_payload: 128,
+            s2c_payload: 700,
+            mean_gap: Dur::from_millis(25),
+            teardown: Teardown::Fin,
+            label: Label::Benign,
+            s2c_digest: 0,
+            c2s_digest: 0,
+        };
+        packets.extend(tcp_session(&mut rng, &spec));
+    }
+    Trace::from_packets(packets)
+}
+
+/// Metadata registry entry produced alongside TLS / Kerberos traffic:
+/// maps a payload digest to the virtual expiry time of the certificate or
+/// ticket it stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArtefactInfo {
+    /// Digest stamped on the wire (server's first data segments).
+    pub digest: u64,
+    /// When the certificate/ticket expires, in virtual time.
+    pub expires_at: Ts,
+}
+
+/// Configuration for TLS traffic with (some) expiring certificates.
+#[derive(Clone, Debug)]
+pub struct TlsConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of TLS sessions.
+    pub sessions: u32,
+    /// Fraction of sessions presenting a certificate that expires within
+    /// the alert horizon.
+    pub expiring_fraction: f64,
+    /// Sessions start uniformly in this window.
+    pub window: Dur,
+    /// "Now" for expiry computation; healthy certs expire long after,
+    /// expiring certs shortly after.
+    pub now: Ts,
+    /// Expiry alert horizon (Zeek's default notion: certs expiring within
+    /// ~30 days). Expiring certs land inside this horizon.
+    pub horizon: Dur,
+}
+
+/// Generate TLS sessions plus the certificate registry.
+///
+/// Returns the trace and the registry of every certificate observed, so the
+/// host analyzer can resolve digests exactly like Zeek resolves parsed
+/// certificates.
+pub fn tls_with_certs(cfg: &TlsConfig) -> (Trace, Vec<ArtefactInfo>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut packets = Vec::new();
+    let mut registry = Vec::new();
+    for i in 0..cfg.sessions {
+        let expiring = rng.gen::<f64>() < cfg.expiring_fraction;
+        // Digest namespace: high bit set distinguishes certs from tickets.
+        let digest = 0x8000_0000_0000_0000u64 | u64::from(i);
+        let expires_at = if expiring {
+            cfg.now + Dur::from_nanos(rng.gen_range(1..cfg.horizon.as_nanos().max(2)))
+        } else {
+            cfg.now + cfg.horizon + Dur::from_secs(rng.gen_range(86_400..864_000))
+        };
+        registry.push(ArtefactInfo { digest, expires_at });
+        let label = if expiring {
+            Label::attack(AttackKind::ExpiringSslCert, i)
+        } else {
+            Label::Benign
+        };
+        let spec = SessionSpec {
+            client: (crate::background::client_ip(rng.gen_range(0..20_000)), 40000 + (i % 20000) as u16),
+            server: (super::victim_ip(rng.gen_range(0..100)), 443),
+            start: cfg.now + Dur::from_nanos(rng.gen_range(0..cfg.window.as_nanos().max(1))),
+            rtt: Dur::from_micros(500),
+            outcome: HandshakeOutcome::Established,
+            c2s_data_pkts: 6,
+            s2c_data_pkts: 10,
+            c2s_payload: 300,
+            s2c_payload: 1200,
+            mean_gap: Dur::from_millis(2),
+            teardown: Teardown::Fin,
+            label,
+            s2c_digest: digest,
+            c2s_digest: 0,
+        };
+        packets.extend(tcp_session(&mut rng, &spec));
+    }
+    (Trace::from_packets(packets), registry)
+}
+
+/// Configuration for Kerberos ticket traffic.
+#[derive(Clone, Debug)]
+pub struct KerberosConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of ticket requests.
+    pub requests: u32,
+    /// Fraction of tickets with suspicious properties (e.g. abnormally long
+    /// lifetime — golden-ticket style) that the monitor should flag.
+    pub suspicious_fraction: f64,
+    /// Requests start uniformly in this window.
+    pub window: Dur,
+    /// "Now" for lifetime computation.
+    pub now: Ts,
+    /// Maximum legitimate ticket lifetime (Kerberos default: 10 h).
+    pub max_lifetime: Dur,
+}
+
+/// Generate Kerberos (port 88) ticket traffic plus the ticket registry.
+/// Suspicious tickets carry lifetimes beyond `max_lifetime`.
+pub fn kerberos_tickets(cfg: &KerberosConfig) -> (Trace, Vec<ArtefactInfo>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut packets = Vec::new();
+    let mut registry = Vec::new();
+    let kdc = super::victim_ip(7);
+    for i in 0..cfg.requests {
+        let suspicious = rng.gen::<f64>() < cfg.suspicious_fraction;
+        let digest = 0x4000_0000_0000_0000u64 | u64::from(i);
+        let issued = cfg.now + Dur::from_nanos(rng.gen_range(0..cfg.window.as_nanos().max(1)));
+        let lifetime = if suspicious {
+            cfg.max_lifetime.mul(rng.gen_range(5..50))
+        } else {
+            Dur::from_secs(rng.gen_range(3_600..cfg.max_lifetime.as_secs().max(3_601)))
+        };
+        registry.push(ArtefactInfo { digest, expires_at: issued + lifetime });
+        let label = if suspicious {
+            Label::attack(AttackKind::KerberosTicket, i)
+        } else {
+            Label::Benign
+        };
+        let spec = SessionSpec {
+            client: (crate::background::client_ip(rng.gen_range(0..5_000)), 45000 + (i % 15000) as u16),
+            server: (kdc, 88),
+            start: issued,
+            rtt: Dur::from_micros(300),
+            outcome: HandshakeOutcome::Established,
+            c2s_data_pkts: 2,
+            s2c_data_pkts: 2,
+            c2s_payload: 256,
+            s2c_payload: 1100,
+            mean_gap: Dur::from_millis(1),
+            teardown: Teardown::Fin,
+            label,
+            s2c_digest: digest,
+            c2s_digest: 0,
+        };
+        packets.extend(tcp_session(&mut rng, &spec));
+    }
+    (Trace::from_packets(packets), registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bruteforce_emits_many_short_sessions() {
+        let cfg = BruteforceConfig::ssh(super::super::victim_ip(0), Ts::ZERO, 5);
+        let t = bruteforce(&cfg);
+        let flows = t.labelled_flows(AttackKind::SshBruteforce);
+        assert_eq!(flows.len() as u32, cfg.attackers * cfg.attempts_per_attacker);
+        // Every packet targets the SSH port.
+        assert!(t.iter().all(|p| p.key.dst_port == 22 || p.key.src_port == 22));
+    }
+
+    #[test]
+    fn ftp_variant_labels_differently() {
+        let cfg = BruteforceConfig::ftp(super::super::victim_ip(0), Ts::ZERO, 5);
+        let t = bruteforce(&cfg);
+        assert!(!t.labelled_flows(AttackKind::FtpBruteforce).is_empty());
+        assert!(t.labelled_flows(AttackKind::SshBruteforce).is_empty());
+    }
+
+    #[test]
+    fn success_session_is_much_longer() {
+        let mut cfg = BruteforceConfig::ssh(super::super::victim_ip(0), Ts::ZERO, 5);
+        cfg.final_success = true;
+        cfg.attackers = 1;
+        let t = bruteforce(&cfg);
+        let mut per_flow = std::collections::HashMap::new();
+        for p in t.iter() {
+            *per_flow.entry(p.key.canonical().0).or_insert(0u32) += 1;
+        }
+        let max = per_flow.values().copied().max().unwrap();
+        let min = per_flow.values().copied().min().unwrap();
+        assert!(max > min * 10, "success ({max}) should dwarf failures ({min})");
+    }
+
+    #[test]
+    fn tls_registry_covers_all_sessions() {
+        let cfg = TlsConfig {
+            seed: 3,
+            sessions: 50,
+            expiring_fraction: 0.3,
+            window: Dur::from_secs(10),
+            now: Ts::from_secs(100),
+            horizon: Dur::from_secs(30 * 86_400),
+        };
+        let (t, reg) = tls_with_certs(&cfg);
+        assert_eq!(reg.len(), 50);
+        // Expiring certs expire within the horizon; healthy ones beyond it.
+        let expiring: Vec<_> = reg
+            .iter()
+            .filter(|a| a.expires_at < cfg.now + cfg.horizon)
+            .collect();
+        assert!(!expiring.is_empty());
+        assert!(!t.labelled_flows(AttackKind::ExpiringSslCert).is_empty());
+        // Digests present on the wire.
+        let wire: std::collections::HashSet<u64> =
+            t.iter().map(|p| p.payload_digest).filter(|d| *d != 0).collect();
+        for a in &reg {
+            assert!(wire.contains(&a.digest));
+        }
+    }
+
+    #[test]
+    fn kerberos_suspicious_lifetimes_exceed_max() {
+        let cfg = KerberosConfig {
+            seed: 4,
+            requests: 60,
+            suspicious_fraction: 0.25,
+            window: Dur::from_secs(5),
+            now: Ts::from_secs(0),
+            max_lifetime: Dur::from_secs(36_000),
+        };
+        let (t, reg) = kerberos_tickets(&cfg);
+        let suspicious = t.labelled_flows(AttackKind::KerberosTicket).len();
+        assert!(suspicious > 0);
+        let long: usize = reg
+            .iter()
+            .filter(|a| a.expires_at.as_secs() > cfg.window.as_secs() + 36_000)
+            .count();
+        assert!(long >= suspicious, "every suspicious ticket has a long lifetime");
+    }
+
+    #[test]
+    fn benign_logins_unlabelled() {
+        let t = benign_logins(super::super::victim_ip(0), 22, 5, Ts::ZERO, 1);
+        assert_eq!(t.attack_fraction(), 0.0);
+        assert!(t.len() > 100);
+    }
+}

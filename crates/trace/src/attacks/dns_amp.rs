@@ -1,0 +1,128 @@
+//! DNS amplification generator (paper §5.1.3 "Similar Attacks").
+//!
+//! The attacker sends small DNS queries with the victim's spoofed source
+//! address to open resolvers; the resolvers send large responses to the
+//! victim. The detection signal is the amplification factor
+//! `sizeof(response) / sizeof(request)` per (client, resolver) pair.
+
+use crate::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartwatch_net::{packet, AttackKind, Dur, Label, Packet, Ts};
+use std::net::Ipv4Addr;
+
+/// DNS-amplification campaign configuration.
+#[derive(Clone, Debug)]
+pub struct DnsAmpConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// The spoofed victim receiving the amplified responses.
+    pub victim: Ipv4Addr,
+    /// Number of open resolvers abused.
+    pub resolvers: u32,
+    /// Queries sent per resolver.
+    pub queries_per_resolver: u32,
+    /// Request payload size (typical ANY query ≈ 60–80 B).
+    pub request_len: u16,
+    /// Response payload size (amplified; ≈ 10–50× the request).
+    pub response_len: u16,
+    /// Mean gap between queries.
+    pub query_gap: Dur,
+    /// Campaign start.
+    pub start: Ts,
+}
+
+impl DnsAmpConfig {
+    /// Defaults giving a ~23× amplification factor.
+    pub fn new(victim: Ipv4Addr, start: Ts, seed: u64) -> DnsAmpConfig {
+        DnsAmpConfig {
+            seed,
+            victim,
+            resolvers: 16,
+            queries_per_resolver: 40,
+            request_len: 64,
+            response_len: 1_460,
+            query_gap: Dur::from_millis(5),
+            start,
+        }
+    }
+}
+
+/// Generate the amplification trace: spoofed queries plus their amplified
+/// responses. Both directions carry the attack label (the victim-bound
+/// responses are the damage; the spoofed queries are the cause).
+pub fn dns_amplification(cfg: &DnsAmpConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut t = cfg.start;
+    for q in 0..cfg.queries_per_resolver {
+        for r in 0..cfg.resolvers {
+            let resolver = super::victim_ip(1000 + r);
+            let sport = 1024 + ((q * 7919 + r) % 60000) as u16;
+            // Spoofed query: source claims to be the victim.
+            let mut req = packet::udp(cfg.victim, sport, resolver, 53, t, cfg.request_len);
+            req.label = Label::attack(AttackKind::DnsAmplification, r);
+            packets.push(req);
+            // Amplified response to the victim.
+            let mut resp = packet::udp(
+                resolver,
+                53,
+                cfg.victim,
+                sport,
+                t + Dur::from_micros(rng.gen_range(200..2_000)),
+                cfg.response_len,
+            );
+            resp.label = Label::attack(AttackKind::DnsAmplification, r);
+            packets.push(resp);
+        }
+        t += Dur::from_nanos(rng.gen_range(
+            cfg.query_gap.as_nanos().max(2) / 2..cfg.query_gap.as_nanos().max(2) * 3 / 2,
+        ));
+    }
+    Trace::from_packets(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DnsAmpConfig {
+        DnsAmpConfig::new(Ipv4Addr::new(10, 0, 0, 99), Ts::ZERO, 13)
+    }
+
+    #[test]
+    fn amplification_factor_is_large() {
+        let c = cfg();
+        let t = dns_amplification(&c);
+        let req_bytes: u64 = t
+            .iter()
+            .filter(|p| p.key.dst_port == 53)
+            .map(|p| u64::from(p.payload_len))
+            .sum();
+        let resp_bytes: u64 = t
+            .iter()
+            .filter(|p| p.key.src_port == 53)
+            .map(|p| u64::from(p.payload_len))
+            .sum();
+        let factor = resp_bytes as f64 / req_bytes as f64;
+        assert!(factor > 10.0, "amplification factor {factor}");
+    }
+
+    #[test]
+    fn responses_target_the_victim() {
+        let c = cfg();
+        let t = dns_amplification(&c);
+        assert!(t
+            .iter()
+            .filter(|p| p.key.src_port == 53)
+            .all(|p| p.key.dst_ip == c.victim));
+    }
+
+    #[test]
+    fn expected_packet_count() {
+        let c = cfg();
+        let t = dns_amplification(&c);
+        assert_eq!(t.len() as u32, 2 * c.resolvers * c.queries_per_resolver);
+        assert!((t.attack_fraction() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Stealthy port-scan generator (the paper's NMAP stand-in).
+//!
+//! A scanner probes (address, port) pairs across the victim pool with a
+//! configurable mean delay between probes — the paper sweeps this delay
+//! from 5 ms to 300 s ("paranoid" scanning) in Fig. 8c. Probe outcomes
+//! follow the Jung et al. model the detector is built on: open ports answer
+//! SYN/ACK, closed ports answer RST, filtered ports stay silent.
+//!
+//! Also provides the TCP-incomplete-flows generator (same mechanics, no
+//! scanning intent needed for that table row: SYNs that never lead to data).
+
+use crate::session::{tcp_session, HandshakeOutcome, SessionSpec, Teardown};
+use crate::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartwatch_net::{AttackKind, Dur, Label, Packet, Ts};
+
+/// Port-scan campaign configuration.
+#[derive(Clone, Debug)]
+pub struct ScanConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Scanner index (selects the attacker source address).
+    pub scanner: u32,
+    /// Number of probes to send.
+    pub probes: u32,
+    /// Mean delay between successive probes (the Fig. 8c x-axis).
+    pub scan_delay: Dur,
+    /// Number of distinct victim hosts swept.
+    pub victims: u32,
+    /// Ports probed per victim (drawn from the well-known range).
+    pub ports_per_victim: u16,
+    /// Probability a probed port is open (answers SYN/ACK).
+    pub open_prob: f64,
+    /// Probability a probed port is filtered (no answer); the rest are
+    /// closed (RST).
+    pub filtered_prob: f64,
+    /// Campaign start.
+    pub start: Ts,
+}
+
+impl ScanConfig {
+    /// A light horizontal scan with the given probe delay.
+    pub fn with_delay(scan_delay: Dur, probes: u32, seed: u64) -> ScanConfig {
+        ScanConfig {
+            seed,
+            scanner: 0,
+            probes,
+            scan_delay,
+            victims: 64,
+            ports_per_victim: 256,
+            open_prob: 0.05,
+            filtered_prob: 0.25,
+            start: Ts::ZERO,
+        }
+    }
+}
+
+/// Generate the scan trace. Each probe is a short connection attempt; open
+/// ports complete the handshake and are immediately torn down by the
+/// scanner (RST), as NMAP's connect scan does.
+pub fn portscan(cfg: &ScanConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let src = super::attacker_ip(cfg.scanner);
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut t = cfg.start;
+    for i in 0..cfg.probes {
+        let victim = super::victim_ip(rng.gen_range(0..cfg.victims.max(1)));
+        let port = 1 + (rng.gen_range(0..cfg.ports_per_victim.max(1)) * 37) % 1024;
+        let roll: f64 = rng.gen();
+        let outcome = if roll < cfg.open_prob {
+            HandshakeOutcome::Established
+        } else if roll < cfg.open_prob + cfg.filtered_prob {
+            HandshakeOutcome::NoResponse
+        } else {
+            HandshakeOutcome::Refused
+        };
+        let spec = SessionSpec {
+            client: (src, 20000 + (i % 40000) as u16),
+            server: (victim, port),
+            start: t,
+            rtt: Dur::from_micros(rng.gen_range(150..1_500)),
+            outcome,
+            c2s_data_pkts: 0,
+            s2c_data_pkts: 0,
+            c2s_payload: 0,
+            s2c_payload: 0,
+            mean_gap: Dur::from_micros(10),
+            teardown: if outcome == HandshakeOutcome::Established {
+                Teardown::Rst
+            } else {
+                Teardown::None
+            },
+            label: Label::attack(AttackKind::StealthyPortScan, cfg.scanner),
+            s2c_digest: 0,
+            c2s_digest: 0,
+        };
+        packets.extend(tcp_session(&mut rng, &spec));
+        let mean = cfg.scan_delay.as_nanos().max(1);
+        t += Dur::from_nanos(rng.gen_range(mean / 2..mean * 3 / 2));
+    }
+    Trace::from_packets(packets)
+}
+
+/// TCP-incomplete-flows generator: `n` connection attempts that reach at
+/// most SYN/SYN-ACK and never carry data (Table 2's "TCP Incomplete Flows").
+pub fn incomplete_flows(n: u32, start: Ts, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut t = start;
+    for i in 0..n {
+        let spec = SessionSpec {
+            client: (super::attacker_ip(100 + (i % 4)), 25000 + (i % 30000) as u16),
+            server: (super::victim_ip(rng.gen_range(0..64)), 80),
+            start: t,
+            rtt: Dur::from_micros(400),
+            // Half get a SYN/ACK back then stall (established but no data);
+            // half get nothing.
+            outcome: if i % 2 == 0 {
+                HandshakeOutcome::Established
+            } else {
+                HandshakeOutcome::NoResponse
+            },
+            c2s_data_pkts: 0,
+            s2c_data_pkts: 0,
+            c2s_payload: 0,
+            s2c_payload: 0,
+            mean_gap: Dur::from_micros(10),
+            teardown: Teardown::None,
+            label: Label::attack(AttackKind::TcpIncompleteFlows, i % 4),
+            s2c_digest: 0,
+            c2s_digest: 0,
+        };
+        packets.extend(tcp_session(&mut rng, &spec));
+        t += Dur::from_millis(rng.gen_range(5..200));
+    }
+    Trace::from_packets(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_count_matches() {
+        let cfg = ScanConfig::with_delay(Dur::from_millis(10), 100, 9);
+        let t = portscan(&cfg);
+        let syns = t.iter().filter(|p| p.flags.is_syn_only()).count();
+        assert_eq!(syns, 100);
+    }
+
+    #[test]
+    fn outcome_mix_present() {
+        let cfg = ScanConfig {
+            open_prob: 0.3,
+            filtered_prob: 0.3,
+            ..ScanConfig::with_delay(Dur::from_millis(1), 300, 10)
+        };
+        let t = portscan(&cfg);
+        assert!(t.iter().any(|p| p.flags.is_syn_ack()), "some opens");
+        assert!(t.iter().any(|p| p.flags.rst() && p.key.src_port < 1025), "some refusals");
+    }
+
+    #[test]
+    fn scan_delay_stretches_campaign() {
+        let fast = portscan(&ScanConfig::with_delay(Dur::from_millis(5), 50, 1));
+        let slow = portscan(&ScanConfig::with_delay(Dur::from_secs(1), 50, 1));
+        assert!(slow.duration().as_nanos() > fast.duration().as_nanos() * 20);
+    }
+
+    #[test]
+    fn all_probes_from_one_scanner() {
+        let t = portscan(&ScanConfig::with_delay(Dur::from_millis(1), 40, 2));
+        let scanner = super::super::attacker_ip(0);
+        assert!(t
+            .iter()
+            .filter(|p| p.flags.is_syn_only())
+            .all(|p| p.key.src_ip == scanner));
+    }
+
+    #[test]
+    fn incomplete_flows_have_no_data() {
+        let t = incomplete_flows(30, Ts::ZERO, 3);
+        assert!(t.iter().all(|p| p.payload_len == 0));
+        assert!(!t.labelled_flows(AttackKind::TcpIncompleteFlows).is_empty());
+        // No FINs: flows are abandoned.
+        assert!(t.iter().all(|p| !p.flags.fin()));
+    }
+}

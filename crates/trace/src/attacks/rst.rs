@@ -1,0 +1,205 @@
+//! In-sequence forged TCP RST injection (paper §5.1.2).
+//!
+//! The attacker observes a live connection and injects a RST whose sequence
+//! number is in-window, attempting to tear the connection down. The
+//! detection signal (Weaver/Sommer/Paxson) is the *race condition*: if the
+//! RST was forged, genuine in-flight data from the real endpoint arrives
+//! shortly after the RST with overlapping sequence space — something that
+//! essentially never happens for an endpoint-generated RST.
+//!
+//! The generator builds victim sessions and injects forged RSTs mid-stream,
+//! placing a genuine data segment `race_gap` after each forged RST. It also
+//! emits *genuine* RST terminations (no data afterwards) so false-positive
+//! behaviour is measurable.
+
+use crate::session::{tcp_session, HandshakeOutcome, SessionSpec, Teardown};
+use crate::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartwatch_net::{AttackKind, Dur, Label, Packet, PacketBuilder, TcpFlags, Ts};
+
+/// Forged-RST campaign configuration.
+#[derive(Clone, Debug)]
+pub struct ForgedRstConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of victim connections attacked with a forged RST.
+    pub forged_victims: u32,
+    /// Number of connections that end with a *genuine* RST (controls).
+    pub genuine_rsts: u32,
+    /// Gap between the forged RST and the racing genuine data packet.
+    /// Must be below the detector's buffering horizon T (2 s in the paper)
+    /// for the attack to be detectable.
+    pub race_gap: Dur,
+    /// Fraction of genuine RSTs that are retransmitted (TCP endpoints
+    /// commonly re-send RSTs); these exercise the detector's
+    /// duplicate-scan slow path.
+    pub rst_retransmit_fraction: f64,
+    /// Campaign start.
+    pub start: Ts,
+}
+
+impl Default for ForgedRstConfig {
+    fn default() -> Self {
+        ForgedRstConfig {
+            seed: 0,
+            forged_victims: 20,
+            genuine_rsts: 20,
+            race_gap: Dur::from_millis(30),
+            rst_retransmit_fraction: 0.3,
+            start: Ts::ZERO,
+        }
+    }
+}
+
+/// Generate the forged-RST trace.
+pub fn forged_rst(cfg: &ForgedRstConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut t = cfg.start;
+
+    for v in 0..cfg.forged_victims {
+        let client = (crate::background::client_ip(rng.gen_range(0..5_000)), 41000 + (v % 20000) as u16);
+        let server = (super::victim_ip(rng.gen_range(0..64)), 443);
+        // Victim session: established, moderate data, *no* teardown yet.
+        let spec = SessionSpec {
+            client,
+            server,
+            start: t,
+            rtt: Dur::from_micros(500),
+            outcome: HandshakeOutcome::Established,
+            c2s_data_pkts: 6,
+            s2c_data_pkts: 6,
+            c2s_payload: 400,
+            s2c_payload: 900,
+            mean_gap: Dur::from_millis(2),
+            teardown: Teardown::None,
+            label: Label::Benign,
+            s2c_digest: 0,
+            c2s_digest: 0,
+        };
+        let mut session = tcp_session(&mut rng, &spec);
+        let last = *session.last().expect("session has packets");
+
+        // Forged RST, spoofed as coming from the *server* towards the
+        // client, using the server's current (in-window) sequence number.
+        let s2c_key = session
+            .iter()
+            .find(|p| p.key.src_port == 443)
+            .expect("server sent packets")
+            .key;
+        let server_seq = session
+            .iter()
+            .filter(|p| p.key.src_port == 443)
+            .map(|p| p.seq_end())
+            .last()
+            .unwrap_or(0);
+        let rst_ts = last.ts + Dur::from_millis(1);
+        session.push(
+            PacketBuilder::new(s2c_key, rst_ts)
+                .flags(TcpFlags::RST)
+                .seq(server_seq)
+                .label(Label::attack(AttackKind::ForgedTcpRst, v))
+                .build(),
+        );
+
+        // The race: genuine server data arrives race_gap later, proving the
+        // server did not actually reset.
+        session.push(
+            PacketBuilder::new(s2c_key, rst_ts + cfg.race_gap)
+                .flags(TcpFlags::PSH | TcpFlags::ACK)
+                .seq(server_seq)
+                .ack(last.ack)
+                .payload(600)
+                .label(Label::Benign)
+                .build(),
+        );
+        packets.extend(session);
+        t += Dur::from_millis(rng.gen_range(20..200));
+    }
+
+    // Control population: sessions legitimately terminated by RST; no data
+    // follows, so the detector must release these unflagged.
+    for _ in 0..cfg.genuine_rsts {
+        let spec = SessionSpec {
+            client: (crate::background::client_ip(rng.gen_range(0..5_000)), rng.gen_range(30000..60000)),
+            server: (super::victim_ip(rng.gen_range(0..64)), 80),
+            start: t,
+            rtt: Dur::from_micros(500),
+            outcome: HandshakeOutcome::Established,
+            c2s_data_pkts: 4,
+            s2c_data_pkts: 4,
+            c2s_payload: 300,
+            s2c_payload: 800,
+            mean_gap: Dur::from_millis(2),
+            teardown: Teardown::Rst,
+            label: Label::Benign,
+            s2c_digest: 0,
+            c2s_digest: 0,
+        };
+        let mut session = tcp_session(&mut rng, &spec);
+        if rng.gen::<f64>() < cfg.rst_retransmit_fraction {
+            // Endpoint retransmits its RST (no ACK ever comes back).
+            let last = *session.last().expect("session has packets");
+            debug_assert!(last.flags.rst());
+            session.push(Packet { ts: last.ts + Dur::from_millis(40), ..last });
+        }
+        packets.extend(session);
+        t += Dur::from_millis(rng.gen_range(20..200));
+    }
+
+    Trace::from_packets(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forged_rsts_are_labelled_and_raced() {
+        let cfg = ForgedRstConfig { forged_victims: 5, genuine_rsts: 0, ..Default::default() };
+        let t = forged_rst(&cfg);
+        let forged: Vec<&Packet> = t
+            .iter()
+            .filter(|p| p.label.kind() == Some(AttackKind::ForgedTcpRst))
+            .collect();
+        assert_eq!(forged.len(), 5);
+        assert!(forged.iter().all(|p| p.flags.rst()));
+        // Each forged RST is followed by genuine data on the same flow.
+        for r in forged {
+            let follow = t.iter().any(|p| {
+                p.key == r.key
+                    && p.payload_len > 0
+                    && p.ts > r.ts
+                    && (p.ts - r.ts) <= cfg.race_gap + Dur::from_millis(1)
+            });
+            assert!(follow, "no racing data after forged RST");
+        }
+    }
+
+    #[test]
+    fn genuine_rsts_have_no_following_data() {
+        let cfg = ForgedRstConfig {
+            forged_victims: 0,
+            genuine_rsts: 5,
+            rst_retransmit_fraction: 0.0,
+            ..Default::default()
+        };
+        let t = forged_rst(&cfg);
+        let rsts: Vec<&Packet> = t.iter().filter(|p| p.flags.rst()).collect();
+        assert_eq!(rsts.len(), 5);
+        for r in &rsts {
+            assert!(r.label.is_benign());
+            let follow =
+                t.iter().any(|p| p.key.canonical().0 == r.key.canonical().0 && p.ts > r.ts);
+            assert!(!follow, "genuine RST must end its flow");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = forged_rst(&Default::default());
+        let b = forged_rst(&Default::default());
+        assert_eq!(a.packets(), b.packets());
+    }
+}

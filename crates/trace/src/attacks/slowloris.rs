@@ -1,0 +1,129 @@
+//! Slowloris generator (paper §2.1.2's motivating example).
+//!
+//! The attacker opens a very large number of HTTP connections to one web
+//! server and keeps each alive by trickling tiny request fragments, never
+//! completing a request. The coarse-grained indicator is *many connections,
+//! few bytes* per source prefix; the fine-grained indicator is *stalling
+//! flows* (request duration above ~10 s).
+
+use crate::session::{tcp_session, HandshakeOutcome, SessionSpec, Teardown};
+use crate::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartwatch_net::{AttackKind, Dur, Label, Packet, Ts};
+use std::net::Ipv4Addr;
+
+/// Slowloris campaign configuration.
+#[derive(Clone, Debug)]
+pub struct SlowlorisConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// The web server under attack.
+    pub target: Ipv4Addr,
+    /// Number of attacking source addresses.
+    pub attackers: u32,
+    /// Connections opened per attacker.
+    pub conns_per_attacker: u32,
+    /// Tiny fragments trickled per connection.
+    pub fragments: u32,
+    /// Gap between fragments — the "stall"; must exceed the detector's
+    /// stall threshold (10 s in Zeek's http-stalling policy).
+    pub fragment_gap: Dur,
+    /// Campaign start.
+    pub start: Ts,
+}
+
+impl SlowlorisConfig {
+    /// Paper-flavoured defaults: 8 sources × 32 connections each, 4-second
+    /// trickle gaps (request duration ≫ 10 s).
+    pub fn new(target: Ipv4Addr, start: Ts, seed: u64) -> SlowlorisConfig {
+        SlowlorisConfig {
+            seed,
+            target,
+            attackers: 8,
+            conns_per_attacker: 32,
+            fragments: 6,
+            fragment_gap: Dur::from_secs(4),
+            start,
+        }
+    }
+}
+
+/// Generate the Slowloris trace: many concurrent connections, each sending
+/// a few 20–40 byte fragments separated by long gaps, never finished.
+pub fn slowloris(cfg: &SlowlorisConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut packets: Vec<Packet> = Vec::new();
+    for a in 0..cfg.attackers {
+        let src = super::attacker_ip(a);
+        for c in 0..cfg.conns_per_attacker {
+            let spec = SessionSpec {
+                client: (src, 10000 + (a * cfg.conns_per_attacker + c) as u16),
+                server: (cfg.target, 80),
+                start: cfg.start + Dur::from_millis(rng.gen_range(0..3_000)),
+                rtt: Dur::from_micros(800),
+                outcome: HandshakeOutcome::Established,
+                c2s_data_pkts: cfg.fragments,
+                s2c_data_pkts: 0,
+                c2s_payload: rng.gen_range(20..40),
+                s2c_payload: 0,
+                mean_gap: cfg.fragment_gap,
+                teardown: Teardown::None,
+                label: Label::attack(AttackKind::Slowloris, a),
+                s2c_digest: 0,
+                c2s_digest: 0,
+            };
+            packets.extend(tcp_session(&mut rng, &spec));
+        }
+    }
+    Trace::from_packets(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SlowlorisConfig {
+        SlowlorisConfig::new(super::super::victim_ip(1), Ts::ZERO, 6)
+    }
+
+    #[test]
+    fn connection_count() {
+        let c = cfg();
+        let t = slowloris(&c);
+        let flows = t.labelled_flows(AttackKind::Slowloris);
+        assert_eq!(flows.len() as u32, c.attackers * c.conns_per_attacker);
+    }
+
+    #[test]
+    fn flows_stall_beyond_threshold() {
+        let t = slowloris(&cfg());
+        // Per-flow duration should exceed 10 s (Zeek's stall threshold).
+        let mut span: std::collections::HashMap<_, (Ts, Ts)> = Default::default();
+        for p in t.iter() {
+            let e = span.entry(p.key.canonical().0).or_insert((p.ts, p.ts));
+            e.1 = p.ts;
+        }
+        let stalled = span.values().filter(|(a, b)| (*b - *a) > Dur::from_secs(10)).count();
+        assert!(
+            stalled * 10 >= span.len() * 9,
+            "{} of {} flows stalled",
+            stalled,
+            span.len()
+        );
+    }
+
+    #[test]
+    fn low_volume_per_connection() {
+        let t = slowloris(&cfg());
+        let bytes_per_conn =
+            t.total_bytes() as f64 / (cfg().attackers * cfg().conns_per_attacker) as f64;
+        assert!(bytes_per_conn < 1_500.0, "slowloris conns must be tiny: {bytes_per_conn}");
+    }
+
+    #[test]
+    fn never_finishes() {
+        let t = slowloris(&cfg());
+        assert!(t.iter().all(|p| !p.flags.fin() && !p.flags.rst()));
+    }
+}

@@ -1,0 +1,141 @@
+//! Worm-propagation generator (EarlyBird-style detection target).
+//!
+//! A worm spreads by sending its (invariant) payload to randomly chosen
+//! targets; newly infected hosts join the scanning. The EarlyBird signal is
+//! content prevalence × address dispersion: the *same payload digest* seen
+//! from a growing set of sources towards a growing set of destinations.
+//! Our packets carry a 64-bit payload digest, which is exactly the
+//! fingerprint EarlyBird hashes.
+
+use crate::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartwatch_net::{AttackKind, Dur, FlowKey, Label, Packet, PacketBuilder, TcpFlags, Ts};
+
+/// Worm outbreak configuration.
+#[derive(Clone, Debug)]
+pub struct WormConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// The worm's payload digest (its content signature).
+    pub signature: u64,
+    /// Initially infected hosts.
+    pub patient_zeros: u32,
+    /// Probes each infected host sends per second.
+    pub probe_rate: f64,
+    /// Probability a probe infects its target (target is vulnerable and
+    /// not yet infected).
+    pub infect_prob: f64,
+    /// Size of the scanned address pool.
+    pub address_pool: u32,
+    /// Outbreak duration.
+    pub duration: Dur,
+    /// Outbreak start.
+    pub start: Ts,
+}
+
+impl WormConfig {
+    /// Defaults giving visible exponential growth within a few seconds.
+    pub fn new(seed: u64) -> WormConfig {
+        WormConfig {
+            seed,
+            signature: 0x5EED_0F00_D1CE_0001,
+            patient_zeros: 2,
+            probe_rate: 20.0,
+            infect_prob: 0.05,
+            address_pool: 4_000,
+            duration: Dur::from_secs(10),
+            start: Ts::ZERO,
+        }
+    }
+}
+
+/// Generate the outbreak trace. Probes are single TCP SYN+payload packets
+/// (the classic single-packet worm model); every probe carries the worm's
+/// signature digest.
+pub fn worm_outbreak(cfg: &WormConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut infected: Vec<u32> = (0..cfg.patient_zeros).collect();
+    let mut is_infected = vec![false; cfg.address_pool as usize];
+    for &i in &infected {
+        is_infected[i as usize] = true;
+    }
+    let mut packets: Vec<Packet> = Vec::new();
+    let step = Dur::from_millis(50);
+    let steps = (cfg.duration.as_nanos() / step.as_nanos().max(1)).max(1);
+    let mut t = cfg.start;
+
+    for _ in 0..steps {
+        let probes_this_step =
+            (infected.len() as f64 * cfg.probe_rate * step.as_secs_f64()).ceil() as u32;
+        for _ in 0..probes_this_step {
+            let src_idx = infected[rng.gen_range(0..infected.len())];
+            let dst_idx = rng.gen_range(0..cfg.address_pool);
+            let src = super::attacker_ip(src_idx);
+            let dst = super::attacker_ip(dst_idx);
+            let key = FlowKey::tcp(src, rng.gen_range(30000..60000), dst, 445);
+            packets.push(
+                PacketBuilder::new(key, t + Dur::from_micros(rng.gen_range(0..50_000)))
+                    .flags(TcpFlags::SYN)
+                    .payload(376)
+                    .payload_digest(cfg.signature)
+                    .label(Label::attack(AttackKind::Worm, src_idx))
+                    .build(),
+            );
+            if !is_infected[dst_idx as usize] && rng.gen::<f64>() < cfg.infect_prob {
+                is_infected[dst_idx as usize] = true;
+                infected.push(dst_idx);
+            }
+        }
+        t += step;
+    }
+    Trace::from_packets(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WormConfig {
+        WormConfig { signature: 0xDEAD_BEEF_0BAD_F00D, ..WormConfig::new(31) }
+    }
+
+    #[test]
+    fn outbreak_grows() {
+        let t = worm_outbreak(&cfg());
+        // Count distinct sources in the first and last quarter of the trace.
+        let d = t.duration();
+        let q = Dur::from_nanos(d.as_nanos() / 4);
+        let t0 = t.packets().first().unwrap().ts;
+        let srcs = |lo: Ts, hi: Ts| {
+            let mut s: Vec<_> = t
+                .iter()
+                .filter(|p| p.ts >= lo && p.ts < hi)
+                .map(|p| p.key.src_ip)
+                .collect();
+            s.sort();
+            s.dedup();
+            s.len()
+        };
+        let early = srcs(t0, t0 + q);
+        let late = srcs(t0 + q + q + q, t0 + d + Dur::from_secs(1));
+        assert!(late > early * 2, "infection should spread: early={early} late={late}");
+    }
+
+    #[test]
+    fn all_probes_share_signature() {
+        let c = cfg();
+        let t = worm_outbreak(&c);
+        assert!(t.iter().all(|p| p.payload_digest == c.signature));
+        assert!(t.len() > 100);
+    }
+
+    #[test]
+    fn address_dispersion_is_high() {
+        let t = worm_outbreak(&cfg());
+        let mut dsts: Vec<_> = t.iter().map(|p| p.key.dst_ip).collect();
+        dsts.sort();
+        dsts.dedup();
+        assert!(dsts.len() > 200, "worm should scan many targets: {}", dsts.len());
+    }
+}

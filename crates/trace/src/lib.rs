@@ -1,0 +1,249 @@
+//! # smartwatch-trace
+//!
+//! Synthetic workload substrate replacing the paper's proprietary traces.
+//!
+//! The paper evaluates against CAIDA passive traces (2015–2019), a
+//! University of Wisconsin data-center trace, Zeek's attack test traces and
+//! NMAP-generated scans, none of which are redistributable. This crate
+//! regenerates statistically equivalent workloads from scratch:
+//!
+//! - [`background`] — heavy-tailed background traffic with per-"year"
+//!   presets (the three properties the paper's FlowCache design keys on:
+//!   elephant-dominated packet counts, many colliding mice, bursty elephant
+//!   arrivals).
+//! - [`attacks`] — one generator per attack in Tables 2/4, each stamping
+//!   ground-truth [`smartwatch_net::Label`]s.
+//! - [`Trace`] — the container, with the editcap/mergecap/tcprewrite
+//!   equivalents used by the paper's methodology: timestamp shifting,
+//!   merging, 64-byte truncation and replay speed-up.
+//!
+//! Everything is deterministic under a caller-provided seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod background;
+pub mod dist;
+pub mod session;
+
+use smartwatch_net::{Dur, Label, Packet, Ts};
+
+/// An ordered sequence of packets with generation metadata.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    packets: Vec<Packet>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Build from packets, sorting by timestamp (stable, so equal-timestamp
+    /// packets keep generation order).
+    pub fn from_packets(mut packets: Vec<Packet>) -> Trace {
+        packets.sort_by_key(|p| p.ts);
+        Trace { packets }
+    }
+
+    /// The packets, in non-decreasing timestamp order.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Consume the trace, returning its packets.
+    pub fn into_packets(self) -> Vec<Packet> {
+        self.packets
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the trace has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterate over packets.
+    pub fn iter(&self) -> std::slice::Iter<'_, Packet> {
+        self.packets.iter()
+    }
+
+    /// Trace duration: last timestamp minus first (zero for < 2 packets).
+    pub fn duration(&self) -> Dur {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.ts - a.ts,
+            _ => Dur::ZERO,
+        }
+    }
+
+    /// Total bytes on the wire.
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| u64::from(p.wire_len)).sum()
+    }
+
+    /// Average offered rate in packets per second over the trace duration.
+    pub fn mean_pps(&self) -> f64 {
+        let d = self.duration().as_secs_f64();
+        if d == 0.0 {
+            0.0
+        } else {
+            self.len() as f64 / d
+        }
+    }
+
+    /// Fraction of packets carrying an attack label.
+    pub fn attack_fraction(&self) -> f64 {
+        if self.packets.is_empty() {
+            return 0.0;
+        }
+        let n = self.packets.iter().filter(|p| !p.label.is_benign()).count();
+        n as f64 / self.packets.len() as f64
+    }
+
+    /// `editcap`-equivalent: shift every timestamp by `delta_ns` (signed),
+    /// clamping at the time origin.
+    pub fn time_shifted(&self, delta_ns: i64) -> Trace {
+        Trace { packets: self.packets.iter().map(|p| p.time_shifted(delta_ns)).collect() }
+    }
+
+    /// `mergecap`-equivalent: merge any number of traces into one
+    /// timestamp-ordered trace.
+    pub fn merge<I: IntoIterator<Item = Trace>>(traces: I) -> Trace {
+        let mut all: Vec<Packet> = Vec::new();
+        for t in traces {
+            all.extend(t.packets);
+        }
+        Trace::from_packets(all)
+    }
+
+    /// `tcprewrite`-equivalent: truncate every packet to a 64-byte frame
+    /// (the paper's worst-case stress-test transform).
+    pub fn truncated_64b(&self) -> Trace {
+        Trace { packets: self.packets.iter().map(|p| p.truncated()).collect() }
+    }
+
+    /// Replay speed-up: compress inter-arrival gaps by `factor` (the paper
+    /// replays the Wisconsin trace at 10× and sweeps CAIDA arrival rates by
+    /// speeding the trace up). Timestamps scale around the first packet.
+    pub fn speed_up(&self, factor: f64) -> Trace {
+        assert!(factor > 0.0);
+        let origin = self.packets.first().map(|p| p.ts).unwrap_or(Ts::ZERO);
+        Trace {
+            packets: self
+                .packets
+                .iter()
+                .map(|p| {
+                    let rel = (p.ts - origin).as_nanos() as f64 / factor;
+                    Packet { ts: origin + Dur::from_nanos(rel as u64), ..*p }
+                })
+                .collect(),
+        }
+    }
+
+    /// Keep only the first `n` packets (cheap way to size experiments).
+    pub fn take(&self, n: usize) -> Trace {
+        Trace { packets: self.packets.iter().take(n).copied().collect() }
+    }
+
+    /// Ground-truth attack flows: the set of canonical flow keys whose
+    /// packets carry the given label kind.
+    pub fn labelled_flows(&self, kind: smartwatch_net::AttackKind) -> Vec<smartwatch_net::FlowKey> {
+        let mut keys: Vec<_> = self
+            .packets
+            .iter()
+            .filter(|p| p.label.kind() == Some(kind))
+            .map(|p| p.key.canonical().0)
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// All labels present in the trace with packet counts, most common first.
+    pub fn label_histogram(&self) -> Vec<(Label, usize)> {
+        let mut map = std::collections::HashMap::new();
+        for p in &self.packets {
+            *map.entry(p.label).or_insert(0usize) += 1;
+        }
+        let mut v: Vec<_> = map.into_iter().collect();
+        v.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        v
+    }
+}
+
+impl FromIterator<Packet> for Trace {
+    fn from_iter<I: IntoIterator<Item = Packet>>(iter: I) -> Trace {
+        Trace::from_packets(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Packet;
+    type IntoIter = std::slice::Iter<'a, Packet>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_net::{FlowKey, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn pkt(ts_us: u64) -> Packet {
+        let key = FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2);
+        PacketBuilder::new(key, Ts::from_micros(ts_us)).build()
+    }
+
+    #[test]
+    fn from_packets_sorts() {
+        let t = Trace::from_packets(vec![pkt(30), pkt(10), pkt(20)]);
+        let ts: Vec<u64> = t.iter().map(|p| p.ts.as_micros()).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_interleaves() {
+        let a = Trace::from_packets(vec![pkt(10), pkt(30)]);
+        let b = Trace::from_packets(vec![pkt(20), pkt(40)]);
+        let m = Trace::merge([a, b]);
+        let ts: Vec<u64> = m.iter().map(|p| p.ts.as_micros()).collect();
+        assert_eq!(ts, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn duration_and_rate() {
+        let t = Trace::from_packets(vec![pkt(0), pkt(1_000_000)]);
+        assert_eq!(t.duration(), Dur::from_secs(1));
+        assert!((t.mean_pps() - 2.0).abs() < 1e-9);
+        assert_eq!(Trace::new().duration(), Dur::ZERO);
+    }
+
+    #[test]
+    fn speed_up_compresses_gaps() {
+        let t = Trace::from_packets(vec![pkt(100), pkt(300)]);
+        let f = t.speed_up(2.0);
+        assert_eq!(f.packets()[0].ts.as_micros(), 100); // origin preserved
+        assert_eq!(f.packets()[1].ts.as_micros(), 200); // gap halved
+    }
+
+    #[test]
+    fn shift_clamps_at_zero() {
+        let t = Trace::from_packets(vec![pkt(5)]).time_shifted(-10_000_000);
+        assert_eq!(t.packets()[0].ts, Ts::ZERO);
+    }
+
+    #[test]
+    fn truncation_applies_to_all() {
+        let key = FlowKey::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2);
+        let big = PacketBuilder::new(key, Ts::ZERO).payload(1000).build();
+        let t = Trace::from_packets(vec![big]).truncated_64b();
+        assert!(t.iter().all(|p| p.wire_len == 64));
+    }
+}

@@ -1,0 +1,73 @@
+//! Forged TCP RST prevention (paper §5.1.2).
+//!
+//! An attacker injects in-sequence RSTs to tear down victim connections.
+//! SmartWatch buffers suspect RSTs in a host timing wheel for T = 2 s
+//! instead of delivering them; genuine data racing a buffered RST proves
+//! the forgery, and the RST is discarded — the connection survives. A
+//! Bloom filter keeps the common case (first RST for a flow) off the
+//! expensive wheel-scan path.
+//!
+//! ```sh
+//! cargo run --release --example forged_rst
+//! ```
+
+use smartwatch::detect::rst::{ForgedRstDetector, RstEvent};
+use smartwatch::net::Dur;
+use smartwatch::trace::attacks::rst::{forged_rst, ForgedRstConfig};
+use smartwatch::trace::background::{preset_trace, Preset};
+use smartwatch::trace::Trace;
+
+fn main() {
+    let cfg = ForgedRstConfig {
+        seed: 7,
+        forged_victims: 30,
+        genuine_rsts: 60,
+        race_gap: Dur::from_millis(25),
+        rst_retransmit_fraction: 0.3,
+        start: smartwatch::net::Ts::from_millis(100),
+    };
+    let trace = Trace::merge([
+        preset_trace(Preset::Caida2018, 500, Dur::from_secs(5), 7),
+        forged_rst(&cfg),
+    ]);
+    println!(
+        "workload: {} packets, {} forged RSTs among {} genuine teardowns\n",
+        trace.len(),
+        cfg.forged_victims,
+        cfg.genuine_rsts
+    );
+
+    let mut det = ForgedRstDetector::paper_default();
+    let (mut forged, mut dups, mut released) = (0u32, 0u32, 0u32);
+    for p in trace.iter() {
+        for ev in det.on_packet(p) {
+            match ev {
+                RstEvent::ForgedDetected(a) => {
+                    forged += 1;
+                    if forged <= 3 {
+                        println!("forged RST blocked: {}", a.detail);
+                    }
+                }
+                RstEvent::DuplicateRst(_) => dups += 1,
+                RstEvent::Released(_) => released += 1,
+                _ => {}
+            }
+        }
+    }
+    for ev in det.finish(trace.packets().last().unwrap().ts) {
+        if matches!(ev, RstEvent::Released(_)) {
+            released += 1;
+        }
+    }
+
+    println!("\nresults:");
+    println!("  forged RSTs caught & dropped : {forged}/{}", cfg.forged_victims);
+    println!("  duplicate RSTs flagged       : {dups}");
+    println!("  genuine RSTs released        : {released}");
+    println!(
+        "  Bloom fast path              : {:.1}% of RSTs (paper: 69.7%)",
+        det.fast_path as f64 / (det.fast_path + det.slow_path).max(1) as f64 * 100.0
+    );
+    println!("\nThis is prevention, not just detection: a forged RST never");
+    println!("reaches its victim, while genuine resets only gain T of delay.");
+}

@@ -1,0 +1,54 @@
+//! SSH bruteforce end-to-end (paper §5.1.1 / Fig. 8a scenario).
+//!
+//! A distributed password-guessing campaign hides in web-heavy background
+//! traffic. The switch's coarse query ("SSH connection attempts per /8
+//! above threshold") steers the SSH subset to the sNIC; the sNIC pins
+//! those flows and escalates them to the host's Zeek-style analyzer until
+//! each session's authentication outcome is known; failures feed the
+//! per-source ψ counter. Successful logins get whitelisted on the switch
+//! so their remaining packets skip the monitoring detour entirely.
+//!
+//! ```sh
+//! cargo run --release --example ssh_bruteforce
+//! ```
+
+use smartwatch::core::platform::{standard_queries, PlatformConfig, SmartWatch};
+use smartwatch::core::{detection_rate, DeployMode, GroundTruth};
+use smartwatch::net::{AttackKind, Dur, Ts};
+use smartwatch::trace::attacks::auth::{benign_logins, bruteforce, BruteforceConfig};
+use smartwatch::trace::background::{preset_trace, Preset};
+use smartwatch::trace::Trace;
+
+fn main() {
+    let server = smartwatch::trace::attacks::victim_ip(0);
+    let background = preset_trace(Preset::Caida2018, 800, Dur::from_secs(8), 21);
+    let mut campaign = BruteforceConfig::ssh(server, Ts::from_millis(200), 21);
+    campaign.attempt_gap = Dur::from_millis(400);
+    let attack = bruteforce(&campaign);
+    let benign = benign_logins(server, 22, 20, Ts::from_millis(100), 21);
+    let trace = Trace::merge([background, attack, benign]);
+    let truth = GroundTruth::from_packets(trace.packets());
+
+    println!("workload: {} packets, {} bruteforce sessions + 20 benign logins\n",
+        trace.len(),
+        campaign.attackers * campaign.attempts_per_attacker);
+
+    for mode in [DeployMode::HostOnly, DeployMode::SmartWatch] {
+        let rep = SmartWatch::new(PlatformConfig::new(mode), standard_queries())
+            .run(trace.packets());
+        let rate = detection_rate(&rep, &truth, AttackKind::SshBruteforce).unwrap_or(0.0);
+        println!("{}:", mode.name());
+        println!("  detection rate      : {:.0}%", rate * 100.0);
+        println!("  mean monitor latency: {:.1} µs", rep.metrics.mean_latency_ns() / 1e3);
+        println!("  host-processed pkts : {} ({:.2}% of monitored)",
+            rep.metrics.host_processed,
+            rep.metrics.host_processed as f64 / rep.metrics.monitored.max(1) as f64 * 100.0);
+        if mode == DeployMode::SmartWatch {
+            println!("  whitelist entries   : {}", rep.whitelist_entries);
+            println!("  blacklist drops     : {}", rep.metrics.dropped);
+        }
+        println!();
+    }
+    println!("SmartWatch matches host-side detection while most packets");
+    println!("never leave the fast path — the paper's 72% latency saving.");
+}
