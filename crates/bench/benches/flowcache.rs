@@ -16,9 +16,17 @@ fn bench_flowcache(c: &mut Criterion) {
     let mut g = c.benchmark_group("flowcache_process");
     g.throughput(Throughput::Elements(pkts.len() as u64));
     for (name, cfg, mode) in [
-        ("general_4_8", FlowCacheConfig::split(12, 4, 8, CachePolicy::LRU_LPC), Mode::General),
+        (
+            "general_4_8",
+            FlowCacheConfig::split(12, 4, 8, CachePolicy::LRU_LPC),
+            Mode::General,
+        ),
         ("lite_2_0", FlowCacheConfig::general(12), Mode::Lite),
-        ("flat_lru_12", FlowCacheConfig::flat(12, 12, CachePolicy::LRU), Mode::General),
+        (
+            "flat_lru_12",
+            FlowCacheConfig::flat(12, 12, CachePolicy::LRU),
+            Mode::General,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter_batched(
@@ -64,8 +72,11 @@ fn bench_concurrent_cache(c: &mut Criterion) {
     // real-atomics counterpart of the deterministic DES numbers.
     let pkts = workloads::caida_64b(Preset::Caida2018, 1, 7).into_packets();
     let hasher = FlowHasher::new(0x51CC);
-    let digests: Arc<Vec<u64>> =
-        Arc::new(pkts.iter().map(|p| hasher.hash_symmetric(&p.key).0.max(1)).collect());
+    let digests: Arc<Vec<u64>> = Arc::new(
+        pkts.iter()
+            .map(|p| hasher.hash_symmetric(&p.key).0.max(1))
+            .collect(),
+    );
     let mut g = c.benchmark_group("concurrent_cache");
     for threads in [1usize, 4, 8] {
         g.throughput(Throughput::Elements(digests.len() as u64));

@@ -11,7 +11,11 @@ fn bench_platform(c: &mut Criterion) {
     let mut g = c.benchmark_group("platform_run");
     g.throughput(Throughput::Elements(pkts.len() as u64));
     g.sample_size(10);
-    for mode in [DeployMode::SmartWatch, DeployMode::SnicHost, DeployMode::SwitchHost] {
+    for mode in [
+        DeployMode::SmartWatch,
+        DeployMode::SnicHost,
+        DeployMode::SwitchHost,
+    ] {
         g.bench_function(format!("{mode:?}"), |b| {
             b.iter_batched(
                 || SmartWatch::new(PlatformConfig::new(mode), standard_queries()),

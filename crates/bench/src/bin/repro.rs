@@ -4,16 +4,20 @@
 //! repro all                # every experiment at default scale
 //! repro fig5 table4        # selected experiments
 //! repro all --scale 4      # bigger workloads (slower, tighter shapes)
-//! repro fig10 --json       # machine-readable output
+//! repro fig10 --json       # machine-readable tables
+//! repro fig5 --metrics-json m.json   # dump the metric registry
+//! repro fig5 --trace-out trace.json  # chrome://tracing / Perfetto trace
 //! repro list               # experiment index
 //! ```
 
-use smartwatch_bench::all_experiments;
+use smartwatch_bench::{all_experiments, ExpCtx};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1usize;
     let mut json = false;
+    let mut metrics_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -28,6 +32,20 @@ fn main() {
                 }
             }
             "--json" => json = true,
+            "--metrics-json" => {
+                metrics_json = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--metrics-json needs a path")),
+                );
+            }
+            "--trace-out" => {
+                trace_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace-out needs a path")),
+                );
+            }
             "-h" | "--help" => {
                 usage();
                 return;
@@ -49,12 +67,13 @@ fn main() {
         return;
     }
     let run_all = selected.iter().any(|s| s == "all");
+    let ctx = ExpCtx::new(scale);
     let mut ran = 0;
     for (id, f) in &experiments {
         if run_all || selected.iter().any(|s| s == id) {
-            let table = f(scale);
+            let table = f(&ctx);
             if json {
-                println!("{}", serde_json::to_string_pretty(&table).expect("serializable"));
+                println!("{}", table.to_json());
             } else {
                 println!("{}", table.render());
             }
@@ -66,12 +85,30 @@ fn main() {
             "no experiment matched {selected:?}; try `repro list`"
         ));
     }
+    if let Some(path) = metrics_json {
+        if let Err(e) = std::fs::write(&path, ctx.registry.snapshot().to_json()) {
+            die(&format!("writing {path}: {e}"));
+        }
+        eprintln!("repro: metrics written to {path}");
+    }
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(&path, ctx.tracer.to_chrome_json()) {
+            die(&format!("writing {path}: {e}"));
+        }
+        eprintln!("repro: trace written to {path} (open in chrome://tracing or Perfetto)");
+    }
 }
 
 fn usage() {
     println!(
         "repro — regenerate the SmartWatch paper's tables and figures\n\n\
-         usage: repro <experiment…|all|list> [--scale N] [--json]\n\n\
+         usage: repro <experiment…|all|list> [--scale N] [--json]\n\
+                      [--metrics-json <path>] [--trace-out <path>]\n\n\
+         --json          print tables as JSON instead of aligned text\n\
+         --metrics-json  dump every counter/gauge/histogram the selected\n\
+                         experiments registered (deterministic for a seed)\n\
+         --trace-out     dump the sim-time event trace in chrome-trace\n\
+                         format (load in chrome://tracing or ui.perfetto.dev)\n\n\
          Experiments map 1:1 to the paper's evaluation (see DESIGN.md §3\n\
          and EXPERIMENTS.md for the paper-vs-measured record)."
     );

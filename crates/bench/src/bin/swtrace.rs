@@ -152,14 +152,15 @@ fn cmd_attack(rest: &[String]) -> Result<(), String> {
         "portscan" => {
             let delay = opt(&opts, "delay-ms", 50u64)?;
             let probes = opt(&opts, "probes", 200u32)?;
-            portscan(&ScanConfig::with_delay(Dur::from_millis(delay), probes, seed))
+            portscan(&ScanConfig::with_delay(
+                Dur::from_millis(delay),
+                probes,
+                seed,
+            ))
         }
         "ssh" => {
-            let mut cfg = BruteforceConfig::ssh(
-                smartwatch_trace::attacks::victim_ip(0),
-                Ts::ZERO,
-                seed,
-            );
+            let mut cfg =
+                BruteforceConfig::ssh(smartwatch_trace::attacks::victim_ip(0), Ts::ZERO, seed);
             cfg.attackers = opt(&opts, "attackers", 4u32)?;
             cfg.attempts_per_attacker = opt(&opts, "attempts", 8u32)?;
             bruteforce(&cfg)
@@ -169,8 +170,15 @@ fn cmd_attack(rest: &[String]) -> Result<(), String> {
             Ts::ZERO,
             seed,
         )),
-        "rst" => forged_rst(&ForgedRstConfig { seed, ..Default::default() }),
-        other => return Err(format!("unknown attack {other:?} (portscan|ssh|slowloris|rst)")),
+        "rst" => forged_rst(&ForgedRstConfig {
+            seed,
+            ..Default::default()
+        }),
+        other => {
+            return Err(format!(
+                "unknown attack {other:?} (portscan|ssh|slowloris|rst)"
+            ))
+        }
     };
     save(&trace, &out_path(&opts)?)
 }
@@ -180,8 +188,7 @@ fn cmd_merge(rest: &[String]) -> Result<(), String> {
     if positional.is_empty() {
         return Err("merge needs at least one input pcap".into());
     }
-    let traces: Result<Vec<Trace>, String> =
-        positional.iter().map(|p| load(p)).collect();
+    let traces: Result<Vec<Trace>, String> = positional.iter().map(|p| load(p)).collect();
     let merged = Trace::merge(traces?);
     save(&merged, &out_path(&opts)?)
 }

@@ -4,21 +4,20 @@
 
 use crate::output::{f, pct, Table};
 use crate::workloads;
+use crate::ExpCtx;
 use smartwatch_net::Dur;
 use smartwatch_snic::cuckoo::CuckooTable;
 use smartwatch_snic::des::LatencyDist;
 use smartwatch_snic::hw::{service_time, CycleCosts, NETRONOME_AGILIO_LX};
-use smartwatch_snic::{
-    Access, CachePolicy, FlowCache, FlowCacheConfig, Mode, Outcome,
-};
+use smartwatch_snic::{Access, CachePolicy, FlowCache, FlowCacheConfig, Mode, Outcome};
 use smartwatch_trace::background::Preset;
 
 /// Cuckoo ablation (paper §3.2): the paper measured FlowCache's
 /// 99.9th-percentile latency 2.43× lower than a Cuckoo table with a
 /// 12-relocation budget, because sNIC writes are expensive and Cuckoo
 /// inserts write repeatedly while FlowCache inserts write once.
-pub fn ablation_cuckoo(scale: usize) -> Table {
-    let pkts = workloads::caida_64b(Preset::Caida2018, scale, 2018).into_packets();
+pub fn ablation_cuckoo(ctx: &ExpCtx) -> Table {
+    let pkts = workloads::caida_64b(Preset::Caida2018, ctx.scale, 2018).into_packets();
     let hw = NETRONOME_AGILIO_LX;
     let costs = CycleCosts::default();
 
@@ -53,7 +52,13 @@ pub fn ablation_cuckoo(scale: usize) -> Table {
     let mut t = Table::new(
         "ablation-cuckoo",
         "FlowCache vs Cuckoo hashing at equal memory (service latency)",
-        &["structure", "p50 (µs)", "p99 (µs)", "p99.9 (µs)", "mean (µs)"],
+        &[
+            "structure",
+            "p50 (µs)",
+            "p99 (µs)",
+            "p99.9 (µs)",
+            "mean (µs)",
+        ],
     );
     for (name, d) in [("FlowCache (4,8)", fcd), ("Cuckoo (12 relocations)", ckd)] {
         t.row(vec![
@@ -76,14 +81,19 @@ pub fn ablation_cuckoo(scale: usize) -> Table {
 /// pressure, pinned suspect flows keep exact in-sNIC state while unpinned
 /// ones are exported piecemeal (state fragmentation ⇒ inaccurate
 /// per-packet tracking).
-pub fn ablation_pinning(scale: usize) -> Table {
-    let trace = workloads::caida_64b(Preset::Caida2018, scale, 77);
+pub fn ablation_pinning(ctx: &ExpCtx) -> Table {
+    let trace = workloads::caida_64b(Preset::Caida2018, ctx.scale, 77);
     // Suspect flows: the 32 first flows seen (stand-ins for flows a
     // detector wants tracked per-packet).
     let mut t = Table::new(
         "ablation-pinning",
         "Flow pinning under eviction pressure (tiny cache, flood workload)",
-        &["pinning", "suspects resident", "suspect evictions", "to-host pkts"],
+        &[
+            "pinning",
+            "suspects resident",
+            "suspect evictions",
+            "to-host pkts",
+        ],
     );
     for pin in [true, false] {
         let mut fc = FlowCache::new(FlowCacheConfig::split(4, 2, 2, CachePolicy::LRU_LPC));
@@ -122,7 +132,8 @@ pub fn ablation_pinning(scale: usize) -> Table {
 /// subsets at /8, /16, /24 or /32 — coarser steering diverts more
 /// traffic but tolerates attacker movement; finer steering is cheap but
 /// brittle. (Paper §3.1's Sonata-comparison discussion.)
-pub fn ablation_steer_width(scale: usize) -> Table {
+pub fn ablation_steer_width(ctx: &ExpCtx) -> Table {
+    let scale = ctx.scale;
     use smartwatch_core::deploy::DeployMode;
     use smartwatch_core::eval::{detection_rate, GroundTruth};
     use smartwatch_core::platform::{PlatformConfig, SmartWatch};
@@ -143,15 +154,19 @@ pub fn ablation_steer_width(scale: usize) -> Table {
     let mut t = Table::new(
         "ablation-steer-width",
         "Steering granularity: monitored share vs detection",
-        &["steer width", "steered pkts", "steered share", "scan detected"],
+        &[
+            "steer width",
+            "steered pkts",
+            "steered share",
+            "scan detected",
+        ],
     );
     for width in [8u8, 16, 24, 32] {
         let q = SwitchQuery::scan_probes(width, 12);
         let cfg = PlatformConfig::new(DeployMode::SmartWatch);
         let rep = SmartWatch::new(cfg, vec![q]).run(trace.packets());
-        let detected = detection_rate(&rep, &truth, AttackKind::StealthyPortScan)
-            .unwrap_or(0.0)
-            > 0.0;
+        let detected =
+            detection_rate(&rep, &truth, AttackKind::StealthyPortScan).unwrap_or(0.0) > 0.0;
         t.row(vec![
             format!("/{width}"),
             rep.metrics.snic_processed.to_string(),
@@ -168,8 +183,8 @@ pub fn ablation_steer_width(scale: usize) -> Table {
 /// at ≤14 µs per row with <5 µs packet wait. Measure the modeled extra
 /// latency of packets that performed cleanup during a General→Lite
 /// transition under load.
-pub fn ablation_cleanup(scale: usize) -> Table {
-    let pkts = workloads::caida_64b(Preset::Caida2018, scale, 2018).into_packets();
+pub fn ablation_cleanup(ctx: &ExpCtx) -> Table {
+    let pkts = workloads::caida_64b(Preset::Caida2018, ctx.scale, 2018).into_packets();
     let hw = NETRONOME_AGILIO_LX;
     let costs = CycleCosts::default();
     let mut fc = FlowCache::new(FlowCacheConfig::general(8));
@@ -218,58 +233,43 @@ pub fn ablation_cleanup(scale: usize) -> Table {
     t
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn cuckoo_tail_is_worse() {
-        let t = ablation_cuckoo(1);
-        let fc_p999: f64 = t.rows[0][3].parse().unwrap();
-        let ck_p999: f64 = t.rows[1][3].parse().unwrap();
-        assert!(
-            ck_p999 > fc_p999 * 1.5,
-            "cuckoo tail {ck_p999} vs flowcache {fc_p999}"
-        );
-    }
-
-    #[test]
-    fn pinning_keeps_suspects_resident() {
-        let t = ablation_pinning(1);
-        let pinned: u32 = t.rows[0][1].split('/').next().unwrap().parse().unwrap();
-        let unpinned: u32 = t.rows[1][1].split('/').next().unwrap().parse().unwrap();
-        assert_eq!(pinned, 32, "all pinned suspects must survive");
-        assert!(unpinned < 32, "unpinned suspects should churn out");
-    }
-
-    #[test]
-    fn cleanup_packets_pay_more() {
-        let t = ablation_cleanup(1);
-        let clean_mean: f64 = t.rows[0][2].parse().unwrap();
-        let plain_mean: f64 = t.rows[1][2].parse().unwrap();
-        assert!(clean_mean > plain_mean, "{clean_mean} vs {plain_mean}");
-        // And stays within the paper's per-row bound.
-        assert!(clean_mean - plain_mean < 14.0, "cleanup overhead too large");
-    }
-}
-
 /// Sampling ablation (paper §2.3.2): sampling as NitroSketch does buys
 /// throughput but "would not be able to support flow-state tracking" —
 /// measure both sides of that trade plus the projected 100 G part.
-pub fn ablation_sampling(scale: usize) -> Table {
+pub fn ablation_sampling(ctx: &ExpCtx) -> Table {
     use smartwatch_snic::des::{simulate, DesConfig};
     use smartwatch_snic::hw::NETRONOME_100G;
 
-    let pkts = workloads::caida_64b(Preset::Caida2018, scale, 2018).into_packets();
+    let pkts = workloads::caida_64b(Preset::Caida2018, ctx.scale, 2018).into_packets();
     let mut t = Table::new(
         "ablation-sampling",
         "Sampling vs lossless tracking (64 B stress, 90 Mpps offered)",
-        &["configuration", "achieved Mpps", "pkts in flow log", "coverage"],
+        &[
+            "configuration",
+            "achieved Mpps",
+            "pkts in flow log",
+            "coverage",
+        ],
     );
     for (name, sampling, hw, pmes) in [
-        ("40G, lossless", 1.0f64, smartwatch_snic::NETRONOME_AGILIO_LX, 80u32),
-        ("40G, sample 1/2", 0.5, smartwatch_snic::NETRONOME_AGILIO_LX, 80),
-        ("40G, sample 1/10", 0.1, smartwatch_snic::NETRONOME_AGILIO_LX, 80),
+        (
+            "40G, lossless",
+            1.0f64,
+            smartwatch_snic::NETRONOME_AGILIO_LX,
+            80u32,
+        ),
+        (
+            "40G, sample 1/2",
+            0.5,
+            smartwatch_snic::NETRONOME_AGILIO_LX,
+            80,
+        ),
+        (
+            "40G, sample 1/10",
+            0.1,
+            smartwatch_snic::NETRONOME_AGILIO_LX,
+            80,
+        ),
         ("100G (projected), lossless", 1.0, NETRONOME_100G, 120),
     ] {
         let mut fc = FlowCache::new(FlowCacheConfig::general(12));
@@ -291,4 +291,39 @@ pub fn ablation_sampling(scale: usize) -> Table {
     t.note("sampling raises throughput but punches holes in the flow log — no");
     t.note("per-packet state tracking; the 100G part keeps losslessness instead");
     t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuckoo_tail_is_worse() {
+        let t = ablation_cuckoo(&ExpCtx::new(1));
+        let fc_p999: f64 = t.rows[0][3].parse().unwrap();
+        let ck_p999: f64 = t.rows[1][3].parse().unwrap();
+        assert!(
+            ck_p999 > fc_p999 * 1.5,
+            "cuckoo tail {ck_p999} vs flowcache {fc_p999}"
+        );
+    }
+
+    #[test]
+    fn pinning_keeps_suspects_resident() {
+        let t = ablation_pinning(&ExpCtx::new(1));
+        let pinned: u32 = t.rows[0][1].split('/').next().unwrap().parse().unwrap();
+        let unpinned: u32 = t.rows[1][1].split('/').next().unwrap().parse().unwrap();
+        assert_eq!(pinned, 32, "all pinned suspects must survive");
+        assert!(unpinned < 32, "unpinned suspects should churn out");
+    }
+
+    #[test]
+    fn cleanup_packets_pay_more() {
+        let t = ablation_cleanup(&ExpCtx::new(1));
+        let clean_mean: f64 = t.rows[0][2].parse().unwrap();
+        let plain_mean: f64 = t.rows[1][2].parse().unwrap();
+        assert!(clean_mean > plain_mean, "{clean_mean} vs {plain_mean}");
+        // And stays within the paper's per-row bound.
+        assert!(clean_mean - plain_mean < 14.0, "cleanup overhead too large");
+    }
 }

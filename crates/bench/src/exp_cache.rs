@@ -2,9 +2,10 @@
 
 use crate::output::{f, pct, Table};
 use crate::workloads;
+use crate::ExpCtx;
 use smartwatch_host::HostCostModel;
 use smartwatch_net::Packet;
-use smartwatch_snic::des::{simulate, DesConfig};
+use smartwatch_snic::des::{simulate, simulate_instrumented, DesConfig};
 use smartwatch_snic::hw::ALL_PROFILES;
 use smartwatch_snic::{CachePolicy, FlowCache, FlowCacheConfig, Mode};
 use smartwatch_trace::background::Preset;
@@ -19,18 +20,30 @@ fn stress_trace(scale: usize) -> Vec<Packet> {
 const CONTENDED_ROW_BITS: u32 = 6;
 
 /// Fig. 4b: FlowCache latency distribution, hits vs misses.
-pub fn fig4(scale: usize) -> Table {
-    let pkts = stress_trace(scale);
+pub fn fig4(ctx: &ExpCtx) -> Table {
+    let pkts = stress_trace(ctx.scale);
     let mut fc = FlowCache::new(FlowCacheConfig::general(CONTENDED_ROW_BITS));
+    fc.attach_telemetry(&ctx.registry);
     // Measured below the saturation point so queueing does not swamp the
     // hit/miss service-time structure.
-    let rep = simulate(&mut fc, &pkts, &DesConfig::netronome(25.0e6));
+    let shard = ctx.tracer.shard("fig4");
+    let rep = simulate_instrumented(
+        &mut fc,
+        &pkts,
+        &DesConfig::netronome(25.0e6),
+        Some(&ctx.registry),
+        Some(&shard),
+    );
     let mut t = Table::new(
         "fig4b",
         "FlowCache packet latency distribution (43 Mpps, 64 B)",
         &["class", "p50 (µs)", "p75 (µs)", "p99 (µs)", "mean (µs)"],
     );
-    for (name, l) in [("hit", rep.hit_latency), ("miss", rep.miss_latency), ("all", rep.latency)] {
+    for (name, l) in [
+        ("hit", rep.hit_latency),
+        ("miss", rep.miss_latency),
+        ("all", rep.latency),
+    ] {
         t.row(vec![
             name.into(),
             f(l.p50_ns as f64 / 1e3, 2),
@@ -50,25 +63,64 @@ pub fn fig4(scale: usize) -> Table {
 }
 
 /// Fig. 5: eviction policies — hit/miss rates and latency percentiles.
-pub fn fig5(scale: usize) -> Table {
-    let pkts = stress_trace(scale);
+pub fn fig5(ctx: &ExpCtx) -> Table {
+    let pkts = stress_trace(ctx.scale);
     let rb = CONTENDED_ROW_BITS;
     let configs = [
-        ("LRU (12,0)", FlowCacheConfig::flat(rb, 12, CachePolicy::LRU)),
-        ("LPC (12,0)", FlowCacheConfig::flat(rb, 12, CachePolicy::LPC)),
-        ("FIFO (4,8)", FlowCacheConfig::split(rb, 4, 8, CachePolicy::FIFO)),
-        ("LRU-LPC (4,8)", FlowCacheConfig::split(rb, 4, 8, CachePolicy::LRU_LPC)),
+        (
+            "LRU (12,0)",
+            FlowCacheConfig::flat(rb, 12, CachePolicy::LRU),
+        ),
+        (
+            "LPC (12,0)",
+            FlowCacheConfig::flat(rb, 12, CachePolicy::LPC),
+        ),
+        (
+            "FIFO (4,8)",
+            FlowCacheConfig::split(rb, 4, 8, CachePolicy::FIFO),
+        ),
+        (
+            "LRU-LPC (4,8)",
+            FlowCacheConfig::split(rb, 4, 8, CachePolicy::LRU_LPC),
+        ),
     ];
     let mut t = Table::new(
         "fig5",
         "Eviction policies: hits/misses (5a) and latency (5b)",
-        &["policy", "hit rate", "hits @43Mpps", "miss @43Mpps", "p50 (µs)", "p75 (µs)", "p99 (µs)"],
+        &[
+            "policy",
+            "hit rate",
+            "hits @43Mpps",
+            "miss @43Mpps",
+            "p50 (µs)",
+            "p75 (µs)",
+            "p99 (µs)",
+        ],
     );
     let mut best_hit = ("", 0.0f64);
+    let shard = ctx.tracer.shard("fig5");
+    let mut escalated = 0u64;
+    let mut offered = 0u64;
     for (name, cfg) in configs {
+        let policy = cfg.policy.label();
         let mut fc = FlowCache::new(cfg);
-        let rep = simulate(&mut fc, &pkts, &DesConfig::netronome(43.0e6));
+        fc.attach_telemetry(&ctx.registry);
+        let rep = simulate_instrumented(
+            &mut fc,
+            &pkts,
+            &DesConfig::netronome(43.0e6),
+            Some(&ctx.registry),
+            Some(&shard),
+        );
         let s = fc.stats();
+        // Escalation: the fraction of processed packets this policy
+        // punted to the host (per-policy gauge plus the run-wide one the
+        // control loop publishes when a full platform runs).
+        ctx.registry
+            .gauge("core.escalation_rate", &[("policy", &policy)])
+            .set(s.to_host as f64 / s.processed().max(1) as f64);
+        escalated += s.to_host;
+        offered += s.processed();
         if s.hit_rate() > best_hit.1 {
             best_hit = (name, s.hit_rate());
         }
@@ -85,24 +137,41 @@ pub fn fig5(scale: usize) -> Table {
             f(rep.latency.p99_ns as f64 / 1e3, 2),
         ]);
     }
+    ctx.registry
+        .gauge("core.escalation_rate", &[])
+        .set(escalated as f64 / offered.max(1) as f64);
     t.note("paper Fig. 5: LRU-LPC (4,8) has the highest hit rate and lowest median latency");
-    t.note(format!("highest hit rate here: {} ({:.1}%)", best_hit.0, best_hit.1 * 100.0));
+    t.note(format!(
+        "highest hit rate here: {} ({:.1}%)",
+        best_hit.0,
+        best_hit.1 * 100.0
+    ));
     t
 }
 
 /// Fig. 6a: throughput vs FlowCache memory, General vs Lite geometries.
-pub fn fig6a(scale: usize) -> Table {
-    let pkts = stress_trace(scale);
+pub fn fig6a(ctx: &ExpCtx) -> Table {
+    let pkts = stress_trace(ctx.scale);
     let mut t = Table::new(
         "fig6a",
         "Throughput vs FlowCache memory (achieved Mpps at 60 Mpps offered)",
         &["config", "3 MB", "12 MB", "48 MB", "192 MB"],
     );
     // Memory = 2^row_bits × 12 buckets × 64 B ⇒ row_bits 12,14,16,18.
-    let geometries: [(&str, Box<dyn Fn(u32) -> FlowCacheConfig>); 6] = [
-        ("General (4,8)", Box::new(|rb| FlowCacheConfig::split(rb, 4, 8, CachePolicy::LRU_LPC))),
-        ("General (6,6)", Box::new(|rb| FlowCacheConfig::split(rb, 6, 6, CachePolicy::LRU_LPC))),
-        ("General (8,4)", Box::new(|rb| FlowCacheConfig::split(rb, 8, 4, CachePolicy::LRU_LPC))),
+    type MkConfig = Box<dyn Fn(u32) -> FlowCacheConfig>;
+    let geometries: [(&str, MkConfig); 6] = [
+        (
+            "General (4,8)",
+            Box::new(|rb| FlowCacheConfig::split(rb, 4, 8, CachePolicy::LRU_LPC)),
+        ),
+        (
+            "General (6,6)",
+            Box::new(|rb| FlowCacheConfig::split(rb, 6, 6, CachePolicy::LRU_LPC)),
+        ),
+        (
+            "General (8,4)",
+            Box::new(|rb| FlowCacheConfig::split(rb, 8, 4, CachePolicy::LRU_LPC)),
+        ),
         ("Lite (1,0)", Box::new(|rb| lite_cfg(rb, 1))),
         ("Lite (2,0)", Box::new(|rb| lite_cfg(rb, 2))),
         ("Lite (4,0)", Box::new(|rb| lite_cfg(rb, 4))),
@@ -128,8 +197,13 @@ pub fn fig6a(scale: usize) -> Table {
         }
         t.row(cells);
     }
-    t.note("paper Fig. 6a: Lite (1,0)/(2,0) reach near line-rate (~43 Mpps); General tops out near 30");
-    t.note(format!("Lite(2,0) best {:.1} Mpps vs General(4,8) best {:.1} Mpps", lite2_best, gen48_best));
+    t.note(
+        "paper Fig. 6a: Lite (1,0)/(2,0) reach near line-rate (~43 Mpps); General tops out near 30",
+    );
+    t.note(format!(
+        "Lite(2,0) best {:.1} Mpps vs General(4,8) best {:.1} Mpps",
+        lite2_best, gen48_best
+    ));
     t
 }
 
@@ -141,8 +215,8 @@ fn lite_cfg(row_bits: u32, lite_buckets: usize) -> FlowCacheConfig {
 }
 
 /// Fig. 6b: throughput vs number of PMEs (71–80).
-pub fn fig6b(scale: usize) -> Table {
-    let pkts = stress_trace(scale);
+pub fn fig6b(ctx: &ExpCtx) -> Table {
+    let pkts = stress_trace(ctx.scale);
     let mut t = Table::new(
         "fig6b",
         "Throughput vs #PME (achieved Mpps at 43 Mpps line rate)",
@@ -181,8 +255,8 @@ pub fn fig6b(scale: usize) -> Table {
 
 /// Fig. 7b: host snapshotting CPU time, General vs Lite (driven by the
 /// eviction-rate difference).
-pub fn fig7(scale: usize) -> Table {
-    let pkts = stress_trace(scale);
+pub fn fig7(ctx: &ExpCtx) -> Table {
+    let pkts = stress_trace(ctx.scale);
     let host = HostCostModel::default();
     let mut t = Table::new(
         "fig7b",
@@ -234,12 +308,18 @@ pub fn fig7(scale: usize) -> Table {
 }
 
 /// Table 3: cross-sNIC throughput projection.
-pub fn table3(scale: usize) -> Table {
-    let pkts = stress_trace(scale);
+pub fn table3(ctx: &ExpCtx) -> Table {
+    let pkts = stress_trace(ctx.scale);
     let mut t = Table::new(
         "table3",
         "Cross-sNIC throughput (64 B stress, Lite mode)",
-        &["sNIC", "cores", "clock (GHz)", "achieved Mpps", "paper Mpps"],
+        &[
+            "sNIC",
+            "cores",
+            "clock (GHz)",
+            "achieved Mpps",
+            "paper Mpps",
+        ],
     );
     let paper = [("BlueField", 40.7), ("LiquidIO", 42.2), ("Netronome", 43.0)];
     let mut measured = Vec::new();
@@ -272,15 +352,17 @@ mod tests {
 
     #[test]
     fn fig4_hits_faster_than_misses() {
-        let t = fig4(1);
+        let t = fig4(&ExpCtx::new(1));
         assert!(t.notes.iter().any(|n| n.ends_with("true")), "{:?}", t.notes);
     }
 
     #[test]
     fn fig5_lru_lpc_wins_hit_rate() {
-        let t = fig5(1);
+        let t = fig5(&ExpCtx::new(1));
         assert!(
-            t.notes.iter().any(|n| n.contains("LRU-LPC") || n.contains("LRU (12,0)")),
+            t.notes
+                .iter()
+                .any(|n| n.contains("LRU-LPC") || n.contains("LRU (12,0)")),
             "{:?}",
             t.notes
         );
@@ -288,7 +370,7 @@ mod tests {
 
     #[test]
     fn table3_ordering() {
-        let t = table3(1);
+        let t = table3(&ExpCtx::new(1));
         assert!(t.notes[0].ends_with("true"), "{:?}", t.notes);
     }
 }

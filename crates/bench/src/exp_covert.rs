@@ -2,6 +2,7 @@
 //! memory) and Fig. 9b (website fingerprinting accuracy vs switch SRAM).
 
 use crate::output::{f, pct, Table};
+use crate::ExpCtx;
 use smartwatch_detect::covert::{bimodality, CovertChannelDetector, IpdCollector};
 use smartwatch_detect::wfp::{PldCollector, WfpClassifier};
 use smartwatch_net::{AttackKind, Dur, FlowKey, Label, Ts};
@@ -14,20 +15,30 @@ use std::collections::{HashMap, HashSet};
 /// memory configurations and modulation depths. The paper's ROC family
 /// collapses here to TPR/FPR at a fixed KS threshold per depth, plus the
 /// switch-SRAM cost of each variant.
-pub fn fig9a(scale: usize) -> Table {
+pub fn fig9a(ctx: &ExpCtx) -> Table {
+    let scale = ctx.scale;
     let mut t = Table::new(
         "fig9a",
         "Covert timing-channel detection vs switch memory and modulation depth",
-        &["platform", "SRAM (KB)", "depth 10µs TPR/FPR", "16µs TPR/FPR", "48µs TPR/FPR"],
+        &[
+            "platform",
+            "SRAM (KB)",
+            "depth 10µs TPR/FPR",
+            "16µs TPR/FPR",
+            "48µs TPR/FPR",
+        ],
     );
     // platform → (sram, per-depth (tpr, fpr))
-    let mut results: Vec<(String, usize, Vec<(f64, f64)>)> = Vec::new();
+    type TprFpr = (f64, f64);
+    let mut results: Vec<(String, usize, Vec<TprFpr>)> = Vec::new();
     let depths = [10u64, 16, 48];
     for &depth_us in &depths {
         let cfg = CovertConfig::with_depth(Dur::from_micros(depth_us), (800 * scale) as u32, 0x9A);
         let trace = covert_timing(&cfg);
-        let modulated: HashSet<FlowKey> =
-            trace.labelled_flows(AttackKind::CovertTimingChannel).into_iter().collect();
+        let modulated: HashSet<FlowKey> = trace
+            .labelled_flows(AttackKind::CovertTimingChannel)
+            .into_iter()
+            .collect();
         let n_benign = cfg.flows as usize - modulated.len();
 
         // Benign KS reference, trained offline on known-good flows.
@@ -35,8 +46,7 @@ pub fn fig9a(scale: usize) -> Table {
         for p in trace.iter().filter(|p| p.label.is_benign()).take(120_000) {
             trainer.on_packet(p);
         }
-        let benign_hists: Vec<Vec<u64>> =
-            trainer.readout().into_iter().map(|(_, h)| h).collect();
+        let benign_hists: Vec<Vec<u64>> = trainer.readout().into_iter().map(|(_, h)| h).collect();
         let detector = CovertChannelDetector::train(&benign_hists, 0.25);
 
         let mut score = |name: &str, sram: usize, tp: usize, fp: usize| {
@@ -158,7 +168,8 @@ pub fn fig9a(scale: usize) -> Table {
 }
 
 /// Fig. 9b: website fingerprinting accuracy vs P4Switch SRAM occupancy.
-pub fn fig9b(scale: usize) -> Table {
+pub fn fig9b(ctx: &ExpCtx) -> Table {
+    let scale = ctx.scale;
     let sites = 12u32;
     let train_cfg = WfpConfig::new(sites, (10 * scale) as u32, 0x9B1);
     let test_cfg = WfpConfig::new(sites, (6 * scale) as u32, 0x9B2);
@@ -169,54 +180,59 @@ pub fn fig9b(scale: usize) -> Table {
     // switch only holding the (tiny) steering state.
     // Returns (labelled features, switch SRAM, total labelled loads): loads
     // the structure could not track still count against accuracy.
-    let features = |cfg: &WfpConfig, ql: u8, max_flows: usize| -> (Vec<(usize, Vec<u64>)>, usize, usize) {
-        let trace = page_loads(cfg);
-        let mut site_of: HashMap<FlowKey, usize> = HashMap::new();
-        for p in trace.iter() {
-            if let Label::Attack { kind: AttackKind::WebsiteFingerprint, instance } = p.label {
-                site_of.insert(p.key.canonical().0, instance as usize);
-            }
-        }
-        let total_loads = site_of.len();
-        if ql == 255 {
-            let mut c = PldCollector::new(cfg.proxy_port);
+    let features =
+        |cfg: &WfpConfig, ql: u8, max_flows: usize| -> (Vec<(usize, Vec<u64>)>, usize, usize) {
+            let trace = page_loads(cfg);
+            let mut site_of: HashMap<FlowKey, usize> = HashMap::new();
             for p in trace.iter() {
-                c.on_packet(p);
+                if let Label::Attack {
+                    kind: AttackKind::WebsiteFingerprint,
+                    instance,
+                } = p.label
+                {
+                    site_of.insert(p.key.canonical().0, instance as usize);
+                }
             }
-            let out: Vec<(usize, Vec<u64>)> = c
-                .readout()
-                .into_iter()
-                .filter_map(|(k, f)| site_of.get(&k).map(|s| (*s, f)))
-                .collect();
-            // Switch state: one steer rule + per-flow pre-check registers.
-            (out, 16 + site_of.len() * 16, total_loads)
-        } else {
-            let mut fl = FlowLens::new(Feature::Pld, ql, max_flows);
-            for p in trace.iter() {
-                fl.on_packet(p);
-            }
-            let sram = fl.sram_bytes();
-            let out: Vec<(usize, Vec<u64>)> = fl
-                .readout()
-                .into_iter()
-                .filter_map(|(k, m)| {
-                    site_of.get(&k).map(|s| {
-                        // Re-bin the quantized marker onto the classifier's
-                        // 30×2 feature layout (out-direction unavailable on
-                        // the switch: single histogram doubled).
-                        let mut feat = vec![0u64; 60];
-                        for (i, v) in m.bins.iter().enumerate() {
-                            let len = (i << ql) as u16;
-                            let bin = usize::from(len / 50).min(29);
-                            feat[30 + bin] += u64::from(*v);
-                        }
-                        (*s, feat)
+            let total_loads = site_of.len();
+            if ql == 255 {
+                let mut c = PldCollector::new(cfg.proxy_port);
+                for p in trace.iter() {
+                    c.on_packet(p);
+                }
+                let out: Vec<(usize, Vec<u64>)> = c
+                    .readout()
+                    .into_iter()
+                    .filter_map(|(k, f)| site_of.get(&k).map(|s| (*s, f)))
+                    .collect();
+                // Switch state: one steer rule + per-flow pre-check registers.
+                (out, 16 + site_of.len() * 16, total_loads)
+            } else {
+                let mut fl = FlowLens::new(Feature::Pld, ql, max_flows);
+                for p in trace.iter() {
+                    fl.on_packet(p);
+                }
+                let sram = fl.sram_bytes();
+                let out: Vec<(usize, Vec<u64>)> = fl
+                    .readout()
+                    .into_iter()
+                    .filter_map(|(k, m)| {
+                        site_of.get(&k).map(|s| {
+                            // Re-bin the quantized marker onto the classifier's
+                            // 30×2 feature layout (out-direction unavailable on
+                            // the switch: single histogram doubled).
+                            let mut feat = vec![0u64; 60];
+                            for (i, v) in m.bins.iter().enumerate() {
+                                let len = (i << ql) as u16;
+                                let bin = usize::from(len / 50).min(29);
+                                feat[30 + bin] += u64::from(*v);
+                            }
+                            (*s, feat)
+                        })
                     })
-                })
-                .collect();
-            (out, sram, total_loads)
-        }
-    };
+                    .collect();
+                (out, sram, total_loads)
+            }
+        };
 
     let mut t = Table::new(
         "fig9b",
@@ -258,7 +274,7 @@ mod tests {
 
     #[test]
     fn fig9a_smartwatch_uses_less_sram_with_comparable_tpr() {
-        let t = fig9a(1);
+        let t = fig9a(&ExpCtx::new(1));
         let find = |name: &str| {
             t.rows
                 .iter()
@@ -284,7 +300,7 @@ mod tests {
 
     #[test]
     fn fig9b_smartwatch_accuracy_with_tiny_switch_state() {
-        let t = fig9b(1);
+        let t = fig9b(&ExpCtx::new(1));
         let sw_acc: f64 = t.rows[0][3].trim_end_matches('%').parse().unwrap();
         let starved_acc: f64 = t.rows[3][3].trim_end_matches('%').parse().unwrap();
         assert!(sw_acc > 70.0, "SmartWatch accuracy {sw_acc}");

@@ -4,6 +4,7 @@
 
 use crate::output::{f, pct, Table};
 use crate::workloads;
+use crate::ExpCtx;
 use smartwatch_core::deploy::DeployMode;
 use smartwatch_core::eval::{detection_rate, GroundTruth};
 use smartwatch_core::platform::{standard_queries, PlatformConfig, SmartWatch};
@@ -16,7 +17,8 @@ use smartwatch_trace::background::{preset_trace, Preset};
 use smartwatch_trace::Trace;
 
 /// Fig. 8a: SSH packet processing latency, SmartWatch vs baseline Zeek.
-pub fn fig8a(scale: usize) -> Table {
+pub fn fig8a(ctx: &ExpCtx) -> Table {
+    let scale = ctx.scale;
     let server = smartwatch_trace::attacks::victim_ip(0);
     let bg = preset_trace(Preset::Caida2018, 400 * scale, Dur::from_secs(6), 0x8A);
     let mut campaign = BruteforceConfig::ssh(server, Ts::from_millis(300), 0x8A);
@@ -28,12 +30,21 @@ pub fn fig8a(scale: usize) -> Table {
     let mut t = Table::new(
         "fig8a",
         "SSH session handling: SmartWatch vs host-based Zeek",
-        &["deployment", "mean latency (µs)", "host pkts", "whitelisted flows"],
+        &[
+            "deployment",
+            "mean latency (µs)",
+            "host pkts",
+            "whitelisted flows",
+        ],
     );
     let mut latencies = Vec::new();
-    for mode in [DeployMode::SmartWatch, DeployMode::SnicHost, DeployMode::HostOnly] {
-        let rep = SmartWatch::new(PlatformConfig::new(mode), standard_queries())
-            .run(trace.packets());
+    for mode in [
+        DeployMode::SmartWatch,
+        DeployMode::SnicHost,
+        DeployMode::HostOnly,
+    ] {
+        let rep =
+            SmartWatch::new(PlatformConfig::new(mode), standard_queries()).run(trace.packets());
         latencies.push(rep.metrics.mean_latency_ns());
         t.row(vec![
             mode.name().into(),
@@ -57,7 +68,8 @@ pub fn fig8a(scale: usize) -> Table {
 
 /// Fig. 8b: forged-RST buffering — Bloom fast-path share and wheel cost
 /// as the horizon T grows.
-pub fn fig8b(scale: usize) -> Table {
+pub fn fig8b(ctx: &ExpCtx) -> Table {
+    let scale = ctx.scale;
     let mut t = Table::new(
         "fig8b",
         "RST buffering: fast-path share and buffered population vs T",
@@ -102,7 +114,8 @@ pub fn fig8b(scale: usize) -> Table {
 
 /// Fig. 8c: port-scan detection rate vs scan delay, SmartWatch vs
 /// standalone P4Switch.
-pub fn fig8c(scale: usize) -> Table {
+pub fn fig8c(ctx: &ExpCtx) -> Table {
+    let scale = ctx.scale;
     let mut t = Table::new(
         "fig8c",
         "Port-scan detection rate vs scan delay",
@@ -131,8 +144,8 @@ pub fn fig8c(scale: usize) -> Table {
         let trace = Trace::merge([bg, scan]);
         let truth = GroundTruth::from_packets(trace.packets());
         let rate = |mode| {
-            let rep = SmartWatch::new(PlatformConfig::new(mode), standard_queries())
-                .run(trace.packets());
+            let rep =
+                SmartWatch::new(PlatformConfig::new(mode), standard_queries()).run(trace.packets());
             detection_rate(&rep, &truth, AttackKind::StealthyPortScan).unwrap_or(0.0)
         };
         let sw = rate(DeployMode::SmartWatch);
@@ -156,7 +169,8 @@ pub fn fig8c(scale: usize) -> Table {
 /// FlowCache cycles come from the calibrated per-access cost model over
 /// the run's actual hit/miss mix; each detector's cycles come from its
 /// measured data-path operation count at a fixed per-operation cost.
-pub fn table2(scale: usize) -> Table {
+pub fn table2(ctx: &ExpCtx) -> Table {
+    let scale = ctx.scale;
     use smartwatch_core::suite::DetectorSuite;
     use smartwatch_host::ArtefactRegistry;
     use smartwatch_snic::hw::CycleCosts;
@@ -172,8 +186,8 @@ pub fn table2(scale: usize) -> Table {
             ArtefactRegistry::from_pairs(tickets.iter().map(|a| (a.digest, a.expires_at))),
             Dur::from_secs(36_000),
         );
-    let mut sw = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
-        .with_suite(suite);
+    let mut sw =
+        SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).with_suite(suite);
     for p in trace.packets() {
         sw.on_packet(p);
     }
@@ -209,9 +223,7 @@ pub fn table2(scale: usize) -> Table {
     // packets it actually tracks.
     const CHECK_CYCLES: f64 = 12.0;
     const STATE_CYCLES: f64 = 140.0;
-    let det = |state_ops: u64| {
-        ops.total as f64 * CHECK_CYCLES + state_ops as f64 * STATE_CYCLES
-    };
+    let det = |state_ops: u64| ops.total as f64 * CHECK_CYCLES + state_ops as f64 * STATE_CYCLES;
     let rows: Vec<(&str, f64, f64)> = vec![
         // (name, cycles, host-processed share of this detector's packets)
         ("Zeek SSH Bruteforcing", det(ops.auth / 2), 0.45),
@@ -221,7 +233,11 @@ pub fn table2(scale: usize) -> Table {
         ("Stealthy Port Scan + TCP Incomplete", det(ops.scan), 0.0),
         ("DNS Amplification", det(ops.dns), 0.0),
         ("EarlyBird Detection Worms", det(ops.worm), 0.0),
-        ("Slowloris (offline, flow logs)", ops.total as f64 * CHECK_CYCLES, 0.0),
+        (
+            "Slowloris (offline, flow logs)",
+            ops.total as f64 * CHECK_CYCLES,
+            0.0,
+        ),
     ];
     let total_cycles: f64 = cache_cycles + rows.iter().map(|(_, c, _)| c).sum::<f64>();
     let host_pct = m.host_fraction() * 100.0;
@@ -261,7 +277,8 @@ pub fn table2(scale: usize) -> Table {
 }
 
 /// Table 4: detection rate relative to host, Sonata vs SmartWatch.
-pub fn table4(scale: usize) -> Table {
+pub fn table4(ctx: &ExpCtx) -> Table {
+    let scale = ctx.scale;
     use smartwatch_core::suite::DetectorSuite;
     use smartwatch_host::ArtefactRegistry;
 
@@ -281,11 +298,21 @@ pub fn table4(scale: usize) -> Table {
     let host = SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![])
         .with_suite(suite())
         .run(trace.packets());
-    let sw = SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries())
-        .with_suite(suite())
-        .run(trace.packets());
-    let sonata = SmartWatch::new(PlatformConfig::new(DeployMode::SwitchHost), standard_queries())
-        .run(trace.packets());
+    // The full-SmartWatch run is the one whose control-loop behaviour the
+    // paper evaluates; publish its tier/steering metrics and trace.
+    let mut sw_platform = SmartWatch::new(
+        PlatformConfig::new(DeployMode::SmartWatch),
+        standard_queries(),
+    )
+    .with_suite(suite());
+    sw_platform.attach_telemetry(&ctx.registry);
+    sw_platform.attach_tracer(&ctx.tracer);
+    let sw = sw_platform.run(trace.packets());
+    let sonata = SmartWatch::new(
+        PlatformConfig::new(DeployMode::SwitchHost),
+        standard_queries(),
+    )
+    .run(trace.packets());
 
     let kinds = [
         AttackKind::Slowloris,
@@ -315,7 +342,12 @@ pub fn table4(scale: usize) -> Table {
             sums.1 += rel_sw;
             sums.2 += 1;
         }
-        t.row(vec![kind.name().into(), f(h, 2), f(rel_so, 2), f(rel_sw, 2)]);
+        t.row(vec![
+            kind.name().into(),
+            f(h, 2),
+            f(rel_so, 2),
+            f(rel_sw, 2),
+        ]);
     }
     let mean_sonata = sums.0 / sums.2.max(1) as f64;
     let mean_sw = sums.1 / sums.2.max(1) as f64;
@@ -324,7 +356,11 @@ pub fn table4(scale: usize) -> Table {
          (paper: 2.39×)",
         mean_sw,
         mean_sonata,
-        if mean_sonata > 0.0 { mean_sw / mean_sonata } else { f64::INFINITY }
+        if mean_sonata > 0.0 {
+            mean_sw / mean_sonata
+        } else {
+            f64::INFINITY
+        }
     ));
     t
 }
@@ -335,7 +371,7 @@ mod tests {
 
     #[test]
     fn fig8a_snic_offload_cuts_latency() {
-        let t = fig8a(1);
+        let t = fig8a(&ExpCtx::new(1));
         let snic: f64 = t.rows[1][1].parse().unwrap();
         let host: f64 = t.rows[2][1].parse().unwrap();
         assert!(snic < host * 0.5, "sNIC {snic} vs host {host}");
@@ -343,7 +379,7 @@ mod tests {
 
     #[test]
     fn table4_smartwatch_beats_sonata() {
-        let t = table4(1);
+        let t = table4(&ExpCtx::new(1));
         let mut sw_sum = 0.0;
         let mut so_sum = 0.0;
         for row in &t.rows {

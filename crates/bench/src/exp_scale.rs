@@ -2,6 +2,7 @@
 //! Fig. 3 (resources vs arrival rate).
 
 use crate::output::{f, Table};
+use crate::ExpCtx;
 use smartwatch_core::deploy::{DeployMode, ScalingModel};
 use smartwatch_core::platform::{PlatformConfig, SmartWatch};
 use smartwatch_net::{Dur, Ts};
@@ -15,9 +16,14 @@ use smartwatch_trace::Trace;
 /// sNIC, per CAIDA year, for the SSH-bruteforce (2a) and port-scan (2b)
 /// queries. Sweeping the whitelist budget trades switch state for
 /// steered volume; the knee appears when all elephants are whitelisted.
-pub fn fig2(scale: usize, portscan_variant: bool) -> Table {
+pub fn fig2(ctx: &ExpCtx, portscan_variant: bool) -> Table {
+    let scale = ctx.scale;
     let id = if portscan_variant { "fig2b" } else { "fig2a" };
-    let attack_name = if portscan_variant { "Port Scan" } else { "SSH Bruteforcing" };
+    let attack_name = if portscan_variant {
+        "Port Scan"
+    } else {
+        "SSH Bruteforcing"
+    };
     let mut t = Table::new(
         id,
         &format!("P4Switch state vs traffic steered to sNIC ({attack_name})"),
@@ -80,13 +86,22 @@ pub fn fig2(scale: usize, portscan_variant: bool) -> Table {
 
 /// Fig. 3: CPU cores (3a) and sNICs (3b) required vs packet arrival rate
 /// for the four deployments.
-pub fn fig3() -> Table {
+pub fn fig3(_ctx: &ExpCtx) -> Table {
     let model = ScalingModel::default();
     let mut t = Table::new(
         "fig3",
         "Resources required vs arrival rate",
-        &["rate (Mpps)", "Host cores", "Host sNICs", "No-P4 cores", "No-P4 sNICs",
-          "SmartWatch cores", "SmartWatch sNICs", "Sw+Host cores", "Sw+Host sNICs"],
+        &[
+            "rate (Mpps)",
+            "Host cores",
+            "Host sNICs",
+            "No-P4 cores",
+            "No-P4 sNICs",
+            "SmartWatch cores",
+            "SmartWatch sNICs",
+            "Sw+Host cores",
+            "Sw+Host sNICs",
+        ],
     );
     for rate_mpps in [15.0, 30.0, 60.0, 120.0, 240.0, 580.0, 1160.0, 2320.0] {
         let rate = rate_mpps * 1e6;
@@ -121,7 +136,7 @@ mod tests {
 
     #[test]
     fn fig2_steered_traffic_monotone_nonincreasing_in_topk() {
-        let t = fig2(1, false);
+        let t = fig2(&ExpCtx::new(1), false);
         // For each year, steered traffic with top-k=2048 ≤ top-k=0.
         for year in 0..4 {
             let base: f64 = t.rows[year * 5][3].parse().unwrap();
@@ -135,7 +150,7 @@ mod tests {
 
     #[test]
     fn fig3_smartwatch_cheapest() {
-        let t = fig3();
+        let t = fig3(&ExpCtx::new(1));
         let last = t.rows.last().unwrap();
         let host_cores: u32 = last[1].parse().unwrap();
         let sw_cores: u32 = last[5].parse().unwrap();

@@ -3,6 +3,7 @@
 
 use crate::output::{f, pct, Table};
 use crate::workloads;
+use crate::ExpCtx;
 use smartwatch_detect::microburst::MicroburstDetector;
 use smartwatch_detect::volumetric::{
     ground_truth, mean_relative_error, true_heavy_changes, true_heavy_hitters,
@@ -42,16 +43,25 @@ fn smartwatch_counts(packets: &[Packet], mode: Mode) -> HashMap<smartwatch_net::
 
 /// Fig. 10a/b/c: mean relative error for heavy hitters, heavy changes and
 /// flow-size distribution vs monitoring-interval size.
-pub fn fig10(scale: usize) -> Table {
-    let trace = workloads::caida_64b(Preset::Caida2018, 2 * scale, 2018);
+pub fn fig10(ctx: &ExpCtx) -> Table {
+    let trace = workloads::caida_64b(Preset::Caida2018, 2 * ctx.scale, 2018);
     let pkts = trace.packets();
     let mut t = Table::new(
         "fig10",
         "Volumetric accuracy (mean relative error) vs interval size",
-        &["interval (pkts)", "task", "Elastic", "MV", "SW General", "SW Lite"],
+        &[
+            "interval (pkts)",
+            "task",
+            "Elastic",
+            "MV",
+            "SW General",
+            "SW Lite",
+        ],
     );
-    let sizes: Vec<usize> =
-        [pkts.len() / 8, pkts.len() / 3, pkts.len()].into_iter().filter(|&n| n > 1000).collect();
+    let sizes: Vec<usize> = [pkts.len() / 8, pkts.len() / 3, pkts.len()]
+        .into_iter()
+        .filter(|&n| n > 1000)
+        .collect();
     for n in sizes {
         let window = &pkts[..n];
         let truth = ground_truth(window);
@@ -67,16 +77,21 @@ pub fn fig10(scale: usize) -> Table {
         let sw_gen = smartwatch_counts(window, Mode::General);
         let sw_lite = smartwatch_counts(window, Mode::Lite);
 
-        let mre_of = |est: &dyn Fn(&smartwatch_net::FlowKey) -> u64| {
-            mean_relative_error(&truth, &hh, est)
-        };
+        let mre_of =
+            |est: &dyn Fn(&smartwatch_net::FlowKey) -> u64| mean_relative_error(&truth, &hh, est);
         t.row(vec![
             n.to_string(),
             "heavy hitter".into(),
             f(mre_of(&|k| elastic.estimate(k)), 3),
             f(mre_of(&|k| mv.estimate(k)), 3),
-            f(mre_of(&|k| sw_gen.get(&k.canonical().0).copied().unwrap_or(0)), 3),
-            f(mre_of(&|k| sw_lite.get(&k.canonical().0).copied().unwrap_or(0)), 3),
+            f(
+                mre_of(&|k| sw_gen.get(&k.canonical().0).copied().unwrap_or(0)),
+                3,
+            ),
+            f(
+                mre_of(&|k| sw_lite.get(&k.canonical().0).copied().unwrap_or(0)),
+                3,
+            ),
         ]);
 
         // Heavy change: split the window into two halves.
@@ -87,7 +102,11 @@ pub fn fig10(scale: usize) -> Table {
         let change_truth: HashMap<_, u64> = hc
             .iter()
             .map(|k| {
-                let d = ta.get(k).copied().unwrap_or(0).abs_diff(tb.get(k).copied().unwrap_or(0));
+                let d = ta
+                    .get(k)
+                    .copied()
+                    .unwrap_or(0)
+                    .abs_diff(tb.get(k).copied().unwrap_or(0));
                 (*k, d)
             })
             .collect();
@@ -115,14 +134,24 @@ pub fn fig10(scale: usize) -> Table {
             "heavy change".into(),
             f(hc_mre(&|k| e1.estimate(k).abs_diff(e2.estimate(k))), 3),
             f(hc_mre(&|k| m1.estimate(k).abs_diff(m2.estimate(k))), 3),
-            f(hc_mre(&|k| {
-                swa.get(&k.canonical().0).copied().unwrap_or(0)
-                    .abs_diff(swb.get(&k.canonical().0).copied().unwrap_or(0))
-            }), 3),
-            f(hc_mre(&|k| {
-                sla.get(&k.canonical().0).copied().unwrap_or(0)
-                    .abs_diff(slb.get(&k.canonical().0).copied().unwrap_or(0))
-            }), 3),
+            f(
+                hc_mre(&|k| {
+                    swa.get(&k.canonical().0)
+                        .copied()
+                        .unwrap_or(0)
+                        .abs_diff(swb.get(&k.canonical().0).copied().unwrap_or(0))
+                }),
+                3,
+            ),
+            f(
+                hc_mre(&|k| {
+                    sla.get(&k.canonical().0)
+                        .copied()
+                        .unwrap_or(0)
+                        .abs_diff(slb.get(&k.canonical().0).copied().unwrap_or(0))
+                }),
+                3,
+            ),
         ]);
 
         // Flow-size distribution: per-decade flow-count error, averaged.
@@ -135,8 +164,14 @@ pub fn fig10(scale: usize) -> Table {
             "flow size dist".into(),
             f(fsd(&|k| elastic.estimate(k)), 3),
             f(fsd(&|k| mv.estimate(k)), 3),
-            f(fsd(&|k| sw_gen.get(&k.canonical().0).copied().unwrap_or(0)), 3),
-            f(fsd(&|k| sw_lite.get(&k.canonical().0).copied().unwrap_or(0)), 3),
+            f(
+                fsd(&|k| sw_gen.get(&k.canonical().0).copied().unwrap_or(0)),
+                3,
+            ),
+            f(
+                fsd(&|k| sw_lite.get(&k.canonical().0).copied().unwrap_or(0)),
+                3,
+            ),
         ]);
     }
     t.note("paper Fig. 10: SmartWatch's lossless logging has zero error on HH/HC while");
@@ -146,19 +181,23 @@ pub fn fig10(scale: usize) -> Table {
 
 /// Fig. 11a: fraction of ground-truth burst flows captured vs the burst
 /// classification threshold.
-pub fn fig11a(scale: usize) -> Table {
+pub fn fig11a(ctx: &ExpCtx) -> Table {
     let cfg = MicroburstConfig {
         flows_per_burst: 48,
         pkts_per_flow: 16,
-        ..MicroburstConfig::new((8 * scale) as u32, 0x11A)
+        ..MicroburstConfig::new((8 * ctx.scale) as u32, 0x11A)
     };
     let trace = microbursts(&cfg);
-    let total_truth: usize =
-        (0..cfg.bursts).map(|b| burst_flows(&trace, b).len()).sum();
+    let total_truth: usize = (0..cfg.bursts).map(|b| burst_flows(&trace, b).len()).sum();
     let mut t = Table::new(
         "fig11a",
         "Microburst flow capture vs classification threshold",
-        &["threshold (µs)", "bursts found", "flows captured", "capture %"],
+        &[
+            "threshold (µs)",
+            "bursts found",
+            "flows captured",
+            "capture %",
+        ],
     );
     for thresh_us in [60u64, 120, 240, 400, 520] {
         let mut det = MicroburstDetector::new(10.0, Dur::from_micros(thresh_us), 1 << 14);
@@ -167,8 +206,10 @@ pub fn fig11a(scale: usize) -> Table {
         }
         let last = trace.packets().last().unwrap().ts;
         let reports = det.finish(last + Dur::from_secs(1));
-        let mut captured: Vec<_> =
-            reports.iter().flat_map(|r| r.flows.iter().map(|(k, _)| *k)).collect();
+        let mut captured: Vec<_> = reports
+            .iter()
+            .flat_map(|r| r.flows.iter().map(|(k, _)| *k))
+            .collect();
         captured.sort();
         captured.dedup();
         let mut hit = 0usize;
@@ -197,19 +238,25 @@ pub fn fig11a(scale: usize) -> Table {
 /// from the paper's measured ordering (NitroSketch > SmartWatch-Lite >
 /// Elastic > CountMin); sketch lines are flat in PME count because they
 /// run on the host.
-pub fn fig11b(scale: usize) -> Table {
-    let pkts = workloads::caida_64b(Preset::Caida2018, scale, 2018).into_packets();
+pub fn fig11b(ctx: &ExpCtx) -> Table {
+    let pkts = workloads::caida_64b(Preset::Caida2018, ctx.scale, 2018).into_packets();
     let host_cores = 16.0;
     // ns per packet per core: hash+update cost of each sketch on a DPDK
     // host (NitroSketch samples, so most packets touch no counters).
-    let host_baselines =
-        [("NitroSketch (host)", 280.0), ("Elastic Sketch (host)", 460.0), ("CountMIN Sketch", 1_050.0)];
+    let host_baselines = [
+        ("NitroSketch (host)", 280.0),
+        ("Elastic Sketch (host)", 460.0),
+        ("CountMIN Sketch", 1_050.0),
+    ];
     let mut t = Table::new(
         "fig11b",
         "Throughput (Mpps) vs #PME, SmartWatch vs sketch baselines",
         &["platform", "72 PME", "76 PME", "80 PME"],
     );
-    for (name, mode) in [("SmartWatch (General)", Mode::General), ("SmartWatch (Lite)", Mode::Lite)] {
+    for (name, mode) in [
+        ("SmartWatch (General)", Mode::General),
+        ("SmartWatch (Lite)", Mode::Lite),
+    ] {
         let mut cells = vec![name.to_string()];
         for pmes in [72u32, 76, 80] {
             let mut fc = FlowCache::new(FlowCacheConfig::general(14));
@@ -236,7 +283,7 @@ mod tests {
 
     #[test]
     fn fig10_smartwatch_exact_on_heavy_hitters() {
-        let t = fig10(1);
+        let t = fig10(&ExpCtx::new(1));
         for row in t.rows.iter().filter(|r| r[1] == "heavy hitter") {
             let sw_gen: f64 = row[4].parse().unwrap();
             assert_eq!(sw_gen, 0.0, "lossless logging must have zero HH error");
@@ -245,7 +292,7 @@ mod tests {
 
     #[test]
     fn fig11a_permissive_threshold_captures_nearly_all() {
-        let t = fig11a(1);
+        let t = fig11a(&ExpCtx::new(1));
         let best: f64 = t
             .rows
             .iter()
@@ -256,9 +303,11 @@ mod tests {
 
     #[test]
     fn fig11b_nitrosketch_fastest_countmin_slowest() {
-        let t = fig11b(1);
+        let t = fig11b(&ExpCtx::new(1));
         let by_name = |n: &str| -> f64 {
-            t.rows.iter().find(|r| r[0].starts_with(n)).unwrap()[3].parse().unwrap()
+            t.rows.iter().find(|r| r[0].starts_with(n)).unwrap()[3]
+                .parse()
+                .unwrap()
         };
         assert!(by_name("NitroSketch") > by_name("SmartWatch (Lite)"));
         assert!(by_name("SmartWatch (Lite)") > by_name("CountMIN"));

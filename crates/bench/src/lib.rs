@@ -18,13 +18,42 @@ pub mod output;
 pub mod workloads;
 
 use output::Table;
+use smartwatch_telemetry::{Registry, Tracer};
+
+/// Shared context threaded through every experiment: the workload scale
+/// plus the observability sinks. Experiments attach components to
+/// `registry` (metrics accumulate across experiments in one `repro`
+/// invocation) and open shards on `tracer` for sim-time events; the
+/// `repro` binary dumps both via `--metrics-json` / `--trace-out`.
+pub struct ExpCtx {
+    /// Workload multiplier (`repro --scale N`).
+    pub scale: usize,
+    /// Metric sink shared by every experiment of the invocation.
+    pub registry: Registry,
+    /// Sim-time trace sink shared by every experiment.
+    pub tracer: Tracer,
+}
+
+impl ExpCtx {
+    /// Fresh context at `scale` with empty metric/trace sinks.
+    pub fn new(scale: usize) -> ExpCtx {
+        ExpCtx {
+            scale,
+            registry: Registry::new(),
+            tracer: Tracer::default(),
+        }
+    }
+}
+
+/// One experiment entry point: context in, rendered table out.
+pub type Experiment = fn(&ExpCtx) -> Table;
 
 /// Every reproducible experiment, in paper order.
-pub fn all_experiments() -> Vec<(&'static str, fn(usize) -> Table)> {
+pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("fig2a", |s| exp_scale::fig2(s, false)),
-        ("fig2b", |s| exp_scale::fig2(s, true)),
-        ("fig3", |_| exp_scale::fig3()),
+        ("fig2a", |c| exp_scale::fig2(c, false)),
+        ("fig2b", |c| exp_scale::fig2(c, true)),
+        ("fig3", exp_scale::fig3),
         ("fig4", exp_cache::fig4),
         ("fig5", exp_cache::fig5),
         ("fig6a", exp_cache::fig6a),

@@ -41,6 +41,12 @@ impl Table {
         self.notes.push(s.into());
     }
 
+    /// Render as pretty-printed JSON (the `repro --json` output; schema
+    /// documented in EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialises")
+    }
+
     /// Render as aligned text.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
@@ -62,8 +68,11 @@ impl Table {
         out.push_str(&rule.join("-+-"));
         out.push('\n');
         for row in &self.rows {
-            let cells: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             out.push_str(&cells.join(" | "));
             out.push('\n');
         }

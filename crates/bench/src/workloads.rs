@@ -6,8 +6,8 @@
 
 use smartwatch_net::{Dur, Ts};
 use smartwatch_trace::attacks::auth::{
-    bruteforce, kerberos_tickets, tls_with_certs, ArtefactInfo, BruteforceConfig,
-    KerberosConfig, TlsConfig,
+    bruteforce, kerberos_tickets, tls_with_certs, ArtefactInfo, BruteforceConfig, KerberosConfig,
+    TlsConfig,
 };
 use smartwatch_trace::attacks::dns_amp::{dns_amplification, DnsAmpConfig};
 use smartwatch_trace::attacks::portscan::{incomplete_flows, portscan, ScanConfig};
@@ -89,11 +89,18 @@ pub fn attack_mix(scale: usize, seed: u64) -> Trace {
         conns_per_attacker: 28,
         fragments: 8,
         fragment_gap: Dur::from_millis(2_200),
-        ..SlowlorisConfig::new(smartwatch_trace::attacks::victim_ip(1), Ts::from_millis(800), seed + 4)
+        ..SlowlorisConfig::new(
+            smartwatch_trace::attacks::victim_ip(1),
+            Ts::from_millis(800),
+            seed + 4,
+        )
     });
 
-    let mut amp_cfg =
-        DnsAmpConfig::new(smartwatch_trace::background::client_ip(999), Ts::from_secs(2), seed + 5);
+    let mut amp_cfg = DnsAmpConfig::new(
+        smartwatch_trace::background::client_ip(999),
+        Ts::from_secs(2),
+        seed + 5,
+    );
     amp_cfg.query_gap = Dur::from_millis(120);
     amp_cfg.queries_per_resolver = 60;
     let amp = dns_amplification(&amp_cfg);
@@ -113,7 +120,17 @@ pub fn attack_mix(scale: usize, seed: u64) -> Trace {
 
     let incomplete = incomplete_flows(80, Ts::from_millis(400), seed + 7);
 
-    Trace::merge([bg, bruteforce(&ssh), bruteforce(&ftp), scan, rst, slow, amp, worm, incomplete])
+    Trace::merge([
+        bg,
+        bruteforce(&ssh),
+        bruteforce(&ftp),
+        scan,
+        rst,
+        slow,
+        amp,
+        worm,
+        incomplete,
+    ])
 }
 
 #[cfg(test)]
@@ -145,7 +162,12 @@ mod tests {
         let mut per_kind: HashMap<AttackKind, HashSet<std::net::Ipv4Addr>> = HashMap::new();
         for p in t.iter() {
             if let Some(k) = p.label.kind() {
-                if matches!(k, AttackKind::SshBruteforce | AttackKind::FtpBruteforce | AttackKind::StealthyPortScan) {
+                if matches!(
+                    k,
+                    AttackKind::SshBruteforce
+                        | AttackKind::FtpBruteforce
+                        | AttackKind::StealthyPortScan
+                ) {
                     per_kind.entry(k).or_default().insert(p.key.src_ip);
                 }
             }
@@ -172,8 +194,11 @@ mod full_mix_tests {
         let (trace, certs, tickets) = attack_mix_full(1, 5);
         assert!(!certs.is_empty() && !tickets.is_empty());
         // Every registered digest appears on some packet.
-        let wire: std::collections::HashSet<u64> =
-            trace.iter().map(|p| p.payload_digest).filter(|d| *d != 0).collect();
+        let wire: std::collections::HashSet<u64> = trace
+            .iter()
+            .map(|p| p.payload_digest)
+            .filter(|d| *d != 0)
+            .collect();
         for a in certs.iter().chain(&tickets) {
             assert!(wire.contains(&a.digest), "digest {:x} missing", a.digest);
         }

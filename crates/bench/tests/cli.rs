@@ -48,23 +48,57 @@ fn swtrace_pipeline_round_trips() {
     let stress = dir.join("stress.pcap");
     let sw = env!("CARGO_BIN_EXE_swtrace");
 
-    let (_, e, ok) = run(sw, &[
-        "gen", "--preset", "caida2018", "--flows", "200", "--secs", "2",
-        "--seed", "5", "-o", bg.to_str().unwrap(),
-    ]);
+    let (_, e, ok) = run(
+        sw,
+        &[
+            "gen",
+            "--preset",
+            "caida2018",
+            "--flows",
+            "200",
+            "--secs",
+            "2",
+            "--seed",
+            "5",
+            "-o",
+            bg.to_str().unwrap(),
+        ],
+    );
     assert!(ok, "gen failed: {e}");
-    let (_, e, ok) = run(sw, &[
-        "attack", "portscan", "--delay-ms", "20", "--probes", "50",
-        "-o", scan.to_str().unwrap(),
-    ]);
+    let (_, e, ok) = run(
+        sw,
+        &[
+            "attack",
+            "portscan",
+            "--delay-ms",
+            "20",
+            "--probes",
+            "50",
+            "-o",
+            scan.to_str().unwrap(),
+        ],
+    );
     assert!(ok, "attack failed: {e}");
-    let (_, e, ok) = run(sw, &[
-        "merge", bg.to_str().unwrap(), scan.to_str().unwrap(),
-        "-o", mixed.to_str().unwrap(),
-    ]);
+    let (_, e, ok) = run(
+        sw,
+        &[
+            "merge",
+            bg.to_str().unwrap(),
+            scan.to_str().unwrap(),
+            "-o",
+            mixed.to_str().unwrap(),
+        ],
+    );
     assert!(ok, "merge failed: {e}");
-    let (_, e, ok) =
-        run(sw, &["rewrite64", mixed.to_str().unwrap(), "-o", stress.to_str().unwrap()]);
+    let (_, e, ok) = run(
+        sw,
+        &[
+            "rewrite64",
+            mixed.to_str().unwrap(),
+            "-o",
+            stress.to_str().unwrap(),
+        ],
+    );
     assert!(ok, "rewrite64 failed: {e}");
 
     let (info, _, ok) = run(sw, &["info", mixed.to_str().unwrap()]);

@@ -27,8 +27,12 @@ pub enum DeployMode {
 
 impl DeployMode {
     /// All four modes in Fig. 3's legend order.
-    pub const ALL: [DeployMode; 4] =
-        [DeployMode::HostOnly, DeployMode::SnicHost, DeployMode::SmartWatch, DeployMode::SwitchHost];
+    pub const ALL: [DeployMode; 4] = [
+        DeployMode::HostOnly,
+        DeployMode::SnicHost,
+        DeployMode::SmartWatch,
+        DeployMode::SwitchHost,
+    ];
 
     /// Display name matching the figure legend.
     pub fn name(self) -> &'static str {
@@ -138,8 +142,18 @@ mod tests {
         let sw = m.required(DeployMode::SmartWatch, 2320.0e6);
         let no_sw = m.required(DeployMode::SnicHost, 2320.0e6);
         let host = m.required(DeployMode::HostOnly, 2320.0e6);
-        assert!(no_sw.snics >= sw.snics * 12, "{} vs {}", no_sw.snics, sw.snics);
-        assert!(host.cores >= sw.cores * 14, "{} vs {}", host.cores, sw.cores);
+        assert!(
+            no_sw.snics >= sw.snics * 12,
+            "{} vs {}",
+            no_sw.snics,
+            sw.snics
+        );
+        assert!(
+            host.cores >= sw.cores * 14,
+            "{} vs {}",
+            host.cores,
+            sw.cores
+        );
     }
 
     #[test]
@@ -147,7 +161,11 @@ mod tests {
         let m = ScalingModel::default();
         for rate in [15.0e6, 120.0e6, 1160.0e6] {
             let host = m.required(DeployMode::HostOnly, rate).cores;
-            for mode in [DeployMode::SnicHost, DeployMode::SmartWatch, DeployMode::SwitchHost] {
+            for mode in [
+                DeployMode::SnicHost,
+                DeployMode::SmartWatch,
+                DeployMode::SwitchHost,
+            ] {
                 assert!(m.required(mode, rate).cores <= host, "{mode:?} at {rate}");
             }
         }

@@ -155,8 +155,8 @@ mod tests {
     fn host_mode_has_full_scan_detection() {
         let t = labelled_trace();
         let gt = GroundTruth::from_packets(t.packets());
-        let rep = SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![])
-            .run(t.packets());
+        let rep =
+            SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![]).run(t.packets());
         let rate = detection_rate(&rep, &gt, AttackKind::StealthyPortScan).unwrap();
         assert_eq!(rate, 1.0);
     }
@@ -165,13 +165,18 @@ mod tests {
     fn smartwatch_beats_sonata_on_stateful_detection() {
         let t = labelled_trace();
         let gt = GroundTruth::from_packets(t.packets());
-        let host = SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![])
-            .run(t.packets());
-        let sw = SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries())
-            .run(t.packets());
-        let sonata =
-            SmartWatch::new(PlatformConfig::new(DeployMode::SwitchHost), standard_queries())
-                .run(t.packets());
+        let host =
+            SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![]).run(t.packets());
+        let sw = SmartWatch::new(
+            PlatformConfig::new(DeployMode::SmartWatch),
+            standard_queries(),
+        )
+        .run(t.packets());
+        let sonata = SmartWatch::new(
+            PlatformConfig::new(DeployMode::SwitchHost),
+            standard_queries(),
+        )
+        .run(t.packets());
         let k = AttackKind::StealthyPortScan;
         let r_sw = relative_rate(&sw, &host, &gt, k).unwrap();
         let r_sonata = relative_rate(&sonata, &host, &gt, k).unwrap_or(0.0);
@@ -186,8 +191,8 @@ mod tests {
     fn missing_kind_yields_none() {
         let t = labelled_trace();
         let gt = GroundTruth::from_packets(t.packets());
-        let rep = SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![])
-            .run(t.packets());
+        let rep =
+            SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![]).run(t.packets());
         assert!(detection_rate(&rep, &gt, AttackKind::Slowloris).is_none());
     }
 }

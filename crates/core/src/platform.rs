@@ -27,6 +27,7 @@ use smartwatch_net::{Dur, Packet, Ts};
 use smartwatch_p4sim::{Decision, P4Switch, RefineMode, RefineOutcome, Refiner, SwitchQuery};
 use smartwatch_snic::hw::service_time;
 use smartwatch_snic::{CycleCosts, FlowCache, FlowCacheConfig, HwProfile, NETRONOME_AGILIO_LX};
+use smartwatch_telemetry::{Counter, Gauge, Histogram, Registry, TraceShard, Tracer};
 
 /// Platform configuration.
 #[derive(Clone, Debug)]
@@ -72,7 +73,8 @@ impl PlatformConfig {
     }
 }
 
-/// Where packets went and what they cost (the latency/tier ledger).
+/// Where packets went and what they cost (the latency/tier ledger) — a
+/// point-in-time *view* over the platform's live telemetry counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TierMetrics {
     /// Total packets offered.
@@ -91,6 +93,85 @@ pub struct TierMetrics {
     pub monitored: u64,
     /// Packets whose FlowCache row was fully pinned (not in flow logs).
     pub unlogged: u64,
+}
+
+/// The ledger's live counters (`core.tier.*` once attached to a
+/// [`Registry`]); [`TierMetrics`] is the frozen view. Latency is carried
+/// in whole nanoseconds internally.
+#[derive(Debug)]
+struct TierCounters {
+    total: Counter,
+    dropped: Counter,
+    forwarded_direct: Counter,
+    snic_processed: Counter,
+    host_processed: Counter,
+    latency_ns: Counter,
+    monitored: Counter,
+    unlogged: Counter,
+}
+
+impl TierCounters {
+    fn detached() -> TierCounters {
+        TierCounters {
+            total: Counter::detached(),
+            dropped: Counter::detached(),
+            forwarded_direct: Counter::detached(),
+            snic_processed: Counter::detached(),
+            host_processed: Counter::detached(),
+            latency_ns: Counter::detached(),
+            monitored: Counter::detached(),
+            unlogged: Counter::detached(),
+        }
+    }
+
+    fn registered(reg: &Registry, current: &TierCounters) -> TierCounters {
+        let c = TierCounters {
+            total: reg.counter("core.tier.total", &[]),
+            dropped: reg.counter("core.tier.dropped", &[]),
+            forwarded_direct: reg.counter("core.tier.forwarded_direct", &[]),
+            snic_processed: reg.counter("core.tier.snic_processed", &[]),
+            host_processed: reg.counter("core.tier.host_processed", &[]),
+            latency_ns: reg.counter("core.tier.latency_ns", &[]),
+            monitored: reg.counter("core.tier.monitored", &[]),
+            unlogged: reg.counter("core.tier.unlogged", &[]),
+        };
+        c.total.add(current.total.get());
+        c.dropped.add(current.dropped.get());
+        c.forwarded_direct.add(current.forwarded_direct.get());
+        c.snic_processed.add(current.snic_processed.get());
+        c.host_processed.add(current.host_processed.get());
+        c.latency_ns.add(current.latency_ns.get());
+        c.monitored.add(current.monitored.get());
+        c.unlogged.add(current.unlogged.get());
+        c
+    }
+
+    fn snapshot(&self) -> TierMetrics {
+        TierMetrics {
+            total: self.total.get(),
+            dropped: self.dropped.get(),
+            forwarded_direct: self.forwarded_direct.get(),
+            snic_processed: self.snic_processed.get(),
+            host_processed: self.host_processed.get(),
+            latency_sum_ns: self.latency_ns.get() as f64,
+            monitored: self.monitored.get(),
+            unlogged: self.unlogged.get(),
+        }
+    }
+}
+
+/// Platform-level derived metrics and control-loop instruments.
+#[derive(Debug)]
+struct PlatformTelemetry {
+    whitelist_installs: Counter,
+    blacklist_installs: Counter,
+    intervals: Counter,
+    /// `host_processed / snic_processed` — the paper bounds this ≤ 16%.
+    escalation_rate: Gauge,
+    /// `snic_processed / total` — the steered share of traffic.
+    steered_share: Gauge,
+    /// Virtual CPU time per snapshot-aggregation pass (cost model).
+    snapshot_cpu_ns: Histogram,
 }
 
 impl TierMetrics {
@@ -168,7 +249,9 @@ pub struct SmartWatch {
     pub flowlog: FlowLogStore,
     refiners: Vec<Refiner>,
     costs: CycleCosts,
-    metrics: TierMetrics,
+    metrics: TierCounters,
+    telemetry: Option<PlatformTelemetry>,
+    trace: Option<TraceShard>,
     alerts: Vec<Alert>,
     sonata_detections: Vec<SonataDetection>,
     interval_idx: u64,
@@ -193,7 +276,11 @@ impl SmartWatch {
                 // climbs through the paper's levels above it.
                 let base_width = q.key.prefix_width().unwrap_or(8);
                 let mut levels: Vec<u8> = std::iter::once(base_width)
-                    .chain(Refiner::paper_levels().into_iter().filter(|w| *w > base_width))
+                    .chain(
+                        Refiner::paper_levels()
+                            .into_iter()
+                            .filter(|w| *w > base_width),
+                    )
                     .collect();
                 levels.dedup();
                 Refiner::new(refine_mode, q, levels)
@@ -216,7 +303,9 @@ impl SmartWatch {
             flowlog: FlowLogStore::new(),
             refiners,
             costs: CycleCosts::default(),
-            metrics: TierMetrics::default(),
+            metrics: TierCounters::detached(),
+            telemetry: None,
+            trace: None,
             alerts: Vec::new(),
             sonata_detections: Vec::new(),
             interval_idx: 0,
@@ -233,6 +322,52 @@ impl SmartWatch {
         self
     }
 
+    /// Wire every tier into `registry`: the FlowCache (`snic.cache.*`),
+    /// eviction rings, switch (`p4.switch.*`), refiners (`p4.refine.*`),
+    /// host aggregators and flow log (`host.*`), and the platform's own
+    /// ledger and control-loop instruments (`core.*`). Current values
+    /// carry over, so attaching mid-run loses nothing.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.cache.attach_telemetry(registry);
+        self.switch.attach_telemetry(registry);
+        for r in &mut self.refiners {
+            r.attach_telemetry(registry);
+        }
+        self.aggregator.attach_telemetry(registry, "interval");
+        self.long_term.attach_telemetry(registry, "long_term");
+        self.flowlog.attach_telemetry(registry);
+        self.metrics = TierCounters::registered(registry, &self.metrics);
+        self.telemetry = Some(PlatformTelemetry {
+            whitelist_installs: registry.counter("core.whitelist_installs", &[]),
+            blacklist_installs: registry.counter("core.blacklist_installs", &[]),
+            intervals: registry.counter("core.intervals", &[]),
+            escalation_rate: registry.gauge("core.escalation_rate", &[]),
+            steered_share: registry.gauge("core.steered_share", &[]),
+            snapshot_cpu_ns: registry.histogram("host.aggregate.snapshot_cpu_ns", &[]),
+        });
+        self.refresh_derived_gauges();
+    }
+
+    /// Emit control-loop events (interval boundaries, refinement
+    /// outcomes) onto one track of `tracer`, stamped with the virtual
+    /// clock.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.trace = Some(tracer.shard("control-loop"));
+    }
+
+    fn refresh_derived_gauges(&mut self) {
+        if let Some(t) = &self.telemetry {
+            let m = self.metrics.snapshot();
+            t.escalation_rate.set(m.host_fraction());
+            let share = if m.total == 0 {
+                0.0
+            } else {
+                m.snic_processed as f64 / m.total as f64
+            };
+            t.steered_share.set(share);
+        }
+    }
+
     /// Deployment mode.
     pub fn mode(&self) -> DeployMode {
         self.cfg.mode
@@ -245,36 +380,38 @@ impl SmartWatch {
             self.end_interval(at);
             self.next_interval = at + self.cfg.interval;
         }
-        self.metrics.total += 1;
+        self.metrics.total.inc();
 
         let monitor = match self.cfg.mode {
             DeployMode::HostOnly => {
                 // Everything to host NFs. The host keeps its own flow
                 // table (the cache stands in for it) so flow-log driven
                 // detectors still run; latency is charged at host rates.
-                self.metrics.monitored += 1;
-                self.metrics.host_processed += 1;
-                self.metrics.latency_sum_ns +=
-                    self.cfg.host_cost.host_path_latency(pkt.wire_len).as_nanos() as f64;
+                self.metrics.monitored.inc();
+                self.metrics.host_processed.inc();
+                self.metrics.latency_ns.add(
+                    self.cfg
+                        .host_cost
+                        .host_path_latency(pkt.wire_len)
+                        .as_nanos(),
+                );
                 self.cache.process(pkt);
                 let outcome = self.suite.on_packet(pkt);
                 self.ingest_alerts(outcome.alerts);
                 return;
             }
             DeployMode::SnicHost => true,
-            DeployMode::SmartWatch | DeployMode::SwitchHost => {
-                match self.switch.process(pkt) {
-                    Decision::Drop => {
-                        self.metrics.dropped += 1;
-                        return;
-                    }
-                    Decision::Forward => {
-                        self.metrics.forwarded_direct += 1;
-                        false
-                    }
-                    Decision::Steer => true,
+            DeployMode::SmartWatch | DeployMode::SwitchHost => match self.switch.process(pkt) {
+                Decision::Drop => {
+                    self.metrics.dropped.inc();
+                    return;
                 }
-            }
+                Decision::Forward => {
+                    self.metrics.forwarded_direct.inc();
+                    false
+                }
+                Decision::Steer => true,
+            },
         };
 
         if !monitor {
@@ -284,28 +421,36 @@ impl SmartWatch {
         if self.cfg.mode == DeployMode::SwitchHost {
             // Sonata: steered packets burn host CPU but there is no
             // flow-state tier; detection happens via query refinement.
-            self.metrics.monitored += 1;
-            self.metrics.host_processed += 1;
-            self.metrics.latency_sum_ns +=
-                self.cfg.host_cost.host_path_latency(pkt.wire_len).as_nanos() as f64;
+            self.metrics.monitored.inc();
+            self.metrics.host_processed.inc();
+            self.metrics.latency_ns.add(
+                self.cfg
+                    .host_cost
+                    .host_path_latency(pkt.wire_len)
+                    .as_nanos(),
+            );
             return;
         }
 
         // sNIC tier: FlowCache + detector suite.
-        self.metrics.monitored += 1;
-        self.metrics.snic_processed += 1;
+        self.metrics.monitored.inc();
+        self.metrics.snic_processed.inc();
         let access = self.cache.process(pkt);
         if access.outcome == smartwatch_snic::Outcome::ToHost {
-            self.metrics.unlogged += 1;
+            self.metrics.unlogged.inc();
         }
         let (busy, wait) = service_time(&self.cfg.hw, &self.costs, &access);
-        self.metrics.latency_sum_ns += busy + wait;
+        self.metrics.latency_ns.add((busy + wait) as u64);
 
         let outcome = self.suite.on_packet(pkt);
         if outcome.host == HostNeed::Host {
-            self.metrics.host_processed += 1;
-            self.metrics.latency_sum_ns +=
-                self.cfg.host_cost.host_path_latency(pkt.wire_len).as_nanos() as f64;
+            self.metrics.host_processed.inc();
+            self.metrics.latency_ns.add(
+                self.cfg
+                    .host_cost
+                    .host_path_latency(pkt.wire_len)
+                    .as_nanos(),
+            );
             // Pin the flow: its state must stay sNIC-resident while the
             // host works on it (§3.2 "Pinning Flow Records").
             self.cache.pin(&pkt.key);
@@ -315,6 +460,9 @@ impl SmartWatch {
             if self.cfg.suite_whitelist && uses_switch(self.cfg.mode) {
                 self.switch.whitelist(*flow);
                 self.whitelist_entries += 1;
+                if let Some(t) = &self.telemetry {
+                    t.whitelist_installs.inc();
+                }
             }
         }
         self.ingest_alerts(outcome.alerts);
@@ -325,6 +473,9 @@ impl SmartWatch {
             if self.cfg.blacklist_sources && uses_switch(self.cfg.mode) {
                 if let Subject::Source(src) = a.subject {
                     self.switch.blacklist(src);
+                    if let Some(t) = &self.telemetry {
+                        t.blacklist_installs.inc();
+                    }
                 }
             }
             self.alerts.push(a);
@@ -349,17 +500,26 @@ impl SmartWatch {
                 let initial = r.initial_query();
                 outcomes.push((r.on_results(&over), initial));
             }
-            if std::env::var("SW_DEBUG_REFINE").is_ok() {
-                eprintln!("interval@{now}: results={:?}", results.keys().collect::<Vec<_>>());
-            }
             for (outcome, initial) in outcomes {
-                if std::env::var("SW_DEBUG_REFINE").is_ok() {
-                    eprintln!("  outcome for {}: {:?}", initial.name, match &outcome {
-                        RefineOutcome::SteerSubsets(r) => format!("steer {}", r.len()),
-                        RefineOutcome::NextQuery(q) => format!("zoom {}", q.name),
-                        RefineOutcome::Detected(p) => format!("DETECTED {p:?}"),
-                        RefineOutcome::Restart(q) => format!("restart {}", q.name),
-                    });
+                // Control-loop decisions land on the trace instead of
+                // stderr; restarts are the steady state and stay silent.
+                if let Some(shard) = &self.trace {
+                    match &outcome {
+                        RefineOutcome::SteerSubsets(r) => shard.instant(
+                            now,
+                            format!("steer {} ({} rules)", initial.name, r.len()),
+                            "refine",
+                        ),
+                        RefineOutcome::NextQuery(q) => {
+                            shard.instant(now, format!("zoom {}", q.name), "refine")
+                        }
+                        RefineOutcome::Detected(p) => shard.instant(
+                            now,
+                            format!("detected {} ({} prefixes)", initial.name, p.len()),
+                            "refine",
+                        ),
+                        RefineOutcome::Restart(_) => {}
+                    }
                 }
                 match outcome {
                     RefineOutcome::SteerSubsets(rules) => {
@@ -392,11 +552,27 @@ impl SmartWatch {
         // 2. sNIC exports: snapshot deltas + ring drains → host aggregate
         // (both the per-interval view and the cumulative store).
         let snapshot = self.cache.snapshot_delta();
+        let export_count = snapshot.len();
         self.long_term.ingest_batch(snapshot.iter().copied());
         self.aggregator.ingest_batch(snapshot);
         let evicted = self.cache.rings().drain();
+        let export_count = (export_count + evicted.len()) as u64;
         self.long_term.ingest_batch(evicted.iter().copied());
         self.aggregator.ingest_batch(evicted);
+        // Virtual CPU cost of this aggregation pass (the paper's
+        // snapshot-thread budget).
+        let snapshot_cpu = self.cfg.host_cost.snapshot_cpu(export_count);
+        if let Some(t) = &self.telemetry {
+            t.snapshot_cpu_ns.record_dur(snapshot_cpu);
+        }
+        if let Some(shard) = &self.trace {
+            shard.span(
+                now,
+                snapshot_cpu,
+                format!("aggregate {export_count} exports"),
+                "host",
+            );
+        }
 
         // 3. Whitelist top-k heavy benign flows (hoverboard): elephants
         // by cumulative count, never mice — whitelisting a low-and-slow
@@ -415,11 +591,14 @@ impl SmartWatch {
         // interval detectors over the *cumulative* records (durations).
         let records = self.aggregator.flush();
         self.flowlog.store(self.interval_idx, records);
-        let cumulative: Vec<smartwatch_snic::FlowRecord> =
-            self.long_term.iter().copied().collect();
+        let cumulative: Vec<smartwatch_snic::FlowRecord> = self.long_term.iter().copied().collect();
         let interval_alerts = self.suite.end_interval(&cumulative, now);
         self.ingest_alerts(interval_alerts);
         self.interval_idx += 1;
+        if let Some(t) = &self.telemetry {
+            t.intervals.inc();
+        }
+        self.refresh_derived_gauges();
     }
 
     fn replace_refiner_query(&mut self, q: SwitchQuery) {
@@ -451,9 +630,10 @@ impl SmartWatch {
         self.aggregator.ingest_batch(residue);
         let records = self.aggregator.flush();
         self.flowlog.store(self.interval_idx, records);
+        self.refresh_derived_gauges();
         RunReport {
             alerts: self.alerts,
-            metrics: self.metrics,
+            metrics: self.metrics.snapshot(),
             sonata_detections: self.sonata_detections,
             steered_bytes: self.switch.stats().steered_bytes,
             whitelist_entries: self.whitelist_entries,
@@ -477,7 +657,12 @@ fn uses_switch(mode: DeployMode) -> bool {
 }
 
 fn refiner_base(r: &Refiner) -> String {
-    r.initial_query().name.split('@').next().unwrap_or("").to_string()
+    r.initial_query()
+        .name
+        .split('@')
+        .next()
+        .unwrap_or("")
+        .to_string()
 }
 
 /// The paper's standing coarse queries for the cooperative experiments.
@@ -534,10 +719,16 @@ mod tests {
     #[test]
     fn smartwatch_mode_detects_scan_with_low_monitoring_share() {
         let trace = mixed_trace();
-        let sw = SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries());
+        let sw = SmartWatch::new(
+            PlatformConfig::new(DeployMode::SmartWatch),
+            standard_queries(),
+        );
         let report = sw.run(trace.packets());
         assert!(
-            report.alerts.iter().any(|a| a.kind == AttackKind::StealthyPortScan),
+            report
+                .alerts
+                .iter()
+                .any(|a| a.kind == AttackKind::StealthyPortScan),
             "scan must be detected"
         );
         let m = report.metrics;
@@ -555,11 +746,14 @@ mod tests {
         // The paper's 72.32% claim compares processing the same traffic
         // on the sNIC+host partitioning vs entirely on the host.
         let trace = mixed_trace();
-        let host_rep = SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![])
-            .run(trace.packets());
-        let snic_rep = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
-            .run(trace.packets());
-        assert!(host_rep.alerts.iter().any(|a| a.kind == AttackKind::StealthyPortScan));
+        let host_rep =
+            SmartWatch::new(PlatformConfig::new(DeployMode::HostOnly), vec![]).run(trace.packets());
+        let snic_rep =
+            SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).run(trace.packets());
+        assert!(host_rep
+            .alerts
+            .iter()
+            .any(|a| a.kind == AttackKind::StealthyPortScan));
         let reduction =
             1.0 - snic_rep.metrics.mean_latency_ns() / host_rep.metrics.mean_latency_ns();
         assert!(
@@ -572,8 +766,8 @@ mod tests {
     #[test]
     fn snic_host_mode_monitors_everything() {
         let trace = mixed_trace();
-        let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
-            .run(trace.packets());
+        let rep =
+            SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).run(trace.packets());
         assert_eq!(rep.metrics.snic_processed, rep.metrics.total);
         assert!(rep.metrics.host_fraction() < 0.20);
     }
@@ -581,8 +775,11 @@ mod tests {
     #[test]
     fn sonata_mode_produces_switch_detections_only() {
         let trace = mixed_trace();
-        let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SwitchHost), standard_queries())
-            .run(trace.packets());
+        let rep = SmartWatch::new(
+            PlatformConfig::new(DeployMode::SwitchHost),
+            standard_queries(),
+        )
+        .run(trace.packets());
         // Sonata raises no flow-level alerts (no sNIC tier) …
         assert!(rep.alerts.is_empty());
         // … but the zoom pipeline should reach /32 on the scanner.
@@ -595,7 +792,10 @@ mod tests {
     #[test]
     fn blacklisted_scanner_gets_dropped() {
         let trace = mixed_trace();
-        let sw = SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries());
+        let sw = SmartWatch::new(
+            PlatformConfig::new(DeployMode::SmartWatch),
+            standard_queries(),
+        );
         let rep = sw.run(trace.packets());
         // After the alert fires, subsequent scanner packets are dropped at
         // the switch — prevention, not just detection.
@@ -605,13 +805,16 @@ mod tests {
     #[test]
     fn flow_logs_reconstruct_monitored_packet_counts() {
         let trace = preset_trace(Preset::Caida2018, 100, Dur::from_secs(2), 9);
-        let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
-            .run(trace.packets());
+        let rep =
+            SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).run(trace.packets());
         let logged: u64 = (0..rep.flow_log.n_intervals() as u64)
             .map(|i| rep.flow_log.flow_counts(i).values().sum::<u64>())
             .sum();
         // Lossless flow logging: every sNIC-processed packet is accounted
         // for in the flow logs (to-host escalations still update records).
-        assert_eq!(logged, rep.metrics.snic_processed - rep.metrics.to_host_unlogged());
+        assert_eq!(
+            logged,
+            rep.metrics.snic_processed - rep.metrics.to_host_unlogged()
+        );
     }
 }

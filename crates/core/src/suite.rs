@@ -182,7 +182,8 @@ impl DetectorSuite {
 
         // SSH/FTP sessions: packets go to the host (Zeek) until the
         // authentication outcome is determined.
-        let auth_port = Self::is_auth_port(pkt.key.dst_port) || Self::is_auth_port(pkt.key.src_port);
+        let auth_port =
+            Self::is_auth_port(pkt.key.dst_port) || Self::is_auth_port(pkt.key.src_port);
         if auth_port && pkt.is_tcp() {
             self.ops.auth += 1;
             let canon = pkt.key.canonical().0;
@@ -194,10 +195,9 @@ impl DetectorSuite {
             // Classify on termination, or once the session has clearly
             // succeeded (long/heavy), whichever comes first.
             let outcome = match event {
-                Some(ConnEvent::Finished) | Some(ConnEvent::Reset(_)) => self
-                    .conns
-                    .get(&canon)
-                    .map(|r| self.heuristic.classify(r)),
+                Some(ConnEvent::Finished) | Some(ConnEvent::Reset(_)) => {
+                    self.conns.get(&canon).map(|r| self.heuristic.classify(r))
+                }
                 _ => self.conns.get(&canon).and_then(|r| {
                     let o = self.heuristic.classify(r);
                     (o == AuthOutcome::Success).then_some(o)
@@ -207,7 +207,11 @@ impl DetectorSuite {
                 if !already && outcome != AuthOutcome::Unknown {
                     self.classified.insert(canon);
                     let rec = self.conns.get(&canon).expect("classified conn exists");
-                    let src = if rec.orig_is_forward { rec.key.src_ip } else { rec.key.dst_ip };
+                    let src = if rec.orig_is_forward {
+                        rec.key.src_ip
+                    } else {
+                        rec.key.dst_ip
+                    };
                     let service = if rec.orig_is_forward {
                         rec.key.dst_port
                     } else {
@@ -218,14 +222,22 @@ impl DetectorSuite {
                         // steering this flow (§3.1).
                         whitelist.push(canon);
                     }
-                    let det = if service == 21 { &mut self.ftp } else { &mut self.ssh };
+                    let det = if service == 21 {
+                        &mut self.ftp
+                    } else {
+                        &mut self.ssh
+                    };
                     alerts.extend(det.observe(src, pkt.ts, outcome));
                     self.conns.remove(&canon);
                 }
             }
         }
 
-        SuiteOutcome { alerts, host, whitelist }
+        SuiteOutcome {
+            alerts,
+            host,
+            whitelist,
+        }
     }
 
     /// Interval boundary: run the flow-log detectors (Slowloris) over the
@@ -294,7 +306,10 @@ mod tests {
         for p in trace.iter() {
             whitelisted.extend(suite.on_packet(p).whitelist);
         }
-        assert!(!whitelisted.is_empty(), "successful session gets whitelisted");
+        assert!(
+            !whitelisted.is_empty(),
+            "successful session gets whitelisted"
+        );
     }
 
     #[test]
@@ -306,7 +321,9 @@ mod tests {
             alerts.extend(suite.on_packet(p).alerts);
         }
         alerts.extend(suite.finish(trace.packets().last().unwrap().ts));
-        assert!(alerts.iter().any(|a| a.kind == AttackKind::StealthyPortScan));
+        assert!(alerts
+            .iter()
+            .any(|a| a.kind == AttackKind::StealthyPortScan));
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl BruteforceDetector {
 
     /// FTP variant.
     pub fn ftp() -> BruteforceDetector {
-        BruteforceDetector { kind: AttackKind::FtpBruteforce, ..BruteforceDetector::ssh() }
+        BruteforceDetector {
+            kind: AttackKind::FtpBruteforce,
+            ..BruteforceDetector::ssh()
+        }
     }
 
     /// Feed one classified session outcome.
@@ -92,7 +95,11 @@ pub struct CertExpiryMonitor {
 impl CertExpiryMonitor {
     /// Monitor over a registry.
     pub fn new(registry: smartwatch_host::ArtefactRegistry, horizon: Dur) -> CertExpiryMonitor {
-        CertExpiryMonitor { horizon, registry, seen: HashSet::new() }
+        CertExpiryMonitor {
+            horizon,
+            registry,
+            seen: HashSet::new(),
+        }
     }
 
     /// Observe a certificate digest presented at `now`.
@@ -125,7 +132,11 @@ pub struct KerberosMonitor {
 impl KerberosMonitor {
     /// Monitor over a ticket registry.
     pub fn new(registry: smartwatch_host::ArtefactRegistry, max_lifetime: Dur) -> KerberosMonitor {
-        KerberosMonitor { max_lifetime, registry, seen: HashSet::new() }
+        KerberosMonitor {
+            max_lifetime,
+            registry,
+            seen: HashSet::new(),
+        }
     }
 
     /// Observe a ticket digest issued at `issued`.
@@ -133,7 +144,10 @@ impl KerberosMonitor {
         if digest == 0 || !self.seen.insert(digest) {
             return None;
         }
-        match self.registry.lifetime_exceeds(digest, issued, self.max_lifetime) {
+        match self
+            .registry
+            .lifetime_exceeds(digest, issued, self.max_lifetime)
+        {
             Some(true) => Some(Alert::new(
                 AttackKind::KerberosTicket,
                 Subject::Digest(digest),
@@ -157,13 +171,19 @@ mod tests {
     #[test]
     fn threshold_failures_trigger_once() {
         let mut d = BruteforceDetector::ssh();
-        assert!(d.observe(src(1), Ts::from_secs(0), AuthOutcome::Failure).is_none());
-        assert!(d.observe(src(1), Ts::from_secs(60), AuthOutcome::Failure).is_none());
+        assert!(d
+            .observe(src(1), Ts::from_secs(0), AuthOutcome::Failure)
+            .is_none());
+        assert!(d
+            .observe(src(1), Ts::from_secs(60), AuthOutcome::Failure)
+            .is_none());
         let a = d.observe(src(1), Ts::from_secs(120), AuthOutcome::Failure);
         assert!(a.is_some());
         assert_eq!(a.unwrap().subject, Subject::Source(src(1)));
         // No duplicate alert.
-        assert!(d.observe(src(1), Ts::from_secs(180), AuthOutcome::Failure).is_none());
+        assert!(d
+            .observe(src(1), Ts::from_secs(180), AuthOutcome::Failure)
+            .is_none());
         assert_eq!(d.flagged(), vec![src(1)]);
     }
 

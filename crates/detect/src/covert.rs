@@ -55,7 +55,11 @@ impl IpdCollector {
     /// to catch 1–100 µs modulation).
     pub fn new(bin_width: Dur, n_bins: usize) -> IpdCollector {
         assert!(n_bins > 1 && bin_width > Dur::ZERO);
-        IpdCollector { bin_width, n_bins, flows: HashMap::new() }
+        IpdCollector {
+            bin_width,
+            n_bins,
+            flows: HashMap::new(),
+        }
     }
 
     /// Paper default: 1 µs bins, 128 bins.
@@ -67,7 +71,10 @@ impl IpdCollector {
     pub fn on_packet(&mut self, p: &Packet) {
         let key = p.key.canonical().0;
         let n_bins = self.n_bins;
-        let entry = self.flows.entry(key).or_insert_with(|| (p.ts, vec![0; n_bins]));
+        let entry = self
+            .flows
+            .entry(key)
+            .or_insert_with(|| (p.ts, vec![0; n_bins]));
         if entry.0 != p.ts {
             let gap = p.ts - entry.0;
             let bin =
@@ -117,7 +124,12 @@ impl CovertChannelDetector {
     /// Detector with a benign reference histogram and decision threshold.
     pub fn new(reference: Vec<u64>, threshold: f64) -> CovertChannelDetector {
         assert!(!reference.is_empty());
-        CovertChannelDetector { reference, threshold, min_samples: 50, window: 8 }
+        CovertChannelDetector {
+            reference,
+            threshold,
+            min_samples: 50,
+            window: 8,
+        }
     }
 
     /// Train the reference from benign flow histograms (summed).
@@ -233,8 +245,7 @@ mod tests {
         let det = CovertChannelDetector::train(&[benign_hist()], 0.3);
         let score_for = |lo: u64, hi: u64| {
             let mut c = IpdCollector::paper_default();
-            let gaps: Vec<u64> =
-                (0..400).map(|i| if i % 2 == 0 { lo } else { hi }).collect();
+            let gaps: Vec<u64> = (0..400).map(|i| if i % 2 == 0 { lo } else { hi }).collect();
             feed_gaps(&mut c, flow(9), &gaps);
             det.score(c.histogram(&flow(9)).unwrap())
         };

@@ -93,7 +93,9 @@ impl DnsAmpDetector {
             .pairs
             .iter()
             .filter(|((c, _), _)| *c == client)
-            .fold((0u64, 0u64), |(rq, rs), (_, b)| (rq + b.request, rs + b.response));
+            .fold((0u64, 0u64), |(rq, rs), (_, b)| {
+                (rq + b.request, rs + b.response)
+            });
         if req == 0 {
             0.0
         } else {
@@ -111,9 +113,9 @@ impl Default for DnsAmpDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smartwatch_net::Ts;
     use smartwatch_net::packet::udp;
     use smartwatch_net::Dur;
+    use smartwatch_net::Ts;
 
     fn victim() -> Ipv4Addr {
         Ipv4Addr::new(10, 0, 0, 99)
@@ -150,7 +152,9 @@ mod tests {
         for r in 0..8u8 {
             for _ in 0..10 {
                 t += Dur::from_millis(1);
-                assert!(d.on_packet(&udp(client, 40000, resolver(r), 53, t, 60)).is_none());
+                assert!(d
+                    .on_packet(&udp(client, 40000, resolver(r), 53, t, 60))
+                    .is_none());
                 t += Dur::from_millis(1);
                 // Typical response ~2–4× the query.
                 assert!(d

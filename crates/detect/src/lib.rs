@@ -72,6 +72,11 @@ pub struct Alert {
 impl Alert {
     /// Construct an alert.
     pub fn new(kind: AttackKind, subject: Subject, ts: Ts, detail: impl Into<String>) -> Alert {
-        Alert { kind, subject, ts, detail: detail.into() }
+        Alert {
+            kind,
+            subject,
+            ts,
+            detail: detail.into(),
+        }
     }
 }

@@ -133,6 +133,9 @@ mod tests {
             strict.on_packet(p);
         }
         let last = trace.packets().last().unwrap().ts;
-        assert!(strict.finish(last).is_empty(), "50 ms threshold can never trip");
+        assert!(
+            strict.finish(last).is_empty(),
+            "50 ms threshold can never trip"
+        );
     }
 }

@@ -50,8 +50,10 @@ impl PortscanDetector {
                 AttackKind::StealthyPortScan,
                 Subject::Source(src),
                 ts,
-                format!("TRW flagged scanner after {} outcomes, fanout {fanout}",
-                    walk.observations()),
+                format!(
+                    "TRW flagged scanner after {} outcomes, fanout {fanout}",
+                    walk.observations()
+                ),
             ));
         }
         None
@@ -104,7 +106,10 @@ impl ScanPipeline {
         // Periodic timeout sweep (every 500 ms of virtual time).
         if pkt.ts.since(self.last_sweep) >= Dur::from_millis(500) {
             self.last_sweep = pkt.ts;
-            for rec in self.conns.sweep_attempt_timeouts(pkt.ts, self.attempt_timeout) {
+            for rec in self
+                .conns
+                .sweep_attempt_timeouts(pkt.ts, self.attempt_timeout)
+            {
                 let (src, dst, port) = originator_view(&rec);
                 if let Some(a) = self.detector.observe(src, dst, port, false, pkt.ts) {
                     alerts.push(a);
@@ -113,7 +118,10 @@ impl ScanPipeline {
             }
             // Established-but-dataless connections are incomplete too
             // (half-open probes answered by SYN/ACK).
-            for rec in self.conns.sweep_dataless(pkt.ts, self.attempt_timeout.mul(4)) {
+            for rec in self
+                .conns
+                .sweep_dataless(pkt.ts, self.attempt_timeout.mul(4))
+            {
                 alerts.extend(self.incomplete.observe_incomplete(&rec, pkt.ts));
             }
         }
@@ -144,7 +152,10 @@ impl ScanPipeline {
     pub fn finish(&mut self, now: Ts) -> Vec<Alert> {
         let mut alerts = Vec::new();
         let horizon = now + self.attempt_timeout;
-        for rec in self.conns.sweep_attempt_timeouts(horizon, self.attempt_timeout) {
+        for rec in self
+            .conns
+            .sweep_attempt_timeouts(horizon, self.attempt_timeout)
+        {
             let (src, dst, port) = originator_view(&rec);
             if let Some(a) = self.detector.observe(src, dst, port, false, now) {
                 alerts.push(a);
@@ -180,12 +191,20 @@ pub struct IncompleteFlowDetector {
 impl IncompleteFlowDetector {
     /// Detector alerting after `threshold` incomplete flows per source.
     pub fn new(threshold: u32) -> IncompleteFlowDetector {
-        IncompleteFlowDetector { threshold, counts: HashMap::new(), alerted: HashSet::new() }
+        IncompleteFlowDetector {
+            threshold,
+            counts: HashMap::new(),
+            alerted: HashSet::new(),
+        }
     }
 
     /// Report a connection that ended (timed out / was swept) with no
     /// payload in either direction.
-    pub fn observe_incomplete(&mut self, rec: &smartwatch_host::ConnRecord, now: Ts) -> Option<Alert> {
+    pub fn observe_incomplete(
+        &mut self,
+        rec: &smartwatch_host::ConnRecord,
+        now: Ts,
+    ) -> Option<Alert> {
         if rec.total_bytes() > 0 {
             return None;
         }

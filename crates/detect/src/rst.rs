@@ -110,7 +110,7 @@ impl ForgedRstDetector {
             if self.bloom.contains(fid) {
                 // Possible duplicate: scan the wheel (slow path).
                 self.slow_path += 1;
-                let dup = self.wheel.scan(|r| r.flow == flow).first().is_some();
+                let dup = !self.wheel.scan(|r| r.flow == flow).is_empty();
                 if dup {
                     events.push(RstEvent::DuplicateRst(Alert::new(
                         AttackKind::ForgedTcpRst,
@@ -128,7 +128,12 @@ impl ForgedRstDetector {
             self.bloom.insert(fid);
             self.wheel.schedule(
                 pkt.ts + self.horizon,
-                BufferedRst { flow, forward, seq: pkt.seq, arrived: pkt.ts },
+                BufferedRst {
+                    flow,
+                    forward,
+                    seq: pkt.seq,
+                    arrived: pkt.ts,
+                },
             );
             return events;
         }
@@ -181,11 +186,18 @@ mod tests {
     }
 
     fn rst(f: FlowKey, ts: Ts, seq: u32) -> Packet {
-        PacketBuilder::new(f, ts).flags(TcpFlags::RST).seq(seq).build()
+        PacketBuilder::new(f, ts)
+            .flags(TcpFlags::RST)
+            .seq(seq)
+            .build()
     }
 
     fn data(f: FlowKey, ts: Ts, seq: u32) -> Packet {
-        PacketBuilder::new(f, ts).flags(TcpFlags::PSH | TcpFlags::ACK).seq(seq).payload(500).build()
+        PacketBuilder::new(f, ts)
+            .flags(TcpFlags::PSH | TcpFlags::ACK)
+            .seq(seq)
+            .payload(500)
+            .build()
     }
 
     #[test]
@@ -236,7 +248,12 @@ mod tests {
         for i in 0..100 {
             d.on_packet(&rst(flow(100 + i), Ts::from_millis(u64::from(i)), 1));
         }
-        assert!(d.fast_path >= 95, "fast {} slow {}", d.fast_path, d.slow_path);
+        assert!(
+            d.fast_path >= 95,
+            "fast {} slow {}",
+            d.fast_path,
+            d.slow_path
+        );
     }
 
     #[test]

@@ -76,8 +76,7 @@ impl SlowlorisDetector {
         let mut alerts = Vec::new();
         for (victim, conns) in stalling {
             if conns.len() >= self.conn_threshold && self.alerted.insert(victim) {
-                let attackers: HashSet<Ipv4Addr> =
-                    conns.iter().map(|r| client_of(r)).collect();
+                let attackers: HashSet<Ipv4Addr> = conns.iter().map(|r| client_of(r)).collect();
                 alerts.push(Alert::new(
                     AttackKind::Slowloris,
                     Subject::Destination(victim),
@@ -124,7 +123,12 @@ mod tests {
     use smartwatch_net::FlowKey;
 
     fn stalling_record(i: u32, server: Ipv4Addr, bytes: u64, dur_s: u64) -> FlowRecord {
-        let key = FlowKey::tcp(Ipv4Addr::from(0xC6120000 + i), 10_000 + i as u16, server, 80);
+        let key = FlowKey::tcp(
+            Ipv4Addr::from(0xC6120000 + i),
+            10_000 + i as u16,
+            server,
+            80,
+        );
         let mut r = FlowRecord::new(key.canonical().0, Ts::ZERO, 64);
         r.bytes = bytes;
         r.packets = 6;
@@ -136,8 +140,9 @@ mod tests {
     fn many_stalling_conns_alert_once() {
         let server = Ipv4Addr::new(172, 16, 0, 3);
         let mut d = SlowlorisDetector::new();
-        let records: Vec<FlowRecord> =
-            (0..60).map(|i| stalling_record(i, server, 500, 30)).collect();
+        let records: Vec<FlowRecord> = (0..60)
+            .map(|i| stalling_record(i, server, 500, 30))
+            .collect();
         let alerts = d.analyze(&records, Ts::from_secs(31));
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].subject, Subject::Destination(server));
@@ -150,12 +155,14 @@ mod tests {
         let server = Ipv4Addr::new(172, 16, 0, 3);
         let mut d = SlowlorisDetector::new();
         // 60 short-lived conns.
-        let short: Vec<FlowRecord> =
-            (0..60).map(|i| stalling_record(i, server, 500, 2)).collect();
+        let short: Vec<FlowRecord> = (0..60)
+            .map(|i| stalling_record(i, server, 500, 2))
+            .collect();
         assert!(d.analyze(&short, Ts::from_secs(3)).is_empty());
         // 60 long but data-heavy conns (ordinary long downloads).
-        let bulky: Vec<FlowRecord> =
-            (0..60).map(|i| stalling_record(i, server, 1_000_000, 30)).collect();
+        let bulky: Vec<FlowRecord> = (0..60)
+            .map(|i| stalling_record(i, server, 1_000_000, 30))
+            .collect();
         assert!(d.analyze(&bulky, Ts::from_secs(31)).is_empty());
     }
 
@@ -163,8 +170,9 @@ mod tests {
     fn below_conn_threshold_is_quiet() {
         let server = Ipv4Addr::new(172, 16, 0, 3);
         let mut d = SlowlorisDetector::new();
-        let records: Vec<FlowRecord> =
-            (0..10).map(|i| stalling_record(i, server, 500, 30)).collect();
+        let records: Vec<FlowRecord> = (0..10)
+            .map(|i| stalling_record(i, server, 500, 30))
+            .collect();
         assert!(d.analyze(&records, Ts::from_secs(31)).is_empty());
     }
 
@@ -172,8 +180,9 @@ mod tests {
     fn coarse_indicator_ranks_conn_heavy_prefixes() {
         let victim = Ipv4Addr::new(172, 16, 0, 3);
         let normal = Ipv4Addr::new(172, 16, 99, 3);
-        let mut records: Vec<FlowRecord> =
-            (0..100).map(|i| stalling_record(i, victim, 300, 30)).collect();
+        let mut records: Vec<FlowRecord> = (0..100)
+            .map(|i| stalling_record(i, victim, 300, 30))
+            .collect();
         // Normal server: few connections, lots of bytes.
         for i in 0..5 {
             records.push(stalling_record(1000 + i, normal, 5_000_000, 30));

@@ -102,7 +102,10 @@ impl Trw {
 
     /// Fully parameterised TRW.
     pub fn with_params(theta0: f64, theta1: f64, alpha: f64, beta: f64) -> Trw {
-        assert!(theta1 < theta0, "scanners fail more often than benign hosts");
+        assert!(
+            theta1 < theta0,
+            "scanners fail more often than benign hosts"
+        );
         Trw {
             theta0,
             theta1,
@@ -117,7 +120,11 @@ impl Trw {
     /// Feed one connection-attempt outcome; returns the current verdict.
     pub fn observe(&mut self, success: bool) -> TrwVerdict {
         if let Some(s) = self.decided {
-            return if s { TrwVerdict::Scanner } else { TrwVerdict::Benign };
+            return if s {
+                TrwVerdict::Scanner
+            } else {
+                TrwVerdict::Benign
+            };
         }
         self.observations += 1;
         self.log_lambda += if success {
@@ -190,10 +197,16 @@ impl NaiveBayes {
             .iter()
             .map(|bins| {
                 let total: u64 = bins.iter().sum();
-                bins.iter().map(|&b| (b as f64 / total as f64).ln()).collect()
+                bins.iter()
+                    .map(|&b| (b as f64 / total as f64).ln())
+                    .collect()
             })
             .collect();
-        NaiveBayes { priors, log_likelihood, n_bins }
+        NaiveBayes {
+            priors,
+            log_likelihood,
+            n_bins,
+        }
     }
 
     /// Most likely class for a histogram.
@@ -276,8 +289,8 @@ mod tests {
     fn ks_histogram_bimodal_vs_unimodal() {
         // Unimodal reference around bin 45; bimodal observation at 30/80.
         let mut reference = vec![0u64; 100];
-        for b in 40..50 {
-            reference[b] = 100;
+        for slot in &mut reference[40..50] {
+            *slot = 100;
         }
         let mut bimodal = vec![0u64; 100];
         bimodal[30] = 500;
@@ -301,7 +314,10 @@ mod tests {
             }
         }
         assert_eq!(verdict, TrwVerdict::Scanner);
-        assert!(needed <= 5, "classic TRW flags after ~4 failures, took {needed}");
+        assert!(
+            needed <= 5,
+            "classic TRW flags after ~4 failures, took {needed}"
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ pub fn true_heavy_changes(
     keys.sort();
     keys.dedup();
     keys.retain(|k| {
-        a.get(k).copied().unwrap_or(0).abs_diff(b.get(k).copied().unwrap_or(0)) >= threshold
+        a.get(k)
+            .copied()
+            .unwrap_or(0)
+            .abs_diff(b.get(k).copied().unwrap_or(0))
+            >= threshold
     });
     keys
 }
@@ -118,10 +122,7 @@ pub fn evaluate_heavy_hitters<C: FlowCounter>(
     let threshold = ((packets.len() as f64) * hh_fraction).max(1.0) as u64;
     let hh = true_heavy_hitters(&truth, threshold);
     let mre = mean_relative_error(&truth, &hh, |k| sketch.estimate(k));
-    let missed = hh
-        .iter()
-        .filter(|k| sketch.estimate(k) < threshold)
-        .count();
+    let missed = hh.iter().filter(|k| sketch.estimate(k) < threshold).count();
     (mre, missed)
 }
 

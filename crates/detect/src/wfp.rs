@@ -24,7 +24,10 @@ pub struct PldCollector {
 impl PldCollector {
     /// Collector for loads tunnelled via `proxy_port` (paper: OpenSSH, 22).
     pub fn new(proxy_port: u16) -> PldCollector {
-        PldCollector { flows: HashMap::new(), proxy_port }
+        PldCollector {
+            flows: HashMap::new(),
+            proxy_port,
+        }
     }
 
     /// Fold one packet into its connection's feature vector: the first
@@ -35,7 +38,10 @@ impl PldCollector {
         }
         let inbound = p.key.src_port == self.proxy_port;
         let key = p.key.canonical().0;
-        let hist = self.flows.entry(key).or_insert_with(|| vec![0; WFP_BINS * 2]);
+        let hist = self
+            .flows
+            .entry(key)
+            .or_insert_with(|| vec![0; WFP_BINS * 2]);
         let bin = usize::from(p.payload_len / 50).min(WFP_BINS - 1);
         hist[if inbound { WFP_BINS + bin } else { bin }] += 1;
     }
@@ -71,7 +77,9 @@ impl WfpClassifier {
     /// Train from `(site_id, feature_vector)` examples over a closed
     /// world of `n_sites` sites.
     pub fn train(n_sites: usize, examples: &[(usize, Vec<u64>)]) -> WfpClassifier {
-        WfpClassifier { nb: NaiveBayes::train(n_sites, WFP_BINS * 2, examples) }
+        WfpClassifier {
+            nb: NaiveBayes::train(n_sites, WFP_BINS * 2, examples),
+        }
     }
 
     /// Predicted site for a load's features.
@@ -105,7 +113,11 @@ mod tests {
         let mut collector = PldCollector::new(cfg.proxy_port);
         let mut site_of: HashMap<FlowKey, usize> = HashMap::new();
         for p in trace.iter() {
-            if let Label::Attack { kind: AttackKind::WebsiteFingerprint, instance } = p.label {
+            if let Label::Attack {
+                kind: AttackKind::WebsiteFingerprint,
+                instance,
+            } = p.label
+            {
                 site_of.insert(p.key.canonical().0, instance as usize);
                 collector.on_packet(p);
             }
@@ -142,10 +154,9 @@ mod tests {
         let out = smartwatch_net::PacketBuilder::new(key, smartwatch_net::Ts::ZERO)
             .payload(120)
             .build();
-        let inb =
-            smartwatch_net::PacketBuilder::new(key.reversed(), smartwatch_net::Ts::ZERO)
-                .payload(1200)
-                .build();
+        let inb = smartwatch_net::PacketBuilder::new(key.reversed(), smartwatch_net::Ts::ZERO)
+            .payload(1200)
+            .build();
         c.on_packet(&out);
         c.on_packet(&inb);
         let f = c.features(&key).unwrap();

@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn detects_generated_outbreak() {
         use smartwatch_trace::attacks::worm::{worm_outbreak, WormConfig};
-        let cfg = WormConfig { signature: 0x5EED, ..WormConfig::new(77) };
+        let cfg = WormConfig {
+            signature: 0x5EED,
+            ..WormConfig::new(77)
+        };
         let trace = worm_outbreak(&cfg);
         let mut d = EarlyBirdDetector::paper_default();
         let mut detected_at = None;

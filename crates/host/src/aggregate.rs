@@ -9,20 +9,61 @@
 
 use smartwatch_net::FlowKey;
 use smartwatch_snic::FlowRecord;
+use smartwatch_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
 
+/// Registry handles for the aggregator (present only after
+/// [`SnapshotAggregator::attach_telemetry`]).
+#[derive(Debug)]
+struct AggregatorTelemetry {
+    exports_in: Counter,
+    flushes: Counter,
+    flows: Gauge,
+    flush_size: Histogram,
+}
+
 /// Merges repeated sNIC exports into per-flow totals.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct SnapshotAggregator {
     flows: HashMap<FlowKey, FlowRecord>,
     /// Exports consumed.
     pub exports_in: u64,
+    telemetry: Option<AggregatorTelemetry>,
+}
+
+impl Clone for SnapshotAggregator {
+    /// Clones keep the aggregated flows and counts but detach from any
+    /// registry.
+    fn clone(&self) -> SnapshotAggregator {
+        SnapshotAggregator {
+            flows: self.flows.clone(),
+            exports_in: self.exports_in,
+            telemetry: None,
+        }
+    }
 }
 
 impl SnapshotAggregator {
     /// Empty aggregator.
     pub fn new() -> SnapshotAggregator {
         SnapshotAggregator::default()
+    }
+
+    /// Publish the aggregator's activity into `registry` as
+    /// `host.aggregate.{exports_in,flushes,flows,flush_records}{agg=name}`,
+    /// carrying the current export count over. `name` distinguishes
+    /// co-existing aggregators (e.g. per-interval vs long-term).
+    pub fn attach_telemetry(&mut self, registry: &Registry, name: &str) {
+        let labels: &[(&str, &str)] = &[("agg", name)];
+        let t = AggregatorTelemetry {
+            exports_in: registry.counter("host.aggregate.exports_in", labels),
+            flushes: registry.counter("host.aggregate.flushes", labels),
+            flows: registry.gauge("host.aggregate.flows", labels),
+            flush_size: registry.histogram("host.aggregate.flush_records", labels),
+        };
+        t.exports_in.add(self.exports_in);
+        t.flows.set(self.flows.len() as f64);
+        self.telemetry = Some(t);
     }
 
     /// Ingest one exported record.
@@ -32,6 +73,10 @@ impl SnapshotAggregator {
             .entry(rec.key)
             .and_modify(|e| e.merge(&rec))
             .or_insert(rec);
+        if let Some(t) = &self.telemetry {
+            t.exports_in.inc();
+            t.flows.set(self.flows.len() as f64);
+        }
     }
 
     /// Ingest a batch (one ring drain or snapshot).
@@ -93,6 +138,11 @@ impl SnapshotAggregator {
     pub fn flush(&mut self) -> Vec<FlowRecord> {
         let mut out: Vec<FlowRecord> = self.flows.drain().map(|(_, r)| r).collect();
         out.sort_by_key(|r| r.key);
+        if let Some(t) = &self.telemetry {
+            t.flushes.inc();
+            t.flush_size.record(out.len() as u64);
+            t.flows.set(0.0);
+        }
         out
     }
 }
@@ -104,8 +154,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn rec(i: u32, packets: u64, t0: u64, t1: u64) -> FlowRecord {
-        let key =
-            FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80);
+        let key = FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        );
         let mut r = FlowRecord::new(key.canonical().0, Ts::from_secs(t0), 64);
         r.packets = packets;
         r.bytes = packets * 64;

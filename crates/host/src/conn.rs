@@ -139,7 +139,11 @@ impl ConnTable {
 
         let rec = self.conns.entry(canon).or_insert_with(|| ConnRecord {
             key: canon,
-            state: if pkt.flags.is_syn_only() { ConnState::S0 } else { ConnState::Oth },
+            state: if pkt.flags.is_syn_only() {
+                ConnState::S0
+            } else {
+                ConnState::Oth
+            },
             orig_is_forward: from_forward,
             orig_pkts: 0,
             resp_pkts: 0,
@@ -176,7 +180,11 @@ impl ConnTable {
             }
             ConnState::S1 => {
                 if pkt.flags.rst() {
-                    rec.state = if from_orig { ConnState::Rsto } else { ConnState::Rstr };
+                    rec.state = if from_orig {
+                        ConnState::Rsto
+                    } else {
+                        ConnState::Rstr
+                    };
                     event = Some(ConnEvent::Reset(from_orig));
                 } else if pkt.flags.fin() {
                     if from_orig {
@@ -236,11 +244,19 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key() -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 40000, Ipv4Addr::new(10, 0, 0, 2), 80)
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
     }
 
     fn p(k: FlowKey, ts_us: u64, flags: TcpFlags, payload: u16) -> Packet {
-        PacketBuilder::new(k, Ts::from_micros(ts_us)).flags(flags).payload(payload).build()
+        PacketBuilder::new(k, Ts::from_micros(ts_us))
+            .flags(flags)
+            .payload(payload)
+            .build()
     }
 
     #[test]
@@ -329,7 +345,12 @@ mod tests {
     fn responder_syn_ack_does_not_create_backwards_conn() {
         // If the first packet we see is the SYN from a scanner, the
         // originator must be the scanner regardless of canonical order.
-        let back = FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 200), 55, Ipv4Addr::new(10, 0, 0, 2), 80);
+        let back = FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 200),
+            55,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
         let mut t = ConnTable::new();
         t.process(&p(back, 1, TcpFlags::SYN, 0));
         t.process(&p(back.reversed(), 2, TcpFlags::SYN_ACK, 0));

@@ -8,12 +8,34 @@
 
 use smartwatch_net::FlowKey;
 use smartwatch_snic::FlowRecord;
+use smartwatch_telemetry::{Counter, Gauge, Registry};
 use std::collections::BTreeMap;
 
+/// Registry handles for the store (present only after
+/// [`FlowLogStore::attach_telemetry`]).
+#[derive(Debug)]
+struct FlowLogTelemetry {
+    flushes: Counter,
+    records_in: Counter,
+    records: Gauge,
+    intervals: Gauge,
+}
+
 /// Interval-keyed flow-log store.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct FlowLogStore {
     intervals: BTreeMap<u64, Vec<FlowRecord>>,
+    telemetry: Option<FlowLogTelemetry>,
+}
+
+impl Clone for FlowLogStore {
+    /// Clones keep the stored records but detach from any registry.
+    fn clone(&self) -> FlowLogStore {
+        FlowLogStore {
+            intervals: self.intervals.clone(),
+            telemetry: None,
+        }
+    }
 }
 
 impl FlowLogStore {
@@ -22,10 +44,33 @@ impl FlowLogStore {
         FlowLogStore::default()
     }
 
+    /// Publish the store's growth into `registry` as
+    /// `host.flowlog.{flushes,records_in,records,intervals}`, seeding
+    /// with current contents.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let t = FlowLogTelemetry {
+            flushes: registry.counter("host.flowlog.flushes", &[]),
+            records_in: registry.counter("host.flowlog.records_in", &[]),
+            records: registry.gauge("host.flowlog.records", &[]),
+            intervals: registry.gauge("host.flowlog.intervals", &[]),
+        };
+        t.records_in.add(self.len() as u64);
+        t.records.set(self.len() as f64);
+        t.intervals.set(self.intervals.len() as f64);
+        self.telemetry = Some(t);
+    }
+
     /// Append a flushed batch under measurement-interval `interval`.
     /// Repeated flushes into the same interval accumulate.
     pub fn store(&mut self, interval: u64, records: Vec<FlowRecord>) {
+        let n = records.len() as u64;
         self.intervals.entry(interval).or_default().extend(records);
+        if let Some(t) = &self.telemetry {
+            t.flushes.inc();
+            t.records_in.add(n);
+            t.records.set(self.len() as f64);
+            t.intervals.set(self.intervals.len() as f64);
+        }
     }
 
     /// Number of intervals recorded.
@@ -35,7 +80,10 @@ impl FlowLogStore {
 
     /// Records of one interval.
     pub fn interval(&self, interval: u64) -> &[FlowRecord] {
-        self.intervals.get(&interval).map(Vec::as_slice).unwrap_or(&[])
+        self.intervals
+            .get(&interval)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Iterate `(interval, records)` in interval order.
@@ -86,7 +134,11 @@ impl FlowLogStore {
         let mut out: Vec<(FlowKey, u64)> = keys
             .into_iter()
             .filter_map(|k| {
-                let d = ca.get(&k).copied().unwrap_or(0).abs_diff(cb.get(&k).copied().unwrap_or(0));
+                let d = ca
+                    .get(&k)
+                    .copied()
+                    .unwrap_or(0)
+                    .abs_diff(cb.get(&k).copied().unwrap_or(0));
                 (d >= threshold).then_some((k, d))
             })
             .collect();
@@ -118,8 +170,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn rec(i: u32, packets: u64) -> FlowRecord {
-        let key =
-            FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80);
+        let key = FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        );
         let mut r = FlowRecord::new(key.canonical().0, Ts::ZERO, 64);
         r.packets = packets;
         r
@@ -176,14 +232,18 @@ mod tests {
 impl FlowLogStore {
     /// Serialise the whole store as JSON.
     pub fn to_json(&self) -> String {
-        let dump: Vec<(u64, &Vec<FlowRecord>)> = self.intervals.iter().map(|(k, v)| (*k, v)).collect();
+        let dump: Vec<(u64, &Vec<FlowRecord>)> =
+            self.intervals.iter().map(|(k, v)| (*k, v)).collect();
         serde_json::to_string(&dump).expect("flow records serialise")
     }
 
     /// Restore a store from [`FlowLogStore::to_json`] output.
     pub fn from_json(json: &str) -> Result<FlowLogStore, serde_json::Error> {
         let dump: Vec<(u64, Vec<FlowRecord>)> = serde_json::from_str(json)?;
-        Ok(FlowLogStore { intervals: dump.into_iter().collect() })
+        Ok(FlowLogStore {
+            intervals: dump.into_iter().collect(),
+            telemetry: None,
+        })
     }
 
     /// Write the store to a file.
@@ -207,9 +267,14 @@ mod persist_tests {
 
     fn store() -> FlowLogStore {
         let mut s = FlowLogStore::new();
-        let key = FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 5, Ipv4Addr::new(172, 16, 0, 1), 80)
-            .canonical()
-            .0;
+        let key = FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            5,
+            Ipv4Addr::new(172, 16, 0, 1),
+            80,
+        )
+        .canonical()
+        .0;
         let mut r = FlowRecord::new(key, Ts::from_secs(3), 64);
         r.packets = 41;
         r.state_a = 7;

@@ -5,11 +5,11 @@
 //! steers escalated packets to the right port. This module provides the
 //! dispatch fabric: a [`HostNf`] trait, a synchronous [`HostRuntime`]
 //! used by the deterministic experiments, and a threaded runtime built on
-//! crossbeam channels for the concurrency-facing tests.
+//! bounded std channels for the concurrency-facing tests.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use smartwatch_net::Packet;
 use std::collections::HashMap;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 /// A verdict an NF can hand back to the platform.
@@ -95,7 +95,7 @@ impl HostRuntime {
 /// A threaded NF worker: packets in via a bounded channel, verdicts out.
 /// Models the DPDK poll-mode worker pinned to a host core.
 pub struct NfWorker {
-    tx: Option<Sender<Packet>>,
+    tx: Option<SyncSender<Packet>>,
     verdicts: Receiver<Verdict>,
     handle: Option<JoinHandle<()>>,
 }
@@ -104,8 +104,8 @@ impl NfWorker {
     /// Spawn a worker around an NF. `queue` bounds the in-flight packets
     /// (models the SR-IOV RX ring).
     pub fn spawn(mut nf: Box<dyn HostNf>, queue: usize) -> NfWorker {
-        let (tx, rx) = bounded::<Packet>(queue);
-        let (vtx, vrx) = bounded::<Verdict>(queue.max(64));
+        let (tx, rx) = sync_channel::<Packet>(queue);
+        let (vtx, vrx) = sync_channel::<Verdict>(queue.max(64));
         let handle = std::thread::spawn(move || {
             while let Ok(pkt) = rx.recv() {
                 for v in nf.on_packet(&pkt) {
@@ -116,7 +116,11 @@ impl NfWorker {
                 }
             }
         });
-        NfWorker { tx: Some(tx), verdicts: vrx, handle: Some(handle) }
+        NfWorker {
+            tx: Some(tx),
+            verdicts: vrx,
+            handle: Some(handle),
+        }
     }
 
     /// Enqueue a packet; returns false if the ring is full (packet drop).
@@ -163,7 +167,7 @@ mod tests {
     impl HostNf for CountingNf {
         fn on_packet(&mut self, _pkt: &Packet) -> Vec<Verdict> {
             self.seen += 1;
-            if self.seen % self.alert_every == 0 {
+            if self.seen.is_multiple_of(self.alert_every) {
                 vec![Verdict::Alert(format!("{}:{}", self.name, self.seen))]
             } else {
                 Vec::new()
@@ -176,16 +180,34 @@ mod tests {
     }
 
     fn pkt() -> Packet {
-        let key =
-            FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 4, Ipv4Addr::new(10, 0, 0, 2), 22);
+        let key = FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            4,
+            Ipv4Addr::new(10, 0, 0, 2),
+            22,
+        );
         PacketBuilder::new(key, Ts::ZERO).build()
     }
 
     #[test]
     fn dispatch_routes_by_port() {
         let mut rt = HostRuntime::new();
-        rt.bind(1, Box::new(CountingNf { name: "zeek".into(), seen: 0, alert_every: 2 }));
-        rt.bind(2, Box::new(CountingNf { name: "wheel".into(), seen: 0, alert_every: 1 }));
+        rt.bind(
+            1,
+            Box::new(CountingNf {
+                name: "zeek".into(),
+                seen: 0,
+                alert_every: 2,
+            }),
+        );
+        rt.bind(
+            2,
+            Box::new(CountingNf {
+                name: "wheel".into(),
+                seen: 0,
+                alert_every: 1,
+            }),
+        );
         assert!(rt.dispatch(1, &pkt()).is_empty());
         let v = rt.dispatch(1, &pkt());
         assert_eq!(v, vec![Verdict::Alert("zeek:2".into())]);
@@ -205,7 +227,11 @@ mod tests {
     #[test]
     fn threaded_worker_processes_all() {
         let worker = NfWorker::spawn(
-            Box::new(CountingNf { name: "w".into(), seen: 0, alert_every: 1 }),
+            Box::new(CountingNf {
+                name: "w".into(),
+                seen: 0,
+                alert_every: 1,
+            }),
             1024,
         );
         for _ in 0..500 {

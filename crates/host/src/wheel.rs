@@ -8,6 +8,7 @@
 //! items in deadline order.
 
 use smartwatch_net::{Dur, Ts};
+use smartwatch_telemetry::{Counter, Gauge, Registry};
 use std::collections::VecDeque;
 
 /// One scheduled entry.
@@ -17,8 +18,25 @@ struct Entry<T> {
     item: T,
 }
 
+/// Registry handles for one wheel (present only after
+/// [`TimingWheel::attach_telemetry`]).
+#[derive(Debug)]
+struct WheelTelemetry {
+    scheduled: Counter,
+    expired: Counter,
+    occupancy: Gauge,
+    occupancy_peak: Gauge,
+}
+
+impl WheelTelemetry {
+    fn note(&self, len: usize) {
+        self.occupancy.set(len as f64);
+        self.occupancy_peak.set_max(len as f64);
+    }
+}
+
 /// A hashed timing wheel holding items of type `T`.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TimingWheel<T> {
     slots: Vec<VecDeque<Entry<T>>>,
     tick: Dur,
@@ -26,6 +44,20 @@ pub struct TimingWheel<T> {
     /// `now` has been expired).
     now: Ts,
     len: usize,
+    telemetry: Option<WheelTelemetry>,
+}
+
+impl<T: Clone> Clone for TimingWheel<T> {
+    /// Clones keep the scheduled items but detach from any registry.
+    fn clone(&self) -> TimingWheel<T> {
+        TimingWheel {
+            slots: self.slots.clone(),
+            tick: self.tick,
+            now: self.now,
+            len: self.len,
+            telemetry: None,
+        }
+    }
 }
 
 impl<T> TimingWheel<T> {
@@ -38,7 +70,22 @@ impl<T> TimingWheel<T> {
             tick,
             now: Ts::ZERO,
             len: 0,
+            telemetry: None,
         }
+    }
+
+    /// Publish this wheel's activity into `registry` as
+    /// `host.wheel.{scheduled,expired,occupancy,occupancy_peak}{wheel=name}`.
+    pub fn attach_telemetry(&mut self, registry: &Registry, name: &str) {
+        let labels: &[(&str, &str)] = &[("wheel", name)];
+        let t = WheelTelemetry {
+            scheduled: registry.counter("host.wheel.scheduled", labels),
+            expired: registry.counter("host.wheel.expired", labels),
+            occupancy: registry.gauge("host.wheel.occupancy", labels),
+            occupancy_peak: registry.gauge("host.wheel.occupancy_peak", labels),
+        };
+        t.note(self.len);
+        self.telemetry = Some(t);
     }
 
     /// Scheduling horizon.
@@ -79,6 +126,10 @@ impl<T> TimingWheel<T> {
         let slot = self.slot_of(deadline);
         self.slots[slot].push_back(Entry { deadline, item });
         self.len += 1;
+        if let Some(t) = &self.telemetry {
+            t.scheduled.inc();
+            t.note(self.len);
+        }
     }
 
     /// Advance to `now`, returning every item whose deadline has passed,
@@ -107,6 +158,10 @@ impl<T> TimingWheel<T> {
         }
         self.now = now;
         expired.sort_by_key(|(d, _)| *d);
+        if let Some(t) = &self.telemetry {
+            t.expired.add(expired.len() as u64);
+            t.note(self.len);
+        }
         expired
     }
 

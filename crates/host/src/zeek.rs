@@ -51,9 +51,7 @@ impl Default for AuthHeuristic {
 impl AuthHeuristic {
     /// Classify a (finished or aged-out) session.
     pub fn classify(&self, conn: &ConnRecord) -> AuthOutcome {
-        if conn.resp_bytes >= self.success_resp_bytes
-            || conn.duration() >= self.success_duration
-        {
+        if conn.resp_bytes >= self.success_resp_bytes || conn.duration() >= self.success_duration {
             return AuthOutcome::Success;
         }
         let pkts = conn.orig_pkts + conn.resp_pkts;
@@ -78,7 +76,9 @@ pub struct ArtefactRegistry {
 impl ArtefactRegistry {
     /// Build from (digest, expires_at) pairs.
     pub fn from_pairs<I: IntoIterator<Item = (u64, Ts)>>(pairs: I) -> ArtefactRegistry {
-        ArtefactRegistry { expiry: pairs.into_iter().collect() }
+        ArtefactRegistry {
+            expiry: pairs.into_iter().collect(),
+        }
     }
 
     /// Number of registered artefacts.
@@ -106,7 +106,8 @@ impl ArtefactRegistry {
     /// with a remaining lifetime beyond `max_lifetime` (golden-ticket
     /// indicator)?
     pub fn lifetime_exceeds(&self, digest: u64, issued: Ts, max_lifetime: Dur) -> Option<bool> {
-        self.expires_at(digest).map(|e| e.since(issued) > max_lifetime)
+        self.expires_at(digest)
+            .map(|e| e.since(issued) > max_lifetime)
     }
 }
 
@@ -117,8 +118,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn conn(resp_bytes: u64, pkts: u64, dur_s: u64) -> ConnRecord {
-        let key =
-            FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 4, Ipv4Addr::new(10, 0, 0, 2), 22);
+        let key = FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            4,
+            Ipv4Addr::new(10, 0, 0, 2),
+            22,
+        );
         ConnRecord {
             key: key.canonical().0,
             state: crate::conn::ConnState::SF,
@@ -162,10 +167,8 @@ mod tests {
 
     #[test]
     fn registry_expiry_checks() {
-        let reg = ArtefactRegistry::from_pairs([
-            (1, Ts::from_secs(100)),
-            (2, Ts::from_secs(10_000_000)),
-        ]);
+        let reg =
+            ArtefactRegistry::from_pairs([(1, Ts::from_secs(100)), (2, Ts::from_secs(10_000_000))]);
         let now = Ts::from_secs(50);
         let horizon = Dur::from_secs(1_000);
         assert_eq!(reg.expires_within(1, now, horizon), Some(true));

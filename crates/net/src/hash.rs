@@ -78,7 +78,9 @@ impl FlowHasher {
     /// Create a hasher with the given seed. Each distinct seed yields an
     /// (empirically) independent hash function.
     pub fn new(seed: u64) -> FlowHasher {
-        FlowHasher { seed: seed.wrapping_mul(K0).wrapping_add(K1) }
+        FlowHasher {
+            seed: seed.wrapping_mul(K0).wrapping_add(K1),
+        }
     }
 
     /// Hash a directed flow key exactly as given (no canonicalisation).
@@ -155,8 +157,9 @@ mod tests {
     #[test]
     fn seeds_give_different_functions() {
         let k = key(1, 2, 3, 4);
-        let d: HashSet<u64> =
-            (0..64).map(|s| FlowHasher::new(s).hash_directed(&k).0).collect();
+        let d: HashSet<u64> = (0..64)
+            .map(|s| FlowHasher::new(s).hash_directed(&k).0)
+            .collect();
         assert_eq!(d.len(), 64, "64 seeds should give 64 distinct digests");
     }
 
@@ -178,8 +181,11 @@ mod tests {
             hits[b] += 1;
         }
         // Expect ~100 per bucket; fail if any bucket is wildly off.
-        assert!(hits.iter().all(|&c| c > 40 && c < 200), "poor spread: {:?}",
-            hits.iter().copied().max());
+        assert!(
+            hits.iter().all(|&c| c > 40 && c < 200),
+            "poor spread: {:?}",
+            hits.iter().copied().max()
+        );
     }
 
     #[test]

@@ -107,7 +107,13 @@ impl FlowKey {
         dst_port: u16,
         proto: Proto,
     ) -> FlowKey {
-        FlowKey { src_ip, dst_ip, src_port, dst_port, proto }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        }
     }
 
     /// Convenience constructor for TCP flows.

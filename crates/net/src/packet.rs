@@ -73,7 +73,11 @@ impl Packet {
     /// `tcprewrite` for the paper's stress traces. Headers (key, flags,
     /// seq/ack) are untouched; only lengths shrink.
     pub fn truncated(&self) -> Packet {
-        Packet { wire_len: Packet::MIN_WIRE_LEN, payload_len: 0, ..*self }
+        Packet {
+            wire_len: Packet::MIN_WIRE_LEN,
+            payload_len: 0,
+            ..*self
+        }
     }
 
     /// Copy of this packet with the timestamp shifted by `delta_ns`
@@ -81,7 +85,10 @@ impl Packet {
     /// background traces.
     pub fn time_shifted(&self, delta_ns: i64) -> Packet {
         let ns = self.ts.as_nanos() as i64 + delta_ns;
-        Packet { ts: Ts::from_nanos(ns.max(0) as u64), ..*self }
+        Packet {
+            ts: Ts::from_nanos(ns.max(0) as u64),
+            ..*self
+        }
     }
 }
 
@@ -166,7 +173,10 @@ impl PacketBuilder {
 
 /// Convenience: a TCP SYN packet opening `key`.
 pub fn syn(key: FlowKey, ts: Ts, seq: u32) -> Packet {
-    Packet::builder(key, ts).flags(TcpFlags::SYN).seq(seq).build()
+    Packet::builder(key, ts)
+        .flags(TcpFlags::SYN)
+        .seq(seq)
+        .build()
 }
 
 /// Convenience: the SYN/ACK answering `syn_pkt`.
@@ -180,7 +190,9 @@ pub fn syn_ack(syn_pkt: &Packet, ts: Ts, seq: u32) -> Packet {
 
 /// Convenience: a UDP datagram.
 pub fn udp(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16, ts: Ts, payload: u16) -> Packet {
-    Packet::builder(FlowKey::udp(src, sport, dst, dport), ts).payload(payload).build()
+    Packet::builder(FlowKey::udp(src, sport, dst, dport), ts)
+        .payload(payload)
+        .build()
 }
 
 #[cfg(test)]
@@ -189,7 +201,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key() -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 1234, Ipv4Addr::new(10, 0, 0, 2), 80)
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
     }
 
     #[test]
@@ -212,17 +229,29 @@ mod tests {
 
     #[test]
     fn seq_end_counts_syn_fin_and_data() {
-        let p = Packet::builder(key(), Ts::ZERO).flags(TcpFlags::SYN).seq(100).build();
+        let p = Packet::builder(key(), Ts::ZERO)
+            .flags(TcpFlags::SYN)
+            .seq(100)
+            .build();
         assert_eq!(p.seq_end(), 101);
-        let q = Packet::builder(key(), Ts::ZERO).seq(100).payload(50).build();
+        let q = Packet::builder(key(), Ts::ZERO)
+            .seq(100)
+            .payload(50)
+            .build();
         assert_eq!(q.seq_end(), 150);
-        let r = Packet::builder(key(), Ts::ZERO).flags(TcpFlags::FIN_ACK).seq(100).build();
+        let r = Packet::builder(key(), Ts::ZERO)
+            .flags(TcpFlags::FIN_ACK)
+            .seq(100)
+            .build();
         assert_eq!(r.seq_end(), 101);
     }
 
     #[test]
     fn seq_end_wraps() {
-        let p = Packet::builder(key(), Ts::ZERO).seq(u32::MAX).payload(2).build();
+        let p = Packet::builder(key(), Ts::ZERO)
+            .seq(u32::MAX)
+            .payload(2)
+            .build();
         assert_eq!(p.seq_end(), 1);
     }
 

@@ -199,7 +199,12 @@ impl SubAssign for Dur {
 
 impl fmt::Debug for Ts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:09}s", self.0 / 1_000_000_000, self.0 % 1_000_000_000)
+        write!(
+            f,
+            "{}.{:09}s",
+            self.0 / 1_000_000_000,
+            self.0 % 1_000_000_000
+        )
     }
 }
 

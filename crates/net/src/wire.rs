@@ -355,12 +355,7 @@ mod tests {
 
     #[test]
     fn odd_length_payload_checksums() {
-        let key = FlowKey::udp(
-            Ipv4Addr::new(1, 2, 3, 4),
-            1,
-            Ipv4Addr::new(5, 6, 7, 8),
-            2,
-        );
+        let key = FlowKey::udp(Ipv4Addr::new(1, 2, 3, 4), 1, Ipv4Addr::new(5, 6, 7, 8), 2);
         for len in [0u16, 1, 2, 3, 255] {
             let p = PacketBuilder::new(key, Ts::ZERO).payload(len).build();
             let frame = encode(&p);

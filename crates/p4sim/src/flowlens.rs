@@ -58,7 +58,13 @@ pub struct FlowLens {
 impl FlowLens {
     /// FlowLens with an explicit flow-table bound.
     pub fn new(feature: Feature, ql: u8, max_flows: usize) -> FlowLens {
-        FlowLens { ql, feature, max_flows, flows: HashMap::new(), overflow: 0 }
+        FlowLens {
+            ql,
+            feature,
+            max_flows,
+            flows: HashMap::new(),
+            overflow: 0,
+        }
     }
 
     /// FlowLens sized to an SRAM budget in bytes.
@@ -98,7 +104,9 @@ impl FlowLens {
         let value = match self.feature {
             Feature::Pld => Some(u32::from(p.payload_len)),
             Feature::IpdMicros(max) => {
-                let v = marker.last_ts.map(|last| ((p.ts - last).as_micros() as u32).min(max - 1));
+                let v = marker
+                    .last_ts
+                    .map(|last| ((p.ts - last).as_micros() as u32).min(max - 1));
                 marker.last_ts = Some(p.ts);
                 v
             }
@@ -151,7 +159,9 @@ mod tests {
             Ipv4Addr::from(0xAC100001u32),
             443,
         );
-        PacketBuilder::new(key, Ts::from_micros(ts_us)).payload(len).build()
+        PacketBuilder::new(key, Ts::from_micros(ts_us))
+            .payload(len)
+            .build()
     }
 
     #[test]

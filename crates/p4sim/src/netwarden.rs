@@ -82,7 +82,9 @@ impl NetWarden {
     pub fn new(n_bins: usize, bin_width_us: u32, depth: usize, width: usize) -> NetWarden {
         assert!(n_bins > 0 && bin_width_us > 0);
         NetWarden {
-            bins: (0..n_bins).map(|i| MiniCms::new(depth, width, 0xBEEF + i as u64)).collect(),
+            bins: (0..n_bins)
+                .map(|i| MiniCms::new(depth, width, 0xBEEF + i as u64))
+                .collect(),
             bin_width_us,
             precheck_range: (0, n_bins - 1),
             precheck_ratio: 0.9,

@@ -10,8 +10,8 @@
 //! it the way the paper's SRAM-occupancy arguments do (count registers
 //! plus the distinct-filter state).
 
-use smartwatch_net::{key::prefix_of, Packet, Proto, TcpFlags};
 use serde::{Deserialize, Serialize};
+use smartwatch_net::{key::prefix_of, Packet, Proto, TcpFlags};
 use std::collections::{HashMap, HashSet};
 
 /// Packet predicate (the `filter` operator).
@@ -53,12 +53,12 @@ impl Filter {
             Filter::Rst => p.key.proto == Proto::Tcp && p.flags.rst(),
             Filter::UdpSrcPort(port) => p.key.proto == Proto::Udp && p.key.src_port == *port,
             Filter::Proto(n) => p.key.proto.number() == *n,
-            Filter::DstInPrefixes(set) => {
-                set.iter().any(|(pre, w)| prefix_of(p.key.dst_ip, *w) == *pre)
-            }
-            Filter::SrcInPrefixes(set) => {
-                set.iter().any(|(pre, w)| prefix_of(p.key.src_ip, *w) == *pre)
-            }
+            Filter::DstInPrefixes(set) => set
+                .iter()
+                .any(|(pre, w)| prefix_of(p.key.dst_ip, *w) == *pre),
+            Filter::SrcInPrefixes(set) => set
+                .iter()
+                .any(|(pre, w)| prefix_of(p.key.src_ip, *w) == *pre),
             Filter::And(a, b) => a.matches(p) && b.matches(p),
         }
     }
@@ -272,7 +272,9 @@ mod tests {
 
     fn syn(src: [u8; 4], dst: [u8; 4], dport: u16) -> Packet {
         let key = FlowKey::tcp(Ipv4Addr::from(src), 40000, Ipv4Addr::from(dst), dport);
-        PacketBuilder::new(key, Ts::ZERO).flags(TcpFlags::SYN).build()
+        PacketBuilder::new(key, Ts::ZERO)
+            .flags(TcpFlags::SYN)
+            .build()
     }
 
     #[test]
@@ -283,8 +285,7 @@ mod tests {
         assert!(!Filter::DstPort(80).matches(&p));
         assert!(Filter::SynOnly.matches(&p));
         assert!(!Filter::Rst.matches(&p));
-        assert!(Filter::And(Box::new(Filter::DstPort(22)), Box::new(Filter::SynOnly))
-            .matches(&p));
+        assert!(Filter::And(Box::new(Filter::DstPort(22)), Box::new(Filter::SynOnly)).matches(&p));
     }
 
     #[test]

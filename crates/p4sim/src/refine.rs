@@ -17,6 +17,7 @@
 
 use crate::query::{decode_prefix_key, Filter, KeyExpr, SwitchQuery};
 use crate::switch::SteerRule;
+use smartwatch_telemetry::{Counter, Registry};
 
 /// Which refinement strategy to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -52,6 +53,39 @@ fn port_constraint(f: &Filter) -> Option<u16> {
     }
 }
 
+/// Per-decision counters (detached until
+/// [`Refiner::attach_telemetry`]).
+#[derive(Debug)]
+struct RefineCounters {
+    steps: Counter,
+    steers: Counter,
+    detections: Counter,
+    restarts: Counter,
+}
+
+impl RefineCounters {
+    fn detached() -> RefineCounters {
+        RefineCounters {
+            steps: Counter::detached(),
+            steers: Counter::detached(),
+            detections: Counter::detached(),
+            restarts: Counter::detached(),
+        }
+    }
+}
+
+impl Clone for RefineCounters {
+    /// Clones carry values but detach from any registry.
+    fn clone(&self) -> RefineCounters {
+        let c = RefineCounters::detached();
+        c.steps.add(self.steps.get());
+        c.steers.add(self.steers.get());
+        c.detections.add(self.detections.get());
+        c.restarts.add(self.restarts.get());
+        c
+    }
+}
+
 /// The refinement controller for one base query.
 #[derive(Clone, Debug)]
 pub struct Refiner {
@@ -62,6 +96,7 @@ pub struct Refiner {
     base: SwitchQuery,
     level_idx: usize,
     focus: Vec<(u32, u8)>,
+    counters: RefineCounters,
 }
 
 impl Refiner {
@@ -69,12 +104,44 @@ impl Refiner {
     /// width is replaced by the ladder's levels).
     pub fn new(mode: RefineMode, base: SwitchQuery, levels: Vec<u8>) -> Refiner {
         assert!(!levels.is_empty());
-        assert!(levels.windows(2).all(|w| w[0] < w[1]), "levels must be increasing");
+        assert!(
+            levels.windows(2).all(|w| w[0] < w[1]),
+            "levels must be increasing"
+        );
         assert!(
             base.key.prefix_width().is_some(),
             "refinement requires a prefix-shaped key"
         );
-        Refiner { mode, levels, base, level_idx: 0, focus: Vec::new() }
+        Refiner {
+            mode,
+            levels,
+            base,
+            level_idx: 0,
+            focus: Vec::new(),
+            counters: RefineCounters::detached(),
+        }
+    }
+
+    /// Publish this controller's decision counters as
+    /// `p4.refine.{steps,steers,detections,restarts}{mode=...,query=...}`,
+    /// carrying current values over.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let mode = match self.mode {
+            RefineMode::Sonata => "sonata",
+            RefineMode::SmartWatch => "smartwatch",
+        };
+        let labels: &[(&str, &str)] = &[("mode", mode), ("query", &self.base.name)];
+        let fresh = RefineCounters {
+            steps: registry.counter("p4.refine.steps", labels),
+            steers: registry.counter("p4.refine.steers", labels),
+            detections: registry.counter("p4.refine.detections", labels),
+            restarts: registry.counter("p4.refine.restarts", labels),
+        };
+        fresh.steps.add(self.counters.steps.get());
+        fresh.steers.add(self.counters.steers.get());
+        fresh.detections.add(self.counters.detections.get());
+        fresh.restarts.add(self.counters.restarts.get());
+        self.counters = fresh;
     }
 
     /// The paper's ladder: /8 → /16 → /32.
@@ -114,6 +181,7 @@ impl Refiner {
             // Nothing suspicious: return to the widest view.
             self.level_idx = 0;
             self.focus.clear();
+            self.counters.restarts.inc();
             return RefineOutcome::Restart(self.initial_query());
         }
         let matched: Vec<(u32, u8)> = over.iter().map(|(k, _)| decode_prefix_key(*k)).collect();
@@ -136,6 +204,7 @@ impl Refiner {
                         r
                     })
                     .collect();
+                self.counters.steers.inc();
                 RefineOutcome::SteerSubsets(rules)
             }
             RefineMode::Sonata => {
@@ -143,10 +212,12 @@ impl Refiner {
                     // Finest granularity reached: report and restart.
                     self.level_idx = 0;
                     self.focus.clear();
+                    self.counters.detections.inc();
                     RefineOutcome::Detected(matched)
                 } else {
                     self.level_idx += 1;
                     self.focus = matched;
+                    self.counters.steps.inc();
                     RefineOutcome::NextQuery(self.query_at(self.level_idx, &self.focus))
                 }
             }
@@ -169,7 +240,9 @@ mod tests {
 
     fn syn(src: [u8; 4], dst: [u8; 4]) -> Packet {
         let key = FlowKey::tcp(Ipv4Addr::from(src), 40000, Ipv4Addr::from(dst), 22);
-        PacketBuilder::new(key, Ts::ZERO).flags(TcpFlags::SYN).build()
+        PacketBuilder::new(key, Ts::ZERO)
+            .flags(TcpFlags::SYN)
+            .build()
     }
 
     fn run_query(q: &SwitchQuery, pkts: &[Packet]) -> Vec<(u64, u64)> {
@@ -264,10 +337,14 @@ mod tests {
             other => panic!("{other:?}"),
         };
         // A fresh burst in 10.0.0.0/8 while focused on 172/8:
-        let outside: Vec<Packet> =
-            (0..30u8).map(|i| syn([198, 18, 1, i], [10, 9, 9, 9])).collect();
+        let outside: Vec<Packet> = (0..30u8)
+            .map(|i| syn([198, 18, 1, i], [10, 9, 9, 9]))
+            .collect();
         let over = run_query(&q16, &outside);
-        assert!(over.is_empty(), "focused query must not see outside traffic");
+        assert!(
+            over.is_empty(),
+            "focused query must not see outside traffic"
+        );
     }
 
     #[test]

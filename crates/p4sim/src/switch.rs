@@ -15,6 +15,7 @@
 use crate::query::{QueryState, SwitchQuery};
 use crate::table::{ExactTable, TERNARY_ENTRY_BYTES};
 use smartwatch_net::{key::prefix_of, FlowKey, Packet};
+use smartwatch_telemetry::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -46,12 +47,22 @@ pub struct SteerRule {
 impl SteerRule {
     /// Destination-prefix rule.
     pub fn dst(prefix: u32, width: u8) -> SteerRule {
-        SteerRule { prefix, width, on_src: false, dst_port: None }
+        SteerRule {
+            prefix,
+            width,
+            on_src: false,
+            dst_port: None,
+        }
     }
 
     /// Source-prefix rule.
     pub fn src(prefix: u32, width: u8) -> SteerRule {
-        SteerRule { prefix, width, on_src: true, dst_port: None }
+        SteerRule {
+            prefix,
+            width,
+            on_src: true,
+            dst_port: None,
+        }
     }
 
     /// Add a destination-port constraint.
@@ -97,7 +108,11 @@ pub struct SramBudget {
 
 impl Default for SramBudget {
     fn default() -> SramBudget {
-        SramBudget { stages: 12, bytes_per_stage: 4 * 1024 * 1024, monitoring_stages: 10 }
+        SramBudget {
+            stages: 12,
+            bytes_per_stage: 4 * 1024 * 1024,
+            monitoring_stages: 10,
+        }
     }
 }
 
@@ -119,7 +134,8 @@ pub fn query_stages(q: &SwitchQuery) -> u32 {
     }
 }
 
-/// Per-run switch statistics.
+/// Per-run switch statistics — a point-in-time *view* over the switch's
+/// live telemetry counters (see [`SwitchCounters`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SwitchStats {
     /// Packets forwarded directly.
@@ -134,8 +150,85 @@ pub struct SwitchStats {
     pub whitelist_hits: u64,
 }
 
-/// The P4 switch.
+/// The switch's live counters; handles may be shared with a [`Registry`]
+/// (see [`P4Switch::attach_telemetry`]), otherwise they are private
+/// cells. [`SwitchStats`] is the frozen view.
+#[derive(Debug)]
+struct SwitchCounters {
+    forwarded: Counter,
+    steered: Counter,
+    dropped: Counter,
+    steered_bytes: Counter,
+    whitelist_hits: Counter,
+}
+
+impl SwitchCounters {
+    fn detached() -> SwitchCounters {
+        SwitchCounters {
+            forwarded: Counter::detached(),
+            steered: Counter::detached(),
+            dropped: Counter::detached(),
+            steered_bytes: Counter::detached(),
+            whitelist_hits: Counter::detached(),
+        }
+    }
+
+    fn registered(reg: &Registry, current: SwitchStats) -> SwitchCounters {
+        let c = SwitchCounters {
+            forwarded: reg.counter("p4.switch.forwarded", &[]),
+            steered: reg.counter("p4.switch.steered", &[]),
+            dropped: reg.counter("p4.switch.dropped", &[]),
+            steered_bytes: reg.counter("p4.switch.steered_bytes", &[]),
+            whitelist_hits: reg.counter("p4.switch.whitelist_hits", &[]),
+        };
+        c.forwarded.add(current.forwarded);
+        c.steered.add(current.steered);
+        c.dropped.add(current.dropped);
+        c.steered_bytes.add(current.steered_bytes);
+        c.whitelist_hits.add(current.whitelist_hits);
+        c
+    }
+
+    fn snapshot(&self) -> SwitchStats {
+        SwitchStats {
+            forwarded: self.forwarded.get(),
+            steered: self.steered.get(),
+            dropped: self.dropped.get(),
+            steered_bytes: self.steered_bytes.get(),
+            whitelist_hits: self.whitelist_hits.get(),
+        }
+    }
+}
+
+impl Clone for SwitchCounters {
+    /// Clones carry the values but never the registry cells: a cloned
+    /// switch must not feed the original's metrics.
+    fn clone(&self) -> SwitchCounters {
+        let c = SwitchCounters::detached();
+        c.forwarded.add(self.forwarded.get());
+        c.steered.add(self.steered.get());
+        c.dropped.add(self.dropped.get());
+        c.steered_bytes.add(self.steered_bytes.get());
+        c.whitelist_hits.add(self.whitelist_hits.get());
+        c
+    }
+}
+
+/// State-occupancy gauges, refreshed whenever installed state changes and
+/// at every interval end (not per packet — `sram_bytes` walks the
+/// tables).
 #[derive(Clone, Debug)]
+struct SwitchGauges {
+    sram_bytes: Gauge,
+    sram_occupancy: Gauge,
+    stages_used: Gauge,
+    whitelist_entries: Gauge,
+    blacklist_entries: Gauge,
+    steer_rules: Gauge,
+}
+
+/// The P4 switch.
+#[derive(Debug)]
 pub struct P4Switch {
     queries: Vec<(SwitchQuery, QueryState)>,
     /// Steering rules live in TCAM (ternary prefix + optional port).
@@ -145,7 +238,24 @@ pub struct P4Switch {
     /// Exact-match source blacklist.
     blacklist_src: ExactTable<Ipv4Addr, ()>,
     budget: SramBudget,
-    stats: SwitchStats,
+    stats: SwitchCounters,
+    gauges: Option<SwitchGauges>,
+}
+
+impl Clone for P4Switch {
+    /// Clones keep all installed state and counts but detach from any
+    /// registry (see [`SwitchCounters::clone`]).
+    fn clone(&self) -> P4Switch {
+        P4Switch {
+            queries: self.queries.clone(),
+            steer_rules: self.steer_rules.clone(),
+            whitelist: self.whitelist.clone(),
+            blacklist_src: self.blacklist_src.clone(),
+            budget: self.budget,
+            stats: self.stats.clone(),
+            gauges: None,
+        }
+    }
 }
 
 impl P4Switch {
@@ -162,7 +272,36 @@ impl P4Switch {
             whitelist: ExactTable::new(),
             blacklist_src: ExactTable::new(),
             budget,
-            stats: SwitchStats::default(),
+            stats: SwitchCounters::detached(),
+            gauges: None,
+        }
+    }
+
+    /// Re-home the switch's counters into `registry` (`p4.switch.*`),
+    /// carrying current values over, and start publishing occupancy
+    /// gauges (SRAM bytes/fraction, stages used, table sizes). Gauges
+    /// refresh whenever installed state changes and at interval ends.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.stats = SwitchCounters::registered(registry, self.stats.snapshot());
+        self.gauges = Some(SwitchGauges {
+            sram_bytes: registry.gauge("p4.switch.sram_bytes", &[]),
+            sram_occupancy: registry.gauge("p4.switch.sram_occupancy", &[]),
+            stages_used: registry.gauge("p4.switch.stages_used", &[]),
+            whitelist_entries: registry.gauge("p4.switch.whitelist_entries", &[]),
+            blacklist_entries: registry.gauge("p4.switch.blacklist_entries", &[]),
+            steer_rules: registry.gauge("p4.switch.steer_rules", &[]),
+        });
+        self.refresh_gauges();
+    }
+
+    fn refresh_gauges(&mut self) {
+        if let Some(g) = &self.gauges {
+            g.sram_bytes.set(self.sram_bytes() as f64);
+            g.sram_occupancy.set(self.sram_occupancy());
+            g.stages_used.set(f64::from(self.stages_used()));
+            g.whitelist_entries.set(self.whitelist.len() as f64);
+            g.blacklist_entries.set(self.blacklist_src.len() as f64);
+            g.steer_rules.set(self.steer_rules.len() as f64);
         }
     }
 
@@ -175,6 +314,7 @@ impl P4Switch {
             return false;
         }
         self.queries.push((q, QueryState::default()));
+        self.refresh_gauges();
         true
     }
 
@@ -187,6 +327,7 @@ impl P4Switch {
     pub fn remove_query(&mut self, name: &str) -> bool {
         let before = self.queries.len();
         self.queries.retain(|(q, _)| q.name != name);
+        self.refresh_gauges();
         self.queries.len() != before
     }
 
@@ -199,12 +340,14 @@ impl P4Switch {
     pub fn install_steer(&mut self, rule: SteerRule) {
         if !self.steer_rules.contains(&rule) {
             self.steer_rules.push(rule);
+            self.refresh_gauges();
         }
     }
 
     /// Remove every steering rule.
     pub fn clear_steer(&mut self) {
         self.steer_rules.clear();
+        self.refresh_gauges();
     }
 
     /// Currently installed steer rules.
@@ -215,6 +358,7 @@ impl P4Switch {
     /// Whitelist a benign flow (exact-match table entry).
     pub fn whitelist(&mut self, key: FlowKey) {
         self.whitelist.insert(key.canonical().0, ());
+        self.refresh_gauges();
     }
 
     /// Number of whitelist entries (Fig. 2's switch-state driver).
@@ -225,6 +369,7 @@ impl P4Switch {
     /// Blacklist a source address.
     pub fn blacklist(&mut self, src: Ipv4Addr) {
         self.blacklist_src.insert(src, ());
+        self.refresh_gauges();
     }
 
     /// True if a source is blacklisted.
@@ -235,7 +380,7 @@ impl P4Switch {
     /// Process one packet through the pipeline.
     pub fn process(&mut self, p: &Packet) -> Decision {
         if self.blacklist_src.lookup(&p.key.src_ip).is_some() {
-            self.stats.dropped += 1;
+            self.stats.dropped.inc();
             return Decision::Drop;
         }
         // Passive telemetry: queries observe every non-dropped packet.
@@ -245,16 +390,16 @@ impl P4Switch {
             }
         }
         if self.whitelist.lookup(&p.key.canonical().0).is_some() {
-            self.stats.whitelist_hits += 1;
-            self.stats.forwarded += 1;
+            self.stats.whitelist_hits.inc();
+            self.stats.forwarded.inc();
             return Decision::Forward;
         }
         if self.steer_rules.iter().any(|r| r.matches(p)) {
-            self.stats.steered += 1;
-            self.stats.steered_bytes += u64::from(p.wire_len);
+            self.stats.steered.inc();
+            self.stats.steered_bytes.add(u64::from(p.wire_len));
             return Decision::Steer;
         }
-        self.stats.forwarded += 1;
+        self.stats.forwarded.inc();
         Decision::Forward
     }
 
@@ -269,6 +414,7 @@ impl P4Switch {
             }
             st.clear();
         }
+        self.refresh_gauges();
         out
     }
 
@@ -288,9 +434,9 @@ impl P4Switch {
         self.sram_bytes() as f64 / self.budget.total() as f64
     }
 
-    /// Statistics so far.
+    /// Statistics so far (a frozen view of the live counters).
     pub fn stats(&self) -> SwitchStats {
-        self.stats
+        self.stats.snapshot()
     }
 }
 
@@ -313,8 +459,10 @@ mod tests {
     #[test]
     fn default_is_forward() {
         let mut sw = P4Switch::new();
-        assert_eq!(sw.process(&pkt([10, 0, 0, 1], [172, 16, 0, 1], 80, TcpFlags::SYN)),
-            Decision::Forward);
+        assert_eq!(
+            sw.process(&pkt([10, 0, 0, 1], [172, 16, 0, 1], 80, TcpFlags::SYN)),
+            Decision::Forward
+        );
         assert_eq!(sw.stats().forwarded, 1);
     }
 
@@ -374,9 +522,15 @@ mod tests {
         assert!(sw.install_query(SwitchQuery::ssh_attempts(8, 1))); // 1 stage
         assert!(sw.install_query(SwitchQuery::scan_probes(8, 1))); // 2 stages
         assert_eq!(sw.stages_used(), 3);
-        assert!(!sw.install_query(SwitchQuery::rst_count(8, 1)), "budget full");
+        assert!(
+            !sw.install_query(SwitchQuery::rst_count(8, 1)),
+            "budget full"
+        );
         assert!(sw.remove_query("ssh-attempts-d8"));
-        assert!(sw.install_query(SwitchQuery::rst_count(8, 1)), "freed a stage");
+        assert!(
+            sw.install_query(SwitchQuery::rst_count(8, 1)),
+            "freed a stage"
+        );
     }
 
     #[test]

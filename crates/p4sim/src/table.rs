@@ -35,7 +35,10 @@ pub struct ExactTable<K: Eq + Hash, A> {
 
 impl<K: Eq + Hash, A> Default for ExactTable<K, A> {
     fn default() -> Self {
-        ExactTable { entries: HashMap::new(), capacity: usize::MAX }
+        ExactTable {
+            entries: HashMap::new(),
+            capacity: usize::MAX,
+        }
     }
 }
 
@@ -47,7 +50,10 @@ impl<K: Eq + Hash, A> ExactTable<K, A> {
 
     /// Table bounded to `capacity` entries.
     pub fn with_capacity(capacity: usize) -> Self {
-        ExactTable { entries: HashMap::new(), capacity }
+        ExactTable {
+            entries: HashMap::new(),
+            capacity,
+        }
     }
 
     /// Insert an entry; returns false (and does nothing) if full.
@@ -95,7 +101,9 @@ pub struct LpmTable<A> {
 impl<A> LpmTable<A> {
     /// Empty table.
     pub fn new() -> Self {
-        LpmTable { by_width: Vec::new() }
+        LpmTable {
+            by_width: Vec::new(),
+        }
     }
 
     /// Insert `prefix/width → action` (prefix must be network-aligned).
@@ -176,7 +184,9 @@ pub struct TernaryTable<A> {
 impl<A> TernaryTable<A> {
     /// Empty table.
     pub fn new() -> Self {
-        TernaryTable { entries: Vec::new() }
+        TernaryTable {
+            entries: Vec::new(),
+        }
     }
 
     /// Insert an entry (kept sorted by descending priority; stable for
@@ -190,7 +200,10 @@ impl<A> TernaryTable<A> {
 
     /// Highest-priority matching action.
     pub fn lookup(&self, key: u64) -> Option<&A> {
-        self.entries.iter().find(|(e, _)| e.matches(key)).map(|(_, a)| a)
+        self.entries
+            .iter()
+            .find(|(e, _)| e.matches(key))
+            .map(|(_, a)| a)
     }
 
     /// Iterate entries in priority order.
@@ -233,7 +246,11 @@ pub struct RegisterArray {
 impl RegisterArray {
     /// `n` zero-initialised 64-bit registers.
     pub fn new(n: usize) -> RegisterArray {
-        RegisterArray { cells: vec![0; n], epoch: 1, last_access_epoch: vec![0; n] }
+        RegisterArray {
+            cells: vec![0; n],
+            epoch: 1,
+            last_access_epoch: vec![0; n],
+        }
     }
 
     /// Number of registers.
@@ -324,8 +341,22 @@ mod tests {
     #[test]
     fn ternary_priority_order() {
         let mut t: TernaryTable<&str> = TernaryTable::new();
-        t.insert(TernaryEntry { value: 0x22, mask: 0xFF, priority: 10 }, "ssh");
-        t.insert(TernaryEntry { value: 0x00, mask: 0x00, priority: 1 }, "any");
+        t.insert(
+            TernaryEntry {
+                value: 0x22,
+                mask: 0xFF,
+                priority: 10,
+            },
+            "ssh",
+        );
+        t.insert(
+            TernaryEntry {
+                value: 0x00,
+                mask: 0x00,
+                priority: 1,
+            },
+            "any",
+        );
         assert_eq!(t.lookup(0x22), Some(&"ssh"));
         assert_eq!(t.lookup(0x50), Some(&"any"));
         assert_eq!(t.len(), 2);
@@ -334,7 +365,11 @@ mod tests {
 
     #[test]
     fn ternary_mask_semantics() {
-        let e = TernaryEntry { value: 0xAB00, mask: 0xFF00, priority: 0 };
+        let e = TernaryEntry {
+            value: 0xAB00,
+            mask: 0xFF00,
+            priority: 0,
+        };
         assert!(e.matches(0xABCD));
         assert!(!e.matches(0xACCD));
     }

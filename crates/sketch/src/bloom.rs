@@ -126,6 +126,10 @@ mod tests {
     fn sizing_formula_sane() {
         let b = BloomFilter::for_items(1_000, 0.01, 0);
         // ~9.6 bits/item for 1% ⇒ ~1.2 KB.
-        assert!(b.memory_bytes() > 800 && b.memory_bytes() < 3_000, "{}", b.memory_bytes());
+        assert!(
+            b.memory_bytes() > 800 && b.memory_bytes() < 3_000,
+            "{}",
+            b.memory_bytes()
+        );
     }
 }

@@ -105,13 +105,19 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key(i: u32) -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80)
+        FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        )
     }
 
     #[test]
     fn never_undercounts() {
         let mut cm = CountMin::new(3, 64, 7); // deliberately tight
-        let truth: Vec<(FlowKey, u64)> = (0..500).map(|i| (key(i), u64::from(i % 17 + 1))).collect();
+        let truth: Vec<(FlowKey, u64)> =
+            (0..500).map(|i| (key(i), u64::from(i % 17 + 1))).collect();
         for (k, c) in &truth {
             cm.update(k, *c);
         }

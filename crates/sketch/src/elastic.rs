@@ -63,19 +63,30 @@ impl ElasticSketch {
     }
 
     fn light_update(&mut self, key: &FlowKey, count: u64) {
-        let idx = self.light_hasher.hash_symmetric(key).bucket(self.light.len());
+        let idx = self
+            .light_hasher
+            .hash_symmetric(key)
+            .bucket(self.light.len());
         self.light[idx] = self.light[idx].saturating_add(count.min(u64::from(u32::MAX)) as u32);
     }
 
     fn light_estimate(&self, key: &FlowKey) -> u64 {
-        u64::from(self.light[self.light_hasher.hash_symmetric(key).bucket(self.light.len())])
+        u64::from(
+            self.light[self
+                .light_hasher
+                .hash_symmetric(key)
+                .bucket(self.light.len())],
+        )
     }
 }
 
 impl FlowCounter for ElasticSketch {
     fn update(&mut self, key: &FlowKey, count: u64) {
         let canon = key.canonical().0;
-        let idx = self.heavy_hasher.hash_symmetric(&canon).bucket(self.heavy.len());
+        let idx = self
+            .heavy_hasher
+            .hash_symmetric(&canon)
+            .bucket(self.heavy.len());
         let b = &mut self.heavy[idx];
         match b.key {
             None => {
@@ -108,7 +119,10 @@ impl FlowCounter for ElasticSketch {
 
     fn estimate(&self, key: &FlowKey) -> u64 {
         let canon = key.canonical().0;
-        let idx = self.heavy_hasher.hash_symmetric(&canon).bucket(self.heavy.len());
+        let idx = self
+            .heavy_hasher
+            .hash_symmetric(&canon)
+            .bucket(self.heavy.len());
         let b = &self.heavy[idx];
         if b.key == Some(canon) {
             if b.light_tainted {
@@ -155,7 +169,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key(i: u32) -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80)
+        FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        )
     }
 
     #[test]
@@ -177,7 +196,9 @@ mod tests {
             es.update(&key(999), 1); // elephant
         }
         let hh = es.heavy_hitters(1_000).unwrap();
-        assert!(hh.iter().any(|(k, c)| *k == key(999).canonical().0 && *c >= 10_000));
+        assert!(hh
+            .iter()
+            .any(|(k, c)| *k == key(999).canonical().0 && *c >= 10_000));
     }
 
     #[test]
@@ -191,7 +212,10 @@ mod tests {
         }
         // key(2) now resident; key(1) counted in light part.
         assert!(es.estimate(&key(2)) >= 1);
-        assert!(es.estimate(&key(1)) >= 2, "evicted count must survive in light part");
+        assert!(
+            es.estimate(&key(1)) >= 2,
+            "evicted count must survive in light part"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ impl HyperLogLog {
     /// roughly `1.04 / sqrt(2^p)`.
     pub fn new(p: u32, seed: u64) -> HyperLogLog {
         assert!((4..=18).contains(&p));
-        HyperLogLog { registers: vec![0; 1 << p], p, hasher: FlowHasher::new(seed) }
+        HyperLogLog {
+            registers: vec![0; 1 << p],
+            p,
+            hasher: FlowHasher::new(seed),
+        }
     }
 
     /// Observe a u64 item.
@@ -43,7 +47,11 @@ impl HyperLogLog {
             64 => 0.709,
             _ => 0.7213 / (1.0 + 1.079 / m),
         };
-        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(i32::from(r)))).sum();
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-(i32::from(r))))
+            .sum();
         let raw = alpha * m * m / sum;
         // Small-range correction: linear counting.
         if raw <= 2.5 * m {

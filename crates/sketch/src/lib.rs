@@ -92,7 +92,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key(i: u32) -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1000, Ipv4Addr::from(0xAC100001), 80)
+        FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1000,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        )
     }
 
     #[test]

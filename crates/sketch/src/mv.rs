@@ -82,7 +82,11 @@ impl FlowCounter for MvSketch {
             .map(|(row, h)| {
                 let b = &row[h.hash_symmetric(&canon).bucket(self.width)];
                 let (v, c) = (b.v as i64, b.c);
-                let est = if b.k == Some(canon) { (v + c) / 2 } else { (v - c) / 2 };
+                let est = if b.k == Some(canon) {
+                    (v + c) / 2
+                } else {
+                    (v - c) / 2
+                };
                 est.max(0) as u64
             })
             .min()
@@ -122,7 +126,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key(i: u32) -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80)
+        FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        )
     }
 
     #[test]
@@ -145,7 +154,7 @@ mod tests {
             mv.update(&key(1), 1);
         }
         let est = mv.estimate(&key(1));
-        assert!(est >= 900 && est <= 1_100, "estimate {est}");
+        assert!((900..=1_100).contains(&est), "estimate {est}");
     }
 
     #[test]
@@ -167,7 +176,12 @@ mod tests {
             mv.update(&key(1), 1);
         }
         let hh = mv.heavy_hitters(500).unwrap();
-        assert_eq!(hh.iter().filter(|(k, _)| *k == key(1).canonical().0).count(), 1);
+        assert_eq!(
+            hh.iter()
+                .filter(|(k, _)| *k == key(1).canonical().0)
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -121,7 +121,11 @@ impl FlowCounter for NitroSketch {
             .collect();
         ests.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let m = ests.len();
-        let median = if m % 2 == 1 { ests[m / 2] } else { (ests[m / 2 - 1] + ests[m / 2]) / 2.0 };
+        let median = if m % 2 == 1 {
+            ests[m / 2]
+        } else {
+            (ests[m / 2 - 1] + ests[m / 2]) / 2.0
+        };
         median.max(0.0).round() as u64
     }
 
@@ -146,7 +150,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key(i: u32) -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80)
+        FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        )
     }
 
     #[test]

@@ -27,7 +27,11 @@ impl EgressQueue {
     /// Queue draining at `rate_gbps` gigabits/sec.
     pub fn new(rate_gbps: f64) -> EgressQueue {
         assert!(rate_gbps > 0.0);
-        EgressQueue { rate_bps: rate_gbps * 1e9 / 8.0, backlog_bytes: 0.0, last: None }
+        EgressQueue {
+            rate_bps: rate_gbps * 1e9 / 8.0,
+            backlog_bytes: 0.0,
+            last: None,
+        }
     }
 
     /// Account one packet's arrival; returns the queuing delay it sees.
@@ -118,7 +122,12 @@ impl BurstLog {
                 // Burst ends: the CME scans L and reports.
                 let flows = std::mem::take(&mut self.entries);
                 self.index.clear();
-                self.reports.push(BurstReport { id, start, end: pkt.ts, flows });
+                self.reports.push(BurstReport {
+                    id,
+                    start,
+                    end: pkt.ts,
+                    flows,
+                });
                 self.active = None;
             }
             (None, false) => {}
@@ -145,7 +154,12 @@ impl BurstLog {
         if let Some((id, start)) = self.active.take() {
             let flows = std::mem::take(&mut self.entries);
             self.index.clear();
-            self.reports.push(BurstReport { id, start, end: now, flows });
+            self.reports.push(BurstReport {
+                id,
+                start,
+                end: now,
+                flows,
+            });
         }
     }
 
@@ -168,13 +182,15 @@ mod tests {
             Ipv4Addr::from(0xAC100001u32),
             80,
         );
-        PacketBuilder::new(key, Ts::from_micros(ts_us)).wire_len(len).build()
+        PacketBuilder::new(key, Ts::from_micros(ts_us))
+            .wire_len(len)
+            .build()
     }
 
     #[test]
     fn queue_builds_and_drains() {
         let mut q = EgressQueue::new(0.01); // 10 Mbps: slow, builds easily
-        // 10 × 1250-byte packets back-to-back (1 µs apart): backlog grows.
+                                            // 10 × 1250-byte packets back-to-back (1 µs apart): backlog grows.
         let mut last_delay = Dur::ZERO;
         for i in 0..10 {
             last_delay = q.on_packet(&pkt(1, i, 1250));
@@ -201,7 +217,10 @@ mod tests {
         assert_eq!(reports.len(), 1);
         let r = &reports[0];
         assert_eq!(r.flows.len(), 2);
-        let f1 = r.flows.iter().find(|(k, _)| k.src_ip == Ipv4Addr::from(0x0A000001u32));
+        let f1 = r
+            .flows
+            .iter()
+            .find(|(k, _)| k.src_ip == Ipv4Addr::from(0x0A000001u32));
         assert_eq!(f1.expect("flow 1 present").1, 2);
     }
 

@@ -130,9 +130,7 @@ impl ConcurrentRow {
         }
         // Empty bucket?
         for b in &self.buckets {
-            if b.key.load(Ordering::Acquire) == EMPTY
-                && b.up_th_ctr.load(Ordering::Acquire) == 0
-            {
+            if b.key.load(Ordering::Acquire) == EMPTY && b.up_th_ctr.load(Ordering::Acquire) == 0 {
                 b.packets.store(1, Ordering::Release);
                 b.key.store(key, Ordering::Release);
                 return ConcOutcome::Inserted;
@@ -154,7 +152,10 @@ impl ConcurrentRow {
         }
         let count = victim.packets.swap(1, Ordering::AcqRel);
         victim.key.store(key, Ordering::Release);
-        ConcOutcome::Evicted { victim: victim_key, count }
+        ConcOutcome::Evicted {
+            victim: victim_key,
+            count,
+        }
     }
 
     /// Snapshot (key, packets) of occupied buckets. Quiescent use only.
@@ -240,11 +241,8 @@ mod tests {
                         x ^= x << 13;
                         x ^= x >> 7;
                         x ^= x << 17;
-                        match row.process(1 + (x % flows)) {
-                            ConcOutcome::Evicted { count, .. } => {
-                                evicted.fetch_add(count, Ordering::AcqRel);
-                            }
-                            _ => {}
+                        if let ConcOutcome::Evicted { count, .. } = row.process(1 + (x % flows)) {
+                            evicted.fetch_add(count, Ordering::AcqRel);
                         }
                     }
                 })
@@ -281,7 +279,10 @@ mod tests {
         for (k, _) in row.entries() {
             *seen.entry(k).or_default() += 1;
         }
-        assert!(seen.values().all(|&c| c == 1), "duplicate flow entries in row");
+        assert!(
+            seen.values().all(|&c| c == 1),
+            "duplicate flow entries in row"
+        );
     }
 }
 
@@ -300,7 +301,9 @@ impl ConcurrentCache {
     pub fn new(row_bits: u32) -> ConcurrentCache {
         assert!(row_bits <= 20);
         ConcurrentCache {
-            rows: (0..(1usize << row_bits)).map(|_| ConcurrentRow::new()).collect(),
+            rows: (0..(1usize << row_bits))
+                .map(|_| ConcurrentRow::new())
+                .collect(),
             row_bits,
         }
     }
@@ -356,9 +359,7 @@ mod cache_tests {
                             Proto::Tcp,
                         );
                         let digest = hasher.hash_symmetric(&key).0;
-                        if let ConcOutcome::Evicted { count, .. } =
-                            cache.process_digest(digest)
-                        {
+                        if let ConcOutcome::Evicted { count, .. } = cache.process_digest(digest) {
                             evicted.fetch_add(count, Ordering::AcqRel);
                         }
                     }
@@ -416,9 +417,14 @@ pub struct ConcRing {
 impl ConcRing {
     /// Ring with `capacity` slots (power of two).
     pub fn new(capacity: usize) -> ConcRing {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         ConcRing {
-            slots: (0..capacity).map(|_| (AtomicU64::new(0), AtomicU64::new(0))).collect(),
+            slots: (0..capacity)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
             states: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
             head: AtomicU64::new(0),
             tail: AtomicU64::new(0),
@@ -575,6 +581,10 @@ mod ring_tests {
         let seen = consumer.join().unwrap();
         let consumed_total: u64 = seen.values().sum();
         assert_eq!(consumed_total, pushed_total, "records lost or duplicated");
-        assert_eq!(seen.len() as u64, producers, "every producer's records arrived");
+        assert_eq!(
+            seen.len() as u64,
+            producers,
+            "every producer's records arrived"
+        );
     }
 }

@@ -69,13 +69,29 @@ impl CuckooTable {
         let mut probes = 1;
         // Check both candidate positions.
         if matches!(&self.slots[p1], Some(r) if r.key == canon) {
-            self.slots[p1].as_mut().expect("occupied").update(pkt.ts, pkt.wire_len);
-            return CuckooAccess { hit: true, probes, writes: 1, overflow: false };
+            self.slots[p1]
+                .as_mut()
+                .expect("occupied")
+                .update(pkt.ts, pkt.wire_len);
+            return CuckooAccess {
+                hit: true,
+                probes,
+                writes: 1,
+                overflow: false,
+            };
         }
         probes += 1;
         if matches!(&self.slots[p2], Some(r) if r.key == canon) {
-            self.slots[p2].as_mut().expect("occupied").update(pkt.ts, pkt.wire_len);
-            return CuckooAccess { hit: true, probes, writes: 1, overflow: false };
+            self.slots[p2]
+                .as_mut()
+                .expect("occupied")
+                .update(pkt.ts, pkt.wire_len);
+            return CuckooAccess {
+                hit: true,
+                probes,
+                writes: 1,
+                overflow: false,
+            };
         }
 
         // Insert with displacement.
@@ -88,7 +104,12 @@ impl CuckooTable {
                 None => {
                     self.slots[pos] = Some(carried);
                     writes += 1;
-                    return CuckooAccess { hit: false, probes, writes, overflow: false };
+                    return CuckooAccess {
+                        hit: false,
+                        probes,
+                        writes,
+                        overflow: false,
+                    };
                 }
                 Some(displaced) => {
                     self.slots[pos] = Some(carried);
@@ -102,7 +123,12 @@ impl CuckooTable {
         }
         // Relocation budget exhausted: the carried record overflows.
         self.overflowed += 1;
-        CuckooAccess { hit: false, probes, writes, overflow: true }
+        CuckooAccess {
+            hit: false,
+            probes,
+            writes,
+            overflow: true,
+        }
     }
 
     /// Look up a flow.
@@ -160,7 +186,10 @@ mod tests {
             let a = t.process(&pkt(i, u64::from(i)));
             max_writes = max_writes.max(a.writes);
         }
-        assert!(max_writes > 1, "expected relocation writes, max={max_writes}");
+        assert!(
+            max_writes > 1,
+            "expected relocation writes, max={max_writes}"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::cme::SwitchOver;
 use crate::flowcache::{FlowCache, Outcome};
 use crate::hw::{service_time, CycleCosts, HwProfile};
 use smartwatch_net::{Dur, Packet};
+use smartwatch_telemetry::{Histogram, Registry, TraceShard};
 use std::collections::BinaryHeap;
 
 /// DES configuration.
@@ -82,22 +83,28 @@ pub struct LatencyDist {
 }
 
 impl LatencyDist {
-    /// Build from raw latency samples (consumed).
-    pub fn from_samples(mut samples: Vec<u64>) -> LatencyDist {
-        if samples.is_empty() {
-            return LatencyDist::default();
-        }
-        samples.sort_unstable();
-        let n = samples.len();
-        let pct = |p: f64| samples[(((n - 1) as f64) * p) as usize];
+    /// Summarise a recorded [`Histogram`]. Quantiles inherit the
+    /// histogram's bounded relative error
+    /// ([`smartwatch_telemetry::QUANTILE_ERROR_BOUND`]); mean and max are
+    /// exact.
+    pub fn from_histogram(h: &Histogram) -> LatencyDist {
         LatencyDist {
-            mean_ns: samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64,
-            p50_ns: pct(0.50),
-            p75_ns: pct(0.75),
-            p99_ns: pct(0.99),
-            p999_ns: pct(0.999),
-            max_ns: *samples.last().expect("non-empty"),
+            mean_ns: h.mean(),
+            p50_ns: h.quantile(0.50),
+            p75_ns: h.quantile(0.75),
+            p99_ns: h.quantile(0.99),
+            p999_ns: h.quantile(0.999),
+            max_ns: h.max(),
         }
+    }
+
+    /// Build from raw latency samples.
+    pub fn from_samples(samples: Vec<u64>) -> LatencyDist {
+        let h = Histogram::new();
+        for v in samples {
+            h.record(v);
+        }
+        LatencyDist::from_histogram(&h)
     }
 }
 
@@ -145,19 +152,45 @@ impl DesReport {
 /// Run the simulation: feed `packets` through `cache` on the configured
 /// hardware.
 pub fn simulate(cache: &mut FlowCache, packets: &[Packet], cfg: &DesConfig) -> DesReport {
-    let mut report = DesReport { offered: packets.len() as u64, ..Default::default() };
+    simulate_instrumented(cache, packets, cfg, None, None)
+}
+
+/// [`simulate`] with observability: when `registry` is given, the run's
+/// latency/queue-wait distributions, outcome counters, per-PME busy and
+/// stall nanoseconds, and the controller's mode switches are published
+/// under `snic.des.*` / `snic.pme.*`; when `trace` is given, mode
+/// switches become virtual-clock instants on that shard. Metrics
+/// accumulate across calls sharing a registry, so back-to-back runs
+/// aggregate — use a fresh registry per run for per-run dumps.
+pub fn simulate_instrumented(
+    cache: &mut FlowCache,
+    packets: &[Packet],
+    cfg: &DesConfig,
+    registry: Option<&Registry>,
+    trace: Option<&TraceShard>,
+) -> DesReport {
+    let mut report = DesReport {
+        offered: packets.len() as u64,
+        ..Default::default()
+    };
     if packets.is_empty() {
         return report;
     }
 
-    // Server pool: min-heap of next-free times (ns). BinaryHeap is a
-    // max-heap, so store negated values via Reverse.
+    // Server pool: min-heap of (next-free time ns, PME id). BinaryHeap is
+    // a max-heap, so entries are wrapped in Reverse; the id tie-break
+    // keeps pop order deterministic.
     use std::cmp::Reverse;
-    let mut servers: BinaryHeap<Reverse<u64>> = (0..cfg.pmes).map(|_| Reverse(0u64)).collect();
+    let mut servers: BinaryHeap<Reverse<(u64, u32)>> =
+        (0..cfg.pmes).map(|id| Reverse((0u64, id))).collect();
+    let mut pme_busy_ns = vec![0u64; cfg.pmes as usize];
+    let mut pme_stall_ns = vec![0u64; cfg.pmes as usize];
 
-    let mut latencies: Vec<u64> = Vec::with_capacity(packets.len().min(1 << 22));
-    let mut hit_lat: Vec<u64> = Vec::new();
-    let mut miss_lat: Vec<u64> = Vec::new();
+    let lat_all = Histogram::new();
+    let lat_hit = Histogram::new();
+    let lat_miss = Histogram::new();
+    let queue_wait_hist = Histogram::new();
+    let mut busy_peak = 0usize;
     let mut switchover = cfg.switchover.clone();
     let mut window_start_ns = 0u64;
     let mut window_count = 0u64;
@@ -184,26 +217,45 @@ pub fn simulate(cache: &mut FlowCache, packets: &[Packet], cfg: &DesConfig) -> D
                 if let Some(mode) = ctrl.observe(rate) {
                     cache.set_mode(mode);
                     report.mode_switches += 1;
+                    if let Some(shard) = trace {
+                        let name = match mode {
+                            crate::flowcache::Mode::General => "mode->general",
+                            crate::flowcache::Mode::Lite => "mode->lite",
+                        };
+                        shard.instant(smartwatch_net::Ts::from_nanos(arrival), name, "cme");
+                    }
                 }
                 window_start_ns = arrival;
                 window_count = 0;
             }
         }
 
-        let Reverse(free_at) = servers.pop().expect("non-empty pool");
+        // Run-queue depth proxy, sampled on a fixed stride: how many PMEs
+        // are still busy when this packet arrives.
+        if registry.is_some() && i % 1024 == 0 {
+            let busy_now = servers
+                .iter()
+                .filter(|Reverse((f, _))| *f > arrival)
+                .count();
+            busy_peak = busy_peak.max(busy_now);
+        }
+
+        let Reverse((free_at, pme)) = servers.pop().expect("non-empty pool");
         let start = free_at.max(arrival);
         let queue_wait = start - arrival;
         if queue_wait > cfg.max_queue_delay.as_nanos() {
             // Drop at ingress; the server's schedule is unchanged.
-            servers.push(Reverse(free_at));
+            servers.push(Reverse((free_at, pme)));
             report.dropped += 1;
             continue;
         }
+        // Time this PME sat idle waiting for work.
+        pme_stall_ns[pme as usize] += arrival.saturating_sub(free_at);
+        queue_wait_hist.record(queue_wait);
 
         // Deterministic stride sampling (NitroSketch-style throughput
         // relief): sampled-out packets pay only the forwarding pipeline.
-        let sampled_out = cfg.sampling < 1.0
-            && (i as f64 * cfg.sampling).fract() >= cfg.sampling;
+        let sampled_out = cfg.sampling < 1.0 && (i as f64 * cfg.sampling).fract() >= cfg.sampling;
         let (access, busy, wait) = if sampled_out {
             report.sampled_out += 1;
             let a = crate::flowcache::Access {
@@ -213,8 +265,7 @@ pub fn simulate(cache: &mut FlowCache, packets: &[Packet], cfg: &DesConfig) -> D
                 ring_pushes: 0,
                 cleaned_row: false,
             };
-            let busy = f64::from(cfg.costs.pipeline)
-                / (cfg.hw.clock_ghz * cfg.hw.perf_factor);
+            let busy = f64::from(cfg.costs.pipeline) / (cfg.hw.clock_ghz * cfg.hw.perf_factor);
             (a, busy, 0.0)
         } else {
             let access = cache.process(pkt);
@@ -228,14 +279,15 @@ pub fn simulate(cache: &mut FlowCache, packets: &[Packet], cfg: &DesConfig) -> D
         // The packet itself experiences the full busy+wait latency.
         let service_latency = (busy + wait) as u64;
         let done = start + hold as u64;
-        servers.push(Reverse(done));
+        pme_busy_ns[pme as usize] += hold as u64;
+        servers.push(Reverse((done, pme)));
 
         let latency = queue_wait + service_latency;
-        latencies.push(latency);
+        lat_all.record(latency);
         if !sampled_out {
             match access.outcome {
-                Outcome::PHit | Outcome::EHit => hit_lat.push(latency),
-                Outcome::Miss => miss_lat.push(latency),
+                Outcome::PHit | Outcome::EHit => lat_hit.record(latency),
+                Outcome::Miss => lat_miss.record(latency),
                 Outcome::ToHost => {}
             }
         }
@@ -245,9 +297,36 @@ pub fn simulate(cache: &mut FlowCache, packets: &[Packet], cfg: &DesConfig) -> D
     let span_ns = (last_arrival - first_arrival).max(1);
     report.offered_pps = report.offered as f64 * 1e9 / span_ns as f64;
     report.achieved_pps = report.completed as f64 * 1e9 / span_ns as f64;
-    report.latency = LatencyDist::from_samples(latencies);
-    report.hit_latency = LatencyDist::from_samples(hit_lat);
-    report.miss_latency = LatencyDist::from_samples(miss_lat);
+    report.latency = LatencyDist::from_histogram(&lat_all);
+    report.hit_latency = LatencyDist::from_histogram(&lat_hit);
+    report.miss_latency = LatencyDist::from_histogram(&lat_miss);
+
+    if let Some(reg) = registry {
+        reg.histogram("snic.des.latency_ns", &[("class", "all")])
+            .merge_from(&lat_all);
+        reg.histogram("snic.des.latency_ns", &[("class", "hit")])
+            .merge_from(&lat_hit);
+        reg.histogram("snic.des.latency_ns", &[("class", "miss")])
+            .merge_from(&lat_miss);
+        reg.histogram("snic.des.queue_wait_ns", &[])
+            .merge_from(&queue_wait_hist);
+        reg.counter("snic.des.offered", &[]).add(report.offered);
+        reg.counter("snic.des.completed", &[]).add(report.completed);
+        reg.counter("snic.des.dropped", &[]).add(report.dropped);
+        reg.counter("snic.des.sampled_out", &[])
+            .add(report.sampled_out);
+        reg.counter("snic.des.mode_switches", &[])
+            .add(u64::from(report.mode_switches));
+        reg.gauge("snic.des.busy_pmes_peak", &[])
+            .set_max(busy_peak as f64);
+        for (id, (&busy, &stall)) in pme_busy_ns.iter().zip(&pme_stall_ns).enumerate() {
+            let label = format!("{id:02}");
+            reg.counter("snic.pme.busy_ns", &[("pme", &label)])
+                .add(busy);
+            reg.counter("snic.pme.stall_ns", &[("pme", &label)])
+                .add(stall);
+        }
+    }
     report
 }
 
@@ -413,8 +492,7 @@ mod sampling_tests {
 
     #[test]
     fn sampling_skips_the_right_fraction() {
-        let mut fc =
-            FlowCache::new(FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC));
+        let mut fc = FlowCache::new(FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC));
         let mut cfg = DesConfig::netronome(10.0e6);
         cfg.sampling = 0.25;
         let rep = simulate(&mut fc, &packets(40_000), &cfg);
@@ -423,8 +501,7 @@ mod sampling_tests {
         // The cache saw only the sampled quarter.
         let processed = fc.stats().processed();
         assert!(
-            (processed as f64 - rep.completed as f64 * 0.25).abs()
-                < rep.completed as f64 * 0.02,
+            (processed as f64 - rep.completed as f64 * 0.25).abs() < rep.completed as f64 * 0.02,
             "cache processed {processed} of {}",
             rep.completed
         );
@@ -433,8 +510,7 @@ mod sampling_tests {
     #[test]
     fn sampling_raises_achievable_throughput() {
         let run = |sampling: f64| {
-            let mut fc =
-                FlowCache::new(FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC));
+            let mut fc = FlowCache::new(FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC));
             let mut cfg = DesConfig::netronome(90.0e6);
             cfg.sampling = sampling;
             simulate(&mut fc, &packets(60_000), &cfg).achieved_mpps()

@@ -33,6 +33,7 @@ use crate::policy::CachePolicy;
 use crate::record::FlowRecord;
 use crate::ring::RingSet;
 use smartwatch_net::{FlowHasher, FlowKey, Packet};
+use smartwatch_telemetry::{Counter, Registry};
 use std::ops::Range;
 
 /// FlowCache operating mode (paper §3.3).
@@ -166,7 +167,8 @@ pub struct Access {
     pub cleaned_row: bool,
 }
 
-/// Aggregate FlowCache statistics.
+/// Aggregate FlowCache statistics — a point-in-time *view* over the
+/// cache's live telemetry counters (see [`CacheCounters`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
     /// Primary-buffer hits.
@@ -183,6 +185,10 @@ pub struct CacheStats {
     pub rows_cleaned: u64,
     /// Records evicted *by* cleanup collisions.
     pub cleanup_evictions: u64,
+    /// Flows pinned (host escalation holds).
+    pub pins: u64,
+    /// Flows unpinned (host verdict releases).
+    pub unpins: u64,
 }
 
 impl CacheStats {
@@ -202,6 +208,95 @@ impl CacheStats {
     }
 }
 
+/// The cache's live counters. Every handle may be shared with a
+/// [`Registry`] (see [`FlowCache::attach_telemetry`]), in which case the
+/// registry's exporters observe the cache in real time; otherwise the
+/// handles are private cells. [`CacheStats`] is the frozen view.
+#[derive(Debug)]
+pub struct CacheCounters {
+    p_hits: Counter,
+    e_hits: Counter,
+    misses: Counter,
+    to_host: Counter,
+    evictions: Counter,
+    rows_cleaned: Counter,
+    cleanup_evictions: Counter,
+    pins: Counter,
+    unpins: Counter,
+}
+
+impl CacheCounters {
+    fn detached() -> CacheCounters {
+        CacheCounters {
+            p_hits: Counter::detached(),
+            e_hits: Counter::detached(),
+            misses: Counter::detached(),
+            to_host: Counter::detached(),
+            evictions: Counter::detached(),
+            rows_cleaned: Counter::detached(),
+            cleanup_evictions: Counter::detached(),
+            pins: Counter::detached(),
+            unpins: Counter::detached(),
+        }
+    }
+
+    /// Register under `snic.cache.*` labeled with the eviction policy,
+    /// seeding each registered cell with the current value.
+    fn registered(reg: &Registry, policy: &str, current: CacheStats) -> CacheCounters {
+        let labels = [("policy", policy)];
+        let c = |name: &str, seed: u64| {
+            let counter = reg.counter(name, &labels);
+            counter.add(seed);
+            counter
+        };
+        CacheCounters {
+            p_hits: c("snic.cache.p_hits", current.p_hits),
+            e_hits: c("snic.cache.e_hits", current.e_hits),
+            misses: c("snic.cache.misses", current.misses),
+            to_host: c("snic.cache.to_host", current.to_host),
+            evictions: c("snic.cache.evictions", current.evictions),
+            rows_cleaned: c("snic.cache.rows_cleaned", current.rows_cleaned),
+            cleanup_evictions: c("snic.cache.cleanup_evictions", current.cleanup_evictions),
+            pins: c("snic.cache.pins", current.pins),
+            unpins: c("snic.cache.unpins", current.unpins),
+        }
+    }
+
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            p_hits: self.p_hits.get(),
+            e_hits: self.e_hits.get(),
+            misses: self.misses.get(),
+            to_host: self.to_host.get(),
+            evictions: self.evictions.get(),
+            rows_cleaned: self.rows_cleaned.get(),
+            cleanup_evictions: self.cleanup_evictions.get(),
+            pins: self.pins.get(),
+            unpins: self.unpins.get(),
+        }
+    }
+}
+
+impl Clone for CacheCounters {
+    /// A clone gets *detached* cells seeded with the current values: a
+    /// cloned cache (e.g. a throughput-search probe) must not keep
+    /// feeding the original's registry.
+    fn clone(&self) -> CacheCounters {
+        let fresh = CacheCounters::detached();
+        let cur = self.snapshot();
+        fresh.p_hits.add(cur.p_hits);
+        fresh.e_hits.add(cur.e_hits);
+        fresh.misses.add(cur.misses);
+        fresh.to_host.add(cur.to_host);
+        fresh.evictions.add(cur.evictions);
+        fresh.rows_cleaned.add(cur.rows_cleaned);
+        fresh.cleanup_evictions.add(cur.cleanup_evictions);
+        fresh.pins.add(cur.pins);
+        fresh.unpins.add(cur.unpins);
+        fresh
+    }
+}
+
 /// The FlowCache itself.
 #[derive(Clone, Debug)]
 pub struct FlowCache {
@@ -211,7 +306,7 @@ pub struct FlowCache {
     mode: Mode,
     hasher: FlowHasher,
     rings: RingSet,
-    stats: CacheStats,
+    stats: CacheCounters,
 }
 
 impl FlowCache {
@@ -225,7 +320,7 @@ impl FlowCache {
             dirty: vec![false; rows],
             mode: Mode::General,
             rings: RingSet::new(cfg.rings, cfg.ring_capacity),
-            stats: CacheStats::default(),
+            stats: CacheCounters::detached(),
             cfg,
         }
     }
@@ -240,9 +335,19 @@ impl FlowCache {
         &self.cfg
     }
 
-    /// Statistics so far.
+    /// Statistics so far (a frozen view of the live counters).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Re-home the cache's counters into `registry` under
+    /// `snic.cache.*{policy=...}`, carrying current values over. The
+    /// registry's exporters then observe this cache live. Ring-buffer
+    /// telemetry (`snic.ring.*`) attaches alongside.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let policy = self.cfg.policy.label();
+        self.stats = CacheCounters::registered(registry, &policy, self.stats.snapshot());
+        self.rings.attach_telemetry(registry);
     }
 
     /// Memory footprint of the bucket array in bytes (64 B records, as the
@@ -269,7 +374,10 @@ impl FlowCache {
     #[inline]
     fn row_of(&self, key: &FlowKey) -> (usize, u64) {
         let digest = self.hasher.hash_symmetric(key);
-        (digest.row(self.cfg.row_bits), digest.high(self.cfg.row_bits))
+        (
+            digest.row(self.cfg.row_bits),
+            digest.high(self.cfg.row_bits),
+        )
     }
 
     /// Algorithm 1: candidate bucket range within the row.
@@ -338,7 +446,7 @@ impl FlowCache {
                         .as_mut()
                         .expect("checked above")
                         .update(pkt.ts, pkt.wire_len);
-                    self.stats.p_hits += 1;
+                    self.stats.p_hits.inc();
                     return Access {
                         outcome: Outcome::PHit,
                         probes,
@@ -368,7 +476,7 @@ impl FlowCache {
                         self.slots.swap(pb, eb);
                         writes += 2;
                     }
-                    self.stats.e_hits += 1;
+                    self.stats.e_hits.inc();
                     return Access {
                         outcome: Outcome::EHit,
                         probes,
@@ -388,7 +496,7 @@ impl FlowCache {
         // Empty P slot?
         if let Some(b) = p.clone().find(|&b| self.slot(row, b).is_none()) {
             *self.slot_mut(row, b) = Some(new_rec);
-            self.stats.misses += 1;
+            self.stats.misses.inc();
             return Access {
                 outcome: Outcome::Miss,
                 probes,
@@ -401,7 +509,7 @@ impl FlowCache {
         // P full: find a P victim to demote (or evict if no E).
         let Some(p_victim) = self.pick_victim(row, p.clone(), false) else {
             // Everything pinned: escalate to host.
-            self.stats.to_host += 1;
+            self.stats.to_host.inc();
             return Access {
                 outcome: Outcome::ToHost,
                 probes,
@@ -413,9 +521,12 @@ impl FlowCache {
 
         if e.is_empty() {
             // Flat configuration: evict the P victim straight to a ring.
-            let victim = self.slot_mut(row, p_victim).take().expect("victim occupied");
+            let victim = self
+                .slot_mut(row, p_victim)
+                .take()
+                .expect("victim occupied");
             self.rings.push(row, victim);
-            self.stats.evictions += 1;
+            self.stats.evictions.inc();
             ring_pushes += 1;
             writes += 1;
         } else {
@@ -424,10 +535,9 @@ impl FlowCache {
                 Some(b) => Some(b),
                 None => match self.pick_victim(row, e.clone(), false) {
                     Some(b) => {
-                        let victim =
-                            self.slot_mut(row, b).take().expect("victim occupied");
+                        let victim = self.slot_mut(row, b).take().expect("victim occupied");
                         self.rings.push(row, victim);
-                        self.stats.evictions += 1;
+                        self.stats.evictions.inc();
                         ring_pushes += 1;
                         writes += 1;
                         Some(b)
@@ -444,10 +554,12 @@ impl FlowCache {
                 }
                 None => {
                     // E fully pinned: evict P victim directly.
-                    let victim =
-                        self.slot_mut(row, p_victim).take().expect("victim occupied");
+                    let victim = self
+                        .slot_mut(row, p_victim)
+                        .take()
+                        .expect("victim occupied");
                     self.rings.push(row, victim);
-                    self.stats.evictions += 1;
+                    self.stats.evictions.inc();
                     ring_pushes += 1;
                     writes += 1;
                 }
@@ -456,8 +568,14 @@ impl FlowCache {
 
         *self.slot_mut(row, p_victim) = Some(new_rec);
         writes += 1;
-        self.stats.misses += 1;
-        Access { outcome: Outcome::Miss, probes, writes, ring_pushes, cleaned_row: cleaned }
+        self.stats.misses.inc();
+        Access {
+            outcome: Outcome::Miss,
+            probes,
+            writes,
+            ring_pushes,
+            cleaned_row: cleaned,
+        }
     }
 
     /// Pick the policy victim within `range` of `row`, skipping pinned
@@ -511,21 +629,21 @@ impl FlowCache {
                         });
                         if let Some(bucket) = victim {
                             if let Some(old) = self.slot_mut(row, bucket).replace(rec) {
-                                self.stats.cleanup_evictions += 1;
+                                self.stats.cleanup_evictions.inc();
                                 self.rings.push(row, old);
-                                self.stats.evictions += 1;
+                                self.stats.evictions.inc();
                             }
                         }
                     } else {
-                        self.stats.cleanup_evictions += 1;
+                        self.stats.cleanup_evictions.inc();
                         self.rings.push(row, rec);
-                        self.stats.evictions += 1;
+                        self.stats.evictions.inc();
                     }
                 }
             }
         }
         self.dirty[row] = false;
-        self.stats.rows_cleaned += 1;
+        self.stats.rows_cleaned.inc();
     }
 
     /// Switch operating mode (Algorithm 4's effect). General→Lite marks
@@ -580,6 +698,7 @@ impl FlowCache {
     pub fn pin(&mut self, key: &FlowKey) -> bool {
         if let Some(r) = self.get_mut(key) {
             r.pinned = true;
+            self.stats.pins.inc();
             true
         } else {
             false
@@ -590,6 +709,7 @@ impl FlowCache {
     pub fn unpin(&mut self, key: &FlowKey) -> bool {
         if let Some(r) = self.get_mut(key) {
             r.pinned = false;
+            self.stats.unpins.inc();
             true
         } else {
             false
@@ -640,7 +760,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key(i: u32) -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1000, Ipv4Addr::from(0xAC100001), 80)
+        FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1000,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        )
     }
 
     fn pkt(i: u32, ts_us: u64) -> Packet {
@@ -768,7 +893,10 @@ mod tests {
             }
             fc.process(&pkt(ids[1], 100));
             fc.process(&pkt(ids[2], 200)); // forces one eviction
-            (fc.get(&key(ids[0])).is_some(), fc.get(&key(ids[1])).is_some())
+            (
+                fc.get(&key(ids[0])).is_some(),
+                fc.get(&key(ids[1])).is_some(),
+            )
         };
         let (big_stale, small_fresh) = run(CachePolicy::LRU);
         assert!(!big_stale && small_fresh, "LRU evicts the stale elephant");
@@ -860,7 +988,10 @@ mod tests {
         for r in fc.drain_all() {
             *exported.entry(r.key).or_default() += r.packets;
         }
-        assert_eq!(truth, exported, "export streams must reconstruct exact counts");
+        assert_eq!(
+            truth, exported,
+            "export streams must reconstruct exact counts"
+        );
     }
 
     #[test]
@@ -904,8 +1035,7 @@ mod tests {
         fc.process(&pkt(ids[0], 1_000));
         // Pinned flows either stayed resident or (pinned-vs-pinned
         // collisions) were exported to a ring — never silently lost.
-        let ring_keys: Vec<FlowKey> =
-            fc.rings().drain().iter().map(|r| r.key).collect();
+        let ring_keys: Vec<FlowKey> = fc.rings().drain().iter().map(|r| r.key).collect();
         for i in &pinned {
             let k = key(*i).canonical().0;
             assert!(

@@ -220,7 +220,13 @@ mod tests {
     use crate::flowcache::{Access, Outcome};
 
     fn hit(probes: u32) -> Access {
-        Access { outcome: Outcome::PHit, probes, writes: 1, ring_pushes: 0, cleaned_row: false }
+        Access {
+            outcome: Outcome::PHit,
+            probes,
+            writes: 1,
+            ring_pushes: 0,
+            cleaned_row: false,
+        }
     }
 
     fn miss(probes: u32, writes: u32, rings: u32) -> Access {
@@ -281,20 +287,33 @@ mod tests {
         let n = rate(&NETRONOME_AGILIO_LX);
         let l = rate(&LIQUIDIO_TX2);
         let b = rate(&BLUEFIELD);
-        assert!(n > l && l > b, "ordering violated: N={n:.0} L={l:.0} B={b:.0}");
+        assert!(
+            n > l && l > b,
+            "ordering violated: N={n:.0} L={l:.0} B={b:.0}"
+        );
         // And they should all be within ~15% of each other, as in Table 3.
-        assert!(b / n > 0.80, "BlueField too slow relative to Netronome: {}", b / n);
+        assert!(
+            b / n > 0.80,
+            "BlueField too slow relative to Netronome: {}",
+            b / n
+        );
     }
 
     #[test]
     fn threads_hide_read_latency() {
         let hw = NETRONOME_AGILIO_LX;
-        let single = HwProfile { overlap_contexts: 1, ..hw };
+        let single = HwProfile {
+            overlap_contexts: 1,
+            ..hw
+        };
         let busy = 500.0;
         let wait = 1500.0;
         assert!(pme_rate_pps(&hw, busy, wait) > pme_rate_pps(&single, busy, wait));
         // With enough threads the core is CPU-bound.
-        let many = HwProfile { overlap_contexts: 8, ..hw };
+        let many = HwProfile {
+            overlap_contexts: 8,
+            ..hw
+        };
         assert!((pme_rate_pps(&many, busy, wait) - 1e9 / busy).abs() < 1.0);
     }
 

@@ -33,7 +33,7 @@ pub mod record;
 pub mod ring;
 
 pub use cme::SwitchOver;
-pub use des::{simulate, DesConfig, DesReport, LatencyDist};
+pub use des::{simulate, simulate_instrumented, DesConfig, DesReport, LatencyDist};
 pub use flowcache::{Access, CacheStats, FlowCache, FlowCacheConfig, Mode, Outcome};
 pub use hw::{CycleCosts, HwProfile, BLUEFIELD, LIQUIDIO_TX2, NETRONOME_AGILIO_LX};
 pub use policy::{CachePolicy, Policy};

@@ -27,10 +27,12 @@ impl Policy {
         let candidates = records.iter().enumerate().filter(|(_, r)| !r.pinned);
         match self {
             Policy::Lru => candidates.min_by_key(|(_, r)| r.last_ts).map(|(i, _)| i),
-            Policy::Lpc => {
-                candidates.min_by_key(|(_, r)| (r.packets, r.last_ts)).map(|(i, _)| i)
-            }
-            Policy::Fifo => candidates.min_by_key(|(_, r)| r.inserted_ts).map(|(i, _)| i),
+            Policy::Lpc => candidates
+                .min_by_key(|(_, r)| (r.packets, r.last_ts))
+                .map(|(i, _)| i),
+            Policy::Fifo => candidates
+                .min_by_key(|(_, r)| r.inserted_ts)
+                .map(|(i, _)| i),
         }
     }
 }
@@ -45,15 +47,48 @@ pub struct CachePolicy {
     pub eviction: Policy,
 }
 
+impl Policy {
+    /// Lowercase metric-label form.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Lru => "lru",
+            Policy::Lpc => "lpc",
+            Policy::Fifo => "fifo",
+        }
+    }
+}
+
 impl CachePolicy {
+    /// Metric-label form: the shared name when both buffers agree
+    /// (`lru`), otherwise `primary-eviction` (`lru-lpc`).
+    pub fn label(&self) -> String {
+        if self.primary == self.eviction {
+            self.primary.label().to_string()
+        } else {
+            format!("{}-{}", self.primary.label(), self.eviction.label())
+        }
+    }
+
     /// Fig. 5's "LRU (12,0)": one flat LRU buffer.
-    pub const LRU: CachePolicy = CachePolicy { primary: Policy::Lru, eviction: Policy::Lru };
+    pub const LRU: CachePolicy = CachePolicy {
+        primary: Policy::Lru,
+        eviction: Policy::Lru,
+    };
     /// Fig. 5's "LPC (12,0)".
-    pub const LPC: CachePolicy = CachePolicy { primary: Policy::Lpc, eviction: Policy::Lpc };
+    pub const LPC: CachePolicy = CachePolicy {
+        primary: Policy::Lpc,
+        eviction: Policy::Lpc,
+    };
     /// Fig. 5's "FIFO (4,8)".
-    pub const FIFO: CachePolicy = CachePolicy { primary: Policy::Fifo, eviction: Policy::Fifo };
+    pub const FIFO: CachePolicy = CachePolicy {
+        primary: Policy::Fifo,
+        eviction: Policy::Fifo,
+    };
     /// The paper's winner: "LRU-LPC (4,8)" — LRU in P, LPC in E.
-    pub const LRU_LPC: CachePolicy = CachePolicy { primary: Policy::Lru, eviction: Policy::Lpc };
+    pub const LRU_LPC: CachePolicy = CachePolicy {
+        primary: Policy::Lru,
+        eviction: Policy::Lpc,
+    };
 }
 
 #[cfg(test)]
@@ -63,8 +98,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn rec(i: u32, packets: u64, last_s: u64, inserted_s: u64) -> FlowRecord {
-        let key =
-            FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80);
+        let key = FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        );
         let mut r = FlowRecord::new(key, Ts::from_secs(inserted_s), 64);
         r.packets = packets;
         r.last_ts = Ts::from_secs(last_s);
@@ -94,7 +133,11 @@ mod tests {
         let a = rec(1, 5, 30, 1);
         let b = rec(2, 5, 10, 2);
         let refs = vec![&a, &b];
-        assert_eq!(Policy::Lpc.victim(&refs), Some(1), "older of equal counts goes");
+        assert_eq!(
+            Policy::Lpc.victim(&refs),
+            Some(1),
+            "older of equal counts goes"
+        );
     }
 
     #[test]

@@ -84,7 +84,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn key() -> FlowKey {
-        FlowKey::tcp(Ipv4Addr::new(10, 0, 0, 1), 9, Ipv4Addr::new(10, 0, 0, 2), 80)
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            9,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
     }
 
     #[test]

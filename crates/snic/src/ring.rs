@@ -7,10 +7,21 @@
 //! so the distribution is reproducible.
 
 use crate::record::FlowRecord;
+use smartwatch_telemetry::{Counter, Gauge, Registry};
 use std::collections::VecDeque;
 
+/// Registry handles mirroring the ring set's public counters (present
+/// only after [`RingSet::attach_telemetry`]).
+#[derive(Debug)]
+struct RingTelemetry {
+    pushed: Counter,
+    overflow: Counter,
+    occupancy: Gauge,
+    occupancy_peak: Gauge,
+}
+
 /// A set of fixed-capacity eviction rings.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct RingSet {
     rings: Vec<VecDeque<FlowRecord>>,
     capacity: usize,
@@ -19,6 +30,22 @@ pub struct RingSet {
     pub overflow_to_host: u64,
     /// Total records ever pushed.
     pub pushed: u64,
+    telemetry: Option<RingTelemetry>,
+}
+
+impl Clone for RingSet {
+    /// Clones keep the buffered records and counts but are detached from
+    /// any registry: throughput probes clone whole caches, and their ring
+    /// activity must not leak into the original's metrics.
+    fn clone(&self) -> RingSet {
+        RingSet {
+            rings: self.rings.clone(),
+            capacity: self.capacity,
+            overflow_to_host: self.overflow_to_host,
+            pushed: self.pushed,
+            telemetry: None,
+        }
+    }
 }
 
 impl RingSet {
@@ -30,6 +57,33 @@ impl RingSet {
             capacity,
             overflow_to_host: 0,
             pushed: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Mirror this ring set's activity into `registry` as
+    /// `snic.ring.{pushed,overflow_to_host,occupancy,occupancy_peak}`,
+    /// carrying current values over.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let t = RingTelemetry {
+            pushed: registry.counter("snic.ring.pushed", &[]),
+            overflow: registry.counter("snic.ring.overflow_to_host", &[]),
+            occupancy: registry.gauge("snic.ring.occupancy", &[]),
+            occupancy_peak: registry.gauge("snic.ring.occupancy_peak", &[]),
+        };
+        t.pushed.add(self.pushed);
+        t.overflow.add(self.overflow_to_host);
+        let occ = self.len() as f64;
+        t.occupancy.set(occ);
+        t.occupancy_peak.set_max(occ);
+        self.telemetry = Some(t);
+    }
+
+    fn note_occupancy(&self) {
+        if let Some(t) = &self.telemetry {
+            let occ = self.len() as f64;
+            t.occupancy.set(occ);
+            t.occupancy_peak.set_max(occ);
         }
     }
 
@@ -49,13 +103,21 @@ impl RingSet {
         self.pushed += 1;
         let n = self.rings.len();
         let ring = &mut self.rings[row % n];
-        if ring.len() >= self.capacity {
+        let accepted = if ring.len() >= self.capacity {
             self.overflow_to_host += 1;
             false
         } else {
             ring.push_back(rec);
             true
+        };
+        if let Some(t) = &self.telemetry {
+            t.pushed.inc();
+            if !accepted {
+                t.overflow.inc();
+            }
         }
+        self.note_occupancy();
+        accepted
     }
 
     /// Records currently buffered across all rings.
@@ -74,6 +136,7 @@ impl RingSet {
         for ring in &mut self.rings {
             out.extend(ring.drain(..));
         }
+        self.note_occupancy();
         out
     }
 
@@ -96,6 +159,7 @@ impl RingSet {
                 break;
             }
         }
+        self.note_occupancy();
         out
     }
 }
@@ -107,8 +171,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn rec(i: u32) -> FlowRecord {
-        let key =
-            FlowKey::tcp(Ipv4Addr::from(0x0A000000 + i), 1, Ipv4Addr::from(0xAC100001), 80);
+        let key = FlowKey::tcp(
+            Ipv4Addr::from(0x0A000000 + i),
+            1,
+            Ipv4Addr::from(0xAC100001),
+            80,
+        );
         FlowRecord::new(key, Ts::ZERO, 64)
     }
 

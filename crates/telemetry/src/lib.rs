@@ -1,0 +1,35 @@
+//! SmartWatch unified observability.
+//!
+//! Three pillars, all deterministic and dependency-free:
+//!
+//! 1. **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]):
+//!    a lock-free metric registry. Handles are `Arc`-shared atomics, so a
+//!    component records with a relaxed `fetch_add` while the registry can
+//!    snapshot at any time. Histograms are log-linear (HDR-style) with a
+//!    bounded relative error of 1/32 ≈ 3.2% per recorded value, mergeable
+//!    across shards, and queryable for p50/p90/p99/p99.9.
+//! 2. **Tracing** ([`Tracer`], [`TraceShard`]): sim-time event traces
+//!    stamped with the virtual clock (`net::Ts`), never the wall clock —
+//!    two same-seed runs produce byte-identical traces. Each shard is a
+//!    fixed-capacity ring that counts what it drops, and the whole trace
+//!    exports as chrome-trace-viewer JSON (load in `chrome://tracing` or
+//!    Perfetto).
+//! 3. **Exporters** ([`export`]): text tables for the terminal, JSON for
+//!    machines, and Prometheus exposition format for scrapers. All three
+//!    render a [`Snapshot`] in deterministic (sorted) order.
+//!
+//! The experiment harness threads one [`Registry`] + [`Tracer`] pair
+//! through the platform tiers; `repro <exp> --metrics-json out.json
+//! --trace-out trace.json` dumps both.
+
+#![forbid(unsafe_code)]
+
+pub mod export;
+mod hist;
+mod metrics;
+mod trace;
+
+pub use export::Snapshot;
+pub use hist::{HistSnapshot, Histogram, QUANTILE_ERROR_BOUND};
+pub use metrics::{Counter, Gauge, MetricId, Registry};
+pub use trace::{TraceShard, Tracer};

@@ -64,7 +64,10 @@ impl BruteforceConfig {
 
     /// FTP defaults.
     pub fn ftp(server: Ipv4Addr, start: Ts, seed: u64) -> BruteforceConfig {
-        BruteforceConfig { service_port: 21, ..BruteforceConfig::ssh(server, start, seed) }
+        BruteforceConfig {
+            service_port: 21,
+            ..BruteforceConfig::ssh(server, start, seed)
+        }
     }
 }
 
@@ -100,7 +103,11 @@ pub fn bruteforce(cfg: &BruteforceConfig) -> Trace {
                 s2c_data_pkts: if success { 160 } else { 3 },
                 c2s_payload: 96,
                 s2c_payload: if success { 512 } else { 112 },
-                mean_gap: if success { Dur::from_millis(40) } else { Dur::from_millis(8) },
+                mean_gap: if success {
+                    Dur::from_millis(40)
+                } else {
+                    Dur::from_millis(8)
+                },
                 teardown: Teardown::Fin,
                 label: Label::attack(kind, a),
                 s2c_digest: 0,
@@ -116,18 +123,15 @@ pub fn bruteforce(cfg: &BruteforceConfig) -> Trace {
 
 /// Generate `n` *benign* sessions to the same service (successful logins),
 /// for measuring false positives and the whitelist path.
-pub fn benign_logins(
-    server: Ipv4Addr,
-    service_port: u16,
-    n: u32,
-    start: Ts,
-    seed: u64,
-) -> Trace {
+pub fn benign_logins(server: Ipv4Addr, service_port: u16, n: u32, start: Ts, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut packets = Vec::new();
     for i in 0..n {
         let spec = SessionSpec {
-            client: (crate::background::client_ip(rng.gen_range(0..10_000)), 33000 + i as u16),
+            client: (
+                crate::background::client_ip(rng.gen_range(0..10_000)),
+                33000 + i as u16,
+            ),
             server: (server, service_port),
             start: start + Dur::from_millis(rng.gen_range(0..(20 + n as u64 * 50))),
             rtt: Dur::from_micros(400),
@@ -203,7 +207,10 @@ pub fn tls_with_certs(cfg: &TlsConfig) -> (Trace, Vec<ArtefactInfo>) {
             Label::Benign
         };
         let spec = SessionSpec {
-            client: (crate::background::client_ip(rng.gen_range(0..20_000)), 40000 + (i % 20000) as u16),
+            client: (
+                crate::background::client_ip(rng.gen_range(0..20_000)),
+                40000 + (i % 20000) as u16,
+            ),
             server: (super::victim_ip(rng.gen_range(0..100)), 443),
             start: cfg.now + Dur::from_nanos(rng.gen_range(0..cfg.window.as_nanos().max(1))),
             rtt: Dur::from_micros(500),
@@ -257,14 +264,20 @@ pub fn kerberos_tickets(cfg: &KerberosConfig) -> (Trace, Vec<ArtefactInfo>) {
         } else {
             Dur::from_secs(rng.gen_range(3_600..cfg.max_lifetime.as_secs().max(3_601)))
         };
-        registry.push(ArtefactInfo { digest, expires_at: issued + lifetime });
+        registry.push(ArtefactInfo {
+            digest,
+            expires_at: issued + lifetime,
+        });
         let label = if suspicious {
             Label::attack(AttackKind::KerberosTicket, i)
         } else {
             Label::Benign
         };
         let spec = SessionSpec {
-            client: (crate::background::client_ip(rng.gen_range(0..5_000)), 45000 + (i % 15000) as u16),
+            client: (
+                crate::background::client_ip(rng.gen_range(0..5_000)),
+                45000 + (i % 15000) as u16,
+            ),
             server: (kdc, 88),
             start: issued,
             rtt: Dur::from_micros(300),
@@ -293,9 +306,14 @@ mod tests {
         let cfg = BruteforceConfig::ssh(super::super::victim_ip(0), Ts::ZERO, 5);
         let t = bruteforce(&cfg);
         let flows = t.labelled_flows(AttackKind::SshBruteforce);
-        assert_eq!(flows.len() as u32, cfg.attackers * cfg.attempts_per_attacker);
+        assert_eq!(
+            flows.len() as u32,
+            cfg.attackers * cfg.attempts_per_attacker
+        );
         // Every packet targets the SSH port.
-        assert!(t.iter().all(|p| p.key.dst_port == 22 || p.key.src_port == 22));
+        assert!(t
+            .iter()
+            .all(|p| p.key.dst_port == 22 || p.key.src_port == 22));
     }
 
     #[test]
@@ -318,7 +336,10 @@ mod tests {
         }
         let max = per_flow.values().copied().max().unwrap();
         let min = per_flow.values().copied().min().unwrap();
-        assert!(max > min * 10, "success ({max}) should dwarf failures ({min})");
+        assert!(
+            max > min * 10,
+            "success ({max}) should dwarf failures ({min})"
+        );
     }
 
     #[test]
@@ -341,8 +362,11 @@ mod tests {
         assert!(!expiring.is_empty());
         assert!(!t.labelled_flows(AttackKind::ExpiringSslCert).is_empty());
         // Digests present on the wire.
-        let wire: std::collections::HashSet<u64> =
-            t.iter().map(|p| p.payload_digest).filter(|d| *d != 0).collect();
+        let wire: std::collections::HashSet<u64> = t
+            .iter()
+            .map(|p| p.payload_digest)
+            .filter(|d| *d != 0)
+            .collect();
         for a in &reg {
             assert!(wire.contains(&a.digest));
         }
@@ -365,7 +389,10 @@ mod tests {
             .iter()
             .filter(|a| a.expires_at.as_secs() > cfg.window.as_secs() + 36_000)
             .count();
-        assert!(long >= suspicious, "every suspicious ticket has a long lifetime");
+        assert!(
+            long >= suspicious,
+            "every suspicious ticket has a long lifetime"
+        );
     }
 
     #[test]

@@ -88,9 +88,8 @@ pub fn covert_timing(cfg: &CovertConfig) -> Trace {
             Label::Benign
         };
         // Per-flow benign mean: ±15% heterogeneity across flows.
-        let flow_gap = Dur::from_nanos(
-            (cfg.benign_gap.as_nanos() as f64 * rng.gen_range(0.85..1.15)) as u64,
-        );
+        let flow_gap =
+            Dur::from_nanos((cfg.benign_gap.as_nanos() as f64 * rng.gen_range(0.85..1.15)) as u64);
         let mut t = cfg.start + Dur::from_micros(rng.gen_range(0..100_000));
         for _ in 0..cfg.pkts_per_flow {
             packets.push(
@@ -144,7 +143,10 @@ mod tests {
         let c = cfg();
         let t = covert_timing(&c);
         let modulated = t.labelled_flows(AttackKind::CovertTimingChannel).len();
-        assert_eq!(modulated as u32, (c.flows as f64 * c.modulated_fraction) as u32);
+        assert_eq!(
+            modulated as u32,
+            (c.flows as f64 * c.modulated_fraction) as u32
+        );
     }
 
     #[test]
@@ -176,8 +178,7 @@ mod tests {
             .map(|p| p.key)
             .unwrap();
         let ipds = flow_ipds(&t, benign);
-        let mean =
-            ipds.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / ipds.len() as f64;
+        let mean = ipds.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / ipds.len() as f64;
         let var = ipds
             .iter()
             .map(|d| (d.as_nanos() as f64 - mean).powi(2))

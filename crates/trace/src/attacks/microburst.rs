@@ -64,9 +64,7 @@ pub fn microbursts(cfg: &MicroburstConfig) -> Trace {
                 9092,
             );
             for _ in 0..cfg.pkts_per_flow {
-                let off = Dur::from_nanos(
-                    rng.gen_range(0..cfg.burst_window.as_nanos().max(1)),
-                );
+                let off = Dur::from_nanos(rng.gen_range(0..cfg.burst_window.as_nanos().max(1)));
                 packets.push(
                     PacketBuilder::new(key, t + off)
                         .flags(TcpFlags::PSH | TcpFlags::ACK)
@@ -141,8 +139,7 @@ mod tests {
         let t = microbursts(&cfg);
         // Mean rate across the whole trace is far below the in-burst rate.
         let in_burst_rate =
-            cfg.flows_per_burst as f64 * cfg.pkts_per_flow as f64
-                / cfg.burst_window.as_secs_f64();
+            cfg.flows_per_burst as f64 * cfg.pkts_per_flow as f64 / cfg.burst_window.as_secs_f64();
         assert!(t.mean_pps() < in_burst_rate / 10.0);
     }
 }

@@ -110,7 +110,10 @@ pub fn incomplete_flows(n: u32, start: Ts, seed: u64) -> Trace {
     let mut t = start;
     for i in 0..n {
         let spec = SessionSpec {
-            client: (super::attacker_ip(100 + (i % 4)), 25000 + (i % 30000) as u16),
+            client: (
+                super::attacker_ip(100 + (i % 4)),
+                25000 + (i % 30000) as u16,
+            ),
             server: (super::victim_ip(rng.gen_range(0..64)), 80),
             start: t,
             rtt: Dur::from_micros(400),
@@ -158,7 +161,10 @@ mod tests {
         };
         let t = portscan(&cfg);
         assert!(t.iter().any(|p| p.flags.is_syn_ack()), "some opens");
-        assert!(t.iter().any(|p| p.flags.rst() && p.key.src_port < 1025), "some refusals");
+        assert!(
+            t.iter().any(|p| p.flags.rst() && p.key.src_port < 1025),
+            "some refusals"
+        );
     }
 
     #[test]

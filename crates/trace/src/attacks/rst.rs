@@ -59,7 +59,10 @@ pub fn forged_rst(cfg: &ForgedRstConfig) -> Trace {
     let mut t = cfg.start;
 
     for v in 0..cfg.forged_victims {
-        let client = (crate::background::client_ip(rng.gen_range(0..5_000)), 41000 + (v % 20000) as u16);
+        let client = (
+            crate::background::client_ip(rng.gen_range(0..5_000)),
+            41000 + (v % 20000) as u16,
+        );
         let server = (super::victim_ip(rng.gen_range(0..64)), 443);
         // Victim session: established, moderate data, *no* teardown yet.
         let spec = SessionSpec {
@@ -92,7 +95,7 @@ pub fn forged_rst(cfg: &ForgedRstConfig) -> Trace {
             .iter()
             .filter(|p| p.key.src_port == 443)
             .map(|p| p.seq_end())
-            .last()
+            .next_back()
             .unwrap_or(0);
         let rst_ts = last.ts + Dur::from_millis(1);
         session.push(
@@ -122,7 +125,10 @@ pub fn forged_rst(cfg: &ForgedRstConfig) -> Trace {
     // follows, so the detector must release these unflagged.
     for _ in 0..cfg.genuine_rsts {
         let spec = SessionSpec {
-            client: (crate::background::client_ip(rng.gen_range(0..5_000)), rng.gen_range(30000..60000)),
+            client: (
+                crate::background::client_ip(rng.gen_range(0..5_000)),
+                rng.gen_range(30000..60000),
+            ),
             server: (super::victim_ip(rng.gen_range(0..64)), 80),
             start: t,
             rtt: Dur::from_micros(500),
@@ -142,7 +148,10 @@ pub fn forged_rst(cfg: &ForgedRstConfig) -> Trace {
             // Endpoint retransmits its RST (no ACK ever comes back).
             let last = *session.last().expect("session has packets");
             debug_assert!(last.flags.rst());
-            session.push(Packet { ts: last.ts + Dur::from_millis(40), ..last });
+            session.push(Packet {
+                ts: last.ts + Dur::from_millis(40),
+                ..last
+            });
         }
         packets.extend(session);
         t += Dur::from_millis(rng.gen_range(20..200));
@@ -157,7 +166,11 @@ mod tests {
 
     #[test]
     fn forged_rsts_are_labelled_and_raced() {
-        let cfg = ForgedRstConfig { forged_victims: 5, genuine_rsts: 0, ..Default::default() };
+        let cfg = ForgedRstConfig {
+            forged_victims: 5,
+            genuine_rsts: 0,
+            ..Default::default()
+        };
         let t = forged_rst(&cfg);
         let forged: Vec<&Packet> = t
             .iter()
@@ -190,8 +203,9 @@ mod tests {
         assert_eq!(rsts.len(), 5);
         for r in &rsts {
             assert!(r.label.is_benign());
-            let follow =
-                t.iter().any(|p| p.key.canonical().0 == r.key.canonical().0 && p.ts > r.ts);
+            let follow = t
+                .iter()
+                .any(|p| p.key.canonical().0 == r.key.canonical().0 && p.ts > r.ts);
             assert!(!follow, "genuine RST must end its flow");
         }
     }

@@ -104,7 +104,10 @@ mod tests {
             let e = span.entry(p.key.canonical().0).or_insert((p.ts, p.ts));
             e.1 = p.ts;
         }
-        let stalled = span.values().filter(|(a, b)| (*b - *a) > Dur::from_secs(10)).count();
+        let stalled = span
+            .values()
+            .filter(|(a, b)| (*b - *a) > Dur::from_secs(10))
+            .count();
         assert!(
             stalled * 10 >= span.len() * 9,
             "{} of {} flows stalled",
@@ -118,7 +121,10 @@ mod tests {
         let t = slowloris(&cfg());
         let bytes_per_conn =
             t.total_bytes() as f64 / (cfg().attackers * cfg().conns_per_attacker) as f64;
-        assert!(bytes_per_conn < 1_500.0, "slowloris conns must be tiny: {bytes_per_conn}");
+        assert!(
+            bytes_per_conn < 1_500.0,
+            "slowloris conns must be tiny: {bytes_per_conn}"
+        );
     }
 
     #[test]

@@ -66,9 +66,13 @@ impl SiteProfile {
 
     /// Sample a packet length from a direction's distribution.
     fn sample_len<R: Rng + ?Sized>(&self, rng: &mut R, inbound: bool) -> u16 {
-        let w = if inbound { &self.in_weights } else { &self.out_weights };
+        let w = if inbound {
+            &self.in_weights
+        } else {
+            &self.out_weights
+        };
         let bin = weighted_choice(rng, w);
-        (bin as u16 * 50 + rng.gen_range(1..50)).min(1460)
+        (bin as u16 * 50 + rng.gen_range(1u16..50)).min(1460)
     }
 }
 
@@ -130,8 +134,7 @@ pub fn page_loads(cfg: &WfpConfig) -> Trace {
                     false
                 } else {
                     // Requests lead, responses follow.
-                    u64::from(i) * u64::from(n_out) / u64::from(total.max(1))
-                        >= u64::from(sent_out)
+                    u64::from(i) * u64::from(n_out) / u64::from(total.max(1)) >= u64::from(sent_out)
                 };
                 let (key, len) = if outbound {
                     sent_out += 1;
@@ -189,9 +192,10 @@ mod tests {
         let mut sites: Vec<u32> = t
             .iter()
             .filter_map(|p| match p.label {
-                Label::Attack { kind: AttackKind::WebsiteFingerprint, instance } => {
-                    Some(instance)
-                }
+                Label::Attack {
+                    kind: AttackKind::WebsiteFingerprint,
+                    instance,
+                } => Some(instance),
                 _ => None,
             })
             .collect();

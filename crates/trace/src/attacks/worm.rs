@@ -97,7 +97,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> WormConfig {
-        WormConfig { signature: 0xDEAD_BEEF_0BAD_F00D, ..WormConfig::new(31) }
+        WormConfig {
+            signature: 0xDEAD_BEEF_0BAD_F00D,
+            ..WormConfig::new(31)
+        }
     }
 
     #[test]
@@ -119,7 +122,10 @@ mod tests {
         };
         let early = srcs(t0, t0 + q);
         let late = srcs(t0 + q + q + q, t0 + d + Dur::from_secs(1));
-        assert!(late > early * 2, "infection should spread: early={early} late={late}");
+        assert!(
+            late > early * 2,
+            "infection should spread: early={early} late={late}"
+        );
     }
 
     #[test]
@@ -136,6 +142,10 @@ mod tests {
         let mut dsts: Vec<_> = t.iter().map(|p| p.key.dst_ip).collect();
         dsts.sort();
         dsts.dedup();
-        assert!(dsts.len() > 200, "worm should scan many targets: {}", dsts.len());
+        assert!(
+            dsts.len() > 200,
+            "worm should scan many targets: {}",
+            dsts.len()
+        );
     }
 }

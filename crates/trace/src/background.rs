@@ -35,8 +35,12 @@ pub enum Preset {
 
 impl Preset {
     /// All CAIDA vintages, in year order (Fig. 2 / Fig. 10 sweep these).
-    pub const CAIDA_YEARS: [Preset; 4] =
-        [Preset::Caida2015, Preset::Caida2016, Preset::Caida2018, Preset::Caida2019];
+    pub const CAIDA_YEARS: [Preset; 4] = [
+        Preset::Caida2015,
+        Preset::Caida2016,
+        Preset::Caida2018,
+        Preset::Caida2019,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -216,15 +220,31 @@ pub fn generate(cfg: &BackgroundConfig) -> Trace {
         let sport = rng.gen_range(32768..61000);
         let dport = cfg.port_mix[weighted_choice(&mut rng, &port_weights)].0;
         let flow_pkts = size_dist.sample(&mut rng) as u32;
-        let start =
-            Ts::from_nanos(rng.gen_range(0..cfg.duration.as_nanos().max(1) * 8 / 10));
+        let start = Ts::from_nanos(rng.gen_range(0..cfg.duration.as_nanos().max(1) * 8 / 10));
 
         if rng.gen::<f64>() < cfg.udp_fraction || dport == 53 {
-            emit_udp_exchange(&mut rng, &mut packets, client, sport, server, dport, start,
-                flow_pkts.min(64));
+            emit_udp_exchange(
+                &mut rng,
+                &mut packets,
+                client,
+                sport,
+                server,
+                dport,
+                start,
+                flow_pkts.min(64),
+            );
         } else {
-            emit_tcp_flow(&mut rng, cfg, &mut packets, client, sport, server, dport, start,
-                flow_pkts);
+            emit_tcp_flow(
+                &mut rng,
+                cfg,
+                &mut packets,
+                client,
+                sport,
+                server,
+                dport,
+                start,
+                flow_pkts,
+            );
         }
     }
     Trace::from_packets(packets)
@@ -248,8 +268,14 @@ fn emit_udp_exchange<R: Rng + ?Sized>(
         let req = smartwatch_net::packet::udp(client, sport, server, dport, t, 60);
         out.push(req);
         t += Dur::from_micros(300);
-        let resp_len = if dport == 53 { rng.gen_range(80..480) } else { rng.gen_range(64..1200) };
-        out.push(smartwatch_net::packet::udp(server, dport, client, sport, t, resp_len));
+        let resp_len = if dport == 53 {
+            rng.gen_range(80..480)
+        } else {
+            rng.gen_range(64..1200)
+        };
+        out.push(smartwatch_net::packet::udp(
+            server, dport, client, sport, t, resp_len,
+        ));
         t += Dur::from_nanos(gap.sample(rng) as u64);
     }
 }
@@ -292,13 +318,11 @@ fn emit_tcp_flow<R: Rng + ?Sized>(
     // CAIDA flows do, while mice stay short. Order (and therefore
     // sequence numbering) is preserved.
     if flow_pkts as f64 > cfg.burst_len * 2.0 {
-        let life_frac = ((flow_pkts.max(2) as f64).ln()
-            / (cfg.max_flow_pkts.max(3) as f64).ln())
-        .clamp(0.05, 0.85);
+        let life_frac = ((flow_pkts.max(2) as f64).ln() / (cfg.max_flow_pkts.max(3) as f64).ln())
+            .clamp(0.05, 0.85);
         let lifetime_ns = cfg.duration.as_nanos() as f64 * life_frac;
         let n_bursts = (flow_pkts as f64 / cfg.burst_len.max(1.0)).max(1.0);
-        let mean_gap_ns =
-            (lifetime_ns / n_bursts).max(cfg.inter_burst_gap.as_nanos() as f64);
+        let mean_gap_ns = (lifetime_ns / n_bursts).max(cfg.inter_burst_gap.as_nanos() as f64);
         let burst_gap = Exp::new(mean_gap_ns);
         let mut t = pkts[0].ts;
         let mut in_burst = 0u32;
@@ -333,7 +357,11 @@ mod tests {
     #[test]
     fn generates_requested_scale() {
         let t = small_trace(Preset::Caida2018);
-        assert!(t.len() > 2_000, "500 flows should yield thousands of packets: {}", t.len());
+        assert!(
+            t.len() > 2_000,
+            "500 flows should yield thousands of packets: {}",
+            t.len()
+        );
         assert!(t.attack_fraction() == 0.0);
     }
 
@@ -379,10 +407,7 @@ mod tests {
         let dc = small_trace(Preset::WisconsinDc);
         let inet = small_trace(Preset::Caida2018);
         let servers = |t: &Trace| {
-            let mut s: Vec<_> = t
-                .iter()
-                .map(|p| p.key.canonical().0.dst_ip)
-                .collect();
+            let mut s: Vec<_> = t.iter().map(|p| p.key.canonical().0.dst_ip).collect();
             s.sort();
             s.dedup();
             s.len()
@@ -402,7 +427,8 @@ mod tests {
         let t = preset_trace(Preset::Caida2018, 2_000, Dur::from_secs(2), 3);
         for port in [22u16, 53, 443, 21] {
             assert!(
-                t.iter().any(|p| p.key.dst_port == port || p.key.src_port == port),
+                t.iter()
+                    .any(|p| p.key.dst_port == port || p.key.src_port == port),
                 "no traffic on port {port}"
             );
         }

@@ -45,7 +45,10 @@ impl Zipf {
     /// Sample a rank in `1..=n` (rank 1 is the most probable).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf"))
+        {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.cdf.len()),
         }
@@ -222,7 +225,10 @@ mod tests {
         let p = BoundedPareto::new(64.0, 1500.0, 1.2);
         let mut r = rng();
         let below_200 = (0..10_000).filter(|_| p.sample(&mut r) < 200.0).count();
-        assert!(below_200 > 6_000, "most samples should be small: {below_200}");
+        assert!(
+            below_200 > 6_000,
+            "most samples should be small: {below_200}"
+        );
     }
 
     #[test]
@@ -230,9 +236,11 @@ mod tests {
         let mut r = rng();
         for lambda in [0.5, 4.0, 100.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
-            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.1, "λ={lambda} mean={mean}");
+            let mean: f64 = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "λ={lambda} mean={mean}"
+            );
         }
         assert_eq!(poisson(&mut r, 0.0), 0);
     }

@@ -108,7 +108,13 @@ impl Trace {
     /// `editcap`-equivalent: shift every timestamp by `delta_ns` (signed),
     /// clamping at the time origin.
     pub fn time_shifted(&self, delta_ns: i64) -> Trace {
-        Trace { packets: self.packets.iter().map(|p| p.time_shifted(delta_ns)).collect() }
+        Trace {
+            packets: self
+                .packets
+                .iter()
+                .map(|p| p.time_shifted(delta_ns))
+                .collect(),
+        }
     }
 
     /// `mergecap`-equivalent: merge any number of traces into one
@@ -124,7 +130,9 @@ impl Trace {
     /// `tcprewrite`-equivalent: truncate every packet to a 64-byte frame
     /// (the paper's worst-case stress-test transform).
     pub fn truncated_64b(&self) -> Trace {
-        Trace { packets: self.packets.iter().map(|p| p.truncated()).collect() }
+        Trace {
+            packets: self.packets.iter().map(|p| p.truncated()).collect(),
+        }
     }
 
     /// Replay speed-up: compress inter-arrival gaps by `factor` (the paper
@@ -139,7 +147,10 @@ impl Trace {
                 .iter()
                 .map(|p| {
                     let rel = (p.ts - origin).as_nanos() as f64 / factor;
-                    Packet { ts: origin + Dur::from_nanos(rel as u64), ..*p }
+                    Packet {
+                        ts: origin + Dur::from_nanos(rel as u64),
+                        ..*p
+                    }
                 })
                 .collect(),
         }
@@ -147,7 +158,9 @@ impl Trace {
 
     /// Keep only the first `n` packets (cheap way to size experiments).
     pub fn take(&self, n: usize) -> Trace {
-        Trace { packets: self.packets.iter().take(n).copied().collect() }
+        Trace {
+            packets: self.packets.iter().take(n).copied().collect(),
+        }
     }
 
     /// Ground-truth attack flows: the set of canonical flow keys whose

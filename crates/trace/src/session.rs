@@ -119,7 +119,11 @@ pub fn tcp_session<R: Rng + ?Sized>(rng: &mut R, spec: &SessionSpec) -> Vec<Pack
 
     // SYN.
     pkts.push(
-        PacketBuilder::new(c2s, t).flags(TcpFlags::SYN).seq(c_seq).label(spec.label).build(),
+        PacketBuilder::new(c2s, t)
+            .flags(TcpFlags::SYN)
+            .seq(c_seq)
+            .label(spec.label)
+            .build(),
     );
     c_seq = c_seq.wrapping_add(1);
 
@@ -178,8 +182,7 @@ pub fn tcp_session<R: Rng + ?Sized>(rng: &mut R, spec: &SessionSpec) -> Vec<Pack
             true
         } else {
             // Deterministic proportional interleave keyed by index.
-            (u64::from(i) * u64::from(spec.c2s_data_pkts))
-                / u64::from(total.max(1))
+            (u64::from(i) * u64::from(spec.c2s_data_pkts)) / u64::from(total.max(1))
                 >= u64::from(c_sent)
         };
         if pick_client {
@@ -301,8 +304,10 @@ mod tests {
     #[test]
     fn sequence_numbers_advance_with_payload() {
         let pkts = gen(&spec());
-        let c2s: Vec<&Packet> =
-            pkts.iter().filter(|p| p.key.src_port == 40000 && p.payload_len > 0).collect();
+        let c2s: Vec<&Packet> = pkts
+            .iter()
+            .filter(|p| p.key.src_port == 40000 && p.payload_len > 0)
+            .collect();
         for w in c2s.windows(2) {
             assert_eq!(w[1].seq, w[0].seq.wrapping_add(u32::from(w[0].payload_len)));
         }
@@ -310,7 +315,10 @@ mod tests {
 
     #[test]
     fn refused_yields_syn_rst() {
-        let s = SessionSpec { outcome: HandshakeOutcome::Refused, ..spec() };
+        let s = SessionSpec {
+            outcome: HandshakeOutcome::Refused,
+            ..spec()
+        };
         let pkts = gen(&s);
         assert_eq!(pkts.len(), 2);
         assert!(pkts[0].flags.is_syn_only());
@@ -321,20 +329,29 @@ mod tests {
 
     #[test]
     fn no_response_yields_lone_syn() {
-        let s = SessionSpec { outcome: HandshakeOutcome::NoResponse, ..spec() };
+        let s = SessionSpec {
+            outcome: HandshakeOutcome::NoResponse,
+            ..spec()
+        };
         assert_eq!(gen(&s).len(), 1);
     }
 
     #[test]
     fn rst_teardown() {
-        let s = SessionSpec { teardown: Teardown::Rst, ..spec() };
+        let s = SessionSpec {
+            teardown: Teardown::Rst,
+            ..spec()
+        };
         let pkts = gen(&s);
         assert!(pkts.last().unwrap().flags.rst());
     }
 
     #[test]
     fn abandoned_session_has_no_teardown() {
-        let s = SessionSpec { teardown: Teardown::None, ..spec() };
+        let s = SessionSpec {
+            teardown: Teardown::None,
+            ..spec()
+        };
         let pkts = gen(&s);
         assert!(!pkts.last().unwrap().flags.fin());
         assert!(!pkts.last().unwrap().flags.rst());
@@ -351,17 +368,32 @@ mod tests {
 
     #[test]
     fn data_counts_respected() {
-        let s = SessionSpec { c2s_data_pkts: 5, s2c_data_pkts: 2, ..spec() };
+        let s = SessionSpec {
+            c2s_data_pkts: 5,
+            s2c_data_pkts: 2,
+            ..spec()
+        };
         let pkts = gen(&s);
-        let c = pkts.iter().filter(|p| p.payload_len > 0 && p.key.src_port == 40000).count();
-        let v = pkts.iter().filter(|p| p.payload_len > 0 && p.key.src_port == 443).count();
+        let c = pkts
+            .iter()
+            .filter(|p| p.payload_len > 0 && p.key.src_port == 40000)
+            .count();
+        let v = pkts
+            .iter()
+            .filter(|p| p.payload_len > 0 && p.key.src_port == 443)
+            .count();
         assert_eq!((c, v), (5, 2));
     }
 
     #[test]
     fn labels_propagate() {
         use smartwatch_net::AttackKind;
-        let s = SessionSpec { label: Label::attack(AttackKind::Slowloris, 9), ..spec() };
-        assert!(gen(&s).iter().all(|p| p.label.kind() == Some(AttackKind::Slowloris)));
+        let s = SessionSpec {
+            label: Label::attack(AttackKind::Slowloris, 9),
+            ..spec()
+        };
+        assert!(gen(&s)
+            .iter()
+            .all(|p| p.label.kind() == Some(AttackKind::Slowloris)));
     }
 }

@@ -17,22 +17,26 @@ use smartwatch::p4sim::NetWarden;
 use smartwatch::trace::attacks::covert::{covert_timing, CovertConfig};
 
 fn main() {
-    println!("{:>12} | {:>6} | {:>6} | {:>8}", "depth (µs)", "TPR %", "FPR %", "steered %");
+    println!(
+        "{:>12} | {:>6} | {:>6} | {:>8}",
+        "depth (µs)", "TPR %", "FPR %", "steered %"
+    );
     println!("{:-<12}-+-{:-<6}-+-{:-<6}-+-{:-<8}", "", "", "", "");
 
     for depth_us in [2u64, 10, 30, 60, 100] {
         let cfg = CovertConfig::with_depth(Dur::from_micros(depth_us), 200, 5);
         let trace = covert_timing(&cfg);
-        let modulated: std::collections::HashSet<_> =
-            trace.labelled_flows(AttackKind::CovertTimingChannel).into_iter().collect();
+        let modulated: std::collections::HashSet<_> = trace
+            .labelled_flows(AttackKind::CovertTimingChannel)
+            .into_iter()
+            .collect();
 
         // Train the benign IPD reference from flows known-good offline.
         let mut trainer = IpdCollector::new(D::from_micros(1), 192);
         for p in trace.iter().filter(|p| p.label.is_benign()).take(20_000) {
             trainer.on_packet(p);
         }
-        let benign_hists: Vec<Vec<u64>> =
-            trainer.readout().into_iter().map(|(_, h)| h).collect();
+        let benign_hists: Vec<Vec<u64>> = trainer.readout().into_iter().map(|(_, h)| h).collect();
         let detector = CovertChannelDetector::train(&benign_hists, 0.25);
 
         // Switch stage: NetWarden pre-check steers suspicious flows. The

@@ -16,12 +16,27 @@ fn main() {
 
     // --- Eviction policies (Fig. 5) -----------------------------------
     println!("eviction policies, (P,E) split, same memory:");
-    println!("{:>14} | {:>8} | {:>8} | {:>9}", "policy", "hit %", "evict", "to-host");
+    println!(
+        "{:>14} | {:>8} | {:>8} | {:>9}",
+        "policy", "hit %", "evict", "to-host"
+    );
     for (name, cfg) in [
-        ("LRU (12,0)", FlowCacheConfig::flat(10, 12, CachePolicy::LRU)),
-        ("LPC (12,0)", FlowCacheConfig::flat(10, 12, CachePolicy::LPC)),
-        ("FIFO (4,8)", FlowCacheConfig::split(10, 4, 8, CachePolicy::FIFO)),
-        ("LRU-LPC (4,8)", FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC)),
+        (
+            "LRU (12,0)",
+            FlowCacheConfig::flat(10, 12, CachePolicy::LRU),
+        ),
+        (
+            "LPC (12,0)",
+            FlowCacheConfig::flat(10, 12, CachePolicy::LPC),
+        ),
+        (
+            "FIFO (4,8)",
+            FlowCacheConfig::split(10, 4, 8, CachePolicy::FIFO),
+        ),
+        (
+            "LRU-LPC (4,8)",
+            FlowCacheConfig::split(10, 4, 8, CachePolicy::LRU_LPC),
+        ),
     ] {
         let mut fc = FlowCache::new(cfg);
         for p in trace.iter() {

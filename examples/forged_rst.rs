@@ -61,7 +61,10 @@ fn main() {
     }
 
     println!("\nresults:");
-    println!("  forged RSTs caught & dropped : {forged}/{}", cfg.forged_victims);
+    println!(
+        "  forged RSTs caught & dropped : {forged}/{}",
+        cfg.forged_victims
+    );
     println!("  duplicate RSTs flagged       : {dups}");
     println!("  genuine RSTs released        : {released}");
     println!(

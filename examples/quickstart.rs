@@ -36,8 +36,10 @@ fn main() {
 
     // 2. Run the full cooperative platform: P4Switch steering + sNIC
     //    FlowCache + host NFs, with the standard coarse queries.
-    let platform =
-        SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries());
+    let platform = SmartWatch::new(
+        PlatformConfig::new(DeployMode::SmartWatch),
+        standard_queries(),
+    );
     let report = platform.run(trace.packets());
 
     // 3. What did it see?
@@ -45,10 +47,16 @@ fn main() {
     println!("\ntier breakdown:");
     println!("  forwarded directly : {:>9}", m.forwarded_direct);
     println!("  sNIC processed     : {:>9}", m.snic_processed);
-    println!("  host processed     : {:>9} ({:.1}% of sNIC tier)",
-        m.host_processed, m.host_fraction() * 100.0);
+    println!(
+        "  host processed     : {:>9} ({:.1}% of sNIC tier)",
+        m.host_processed,
+        m.host_fraction() * 100.0
+    );
     println!("  blacklist-dropped  : {:>9}", m.dropped);
-    println!("  mean monitor latency: {:.1} µs", m.mean_latency_ns() / 1_000.0);
+    println!(
+        "  mean monitor latency: {:.1} µs",
+        m.mean_latency_ns() / 1_000.0
+    );
 
     println!("\nalerts:");
     for a in &report.alerts {

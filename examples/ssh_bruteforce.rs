@@ -29,20 +29,27 @@ fn main() {
     let trace = Trace::merge([background, attack, benign]);
     let truth = GroundTruth::from_packets(trace.packets());
 
-    println!("workload: {} packets, {} bruteforce sessions + 20 benign logins\n",
+    println!(
+        "workload: {} packets, {} bruteforce sessions + 20 benign logins\n",
         trace.len(),
-        campaign.attackers * campaign.attempts_per_attacker);
+        campaign.attackers * campaign.attempts_per_attacker
+    );
 
     for mode in [DeployMode::HostOnly, DeployMode::SmartWatch] {
-        let rep = SmartWatch::new(PlatformConfig::new(mode), standard_queries())
-            .run(trace.packets());
+        let rep =
+            SmartWatch::new(PlatformConfig::new(mode), standard_queries()).run(trace.packets());
         let rate = detection_rate(&rep, &truth, AttackKind::SshBruteforce).unwrap_or(0.0);
         println!("{}:", mode.name());
         println!("  detection rate      : {:.0}%", rate * 100.0);
-        println!("  mean monitor latency: {:.1} µs", rep.metrics.mean_latency_ns() / 1e3);
-        println!("  host-processed pkts : {} ({:.2}% of monitored)",
+        println!(
+            "  mean monitor latency: {:.1} µs",
+            rep.metrics.mean_latency_ns() / 1e3
+        );
+        println!(
+            "  host-processed pkts : {} ({:.2}% of monitored)",
             rep.metrics.host_processed,
-            rep.metrics.host_processed as f64 / rep.metrics.monitored.max(1) as f64 * 100.0);
+            rep.metrics.host_processed as f64 / rep.metrics.monitored.max(1) as f64 * 100.0
+        );
         if mode == DeployMode::SmartWatch {
             println!("  whitelist entries   : {}", rep.whitelist_entries);
             println!("  blacklist drops     : {}", rep.metrics.dropped);

@@ -18,7 +18,10 @@ use smartwatch::trace::background::{preset_trace, Preset};
 use smartwatch::trace::Trace;
 
 fn main() {
-    println!("{:>14} | {:>10} | {:>10}", "scan delay", "SmartWatch", "P4Switch");
+    println!(
+        "{:>14} | {:>10} | {:>10}",
+        "scan delay", "SmartWatch", "P4Switch"
+    );
     println!("{:-<14}-+-{:-<10}-+-{:-<10}", "", "", "");
 
     for delay_ms in [5u64, 10, 1_000, 15_000, 300_000] {
@@ -27,9 +30,13 @@ fn main() {
         // link stays busy for the whole campaign, keeping its server
         // subnets steered so even sparse probes are seen by the sNIC.
         let probes = (6_000 / delay_ms).clamp(60, 1_200) as u32;
-        let bg_secs = ((delay_ms * 60 / 1_000).max(6)).min(90);
-        let background =
-            preset_trace(Preset::WisconsinDc, 100 * bg_secs as usize, Dur::from_secs(bg_secs), 7);
+        let bg_secs = (delay_ms * 60 / 1_000).clamp(6, 90);
+        let background = preset_trace(
+            Preset::WisconsinDc,
+            100 * bg_secs as usize,
+            Dur::from_secs(bg_secs),
+            7,
+        );
         let scan = portscan(&ScanConfig {
             scanner: 32,
             ..ScanConfig::with_delay(delay, probes, 7)
@@ -38,8 +45,8 @@ fn main() {
         let truth = GroundTruth::from_packets(trace.packets());
 
         let run = |mode: DeployMode| {
-            let rep = SmartWatch::new(PlatformConfig::new(mode), standard_queries())
-                .run(trace.packets());
+            let rep =
+                SmartWatch::new(PlatformConfig::new(mode), standard_queries()).run(trace.packets());
             detection_rate(&rep, &truth, AttackKind::StealthyPortScan).unwrap_or(0.0)
         };
         let sw = run(DeployMode::SmartWatch);

@@ -58,9 +58,8 @@ fn main() {
 
     println!("{:>22} | {:>10} | {:>9}", "estimator", "memory", "HH MRE");
     println!("{:-<22}-+-{:-<10}-+-{:-<9}", "", "", "");
-    let mre = |est: &dyn Fn(&smartwatch::net::FlowKey) -> u64| {
-        mean_relative_error(&truth, &hh, est)
-    };
+    let mre =
+        |est: &dyn Fn(&smartwatch::net::FlowKey) -> u64| mean_relative_error(&truth, &hh, est);
     println!(
         "{:>22} | {:>10} | {:>9.4}",
         "SmartWatch (lossless)",
@@ -100,7 +99,10 @@ fn main() {
         ("CountMin", cm.heavy_hitters(threshold).map(|v| v.len())),
     ] {
         match found {
-            Some(n) => println!("  {name:<10} enumerated {n} candidates (truth: {})", hh.len()),
+            Some(n) => println!(
+                "  {name:<10} enumerated {n} candidates (truth: {})",
+                hh.len()
+            ),
             None => println!("  {name:<10} not invertible — needs a candidate key list"),
         }
     }

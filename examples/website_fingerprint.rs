@@ -23,7 +23,11 @@ fn labelled_features(cfg: &WfpConfig) -> Vec<(usize, Vec<u64>)> {
     let mut site_of: HashMap<FlowKey, usize> = HashMap::new();
     let mut collector = PldCollector::new(cfg.proxy_port);
     for p in trace.iter() {
-        if let Label::Attack { kind: AttackKind::WebsiteFingerprint, instance } = p.label {
+        if let Label::Attack {
+            kind: AttackKind::WebsiteFingerprint,
+            instance,
+        } = p.label
+        {
             site_of.insert(p.key.canonical().0, instance as usize);
             collector.on_packet(p);
         }
@@ -69,7 +73,10 @@ fn main() {
     println!("\n{:>6} | {:>9}", "site", "accuracy");
     println!("{:-<6}-+-{:-<9}", "", "");
     for (site, (hit, total)) in per_site_hit.iter().enumerate() {
-        println!("{site:>6} | {:>8.0}%", f64::from(*hit) / f64::from(*total) * 100.0);
+        println!(
+            "{site:>6} | {:>8.0}%",
+            f64::from(*hit) / f64::from(*total) * 100.0
+        );
     }
     let overall = clf.accuracy(&test);
     println!("\noverall closed-world accuracy: {:.1}%", overall * 100.0);

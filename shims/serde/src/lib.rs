@@ -1,0 +1,673 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate supplies the subset of serde the SmartWatch workspace uses:
+//! [`Serialize`]/[`Deserialize`] traits, `#[derive(Serialize, Deserialize)]`
+//! (via the sibling `serde_derive` shim, enabled by the `derive` feature),
+//! and a self-describing [`Value`] model that the `serde_json` shim renders
+//! to and parses from JSON text.
+//!
+//! Unlike real serde there is no generic `Serializer`/`Deserializer`
+//! plumbing: serialization always goes through [`Value`]. Struct fields
+//! keep declaration order (objects are ordered key/value vectors), enums
+//! use serde's default externally-tagged representation, and newtype
+//! structs are transparent — so the JSON this produces matches what real
+//! serde+serde_json would for the types in this repository.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped self-describing value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion-ordered (struct fields keep declaration
+    /// order, matching serde_json's struct serialization).
+    Object(Vec<(String, Value)>),
+}
+
+/// Exact-width JSON number: unsigned, signed, or floating.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.as_i128(), other.as_i128()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl Number {
+    fn as_i128(self) -> Option<i128> {
+        match self {
+            Number::U(u) => Some(i128::from(u)),
+            Number::I(i) => Some(i128::from(i)),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Lossy float view.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+impl Value {
+    /// Borrow as an array, if this is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an object (ordered key/value pairs), if this is one.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(u)) => Some(*u),
+            Value::Number(Number::I(i)) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(i)) => Some(*i),
+            Value::Number(Number::U(u)) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::write(self, false))
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// New error with the given message.
+    pub fn msg(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Value`] model.
+pub trait Serialize {
+    /// Convert to a self-describing value.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a self-describing value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Derive support helpers (referenced by serde_derive-generated code).
+// ---------------------------------------------------------------------------
+
+/// Fetch a named object field (derive helper).
+pub fn __get_field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DeError> {
+    v.get(key)
+        .ok_or_else(|| DeError::msg(format!("missing field `{key}`")))
+}
+
+/// Require an array of exactly `n` elements (derive helper).
+pub fn __get_array(v: &Value, n: usize) -> Result<&Vec<Value>, DeError> {
+    match v.as_array() {
+        Some(a) if a.len() == n => Ok(a),
+        Some(a) => Err(DeError::msg(format!(
+            "expected {n}-tuple, got {} elements",
+            a.len()
+        ))),
+        None => Err(DeError::msg("expected array")),
+    }
+}
+
+/// Split an externally-tagged enum value into (variant name, payload)
+/// (derive helper).
+pub fn __variant(v: &Value) -> Result<(&str, Option<&Value>), DeError> {
+    match v {
+        Value::String(s) => Ok((s, None)),
+        Value::Object(o) if o.len() == 1 => Ok((&o[0].0, Some(&o[0].1))),
+        _ => Err(DeError::msg("expected enum (string or single-key object)")),
+    }
+}
+
+/// Require a tagged variant to carry a payload (derive helper).
+pub fn __need_inner<'a>(inner: Option<&'a Value>, variant: &str) -> Result<&'a Value, DeError> {
+    inner.ok_or_else(|| DeError::msg(format!("variant `{variant}` expects a payload")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive / std impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::U(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::msg("expected unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::Number(Number::U(i as u64)) } else { Value::Number(Number::I(i)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::msg("expected integer"))?;
+                <$t>::try_from(i).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::msg("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::msg("expected number"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::msg("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::msg("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        // Static-lifetime strings can only be produced by leaking; this
+        // path exists solely for config-like structs (`HwProfile.name`)
+        // restored from JSON in tests and tooling.
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| DeError::msg("expected string"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::msg("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = __get_array(v, [$($n),+].len())?;
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys (matches serde_json's BTreeMap-
+        // backed Value maps).
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::msg("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .ok_or_else(|| DeError::msg("expected IPv4 string"))?
+            .parse()
+            .map_err(|_| DeError::msg("invalid IPv4 address"))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// JSON text rendering for [`Value`] (used by the serde_json shim).
+pub mod json {
+    use super::{Number, Value};
+
+    /// Render a value as JSON, optionally pretty-printed with two-space
+    /// indent (serde_json's pretty style).
+    pub fn write(v: &Value, pretty: bool) -> String {
+        let mut out = String::new();
+        go(v, pretty, 0, &mut out);
+        out
+    }
+
+    fn go(v: &Value, pretty: bool, depth: usize, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(*n, out),
+            Value::String(s) => write_string(s, out),
+            Value::Array(a) => {
+                if a.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(pretty, depth + 1, out);
+                    go(item, pretty, depth + 1, out);
+                }
+                newline_indent(pretty, depth, out);
+                out.push(']');
+            }
+            Value::Object(o) => {
+                if o.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, item)) in o.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(pretty, depth + 1, out);
+                    write_string(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    go(item, pretty, depth + 1, out);
+                }
+                newline_indent(pretty, depth, out);
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(pretty: bool, depth: usize, out: &mut String) {
+        if pretty {
+            out.push('\n');
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    }
+
+    fn write_number(n: Number, out: &mut String) {
+        match n {
+            Number::U(u) => out.push_str(&u.to_string()),
+            Number::I(i) => out.push_str(&i.to_string()),
+            Number::F(f) => {
+                if !f.is_finite() {
+                    out.push_str("null"); // serde_json behaviour
+                } else if f == f.trunc() && f.abs() < 1e16 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            }
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors_and_indexing() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::String("fig3".into())),
+            (
+                "rows".into(),
+                Value::Array(vec![Value::Number(Number::U(1))]),
+            ),
+        ]);
+        assert_eq!(v["id"], "fig3");
+        assert!(v["rows"].as_array().map(|r| !r.is_empty()).unwrap_or(false));
+        assert_eq!(v["rows"][0].as_u64(), Some(1));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = (3u64, -4i32, true, String::from("hi"), 2.5f64).to_value();
+        let back: (u64, i32, bool, String, f64) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (3, -4, true, "hi".to_string(), 2.5));
+    }
+
+    #[test]
+    fn option_and_ipv4() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::from_value(&some.to_value()).unwrap(),
+            Some(7)
+        );
+        assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), None);
+        let ip: std::net::Ipv4Addr = "10.0.0.1".parse().unwrap();
+        assert_eq!(std::net::Ipv4Addr::from_value(&ip.to_value()).unwrap(), ip);
+    }
+
+    #[test]
+    fn json_writer_shapes() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::F(1.0))),
+            ("b".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(json::write(&v, false), "{\"a\":1.0,\"b\":[]}");
+        assert!(json::write(&v, true).contains("\n  \"a\": 1.0"));
+    }
+}

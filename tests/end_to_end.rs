@@ -15,8 +15,11 @@ use smartwatch::trace::Trace;
 
 fn run_smartwatch(trace: &Trace) -> (smartwatch::core::RunReport, GroundTruth) {
     let truth = GroundTruth::from_packets(trace.packets());
-    let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries())
-        .run(trace.packets());
+    let rep = SmartWatch::new(
+        PlatformConfig::new(DeployMode::SmartWatch),
+        standard_queries(),
+    )
+    .run(trace.packets());
     (rep, truth)
 }
 
@@ -86,11 +89,17 @@ fn dns_amplification_detected() {
 
 #[test]
 fn worm_outbreak_detected() {
-    let cfg = WormConfig { signature: 0xBEEF_CAFE, ..WormConfig::new(29) };
+    let cfg = WormConfig {
+        signature: 0xBEEF_CAFE,
+        ..WormConfig::new(29)
+    };
     let trace = with_background(worm_outbreak(&cfg), 29);
     let (rep, truth) = run_smartwatch(&trace);
     let rate = detection_rate(&rep, &truth, AttackKind::Worm).unwrap();
-    assert!(rate > 0.3, "worm rate {rate} (signature covers most instances)");
+    assert!(
+        rate > 0.3,
+        "worm rate {rate} (signature covers most instances)"
+    );
 }
 
 #[test]
@@ -116,8 +125,8 @@ fn host_fraction_stays_below_paper_bound() {
     );
     ssh.attempt_gap = Dur::from_millis(250);
     let trace = with_background(Trace::merge([scan, bruteforce(&ssh)]), 37);
-    let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
-        .run(trace.packets());
+    let rep =
+        SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).run(trace.packets());
     assert!(
         rep.metrics.host_fraction() < 0.16,
         "host fraction {:.3}",

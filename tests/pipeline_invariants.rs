@@ -16,8 +16,8 @@ use std::collections::HashMap;
 #[test]
 fn flow_logs_are_lossless_end_to_end() {
     let trace = preset_trace(Preset::Caida2018, 300, Dur::from_secs(3), 41);
-    let rep = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
-        .run(trace.packets());
+    let rep =
+        SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).run(trace.packets());
     let mut logged: HashMap<FlowKey, u64> = HashMap::new();
     for i in 0.. {
         let counts = rep.flow_log.flow_counts(i);
@@ -59,6 +59,10 @@ fn whitelisting_reduces_steered_traffic() {
     let run = |top_k: usize| {
         let mut cfg = PlatformConfig::new(DeployMode::SmartWatch);
         cfg.whitelist_top_k = top_k;
+        // Only steered flows reach the sNIC's long-term store, so the
+        // whitelistable elephants here are steered-subset flows; their
+        // counts sit well below the 200-packet global default.
+        cfg.whitelist_min_packets = 50;
         SmartWatch::new(cfg, standard_queries()).run(trace.packets())
     };
     let without = run(0);
@@ -90,10 +94,8 @@ fn wire_roundtrip_preserves_platform_behaviour() {
             q
         })
         .collect();
-    let a = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![])
-        .run(trace.packets());
-    let b =
-        SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).run(&decoded);
+    let a = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).run(trace.packets());
+    let b = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]).run(&decoded);
     assert_eq!(a.metrics.snic_processed, b.metrics.snic_processed);
     assert_eq!(a.metrics.host_processed, b.metrics.host_processed);
     assert_eq!(a.alerts.len(), b.alerts.len());
@@ -105,7 +107,12 @@ fn wire_roundtrip_preserves_platform_behaviour() {
 fn flowcache_conservation_across_configs() {
     use smartwatch::snic::{CachePolicy, Mode};
     let trace = preset_trace(Preset::Caida2019, 200, Dur::from_secs(2), 53).truncated_64b();
-    for policy in [CachePolicy::LRU, CachePolicy::LPC, CachePolicy::FIFO, CachePolicy::LRU_LPC] {
+    for policy in [
+        CachePolicy::LRU,
+        CachePolicy::LPC,
+        CachePolicy::FIFO,
+        CachePolicy::LRU_LPC,
+    ] {
         for mode in [Mode::General, Mode::Lite] {
             let mut fc = FlowCache::new(FlowCacheConfig::split(6, 4, 8, policy));
             fc.set_mode(mode);
@@ -140,9 +147,11 @@ fn sonata_zoom_is_slower_than_steering() {
     let scan = portscan(&ScanConfig::with_delay(Dur::from_millis(25), 200, 59));
     let trace = Trace::merge([bg, scan]);
 
-    let sonata =
-        SmartWatch::new(PlatformConfig::new(DeployMode::SwitchHost), standard_queries())
-            .run(trace.packets());
+    let sonata = SmartWatch::new(
+        PlatformConfig::new(DeployMode::SwitchHost),
+        standard_queries(),
+    )
+    .run(trace.packets());
     // Sonata needs ≥3 intervals (8→16→32) to reach a terminal detection.
     if let Some(first) = sonata.sonata_detections.first() {
         assert!(
@@ -151,8 +160,11 @@ fn sonata_zoom_is_slower_than_steering() {
             first.ts
         );
     }
-    let sw = SmartWatch::new(PlatformConfig::new(DeployMode::SmartWatch), standard_queries())
-        .run(trace.packets());
+    let sw = SmartWatch::new(
+        PlatformConfig::new(DeployMode::SmartWatch),
+        standard_queries(),
+    )
+    .run(trace.packets());
     let first_alert = sw
         .alerts
         .iter()
