@@ -1,0 +1,43 @@
+//! Criterion benchmark of the wall-clock runtime engine, sweeping the
+//! shard count on the 64-byte stress workload.
+//!
+//! On a multi-core machine throughput should rise with shards (the
+//! acceptance shape: 4 shards > 1 shard on 64B packets); on a single
+//! hardware thread the sweep still exercises the dispatcher, queues and
+//! drain logic, but the scaling signal is meaningless — read it with
+//! `nproc` in hand.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smartwatch_bench::exp_engine::{engine_workload, EngineRunSpec, EngineWorkload};
+use smartwatch_runtime::{Engine, EngineConfig, Pace};
+
+fn bench_engine_shards(c: &mut Criterion) {
+    let spec = EngineRunSpec {
+        packets: 100_000,
+        workload: EngineWorkload::Stress,
+        ..EngineRunSpec::default()
+    };
+    let pkts = engine_workload(&spec, 1);
+    let mut g = c.benchmark_group("engine_shards_64b");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        g.bench_function(format!("shards{shards}"), |b| {
+            b.iter(|| {
+                // Fresh engine (and registry) per run: counters must not
+                // accumulate across iterations.
+                let report = Engine::new(EngineConfig::new(shards)).run(&pkts, Pace::Flatout);
+                assert!(report.conserved());
+                report.processed()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_shards
+}
+criterion_main!(benches);

@@ -7,9 +7,11 @@
 //! repro fig10 --json       # machine-readable tables
 //! repro fig5 --metrics-json m.json   # dump the metric registry
 //! repro fig5 --trace-out trace.json  # chrome://tracing / Perfetto trace
+//! repro engine --shards 4 --packets 1000000   # wall-clock runtime
 //! repro list               # experiment index
 //! ```
 
+use smartwatch_bench::exp_engine::{engine_run, EngineRunSpec, EngineWorkload};
 use smartwatch_bench::{all_experiments, ExpCtx};
 
 fn main() {
@@ -19,9 +21,42 @@ fn main() {
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
+    let mut engine_spec = EngineRunSpec::default();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--shards" => {
+                engine_spec.shards = parse_num(it.next(), "--shards");
+            }
+            "--packets" => {
+                engine_spec.packets = parse_num(it.next(), "--packets");
+            }
+            "--batch" => {
+                engine_spec.batch = parse_num(it.next(), "--batch");
+            }
+            "--host-workers" => {
+                engine_spec.host_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--host-workers needs an integer ≥ 0"));
+            }
+            "--rate" => {
+                let r: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--rate needs a Mpps value"));
+                if r <= 0.0 {
+                    die("--rate must be positive");
+                }
+                engine_spec.rate_mpps = Some(r);
+            }
+            "--workload" => {
+                engine_spec.workload = match it.next().map(String::as_str) {
+                    Some("stress") => EngineWorkload::Stress,
+                    Some("mix") => EngineWorkload::Mix,
+                    _ => die("--workload must be `stress` or `mix`"),
+                };
+            }
             "--scale" => {
                 scale = it
                     .next()
@@ -69,6 +104,16 @@ fn main() {
     let run_all = selected.iter().any(|s| s == "all");
     let ctx = ExpCtx::new(scale);
     let mut ran = 0;
+    if selected.iter().any(|s| s == "engine") {
+        let table = engine_run(&ctx, &engine_spec);
+        if json {
+            println!("{}", table.to_json());
+        } else {
+            println!("{}", table.render());
+        }
+        selected.retain(|s| s != "engine");
+        ran += 1;
+    }
     for (id, f) in &experiments {
         if run_all || selected.iter().any(|s| s == id) {
             let table = f(&ctx);
@@ -103,15 +148,30 @@ fn usage() {
     println!(
         "repro — regenerate the SmartWatch paper's tables and figures\n\n\
          usage: repro <experiment…|all|list> [--scale N] [--json]\n\
-                      [--metrics-json <path>] [--trace-out <path>]\n\n\
+                      [--metrics-json <path>] [--trace-out <path>]\n\
+                repro engine [--shards N] [--packets N] [--batch N]\n\
+                      [--host-workers N] [--rate MPPS] [--workload stress|mix]\n\n\
          --json          print tables as JSON instead of aligned text\n\
          --metrics-json  dump every counter/gauge/histogram the selected\n\
                          experiments registered (deterministic for a seed)\n\
          --trace-out     dump the sim-time event trace in chrome-trace\n\
                          format (load in chrome://tracing or ui.perfetto.dev)\n\n\
+         `repro engine` runs the sharded wall-clock runtime (OS threads,\n\
+         measured Mpps — machine-dependent, unlike every other experiment).\n\
+         Default: 2 shards, 200k packets, flat-out, 64B stress workload.\n\n\
          Experiments map 1:1 to the paper's evaluation (see DESIGN.md §3\n\
          and EXPERIMENTS.md for the paper-vs-measured record)."
     );
+}
+
+fn parse_num(v: Option<&String>, flag: &str) -> usize {
+    let n: usize = v
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a positive integer")));
+    if n == 0 {
+        die(&format!("{flag} must be ≥ 1"));
+    }
+    n
 }
 
 fn die(msg: &str) -> ! {

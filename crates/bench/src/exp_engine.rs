@@ -1,0 +1,174 @@
+//! `repro engine` — the wall-clock runtime experiment.
+//!
+//! Unlike every figure/table experiment (which runs in virtual time and
+//! is deterministic for a seed), this one executes the full pipeline on
+//! real OS threads via [`smartwatch_runtime`] and reports *measured*
+//! throughput. Numbers are machine-dependent by design; the exact
+//! counters (conservation, escalations, verdicts) are still checkable.
+
+use crate::output::Table;
+use crate::{workloads, ExpCtx};
+use smartwatch_net::Packet;
+use smartwatch_runtime::{Engine, EngineConfig, EngineReport, Pace};
+use smartwatch_telemetry::HistSnapshot;
+use smartwatch_trace::background::Preset;
+
+/// Which replay workload the engine run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineWorkload {
+    /// 64-byte-truncated CAIDA stand-in — the paper's packet-rate worst
+    /// case (max packets per byte of bandwidth).
+    Stress,
+    /// The Table-4 attack mix — exercises escalation and verdicts.
+    Mix,
+}
+
+/// One `repro engine` invocation, fully specified.
+#[derive(Clone, Debug)]
+pub struct EngineRunSpec {
+    /// Worker shards (threads).
+    pub shards: usize,
+    /// Packets to replay (the workload is cycled to this length).
+    pub packets: usize,
+    /// Packets per dispatch batch.
+    pub batch: usize,
+    /// Host escalation workers (0 = inline deterministic triage).
+    pub host_workers: usize,
+    /// Offered rate in Mpps; `None` replays flat-out with backpressure.
+    pub rate_mpps: Option<f64>,
+    /// Replay workload.
+    pub workload: EngineWorkload,
+}
+
+impl Default for EngineRunSpec {
+    fn default() -> EngineRunSpec {
+        EngineRunSpec {
+            shards: 2,
+            packets: 200_000,
+            batch: 64,
+            host_workers: 1,
+            rate_mpps: None,
+            workload: EngineWorkload::Stress,
+        }
+    }
+}
+
+/// Build the replay buffer for a spec: generate the base trace, then
+/// cycle it up (or cut it down) to exactly `spec.packets` packets.
+pub fn engine_workload(spec: &EngineRunSpec, scale: usize) -> Vec<Packet> {
+    let base = match spec.workload {
+        EngineWorkload::Stress => workloads::caida_64b(Preset::Caida2018, scale, 0xE1),
+        EngineWorkload::Mix => workloads::attack_mix(scale, 0xE2),
+    }
+    .into_packets();
+    assert!(!base.is_empty(), "workload generator produced no packets");
+    base.iter().cycle().take(spec.packets).copied().collect()
+}
+
+fn ns_cell(h: &HistSnapshot) -> String {
+    if h.count == 0 {
+        "-".to_string()
+    } else {
+        format!("{}/{}/{}", h.p50, h.p90, h.p99)
+    }
+}
+
+/// Run the engine once and render the report.
+pub fn engine_run(ctx: &ExpCtx, spec: &EngineRunSpec) -> Table {
+    let packets = engine_workload(spec, ctx.scale);
+    let mut cfg = EngineConfig::new(spec.shards);
+    cfg.batch = spec.batch;
+    cfg.host_workers = spec.host_workers;
+    let pace = match spec.rate_mpps {
+        Some(r) => Pace::RateMpps(r),
+        None => Pace::Flatout,
+    };
+    let engine = Engine::with_registry(cfg, &ctx.registry);
+    let report = engine.run(&packets, pace);
+    render(spec, pace, &report)
+}
+
+fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
+    let mut t = Table::new(
+        "engine",
+        "wall-clock sharded runtime (full pipeline on OS threads)",
+        &[
+            "shards",
+            "workload",
+            "pace",
+            "offered",
+            "processed",
+            "dropped",
+            "drop%",
+            "Mpps",
+            "escalated",
+            "host",
+            "verdicts",
+        ],
+    );
+    let pace_cell = match pace {
+        Pace::Flatout => "flat-out".to_string(),
+        Pace::RateMpps(mpps) => format!("{mpps} Mpps"),
+    };
+    t.row(vec![
+        spec.shards.to_string(),
+        format!("{:?}", spec.workload).to_lowercase(),
+        pace_cell,
+        r.offered.to_string(),
+        r.processed().to_string(),
+        r.ingest_dropped().to_string(),
+        format!("{:.2}", r.drop_rate() * 100.0),
+        format!("{:.3}", r.mpps()),
+        r.escalated().to_string(),
+        r.host_processed.to_string(),
+        r.verdicts_published.to_string(),
+    ]);
+    t.note(format!(
+        "stage latency ns (p50/p90/p99): queue-wait {} | flowcache {} | detectors {}",
+        ns_cell(&r.stage.queue_ns),
+        ns_cell(&r.stage.cache_ns),
+        ns_cell(&r.stage.detect_ns),
+    ));
+    t.note(format!(
+        "delivered batch size: mean {:.1} pkts (configured {})",
+        r.stage.batch_pkts.mean, spec.batch
+    ));
+    t.note(format!(
+        "conservation: {} (offered = Σ processed + dropped, per shard)",
+        if r.conserved() { "OK" } else { "VIOLATED" }
+    ));
+    t.note(
+        "wall-clock numbers — machine- and load-dependent, unlike the \
+         deterministic virtual-time experiments (see EXPERIMENTS.md)",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_experiment_renders_and_conserves() {
+        let ctx = ExpCtx::new(1);
+        let spec = EngineRunSpec {
+            packets: 20_000,
+            ..EngineRunSpec::default()
+        };
+        let t = engine_run(&ctx, &spec);
+        assert_eq!(t.rows.len(), 1);
+        assert!(t.notes.iter().any(|n| n.contains("conservation: OK")));
+        // The run published runtime metrics into the shared registry.
+        let names = ctx.registry.snapshot().to_json();
+        assert!(names.contains("runtime.shard.processed"));
+    }
+
+    #[test]
+    fn workload_is_cycled_to_requested_length() {
+        let spec = EngineRunSpec {
+            packets: 1234,
+            ..EngineRunSpec::default()
+        };
+        assert_eq!(engine_workload(&spec, 1).len(), 1234);
+    }
+}

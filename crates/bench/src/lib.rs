@@ -12,6 +12,7 @@ pub mod exp_ablation;
 pub mod exp_cache;
 pub mod exp_covert;
 pub mod exp_detect;
+pub mod exp_engine;
 pub mod exp_scale;
 pub mod exp_traffic;
 pub mod output;

@@ -134,12 +134,24 @@ impl NfWorker {
     }
 
     /// Stop the worker and collect every remaining verdict.
+    ///
+    /// Closing the packet channel lets the thread exit, but the thread
+    /// may be parked on a *full* verdict channel — a bare `join` would
+    /// deadlock (worker waiting for us to drain, us waiting for the
+    /// worker to exit). So we keep draining verdicts until the thread
+    /// actually finishes, then sweep whatever is left.
     pub fn shutdown(mut self) -> Vec<Verdict> {
         self.tx.take(); // closes the channel, letting the thread exit
+        let mut out = Vec::new();
         if let Some(h) = self.handle.take() {
+            while !h.is_finished() {
+                out.extend(self.verdicts.try_iter());
+                std::thread::yield_now();
+            }
             let _ = h.join();
         }
-        self.verdicts.try_iter().collect()
+        out.extend(self.verdicts.try_iter());
+        out
     }
 }
 
@@ -147,6 +159,12 @@ impl Drop for NfWorker {
     fn drop(&mut self) {
         self.tx.take();
         if let Some(h) = self.handle.take() {
+            // Same drain-while-joining dance as `shutdown`: the worker
+            // may be blocked on a full verdict channel.
+            while !h.is_finished() {
+                self.verdicts.try_iter().for_each(drop);
+                std::thread::yield_now();
+            }
             let _ = h.join();
         }
     }
@@ -239,6 +257,45 @@ mod tests {
         }
         let verdicts = worker.shutdown();
         assert_eq!(verdicts.len(), 500);
+    }
+
+    // An NF that overflows the bounded verdict channel (capacity 64 here)
+    // on its *first* packet, parking the worker thread in `vtx.send`.
+    struct Chatty;
+    impl HostNf for Chatty {
+        fn on_packet(&mut self, _pkt: &Packet) -> Vec<Verdict> {
+            (0..100).map(|i| Verdict::Alert(format!("v{i}"))).collect()
+        }
+        fn name(&self) -> &str {
+            "chatty"
+        }
+    }
+
+    #[test]
+    fn shutdown_survives_full_verdict_channel() {
+        // Regression: with the worker parked on a full verdict channel,
+        // shutdown used to bare-join the thread and deadlock (the worker
+        // waiting for a drain, shutdown waiting for the worker). It must
+        // drain while joining and return *every* verdict.
+        let worker = NfWorker::spawn(Box::new(Chatty), 2);
+        for _ in 0..3 {
+            while !worker.try_send(pkt()) {
+                std::thread::yield_now();
+            }
+        }
+        let verdicts = worker.shutdown();
+        assert_eq!(verdicts.len(), 300, "no verdict lost");
+    }
+
+    #[test]
+    fn drop_survives_full_verdict_channel() {
+        let worker = NfWorker::spawn(Box::new(Chatty), 2);
+        for _ in 0..3 {
+            while !worker.try_send(pkt()) {
+                std::thread::yield_now();
+            }
+        }
+        drop(worker); // must not deadlock
     }
 
     #[test]

@@ -127,6 +127,22 @@ impl FlowHasher {
     }
 }
 
+/// Map a flow to one of `n_shards` RSS shards, symmetrically.
+///
+/// This is the software analogue of symmetric RSS (a Toeplitz hash with a
+/// symmetric key, as NICs configure for connection-affine steering): both
+/// directions of a session map to the *same* shard, so per-shard flow
+/// state never needs cross-shard synchronisation. Internally it reduces
+/// the seed-0 [`FlowHasher::hash_symmetric`] digest with the same
+/// multiply-shift trick as [`HashDigest::bucket`], which is unbiased for
+/// non-power-of-two shard counts.
+///
+/// `n_shards` must be ≥ 1; with one shard every flow maps to shard 0.
+pub fn shard_for(key: &FlowKey, n_shards: usize) -> usize {
+    debug_assert!(n_shards >= 1, "need at least one shard");
+    FlowHasher::default().hash_symmetric(key).bucket(n_shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +213,43 @@ mod tests {
             let dist = (base ^ flipped).count_ones();
             assert!(dist >= 16, "bit {bit} avalanche too weak: {dist}");
         }
+    }
+
+    #[test]
+    fn shard_for_is_symmetric() {
+        for n in [1usize, 2, 3, 4, 7, 16] {
+            for i in 0..1000u32 {
+                let k = key(0x0a00_0001 + i, 1000 + (i as u16), 0x0a00_ffff - i, 22);
+                let s = shard_for(&k, n);
+                assert!(s < n, "shard index in range");
+                assert_eq!(
+                    s,
+                    shard_for(&k.reversed(), n),
+                    "both directions of a flow must land on the same shard"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_for_single_shard_is_zero() {
+        let k = key(0x0a00_0001, 1000, 0x0a00_0002, 22);
+        assert_eq!(shard_for(&k, 1), 0);
+    }
+
+    #[test]
+    fn shard_for_spreads_flows() {
+        let n = 4;
+        let mut hits = vec![0u32; n];
+        for i in 0..10_000u32 {
+            let k = key(0x0a00_0001 + i, 1000 + (i as u16 % 5000), 0x0a00_0002, 443);
+            hits[shard_for(&k, n)] += 1;
+        }
+        // Expect ~2500 per shard; fail on gross imbalance.
+        assert!(
+            hits.iter().all(|&c| c > 1800 && c < 3200),
+            "poor shard spread: {hits:?}"
+        );
     }
 
     #[test]

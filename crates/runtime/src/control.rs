@@ -1,0 +1,99 @@
+//! Epoch-stamped verdict fan-out from the host tier back to the shards.
+//!
+//! Host NFs (and inline triage) publish [`Verdict`]s into one append-only
+//! log; each entry's index is its *epoch*. Every shard keeps a private
+//! cursor and applies the tail of the log at batch boundaries, so a
+//! verdict reaches all shards within one batch of being published — the
+//! wall-clock analogue of the simulator's per-interval control loop.
+//! Publishing takes a short mutex; shards copy the tail out under the
+//! same lock, so the hot per-packet path never touches it.
+
+use smartwatch_host::Verdict;
+use std::sync::Mutex;
+
+/// The shared control-plane log.
+#[derive(Debug, Default)]
+pub struct ControlLog {
+    entries: Mutex<Vec<Verdict>>,
+}
+
+impl ControlLog {
+    /// Empty log.
+    pub fn new() -> ControlLog {
+        ControlLog::default()
+    }
+
+    /// Append one verdict; returns its epoch (position in the log).
+    pub fn publish(&self, v: Verdict) -> u64 {
+        let mut entries = self.entries.lock().expect("control log poisoned");
+        entries.push(v);
+        (entries.len() - 1) as u64
+    }
+
+    /// Copy out every verdict at epoch ≥ `cursor`. The caller advances
+    /// its cursor by the returned length.
+    pub fn since(&self, cursor: usize) -> Vec<Verdict> {
+        let entries = self.entries.lock().expect("control log poisoned");
+        entries.get(cursor..).map(<[_]>::to_vec).unwrap_or_default()
+    }
+
+    /// Number of verdicts ever published (the next epoch).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("control log poisoned").len()
+    }
+
+    /// True when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_net::FlowKey;
+    use std::net::Ipv4Addr;
+
+    fn key(n: u8) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, 0, n),
+            1000,
+            Ipv4Addr::new(10, 0, 1, 1),
+            22,
+        )
+    }
+
+    #[test]
+    fn epochs_are_sequential_and_cursors_independent() {
+        let log = ControlLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.publish(Verdict::Blacklist(key(1))), 0);
+        assert_eq!(log.publish(Verdict::Whitelist(key(2))), 1);
+        let tail = log.since(0);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(log.since(1).len(), 1);
+        assert_eq!(log.publish(Verdict::Drop), 2);
+        assert_eq!(log.since(2), vec![Verdict::Drop]);
+        assert!(log.since(3).is_empty());
+        assert!(log.since(99).is_empty(), "cursor past the end is empty");
+    }
+
+    #[test]
+    fn concurrent_publishers_never_lose_entries() {
+        let log = std::sync::Arc::new(ControlLog::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        log.publish(Verdict::Blacklist(key(t)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(log.len(), 4000);
+    }
+}

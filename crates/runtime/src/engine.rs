@@ -1,0 +1,371 @@
+//! The engine: RSS dispatch onto N shard threads, host escalation pool,
+//! graceful drain, and a wall-clock throughput/latency report.
+//!
+//! ```text
+//!            ┌───────────── shard 0: FlowCache + DetectorSuite ─┐
+//! packets →  │ RSS        ┌─ shard 1: …                         │ → verdicts
+//! (replay)   │ dispatch → │  bounded SPSC batch queues          │   (epoch-
+//!            │            └─ shard N-1: …                       │    stamped
+//!            └───────────────│ suspects (≤16%) ─→ host pool ────┘    log)
+//! ```
+//!
+//! Unlike everything else in the workspace, this engine runs on the
+//! *wall clock*: `run()` spawns real OS threads, measures elapsed time
+//! with `std::time::Instant`, and reports Mpps. Packet `ts` fields are
+//! replay metadata here, not the clock. Counters remain exact — the
+//! conservation invariant (offered = processed + dropped, per shard and
+//! in total) holds for every shard count and pacing mode.
+
+use crate::control::ControlLog;
+use crate::escalate::{HostPool, TriageNf};
+use crate::shard::{
+    Escalation, ShardCounters, ShardEndState, ShardMsg, ShardStats, ShardWorker, StageHists,
+};
+use crate::spsc::{spsc, Producer};
+use smartwatch_net::hash::shard_for;
+use smartwatch_net::Packet;
+use smartwatch_snic::{FlowCache, FlowCacheConfig};
+use smartwatch_telemetry::{HistSnapshot, Registry};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker shards (threads). Each owns a FlowCache partition and a
+    /// full detector suite.
+    pub shards: usize,
+    /// Packets per dispatch batch.
+    pub batch: usize,
+    /// Per-shard ingest queue capacity, in batches.
+    pub queue_batches: usize,
+    /// Rows per shard FlowCache partition (`2^row_bits`).
+    pub cache_row_bits: u32,
+    /// Host escalation workers. `0` runs triage inline on each shard —
+    /// fully deterministic, used by the determinism tests.
+    pub host_workers: usize,
+    /// Host escalation ring capacity, packets (shared by the pool).
+    pub host_queue: usize,
+    /// Escalated packets per source before triage blacklists its flows.
+    pub triage_threshold: u64,
+    /// Enforce blacklist verdicts on the shards (prevention). Disable to
+    /// measure pure monitoring throughput.
+    pub enforce_verdicts: bool,
+    /// FlowCache hash seed (per-shard caches share it; partitioning
+    /// comes from RSS, not from distinct hash functions).
+    pub hash_seed: u64,
+}
+
+impl EngineConfig {
+    /// Defaults for `shards` workers: 64-packet batches, 64-batch queues,
+    /// 2^12-row partitions, one host worker.
+    pub fn new(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            batch: 64,
+            queue_batches: 64,
+            cache_row_bits: 12,
+            host_workers: 1,
+            host_queue: 4096,
+            triage_threshold: 64,
+            enforce_verdicts: true,
+            hash_seed: 0x51CC,
+        }
+    }
+}
+
+/// How the replay driver offers packets to the engine.
+#[derive(Clone, Copy, Debug)]
+pub enum Pace {
+    /// As fast as the shards accept: a full queue exerts backpressure on
+    /// the dispatcher (no drops). Measures pipeline capacity.
+    Flatout,
+    /// Open-loop at a target offered rate in Mpps: a full queue at
+    /// arrival time is a counted drop, like a NIC RX ring overrun.
+    RateMpps(f64),
+}
+
+/// The sharded wall-clock engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    registry: Registry,
+}
+
+impl Engine {
+    /// Engine with a private metric registry.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine::with_registry(cfg, &Registry::new())
+    }
+
+    /// Engine publishing into an existing registry (`runtime.*` metrics).
+    pub fn with_registry(cfg: EngineConfig, registry: &Registry) -> Engine {
+        assert!(cfg.shards >= 1, "engine needs at least one shard");
+        assert!(cfg.batch >= 1, "batch size must be at least 1");
+        assert!(cfg.queue_batches >= 1, "queue must hold at least 1 batch");
+        Engine {
+            cfg,
+            registry: registry.clone(),
+        }
+    }
+
+    /// The metric registry the engine publishes into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Replay `packets` through the full pipeline and block until every
+    /// queue is drained and every thread joined.
+    pub fn run(&self, packets: &[Packet], pace: Pace) -> EngineReport {
+        let cfg = &self.cfg;
+        let n = cfg.shards;
+        let log = Arc::new(ControlLog::new());
+        let stage = StageHists::registered(&self.registry);
+        let host_processed = self.registry.counter("runtime.host.processed", &[]);
+
+        // Host pool (None = inline triage on each shard).
+        let pool = (cfg.host_workers > 0).then(|| {
+            let threshold = cfg.triage_threshold;
+            HostPool::spawn(
+                cfg.host_workers,
+                cfg.host_queue,
+                Arc::clone(&log),
+                host_processed.clone(),
+                move |_| Box::new(TriageNf::new(threshold)),
+            )
+        });
+
+        // Shards: one SPSC queue + one thread each.
+        let mut producers: Vec<Producer<ShardMsg>> = Vec::with_capacity(n);
+        let mut counters: Vec<ShardCounters> = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = spsc::<ShardMsg>(cfg.queue_batches);
+            let shard_counters = ShardCounters::registered(&self.registry, i);
+            let mut cache_cfg = FlowCacheConfig::general(cfg.cache_row_bits);
+            cache_cfg.hash_seed = cfg.hash_seed;
+            let mut cache = FlowCache::new(cache_cfg);
+            cache.attach_telemetry(&self.registry);
+            let escalation = match &pool {
+                Some(p) => Escalation::Pool(p.sender()),
+                None => Escalation::Inline(TriageNf::new(cfg.triage_threshold)),
+            };
+            let worker = ShardWorker::new(
+                cache,
+                escalation,
+                Arc::clone(&log),
+                shard_counters.clone(),
+                stage.clone(),
+                host_processed.clone(),
+                cfg.enforce_verdicts,
+            );
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sw-shard-{i}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawn shard thread"),
+            );
+            producers.push(tx);
+            counters.push(shard_counters);
+        }
+
+        // ── Dispatch ────────────────────────────────────────────────
+        let start = Instant::now();
+        let mut bufs: Vec<Vec<Packet>> = (0..n).map(|_| Vec::with_capacity(cfg.batch)).collect();
+        let ns_per_pkt = match pace {
+            Pace::Flatout => 0.0,
+            Pace::RateMpps(r) => {
+                assert!(r > 0.0, "offered rate must be positive");
+                1000.0 / r
+            }
+        };
+        for (i, pkt) in packets.iter().enumerate() {
+            if ns_per_pkt > 0.0 && i % 256 == 0 {
+                let due = Duration::from_nanos((i as f64 * ns_per_pkt) as u64);
+                while start.elapsed() < due {
+                    std::thread::yield_now();
+                }
+            }
+            let s = shard_for(&pkt.key, n);
+            bufs[s].push(*pkt);
+            if bufs[s].len() == cfg.batch {
+                let batch = std::mem::replace(&mut bufs[s], Vec::with_capacity(cfg.batch));
+                Self::flush(&producers[s], &counters[s], batch, pace);
+            }
+        }
+        for s in 0..n {
+            if !bufs[s].is_empty() {
+                let batch = std::mem::take(&mut bufs[s]);
+                Self::flush(&producers[s], &counters[s], batch, pace);
+            }
+            // Stop is never dropped: it blocks until a slot frees up.
+            producers[s].push_blocking(ShardMsg::Stop);
+        }
+
+        // ── Drain & join ────────────────────────────────────────────
+        let mut ends: Vec<ShardEndState> = Vec::with_capacity(n);
+        for h in handles {
+            ends.push(h.join().expect("shard thread panicked"));
+        }
+        let elapsed = start.elapsed();
+        // Shut the host pool down *after* the shards: its channel drains
+        // and remaining verdicts land in the log (reported, unapplied).
+        if let Some(p) = pool {
+            p.shutdown();
+        }
+
+        let shards: Vec<ShardStats> = counters
+            .iter()
+            .zip(&ends)
+            .map(|(c, e)| c.snapshot(*e))
+            .collect();
+        EngineReport {
+            offered: packets.len() as u64,
+            elapsed,
+            shards,
+            host_processed: host_processed.get(),
+            verdicts_published: log.len() as u64,
+            stage: StageSnapshot {
+                queue_ns: stage.queue_ns.snapshot(),
+                cache_ns: stage.cache_ns.snapshot(),
+                detect_ns: stage.detect_ns.snapshot(),
+                batch_pkts: stage.batch_pkts.snapshot(),
+            },
+        }
+    }
+
+    fn flush(tx: &Producer<ShardMsg>, counters: &ShardCounters, batch: Vec<Packet>, pace: Pace) {
+        let len = batch.len() as u64;
+        let msg = ShardMsg::Batch {
+            pkts: batch,
+            sent: Instant::now(),
+        };
+        match pace {
+            Pace::Flatout => {
+                tx.push_blocking(msg);
+                counters.ingested.add(len);
+            }
+            Pace::RateMpps(_) => match tx.try_push(msg) {
+                Ok(()) => counters.ingested.add(len),
+                // Open loop: a full ring at arrival time is a loss, and
+                // it is *accounted* — never silent.
+                Err(_) => counters.ingest_dropped.add(len),
+            },
+        }
+        let depth = tx.len() as f64;
+        counters.queue_depth.set(depth);
+        counters.queue_depth_peak.set_max(depth);
+    }
+}
+
+/// Aggregate per-stage wall-clock distributions.
+#[derive(Clone, Copy, Debug)]
+pub struct StageSnapshot {
+    /// Batch wait between dispatcher enqueue and shard dequeue, ns.
+    pub queue_ns: HistSnapshot,
+    /// FlowCache stage per sampled packet, ns.
+    pub cache_ns: HistSnapshot,
+    /// Detector-suite stage per sampled packet, ns.
+    pub detect_ns: HistSnapshot,
+    /// Delivered batch sizes, packets.
+    pub batch_pkts: HistSnapshot,
+}
+
+/// Everything `Engine::run` measured.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Packets offered to the dispatcher.
+    pub offered: u64,
+    /// Wall-clock time from first dispatch to last shard joined (the
+    /// drain included).
+    pub elapsed: Duration,
+    /// Per-shard statistics.
+    pub shards: Vec<ShardStats>,
+    /// Escalated packets processed by the host tier (pool or inline).
+    pub host_processed: u64,
+    /// Verdicts published to the control log.
+    pub verdicts_published: u64,
+    /// Per-stage latency/size distributions.
+    pub stage: StageSnapshot,
+}
+
+impl EngineReport {
+    /// Packets fully processed across all shards.
+    pub fn processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Packets dropped at ingest across all shards.
+    pub fn ingest_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.ingest_dropped).sum()
+    }
+
+    /// Packets escalated to the host tier.
+    pub fn escalated(&self) -> u64 {
+        self.shards.iter().map(|s| s.escalated).sum()
+    }
+
+    /// Escalations dropped at the host ring.
+    pub fn escalation_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.escalation_dropped).sum()
+    }
+
+    /// Wall-clock throughput in million packets per second, over
+    /// *processed* packets (drops excluded).
+    pub fn mpps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.processed() as f64 / secs / 1e6
+        }
+    }
+
+    /// Ingest drop fraction of offered packets.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.ingest_dropped() as f64 / self.offered as f64
+        }
+    }
+
+    /// The conservation invariant: every offered packet is either
+    /// processed by exactly one shard or dropped with accounting.
+    pub fn conserved(&self) -> bool {
+        let ingested: u64 = self.shards.iter().map(|s| s.ingested).sum();
+        ingested + self.ingest_dropped() == self.offered
+            && self.shards.iter().all(|s| s.ingested == s.processed)
+    }
+
+    /// A byte-stable rendering of every *deterministic* quantity (exact
+    /// counters; no wall-clock values). With one shard and inline triage
+    /// (`host_workers = 0`), two same-seed runs produce identical strings
+    /// — the determinism tests diff exactly this.
+    pub fn deterministic_summary(&self) -> String {
+        let mut out = format!("offered={}\n", self.offered);
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "shard{i}: ingested={} dropped={} processed={} verdict_dropped={} \
+                 fast_path={} escalated={} escalation_dropped={} ctrl_applied={} \
+                 alerts={} blacklisted={} whitelisted={} cache_resident={}\n",
+                s.ingested,
+                s.ingest_dropped,
+                s.processed,
+                s.verdict_dropped,
+                s.fast_path,
+                s.escalated,
+                s.escalation_dropped,
+                s.ctrl_applied,
+                s.alerts,
+                s.blacklisted,
+                s.whitelisted,
+                s.cache_resident,
+            ));
+        }
+        out.push_str(&format!(
+            "host_processed={} verdicts={}\n",
+            self.host_processed, self.verdicts_published
+        ));
+        out
+    }
+}

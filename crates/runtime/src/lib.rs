@@ -1,0 +1,43 @@
+//! `smartwatch-runtime` — the sharded wall-clock data-plane engine.
+//!
+//! Everything else in the workspace runs under simulated time: traces
+//! carry their own timestamps and components advance a virtual clock.
+//! This crate executes the same pipeline — ingest → RSS shard →
+//! FlowCache update → detector suite → host escalation → verdict — on
+//! real OS threads at wall-clock speed, measured in Mpps.
+//!
+//! Layout:
+//!
+//! * [`spsc`] — bounded single-producer/single-consumer batch queues
+//!   with explicit backpressure or accounted drops (never silent loss).
+//! * [`control`] — the epoch-stamped verdict log fanning host decisions
+//!   back to every shard at batch boundaries.
+//! * [`escalate`] — the host-side worker pool (a multi-threaded
+//!   generalisation of [`smartwatch_host::NfWorker`]) plus the default
+//!   [`TriageNf`] escalation triage.
+//! * [`shard`] — the per-thread worker: one FlowCache partition, one
+//!   detector suite, no cross-shard synchronisation on the packet path.
+//! * [`engine`] — the [`Engine`]: RSS dispatch, pacing ([`Pace`]),
+//!   graceful drain, and the merged [`EngineReport`].
+//!
+//! The RSS dispatcher uses the *symmetric* shard mapping
+//! [`smartwatch_net::hash::shard_for`], so both directions of a flow
+//! always land on the same shard and per-shard state needs no locks.
+//!
+//! Telemetry flows through [`smartwatch_telemetry`]: per-shard counters
+//! (`runtime.shard.*{shard=N}`), queue-depth gauges, and aggregate
+//! per-stage latency histograms (`runtime.stage.*`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod engine;
+pub mod escalate;
+pub mod shard;
+pub mod spsc;
+
+pub use control::ControlLog;
+pub use engine::{Engine, EngineConfig, EngineReport, Pace, StageSnapshot};
+pub use escalate::{HostPool, TriageNf};
+pub use shard::{ShardCounters, ShardStats};

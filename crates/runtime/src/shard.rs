@@ -1,0 +1,349 @@
+//! One worker shard: a pinned OS thread owning a FlowCache partition and
+//! a full per-shard detector suite.
+//!
+//! The RSS dispatcher guarantees that both directions of a flow land on
+//! the same shard (symmetric [`smartwatch_net::hash::shard_for`]), so a
+//! shard's FlowCache and detectors see a complete, self-contained slice
+//! of the traffic and never need cross-shard synchronisation on the
+//! packet path. The only shared state is the escalation channel (bounded
+//! MPSC to the host pool) and the epoch-stamped control log, polled at
+//! batch boundaries.
+
+use crate::control::ControlLog;
+use crate::escalate::TriageNf;
+use smartwatch_core::{DetectorSuite, HostNeed};
+use smartwatch_host::{HostNf, Verdict};
+use smartwatch_net::{FlowKey, Packet};
+use smartwatch_snic::FlowCache;
+use smartwatch_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::collections::HashSet;
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Message from the dispatcher to a shard.
+pub(crate) enum ShardMsg {
+    /// A batch of packets plus its enqueue instant (queue-wait timing).
+    Batch {
+        /// The packets, already RSS-filtered for this shard.
+        pkts: Vec<Packet>,
+        /// When the dispatcher enqueued the batch.
+        sent: Instant,
+    },
+    /// Graceful shutdown: drain, final-sweep, exit.
+    Stop,
+}
+
+/// Where a shard sends suspects (the ≤16% escalation path).
+pub(crate) enum Escalation {
+    /// Bounded channel into the shared host worker pool.
+    Pool(SyncSender<Packet>),
+    /// Synchronous per-shard triage (deterministic mode, `host_workers = 0`).
+    Inline(TriageNf),
+}
+
+/// Per-shard counters, registered as `runtime.shard.*{shard=N}`.
+#[derive(Clone)]
+pub struct ShardCounters {
+    /// Packets enqueued to this shard (dispatcher side).
+    pub ingested: Counter,
+    /// Packets dropped at ingest because the shard queue was full.
+    pub ingest_dropped: Counter,
+    /// Packets fully processed by the shard pipeline.
+    pub processed: Counter,
+    /// Packets dropped by an applied blacklist verdict (prevention).
+    pub verdict_dropped: Counter,
+    /// Packets short-circuited by a whitelist verdict (cache update only).
+    pub fast_path: Counter,
+    /// Packets escalated toward the host tier.
+    pub escalated: Counter,
+    /// Escalations dropped because the host pool ring was full.
+    pub escalation_dropped: Counter,
+    /// Control-log verdicts applied by this shard.
+    pub ctrl_applied: Counter,
+    /// Detector alerts raised on this shard.
+    pub alerts: Counter,
+    /// Current ingest queue depth, in batches (dispatcher side).
+    pub queue_depth: Gauge,
+    /// High-water mark of the ingest queue depth, in batches.
+    pub queue_depth_peak: Gauge,
+}
+
+impl ShardCounters {
+    pub(crate) fn registered(reg: &Registry, shard: usize) -> ShardCounters {
+        let s = shard.to_string();
+        let l: &[(&str, &str)] = &[("shard", &s)];
+        ShardCounters {
+            ingested: reg.counter("runtime.shard.ingested", l),
+            ingest_dropped: reg.counter("runtime.shard.ingest_dropped", l),
+            processed: reg.counter("runtime.shard.processed", l),
+            verdict_dropped: reg.counter("runtime.shard.verdict_dropped", l),
+            fast_path: reg.counter("runtime.shard.fast_path", l),
+            escalated: reg.counter("runtime.shard.escalated", l),
+            escalation_dropped: reg.counter("runtime.shard.escalation_dropped", l),
+            ctrl_applied: reg.counter("runtime.shard.ctrl_applied", l),
+            alerts: reg.counter("runtime.shard.alerts", l),
+            queue_depth: reg.gauge("runtime.shard.queue_depth", l),
+            queue_depth_peak: reg.gauge("runtime.shard.queue_depth_peak", l),
+        }
+    }
+
+    /// Freeze the counters into a plain-value snapshot.
+    pub(crate) fn snapshot(&self, summary: ShardEndState) -> ShardStats {
+        ShardStats {
+            ingested: self.ingested.get(),
+            ingest_dropped: self.ingest_dropped.get(),
+            processed: self.processed.get(),
+            verdict_dropped: self.verdict_dropped.get(),
+            fast_path: self.fast_path.get(),
+            escalated: self.escalated.get(),
+            escalation_dropped: self.escalation_dropped.get(),
+            ctrl_applied: self.ctrl_applied.get(),
+            alerts: self.alerts.get(),
+            blacklisted: summary.blacklisted,
+            whitelisted: summary.whitelisted,
+            cache_resident: summary.cache_resident,
+        }
+    }
+}
+
+/// Frozen per-shard statistics (the report view).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Packets enqueued to this shard.
+    pub ingested: u64,
+    /// Packets dropped at ingest (full queue, paced mode).
+    pub ingest_dropped: u64,
+    /// Packets fully processed.
+    pub processed: u64,
+    /// Packets dropped by blacklist verdicts.
+    pub verdict_dropped: u64,
+    /// Packets taking the whitelist fast path.
+    pub fast_path: u64,
+    /// Packets escalated to the host tier.
+    pub escalated: u64,
+    /// Escalations lost to a full host ring (accounted, never silent).
+    pub escalation_dropped: u64,
+    /// Control verdicts applied.
+    pub ctrl_applied: u64,
+    /// Alerts raised.
+    pub alerts: u64,
+    /// Blacklist entries held at shutdown.
+    pub blacklisted: u64,
+    /// Whitelist entries held at shutdown.
+    pub whitelisted: u64,
+    /// Flow records resident in the shard's cache partition at shutdown.
+    pub cache_resident: u64,
+}
+
+/// Aggregate stage histograms shared by every shard (lock-free handles).
+#[derive(Clone)]
+pub(crate) struct StageHists {
+    /// Dispatcher-enqueue → shard-dequeue wait per batch, ns.
+    pub queue_ns: Histogram,
+    /// FlowCache stage latency per sampled packet, ns.
+    pub cache_ns: Histogram,
+    /// Detector-suite stage latency per sampled packet, ns.
+    pub detect_ns: Histogram,
+    /// Batch sizes actually delivered, packets.
+    pub batch_pkts: Histogram,
+}
+
+impl StageHists {
+    pub(crate) fn registered(reg: &Registry) -> StageHists {
+        StageHists {
+            queue_ns: reg.histogram("runtime.stage.queue_ns", &[]),
+            cache_ns: reg.histogram("runtime.stage.cache_ns", &[]),
+            detect_ns: reg.histogram("runtime.stage.detect_ns", &[]),
+            batch_pkts: reg.histogram("runtime.stage.batch_pkts", &[]),
+        }
+    }
+}
+
+/// What a shard reports back when it exits.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ShardEndState {
+    pub blacklisted: u64,
+    pub whitelisted: u64,
+    pub cache_resident: u64,
+}
+
+/// Sample 1 packet in 16 for per-stage wall-clock timing: dense enough
+/// for stable percentiles, sparse enough that `Instant::now()` overhead
+/// does not dominate a 64-byte-packet pipeline.
+const SAMPLE_MASK: u64 = 0xF;
+
+/// The per-thread shard state.
+pub(crate) struct ShardWorker {
+    pub cache: FlowCache,
+    pub suite: DetectorSuite,
+    pub escalation: Escalation,
+    pub log: Arc<ControlLog>,
+    pub counters: ShardCounters,
+    pub stage: StageHists,
+    /// Escalations handled inline count into the same pool counter.
+    pub host_processed: Counter,
+    pub enforce_verdicts: bool,
+    blacklist: HashSet<FlowKey>,
+    whitelist: HashSet<FlowKey>,
+    cursor: usize,
+    seen: u64,
+    last_ts: smartwatch_net::Ts,
+}
+
+impl ShardWorker {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        cache: FlowCache,
+        escalation: Escalation,
+        log: Arc<ControlLog>,
+        counters: ShardCounters,
+        stage: StageHists,
+        host_processed: Counter,
+        enforce_verdicts: bool,
+    ) -> ShardWorker {
+        ShardWorker {
+            cache,
+            suite: DetectorSuite::new(),
+            escalation,
+            log,
+            counters,
+            stage,
+            host_processed,
+            enforce_verdicts,
+            blacklist: HashSet::new(),
+            whitelist: HashSet::new(),
+            cursor: 0,
+            seen: 0,
+            last_ts: smartwatch_net::Ts::ZERO,
+        }
+    }
+
+    /// Consume batches until the Stop marker, then drain and final-sweep.
+    pub(crate) fn run(mut self, rx: crate::spsc::Consumer<ShardMsg>) -> ShardEndState {
+        let mut idle_polls = 0u32;
+        loop {
+            match rx.try_pop() {
+                Some(ShardMsg::Batch { pkts, sent }) => {
+                    idle_polls = 0;
+                    self.stage.queue_ns.record(sent.elapsed().as_nanos() as u64);
+                    self.stage.batch_pkts.record(pkts.len() as u64);
+                    self.apply_control();
+                    self.process_batch(&pkts);
+                }
+                Some(ShardMsg::Stop) => {
+                    self.apply_control();
+                    let final_alerts = self.suite.finish(self.last_ts);
+                    self.counters.alerts.add(final_alerts.len() as u64);
+                    return ShardEndState {
+                        blacklisted: self.blacklist.len() as u64,
+                        whitelisted: self.whitelist.len() as u64,
+                        cache_resident: self.cache.occupied() as u64,
+                    };
+                }
+                None => {
+                    // Short spin, then yield: on oversubscribed machines
+                    // the dispatcher needs the core to refill the queue.
+                    idle_polls += 1;
+                    if idle_polls < 32 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_control(&mut self) {
+        let tail = self.log.since(self.cursor);
+        if tail.is_empty() {
+            return;
+        }
+        self.cursor += tail.len();
+        self.counters.ctrl_applied.add(tail.len() as u64);
+        for v in tail {
+            match v {
+                Verdict::Blacklist(k) => {
+                    self.blacklist.insert(k.canonical().0);
+                }
+                Verdict::Whitelist(k) => {
+                    let canon = k.canonical().0;
+                    self.cache.unpin(&canon);
+                    self.whitelist.insert(canon);
+                }
+                Verdict::Alert(_) => self.counters.alerts.inc(),
+                Verdict::Drop => {}
+            }
+        }
+    }
+
+    fn process_batch(&mut self, pkts: &[Packet]) {
+        for pkt in pkts {
+            self.last_ts = self.last_ts.max(pkt.ts);
+            let canon = pkt.key.canonical().0;
+            if self.enforce_verdicts && self.blacklist.contains(&canon) {
+                self.counters.verdict_dropped.inc();
+                self.counters.processed.inc();
+                self.seen += 1;
+                continue;
+            }
+            let sample = self.seen & SAMPLE_MASK == 0;
+            self.seen += 1;
+
+            // Stage 1: FlowCache update.
+            if sample {
+                let t0 = Instant::now();
+                self.cache.process(pkt);
+                self.stage.cache_ns.record(t0.elapsed().as_nanos() as u64);
+            } else {
+                self.cache.process(pkt);
+            }
+
+            // Whitelisted flows skip the detector suite — the wall-clock
+            // analogue of the switch no longer steering them.
+            if self.whitelist.contains(&canon) {
+                self.counters.fast_path.inc();
+                self.counters.processed.inc();
+                continue;
+            }
+
+            // Stage 2: detector suite.
+            let outcome = if sample {
+                let t0 = Instant::now();
+                let o = self.suite.on_packet(pkt);
+                self.stage.detect_ns.record(t0.elapsed().as_nanos() as u64);
+                o
+            } else {
+                self.suite.on_packet(pkt)
+            };
+
+            self.counters.alerts.add(outcome.alerts.len() as u64);
+            for flow in &outcome.whitelist {
+                self.cache.unpin(flow);
+                self.whitelist.insert(*flow);
+            }
+
+            // Stage 3: host escalation for suspects.
+            if outcome.host == HostNeed::Host {
+                self.counters.escalated.inc();
+                // Pin the flow while the host works on it (§3.2).
+                self.cache.pin(&pkt.key);
+                match &mut self.escalation {
+                    Escalation::Pool(tx) => {
+                        if tx.try_send(*pkt).is_err() {
+                            self.counters.escalation_dropped.inc();
+                        }
+                    }
+                    Escalation::Inline(nf) => {
+                        self.host_processed.inc();
+                        for v in nf.on_packet(pkt) {
+                            self.log.publish(v);
+                        }
+                    }
+                }
+            }
+            self.counters.processed.inc();
+        }
+    }
+}

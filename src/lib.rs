@@ -18,6 +18,9 @@
 //! - [`detect`] — all 17 attack detectors plus the statistics toolkit.
 //! - [`core`] — the SmartWatch platform itself: the cooperative two-stage
 //!   detector with its switch↔sNIC control loop.
+//! - [`runtime`] — the sharded wall-clock engine: the same pipeline on
+//!   real OS threads with RSS dispatch, bounded queues, and a host
+//!   escalation pool, measured in Mpps.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -26,6 +29,7 @@ pub use smartwatch_detect as detect;
 pub use smartwatch_host as host;
 pub use smartwatch_net as net;
 pub use smartwatch_p4sim as p4sim;
+pub use smartwatch_runtime as runtime;
 pub use smartwatch_sketch as sketch;
 pub use smartwatch_snic as snic;
 pub use smartwatch_trace as trace;
