@@ -11,7 +11,7 @@
 //! repro list               # experiment index
 //! ```
 
-use smartwatch_bench::exp_engine::{engine_run, EngineRunSpec, EngineWorkload};
+use smartwatch_bench::exp_engine::{bench_json, engine_run_report, EngineRunSpec, EngineWorkload};
 use smartwatch_bench::{all_experiments, ExpCtx};
 
 fn main() {
@@ -20,6 +20,7 @@ fn main() {
     let mut json = false;
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut engine_spec = EngineRunSpec::default();
     let mut it = args.iter().peekable();
@@ -52,10 +53,19 @@ fn main() {
             }
             "--workload" => {
                 engine_spec.workload = match it.next().map(String::as_str) {
-                    Some("stress") => EngineWorkload::Stress,
+                    // `stress64` is the spelled-out alias: the stress
+                    // workload is already 64-byte truncated.
+                    Some("stress") | Some("stress64") => EngineWorkload::Stress,
                     Some("mix") => EngineWorkload::Mix,
-                    _ => die("--workload must be `stress` or `mix`"),
+                    _ => die("--workload must be `stress`, `stress64` or `mix`"),
                 };
+            }
+            "--bench-json" => {
+                bench_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--bench-json needs a path")),
+                );
             }
             "--scale" => {
                 scale = it
@@ -105,14 +115,25 @@ fn main() {
     let ctx = ExpCtx::new(scale);
     let mut ran = 0;
     if selected.iter().any(|s| s == "engine") {
-        let table = engine_run(&ctx, &engine_spec);
+        let (table, report) = engine_run_report(&ctx, &engine_spec);
         if json {
             println!("{}", table.to_json());
         } else {
             println!("{}", table.render());
         }
+        if let Some(path) = bench_out.take() {
+            if let Err(e) = std::fs::write(&path, bench_json(&engine_spec, &report)) {
+                die(&format!("writing {path}: {e}"));
+            }
+            eprintln!("repro: engine bench report written to {path}");
+        }
         selected.retain(|s| s != "engine");
         ran += 1;
+    }
+    if let Some(path) = bench_out {
+        die(&format!(
+            "--bench-json {path} only applies to the `engine` experiment"
+        ));
     }
     for (id, f) in &experiments {
         if run_all || selected.iter().any(|s| s == id) {
@@ -150,12 +171,15 @@ fn usage() {
          usage: repro <experiment…|all|list> [--scale N] [--json]\n\
                       [--metrics-json <path>] [--trace-out <path>]\n\
                 repro engine [--shards N] [--packets N] [--batch N]\n\
-                      [--host-workers N] [--rate MPPS] [--workload stress|mix]\n\n\
+                      [--host-workers N] [--rate MPPS]\n\
+                      [--workload stress|stress64|mix] [--bench-json <path>]\n\n\
          --json          print tables as JSON instead of aligned text\n\
          --metrics-json  dump every counter/gauge/histogram the selected\n\
                          experiments registered (deterministic for a seed)\n\
          --trace-out     dump the sim-time event trace in chrome-trace\n\
-                         format (load in chrome://tracing or ui.perfetto.dev)\n\n\
+                         format (load in chrome://tracing or ui.perfetto.dev)\n\
+         --bench-json    (engine only) write the headline wall-clock\n\
+                         numbers — Mpps, drop rate, stage p50/p99 — as JSON\n\n\
          `repro engine` runs the sharded wall-clock runtime (OS threads,\n\
          measured Mpps — machine-dependent, unlike every other experiment).\n\
          Default: 2 shards, 200k packets, flat-out, 64B stress workload.\n\n\

@@ -8,6 +8,7 @@
 
 use crate::output::Table;
 use crate::{workloads, ExpCtx};
+use serde::Serialize;
 use smartwatch_net::Packet;
 use smartwatch_runtime::{Engine, EngineConfig, EngineReport, Pace};
 use smartwatch_telemetry::HistSnapshot;
@@ -75,6 +76,12 @@ fn ns_cell(h: &HistSnapshot) -> String {
 
 /// Run the engine once and render the report.
 pub fn engine_run(ctx: &ExpCtx, spec: &EngineRunSpec) -> Table {
+    engine_run_report(ctx, spec).0
+}
+
+/// [`engine_run`], also handing back the raw [`EngineReport`] for
+/// machine-readable output ([`bench_json`], CI artifacts).
+pub fn engine_run_report(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineReport) {
     let packets = engine_workload(spec, ctx.scale);
     let mut cfg = EngineConfig::new(spec.shards);
     cfg.batch = spec.batch;
@@ -85,7 +92,78 @@ pub fn engine_run(ctx: &ExpCtx, spec: &EngineRunSpec) -> Table {
     };
     let engine = Engine::with_registry(cfg, &ctx.registry);
     let report = engine.run(&packets, pace);
-    render(spec, pace, &report)
+    let table = render(spec, pace, &report);
+    (table, report)
+}
+
+/// One stage's tail latencies in the bench artifact.
+#[derive(Debug, Serialize)]
+struct StageJson {
+    p50_ns: u64,
+    p99_ns: u64,
+    count: u64,
+}
+
+impl StageJson {
+    fn from(h: &HistSnapshot) -> StageJson {
+        StageJson {
+            p50_ns: h.p50,
+            p99_ns: h.p99,
+            count: h.count,
+        }
+    }
+}
+
+/// The `BENCH_engine.json` schema (field order = emission order).
+#[derive(Debug, Serialize)]
+struct EngineBenchJson {
+    bench: String,
+    shards: usize,
+    batch: usize,
+    workload: String,
+    rate_mpps: Option<f64>,
+    offered: u64,
+    processed: u64,
+    dropped: u64,
+    drop_pct: f64,
+    mpps: f64,
+    escalated: u64,
+    escalation_dropped: u64,
+    host_processed: u64,
+    verdicts: u64,
+    idle_parks: u64,
+    conserved: bool,
+    queue_ns: StageJson,
+    cache_ns: StageJson,
+    detect_ns: StageJson,
+}
+
+/// The CI benchmark artifact (`BENCH_engine.json`): one flat JSON object
+/// with the headline throughput numbers and per-stage tail latencies, so
+/// runs are diffable across commits without parsing the rendered table.
+pub fn bench_json(spec: &EngineRunSpec, r: &EngineReport) -> String {
+    let v = EngineBenchJson {
+        bench: "engine".to_string(),
+        shards: spec.shards,
+        batch: spec.batch,
+        workload: format!("{:?}", spec.workload).to_lowercase(),
+        rate_mpps: spec.rate_mpps,
+        offered: r.offered,
+        processed: r.processed(),
+        dropped: r.ingest_dropped(),
+        drop_pct: r.drop_rate() * 100.0,
+        mpps: r.mpps(),
+        escalated: r.escalated(),
+        escalation_dropped: r.escalation_dropped(),
+        host_processed: r.host_processed,
+        verdicts: r.verdicts_published,
+        idle_parks: r.idle_parks(),
+        conserved: r.conserved(),
+        queue_ns: StageJson::from(&r.stage.queue_ns),
+        cache_ns: StageJson::from(&r.stage.cache_ns),
+        detect_ns: StageJson::from(&r.stage.detect_ns),
+    };
+    serde_json::to_string_pretty(&v).expect("bench report serializes")
 }
 
 fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
@@ -161,6 +239,28 @@ mod tests {
         // The run published runtime metrics into the shared registry.
         let names = ctx.registry.snapshot().to_json();
         assert!(names.contains("runtime.shard.processed"));
+    }
+
+    #[test]
+    fn bench_json_carries_the_headline_numbers() {
+        let ctx = ExpCtx::new(1);
+        let spec = EngineRunSpec {
+            packets: 20_000,
+            ..EngineRunSpec::default()
+        };
+        let (_, report) = engine_run_report(&ctx, &spec);
+        let json = bench_json(&spec, &report);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let field = |k: &str| v.get(k).unwrap_or_else(|| panic!("missing field {k}"));
+        assert_eq!(field("bench").as_str(), Some("engine"));
+        assert_eq!(field("shards").as_u64(), Some(2));
+        assert_eq!(field("offered").as_u64(), Some(20_000));
+        assert_eq!(field("conserved").as_bool(), Some(true));
+        assert!(field("mpps").as_f64().expect("mpps is a number") > 0.0);
+        assert!(field("cache_ns")
+            .get("p99_ns")
+            .and_then(|x| x.as_u64())
+            .is_some());
     }
 
     #[test]

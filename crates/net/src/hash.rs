@@ -18,6 +18,8 @@
 //! the Netronome uses — but it passes avalanche sanity tests (see below).
 
 use crate::key::FlowKey;
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// A 64-bit flow hash digest with the splitting accessors used by the
 /// FlowCache (Algorithm 1).
@@ -99,8 +101,18 @@ impl FlowHasher {
     /// connection produce the same digest. This is the paper's symmetric
     /// hash (§4), implemented via canonical orientation.
     pub fn hash_symmetric(&self, key: &FlowKey) -> HashDigest {
+        self.digest_symmetric(key).1
+    }
+
+    /// Canonicalise `key` and hash it, returning both. This is the
+    /// pre-digesting entry point of the hot path: the engine's dispatcher
+    /// calls it exactly once per packet and every downstream consumer
+    /// (RSS sharding, black/whitelist membership, the FlowCache row
+    /// lookup) reuses the pair instead of re-deriving it.
+    #[inline]
+    pub fn digest_symmetric(&self, key: &FlowKey) -> (FlowKey, HashDigest) {
         let (canon, _) = key.canonical();
-        self.hash_directed(&canon)
+        (canon, self.hash_directed(&canon))
     }
 
     /// Hash an arbitrary byte string (used for worm payload digests and
@@ -140,8 +152,58 @@ impl FlowHasher {
 /// `n_shards` must be ≥ 1; with one shard every flow maps to shard 0.
 pub fn shard_for(key: &FlowKey, n_shards: usize) -> usize {
     debug_assert!(n_shards >= 1, "need at least one shard");
-    FlowHasher::default().hash_symmetric(key).bucket(n_shards)
+    shard_for_digest(FlowHasher::default().hash_symmetric(key), n_shards)
 }
+
+/// Map an already-computed *symmetric* digest to one of `n_shards` RSS
+/// shards. The digest must come from [`FlowHasher::hash_symmetric`] /
+/// [`FlowHasher::digest_symmetric`] (i.e. be direction-free), otherwise
+/// the two directions of a flow may land on different shards.
+///
+/// This is the amortized form of [`shard_for`]: the dispatcher digests a
+/// packet once and reuses the digest for sharding, membership tests and
+/// the FlowCache row lookup.
+#[inline]
+pub fn shard_for_digest(digest: HashDigest, n_shards: usize) -> usize {
+    debug_assert!(n_shards >= 1, "need at least one shard");
+    digest.bucket(n_shards)
+}
+
+/// A no-op `Hasher` for keys that already *are* 64-bit hash digests.
+///
+/// `HashSet<FlowKey>` membership pays a full SipHash of the 13-byte
+/// 5-tuple per probe; with pre-digested packets the digest is sitting in
+/// the batch, so black/whitelists key on it directly and the "hash" is
+/// the identity function. Digests are xxhash-style mixed, so every bit
+/// region (including the high bits hashbrown uses for control bytes) is
+/// already uniform.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DigestHasher(u64);
+
+impl Hasher for DigestHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reachable if a non-u64 key sneaks in; fold bytes so the
+        // hasher stays correct (if degraded) rather than silently zero.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// `BuildHasher` for [`DigestHasher`]-keyed collections.
+pub type BuildDigestHasher = BuildHasherDefault<DigestHasher>;
+
+/// A `HashSet` of 64-bit digests with identity hashing — the membership
+/// structure used by the runtime shards' black/whitelists.
+pub type DigestSet = HashSet<u64, BuildDigestHasher>;
 
 #[cfg(test)]
 mod tests {
@@ -250,6 +312,46 @@ mod tests {
             hits.iter().all(|&c| c > 1800 && c < 3200),
             "poor shard spread: {hits:?}"
         );
+    }
+
+    #[test]
+    fn digest_symmetric_matches_two_step_derivation() {
+        let h = FlowHasher::new(0x51CC);
+        for i in 0..500u32 {
+            let k = key(0x0a00_0001 + i, 1000 + (i as u16), 0x0a00_ffff - i, 22);
+            let (canon, digest) = h.digest_symmetric(&k);
+            assert_eq!(canon, k.canonical().0);
+            assert_eq!(digest, h.hash_symmetric(&k));
+            assert_eq!(h.digest_symmetric(&k.reversed()), (canon, digest));
+        }
+    }
+
+    #[test]
+    fn shard_for_digest_is_symmetric_and_in_range() {
+        let h = FlowHasher::new(0x51CC);
+        for n in [1usize, 2, 3, 4, 7, 16] {
+            for i in 0..500u32 {
+                let k = key(0x0a00_0001 + i, 1000 + (i as u16), 0x0a00_ffff - i, 22);
+                let s = shard_for_digest(h.hash_symmetric(&k), n);
+                assert!(s < n);
+                assert_eq!(s, shard_for_digest(h.hash_symmetric(&k.reversed()), n));
+            }
+        }
+    }
+
+    #[test]
+    fn digest_set_behaves_like_a_set() {
+        let h = FlowHasher::new(9);
+        let mut set = DigestSet::default();
+        for i in 0..1000u64 {
+            assert!(set.insert(h.hash_u64(i).0));
+        }
+        for i in 0..1000u64 {
+            assert!(set.contains(&h.hash_u64(i).0), "digest {i} lost");
+            assert!(!set.insert(h.hash_u64(i).0), "duplicate accepted");
+        }
+        assert!(!set.contains(&h.hash_u64(5000).0));
+        assert_eq!(set.len(), 1000);
     }
 
     #[test]

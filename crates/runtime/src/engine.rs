@@ -16,14 +16,15 @@
 //! conservation invariant (offered = processed + dropped, per shard and
 //! in total) holds for every shard count and pacing mode.
 
+use crate::batch::{Batch, BufferPool, DigestedPacket};
 use crate::control::ControlLog;
 use crate::escalate::{HostPool, TriageNf};
 use crate::shard::{
     Escalation, ShardCounters, ShardEndState, ShardMsg, ShardStats, ShardWorker, StageHists,
 };
 use crate::spsc::{spsc, Producer};
-use smartwatch_net::hash::shard_for;
-use smartwatch_net::Packet;
+use smartwatch_net::hash::shard_for_digest;
+use smartwatch_net::{FlowHasher, Packet};
 use smartwatch_snic::{FlowCache, FlowCacheConfig};
 use smartwatch_telemetry::{HistSnapshot, Registry};
 use std::sync::Arc;
@@ -134,6 +135,15 @@ impl Engine {
             )
         });
 
+        // The one hasher of the hot path: the dispatcher digests every
+        // packet exactly once with it; shards and their FlowCaches (all
+        // seeded identically) reuse the digest instead of re-hashing.
+        let hasher = FlowHasher::new(cfg.hash_seed);
+        // Batch buffers recycle through this pool; capacity covers every
+        // buffer that can be alive at once (queued + in-shard + staging),
+        // so the steady state allocates nothing.
+        let bufpool = BufferPool::new(n * (cfg.queue_batches + 2), cfg.batch, &self.registry);
+
         // Shards: one SPSC queue + one thread each.
         let mut producers: Vec<Producer<ShardMsg>> = Vec::with_capacity(n);
         let mut counters: Vec<ShardCounters> = Vec::with_capacity(n);
@@ -157,6 +167,8 @@ impl Engine {
                 stage.clone(),
                 host_processed.clone(),
                 cfg.enforce_verdicts,
+                hasher,
+                bufpool.recycler(),
             );
             handles.push(
                 std::thread::Builder::new()
@@ -170,7 +182,7 @@ impl Engine {
 
         // ── Dispatch ────────────────────────────────────────────────
         let start = Instant::now();
-        let mut bufs: Vec<Vec<Packet>> = (0..n).map(|_| Vec::with_capacity(cfg.batch)).collect();
+        let mut bufs: Vec<Vec<DigestedPacket>> = (0..n).map(|_| bufpool.acquire()).collect();
         let ns_per_pkt = match pace {
             Pace::Flatout => 0.0,
             Pace::RateMpps(r) => {
@@ -181,21 +193,24 @@ impl Engine {
         for (i, pkt) in packets.iter().enumerate() {
             if ns_per_pkt > 0.0 && i % 256 == 0 {
                 let due = Duration::from_nanos((i as f64 * ns_per_pkt) as u64);
-                while start.elapsed() < due {
-                    std::thread::yield_now();
-                }
+                Self::pace_until(start, due);
             }
-            let s = shard_for(&pkt.key, n);
-            bufs[s].push(*pkt);
+            let (canon, digest) = hasher.digest_symmetric(&pkt.key);
+            let s = shard_for_digest(digest, n);
+            bufs[s].push(DigestedPacket {
+                pkt: *pkt,
+                canon,
+                digest,
+            });
             if bufs[s].len() == cfg.batch {
-                let batch = std::mem::replace(&mut bufs[s], Vec::with_capacity(cfg.batch));
-                Self::flush(&producers[s], &counters[s], batch, pace);
+                let batch = std::mem::replace(&mut bufs[s], bufpool.acquire());
+                Self::flush(&producers[s], &counters[s], &bufpool, batch, pace);
             }
         }
         for s in 0..n {
             if !bufs[s].is_empty() {
                 let batch = std::mem::take(&mut bufs[s]);
-                Self::flush(&producers[s], &counters[s], batch, pace);
+                Self::flush(&producers[s], &counters[s], &bufpool, batch, pace);
             }
             // Stop is never dropped: it blocks until a slot frees up.
             producers[s].push_blocking(ShardMsg::Stop);
@@ -233,12 +248,36 @@ impl Engine {
         }
     }
 
-    fn flush(tx: &Producer<ShardMsg>, counters: &ShardCounters, batch: Vec<Packet>, pace: Pace) {
+    /// Open-loop pacing wait: park for the bulk of a long gap (an idle
+    /// dispatcher must not burn the core at low offered rates), then
+    /// yield-spin the final stretch for timing accuracy.
+    fn pace_until(start: Instant, due: Duration) {
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= due {
+                return;
+            }
+            let remaining = due - elapsed;
+            if remaining > Duration::from_micros(500) {
+                std::thread::park_timeout(remaining - Duration::from_micros(200));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn flush(
+        tx: &Producer<ShardMsg>,
+        counters: &ShardCounters,
+        pool: &BufferPool,
+        batch: Vec<DigestedPacket>,
+        pace: Pace,
+    ) {
         let len = batch.len() as u64;
-        let msg = ShardMsg::Batch {
+        let msg = ShardMsg::Batch(Batch {
             pkts: batch,
             sent: Instant::now(),
-        };
+        });
         match pace {
             Pace::Flatout => {
                 tx.push_blocking(msg);
@@ -247,8 +286,13 @@ impl Engine {
             Pace::RateMpps(_) => match tx.try_push(msg) {
                 Ok(()) => counters.ingested.add(len),
                 // Open loop: a full ring at arrival time is a loss, and
-                // it is *accounted* — never silent.
-                Err(_) => counters.ingest_dropped.add(len),
+                // it is *accounted* — never silent. The buffer itself
+                // goes straight back to the pool.
+                Err(ShardMsg::Batch(b)) => {
+                    counters.ingest_dropped.add(len);
+                    pool.give_back(b.pkts);
+                }
+                Err(ShardMsg::Stop) => unreachable!("flush only pushes batches"),
             },
         }
         let depth = tx.len() as f64;
@@ -307,6 +351,12 @@ impl EngineReport {
     /// Escalations dropped at the host ring.
     pub fn escalation_dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.escalation_dropped).sum()
+    }
+
+    /// Idle-loop parks across all shards (wall-clock dependent; excluded
+    /// from [`EngineReport::deterministic_summary`]).
+    pub fn idle_parks(&self) -> u64 {
+        self.shards.iter().map(|s| s.idle_parks).sum()
     }
 
     /// Wall-clock throughput in million packets per second, over

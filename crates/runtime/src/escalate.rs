@@ -96,19 +96,27 @@ impl HostPool {
                 let processed = processed.clone();
                 std::thread::Builder::new()
                     .name(format!("sw-host-{w}"))
-                    .spawn(move || loop {
-                        // Hold the receiver lock only for the non-blocking
-                        // poll, so workers interleave rather than convoy.
-                        let next = rx.lock().expect("pool receiver poisoned").try_recv();
-                        match next {
-                            Ok(pkt) => {
-                                processed.inc();
-                                for v in nf.on_packet(&pkt) {
-                                    log.publish(v);
+                    .spawn(move || {
+                        let mut backoff = crate::batch::Backoff::new();
+                        loop {
+                            // Hold the receiver lock only for the non-blocking
+                            // poll, so workers interleave rather than convoy.
+                            let next = rx.lock().expect("pool receiver poisoned").try_recv();
+                            match next {
+                                Ok(pkt) => {
+                                    backoff.reset();
+                                    processed.inc();
+                                    for v in nf.on_packet(&pkt) {
+                                        log.publish(v);
+                                    }
                                 }
+                                // Same spin→yield→park backoff as the shards:
+                                // an idle host worker must not burn a core.
+                                Err(TryRecvError::Empty) => {
+                                    backoff.idle();
+                                }
+                                Err(TryRecvError::Disconnected) => return,
                             }
-                            Err(TryRecvError::Empty) => std::thread::yield_now(),
-                            Err(TryRecvError::Disconnected) => return,
                         }
                     })
                     .expect("spawn host worker")

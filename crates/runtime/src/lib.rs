@@ -8,6 +8,9 @@
 //!
 //! Layout:
 //!
+//! * `batch` — the hot-path currency: pre-digested packets (canonical
+//!   key + symmetric hash computed once at dispatch), pooled batch
+//!   buffers recycled shard→dispatcher, and the bounded idle backoff.
 //! * [`spsc`] — bounded single-producer/single-consumer batch queues
 //!   with explicit backpressure or accounted drops (never silent loss).
 //! * [`control`] — the epoch-stamped verdict log fanning host decisions
@@ -21,8 +24,9 @@
 //!   graceful drain, and the merged [`EngineReport`].
 //!
 //! The RSS dispatcher uses the *symmetric* shard mapping
-//! [`smartwatch_net::hash::shard_for`], so both directions of a flow
-//! always land on the same shard and per-shard state needs no locks.
+//! [`smartwatch_net::hash::shard_for_digest`] over the dispatch-time
+//! digest, so both directions of a flow always land on the same shard
+//! and per-shard state needs no locks.
 //!
 //! Telemetry flows through [`smartwatch_telemetry`]: per-shard counters
 //! (`runtime.shard.*{shard=N}`), queue-depth gauges, and aggregate
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod batch;
 pub mod control;
 pub mod engine;
 pub mod escalate;

@@ -75,18 +75,22 @@ impl<T> Producer<T> {
         Ok(())
     }
 
-    /// Push with backpressure: yield the CPU until a slot frees up. Used
-    /// for messages that must not be dropped (the shutdown marker, and
+    /// Push with backpressure: back off until a slot frees up. Used for
+    /// messages that must not be dropped (the shutdown marker, and
     /// every batch in flat-out replay mode).
+    ///
+    /// The wait escalates spin → yield → short park (bounded): on a
+    /// loaded (or single-core) machine the consumer needs this CPU to
+    /// make room, and a parked producer donates a full scheduler
+    /// quantum instead of thrashing through `yield_now`.
     pub fn push_blocking(&self, mut v: T) {
+        let mut backoff = crate::batch::Backoff::new();
         loop {
             match self.try_push(v) {
                 Ok(()) => return,
                 Err(back) => {
                     v = back;
-                    // Yield rather than spin: on a loaded (or single-core)
-                    // machine the consumer needs the CPU to make room.
-                    std::thread::yield_now();
+                    backoff.idle();
                 }
             }
         }

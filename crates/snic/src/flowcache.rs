@@ -422,8 +422,30 @@ impl FlowCache {
 
     /// Process one packet: update flow state, inserting/evicting as needed.
     pub fn process(&mut self, pkt: &Packet) -> Access {
-        let canon = pkt.key.canonical().0;
-        let (row, high) = self.row_of(&canon);
+        let (canon, digest) = self.hasher.digest_symmetric(&pkt.key);
+        self.process_digested(pkt, &canon, digest)
+    }
+
+    /// [`FlowCache::process`] for a packet whose canonical key and hash
+    /// digest were already computed (the runtime engine digests each
+    /// packet once at dispatch). `canon` must be `pkt.key.canonical().0`
+    /// and `digest` must come from a hasher seeded like this cache's
+    /// (`FlowCacheConfig::hash_seed`) — both are debug-asserted.
+    pub fn process_digested(
+        &mut self,
+        pkt: &Packet,
+        canon: &FlowKey,
+        digest: smartwatch_net::HashDigest,
+    ) -> Access {
+        debug_assert_eq!(*canon, pkt.key.canonical().0, "canon key mismatch");
+        debug_assert_eq!(
+            digest,
+            self.hasher.hash_symmetric(canon),
+            "digest from a differently-seeded hasher"
+        );
+        let canon = *canon;
+        let row = digest.row(self.cfg.row_bits);
+        let high = digest.high(self.cfg.row_bits);
 
         let cleaned = if self.mode == Mode::Lite && self.dirty[row] {
             self.clean_row(row);
@@ -992,6 +1014,34 @@ mod tests {
             truth, exported,
             "export streams must reconstruct exact counts"
         );
+    }
+
+    #[test]
+    fn process_digested_is_equivalent_to_process() {
+        // Same packet stream through the scalar and pre-digested entry
+        // points must produce identical outcomes, stats and residency.
+        let cfg = FlowCacheConfig::split(4, 2, 2, CachePolicy::LRU_LPC);
+        let hasher = smartwatch_net::FlowHasher::new(cfg.hash_seed);
+        let mut scalar = FlowCache::new(cfg.clone());
+        let mut digested = FlowCache::new(cfg);
+        for i in 0..4000u32 {
+            let mut p = pkt(i % 300, u64::from(i));
+            if i % 3 == 0 {
+                p.key = p.key.reversed();
+            }
+            let (canon, digest) = hasher.digest_symmetric(&p.key);
+            let a = scalar.process(&p);
+            let b = digested.process_digested(&p, &canon, digest);
+            assert_eq!(a.outcome, b.outcome, "packet {i}");
+            assert_eq!(a.probes, b.probes, "packet {i}");
+            assert_eq!(a.writes, b.writes, "packet {i}");
+        }
+        let (s, d) = (scalar.stats(), digested.stats());
+        assert_eq!(s.p_hits, d.p_hits);
+        assert_eq!(s.e_hits, d.e_hits);
+        assert_eq!(s.misses, d.misses);
+        assert_eq!(s.evictions, d.evictions);
+        assert_eq!(scalar.occupied(), digested.occupied());
     }
 
     #[test]

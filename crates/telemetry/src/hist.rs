@@ -116,6 +116,30 @@ impl Histogram {
         c.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Record a slice of values in one pass, amortizing the aggregate
+    /// cells: count/sum/min/max are folded locally and touched with one
+    /// atomic each, so `n` samples cost `n + 4` atomic adds instead of
+    /// `5n`. This is the per-batch flush path of the runtime's shards.
+    pub fn record_all(&self, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        let c = &self.core;
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for &v in values {
+            c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            sum = sum.wrapping_add(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        c.count.fetch_add(values.len() as u64, Ordering::Relaxed);
+        c.sum.fetch_add(sum, Ordering::Relaxed);
+        c.min.fetch_min(min, Ordering::Relaxed);
+        c.max.fetch_max(max, Ordering::Relaxed);
+    }
+
     /// Record a virtual-clock duration in nanoseconds.
     pub fn record_dur(&self, d: smartwatch_net::Dur) {
         self.record(d.as_nanos());
@@ -292,6 +316,21 @@ mod tests {
         assert_eq!(h.quantile(0.5), 123_456_789);
         assert_eq!(h.quantile(0.999), 123_456_789);
         assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn record_all_equals_repeated_record() {
+        let bulk = Histogram::new();
+        let scalar = Histogram::new();
+        let values: Vec<u64> = (0..2000u64).map(|i| i * i % 7919).collect();
+        for chunk in values.chunks(64) {
+            bulk.record_all(chunk);
+        }
+        bulk.record_all(&[]);
+        for &v in &values {
+            scalar.record(v);
+        }
+        assert_eq!(bulk.snapshot(), scalar.snapshot());
     }
 
     #[test]
