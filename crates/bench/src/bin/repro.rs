@@ -8,9 +8,13 @@
 //! repro fig5 --metrics-json m.json   # dump the metric registry
 //! repro fig5 --trace-out trace.json  # chrome://tracing / Perfetto trace
 //! repro engine --shards 4 --packets 1000000   # wall-clock runtime
+//! repro control --peak 4.0 --bench-json BENCH_control.json  # control plane
 //! repro list               # experiment index
 //! ```
 
+use smartwatch_bench::exp_control::{
+    bench_json as control_bench_json, control_run_report, ControlRunSpec,
+};
 use smartwatch_bench::exp_engine::{bench_json, engine_run_report, EngineRunSpec, EngineWorkload};
 use smartwatch_bench::{all_experiments, ExpCtx};
 
@@ -23,17 +27,36 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut engine_spec = EngineRunSpec::default();
+    let mut control_spec = ControlRunSpec::default();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--shards" => {
                 engine_spec.shards = parse_num(it.next(), "--shards");
+                control_spec.shards = engine_spec.shards;
             }
             "--packets" => {
                 engine_spec.packets = parse_num(it.next(), "--packets");
+                control_spec.packets = engine_spec.packets;
             }
             "--batch" => {
                 engine_spec.batch = parse_num(it.next(), "--batch");
+                control_spec.batch = engine_spec.batch;
+            }
+            "--base" => {
+                control_spec.base_mpps = parse_mpps(it.next(), "--base");
+            }
+            "--peak" => {
+                control_spec.peak_mpps = parse_mpps(it.next(), "--peak");
+            }
+            "--spike-start" => {
+                control_spec.spike_start = parse_frac(it.next(), "--spike-start");
+            }
+            "--spike-end" => {
+                control_spec.spike_end = parse_frac(it.next(), "--spike-end");
+            }
+            "--epoch-ms" => {
+                control_spec.epoch_ms = parse_num(it.next(), "--epoch-ms") as u64;
             }
             "--host-workers" => {
                 engine_spec.host_workers = it
@@ -114,7 +137,12 @@ fn main() {
     let run_all = selected.iter().any(|s| s == "all");
     let ctx = ExpCtx::new(scale);
     let mut ran = 0;
-    if selected.iter().any(|s| s == "engine") {
+    let wants_engine = selected.iter().any(|s| s == "engine");
+    let wants_control = selected.iter().any(|s| s == "control");
+    if bench_out.is_some() && wants_engine && wants_control {
+        die("--bench-json applies to one of `engine`/`control` per invocation");
+    }
+    if wants_engine {
         let (table, report) = engine_run_report(&ctx, &engine_spec);
         if json {
             println!("{}", table.to_json());
@@ -130,9 +158,25 @@ fn main() {
         selected.retain(|s| s != "engine");
         ran += 1;
     }
+    if wants_control {
+        let (table, outcome) = control_run_report(&ctx, &control_spec);
+        if json {
+            println!("{}", table.to_json());
+        } else {
+            println!("{}", table.render());
+        }
+        if let Some(path) = bench_out.take() {
+            if let Err(e) = std::fs::write(&path, control_bench_json(&control_spec, &outcome)) {
+                die(&format!("writing {path}: {e}"));
+            }
+            eprintln!("repro: control bench report written to {path}");
+        }
+        selected.retain(|s| s != "control");
+        ran += 1;
+    }
     if let Some(path) = bench_out {
         die(&format!(
-            "--bench-json {path} only applies to the `engine` experiment"
+            "--bench-json {path} only applies to the `engine` and `control` experiments"
         ));
     }
     for (id, f) in &experiments {
@@ -172,17 +216,24 @@ fn usage() {
                       [--metrics-json <path>] [--trace-out <path>]\n\
                 repro engine [--shards N] [--packets N] [--batch N]\n\
                       [--host-workers N] [--rate MPPS]\n\
-                      [--workload stress|stress64|mix] [--bench-json <path>]\n\n\
+                      [--workload stress|stress64|mix] [--bench-json <path>]\n\
+                repro control [--shards N] [--packets N] [--batch N]\n\
+                      [--base MPPS] [--peak MPPS] [--spike-start F]\n\
+                      [--spike-end F] [--epoch-ms N] [--bench-json <path>]\n\n\
          --json          print tables as JSON instead of aligned text\n\
          --metrics-json  dump every counter/gauge/histogram the selected\n\
                          experiments registered (deterministic for a seed)\n\
          --trace-out     dump the sim-time event trace in chrome-trace\n\
                          format (load in chrome://tracing or ui.perfetto.dev)\n\
-         --bench-json    (engine only) write the headline wall-clock\n\
-                         numbers — Mpps, drop rate, stage p50/p99 — as JSON\n\n\
+         --bench-json    (engine/control) write the headline wall-clock\n\
+                         numbers as JSON (control adds the mode timeline)\n\n\
          `repro engine` runs the sharded wall-clock runtime (OS threads,\n\
          measured Mpps — machine-dependent, unlike every other experiment).\n\
          Default: 2 shards, 200k packets, flat-out, 64B stress workload.\n\n\
+         `repro control` replays one overload spike twice — with the\n\
+         adaptive control plane (Alg. 4 mode switching, steering\n\
+         snapshots, load shedding) and without — and reports both.\n\
+         `repro control-sim` is its deterministic virtual-time sibling.\n\n\
          Experiments map 1:1 to the paper's evaluation (see DESIGN.md §3\n\
          and EXPERIMENTS.md for the paper-vs-measured record)."
     );
@@ -196,6 +247,26 @@ fn parse_num(v: Option<&String>, flag: &str) -> usize {
         die(&format!("{flag} must be ≥ 1"));
     }
     n
+}
+
+fn parse_mpps(v: Option<&String>, flag: &str) -> f64 {
+    let r: f64 = v
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a Mpps value")));
+    if r <= 0.0 {
+        die(&format!("{flag} must be positive"));
+    }
+    r
+}
+
+fn parse_frac(v: Option<&String>, flag: &str) -> f64 {
+    let f: f64 = v
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a fraction in [0, 1]")));
+    if !(0.0..=1.0).contains(&f) {
+        die(&format!("{flag} must be within [0, 1]"));
+    }
+    f
 }
 
 fn die(msg: &str) -> ! {

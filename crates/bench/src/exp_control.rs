@@ -1,0 +1,503 @@
+//! `repro control` — the adaptive control-plane experiment.
+//!
+//! Two runs of the same rectangular overload spike ([`Pace::Spike`]):
+//! one with the [`smartwatch_control`] feedback loop attached (Alg. 4
+//! mode switching, steering snapshots, hysteretic load shedding) and a
+//! baseline without it. The controlled run must conserve every packet
+//! (shed and steer drops are named counters, never silent loss), record
+//! a General→Lite flip during the spike in its timeline, recover
+//! General afterwards, and sustain at least the baseline's throughput.
+//!
+//! `repro control-sim` is the deterministic sibling: the same
+//! controller state machine driven through a synthetic load profile in
+//! virtual time ([`smartwatch_control::simulate`]), whose counters-only
+//! summary is byte-stable for a seed.
+
+use crate::output::Table;
+use crate::{workloads, ExpCtx};
+use serde::Serialize;
+use smartwatch_control::{simulate, ControlConfig, LoadProfile};
+use smartwatch_net::Packet;
+use smartwatch_runtime::{ControlReport, Engine, EngineConfig, EngineReport, Pace};
+use smartwatch_trace::background::Preset;
+
+/// One `repro control` invocation, fully specified.
+#[derive(Clone, Debug)]
+pub struct ControlRunSpec {
+    /// Worker shards (threads).
+    pub shards: usize,
+    /// Packets to replay (the workload is cycled to this length).
+    pub packets: usize,
+    /// Packets per dispatch batch.
+    pub batch: usize,
+    /// Offered rate outside the spike, Mpps (aggregate).
+    pub base_mpps: f64,
+    /// Offered rate inside the spike, Mpps (aggregate).
+    pub peak_mpps: f64,
+    /// Spike start as a fraction of the sequence, `0.0..1.0`.
+    pub spike_start: f64,
+    /// Spike end as a fraction of the sequence, `0.0..1.0`.
+    pub spike_end: f64,
+    /// Controller epoch length in milliseconds.
+    pub epoch_ms: u64,
+}
+
+impl Default for ControlRunSpec {
+    fn default() -> ControlRunSpec {
+        ControlRunSpec {
+            shards: 2,
+            packets: 400_000,
+            batch: 64,
+            base_mpps: 0.2,
+            peak_mpps: 2.0,
+            spike_start: 0.2,
+            spike_end: 0.8,
+            epoch_ms: 2,
+        }
+    }
+}
+
+/// Derive a [`ControlConfig`] whose thresholds bracket the spec's
+/// base/peak rates, so the spike reliably drives Lite (and shedding)
+/// and the calm tail reliably recovers General — on any machine fast
+/// enough to dispatch at `peak_mpps`.
+pub fn control_config(spec: &ControlRunSpec) -> ControlConfig {
+    assert!(
+        spec.base_mpps < spec.peak_mpps,
+        "spike must exceed the base rate"
+    );
+    let shards = spec.shards as f64;
+    let mut c = ControlConfig::default();
+    c.epoch_ms = spec.epoch_ms;
+    // Per-shard Algorithm 4 thresholds: Lite above half the per-shard
+    // spike rate, General below 3/4 of the per-shard base rate.
+    c.eta_lite_mpps = 0.5 * spec.peak_mpps / shards;
+    c.eta_general_mpps = (0.75 * spec.base_mpps / shards).min(0.5 * c.eta_lite_mpps);
+    // Aggregate shed hysteresis: engage at 3/4 of peak, release at 2×
+    // base (clamped below the engage threshold).
+    c.shed_on_mpps = 0.75 * spec.peak_mpps;
+    c.shed_off_mpps = (2.0 * spec.base_mpps).min(0.25 * c.shed_on_mpps);
+    c.shed_sustain_epochs = 2;
+    // A flow carrying ≥1/64 of the spike's per-epoch traffic is a heavy
+    // hitter worth a whitelist slot (the default threshold is sized for
+    // much longer epochs than bench time-scales).
+    let spike_epoch_pkts = spec.peak_mpps * 1e6 * spec.epoch_ms as f64 / 1000.0;
+    c.promote_pkts_per_epoch = (spike_epoch_pkts / 64.0).max(1.0) as u64;
+    c
+}
+
+fn spike_pace(spec: &ControlRunSpec) -> Pace {
+    Pace::Spike {
+        base_mpps: spec.base_mpps,
+        peak_mpps: spec.peak_mpps,
+        spike_start: spec.spike_start,
+        spike_end: spec.spike_end,
+    }
+}
+
+fn control_workload(spec: &ControlRunSpec, scale: usize) -> Vec<Packet> {
+    let base = workloads::caida_64b(Preset::Caida2018, scale, 0xC7).into_packets();
+    assert!(!base.is_empty(), "workload generator produced no packets");
+    base.iter().cycle().take(spec.packets).copied().collect()
+}
+
+/// Both runs of the experiment, for machine-readable output.
+pub struct ControlOutcome {
+    /// The run with the controller attached (carries `control`).
+    pub controlled: EngineReport,
+    /// The identical spike without a controller.
+    pub baseline: EngineReport,
+}
+
+/// Run the control experiment once and render the report.
+pub fn control_run(ctx: &ExpCtx, spec: &ControlRunSpec) -> Table {
+    control_run_report(ctx, spec).0
+}
+
+/// [`control_run`], also handing back both raw reports for
+/// machine-readable output ([`bench_json`], CI artifacts).
+pub fn control_run_report(ctx: &ExpCtx, spec: &ControlRunSpec) -> (Table, ControlOutcome) {
+    let packets = control_workload(spec, ctx.scale);
+    let pace = spike_pace(spec);
+
+    let mut cfg = EngineConfig::new(spec.shards);
+    cfg.batch = spec.batch;
+    let controlled = Engine::with_registry(cfg.with_control(control_config(spec)), &ctx.registry)
+        .run(&packets, pace);
+
+    // Baseline: same spike, no controller, private registry so the two
+    // runs' counters don't mix in `--metrics-json`.
+    let mut base_cfg = EngineConfig::new(spec.shards);
+    base_cfg.batch = spec.batch;
+    let baseline = Engine::new(base_cfg).run(&packets, pace);
+
+    let outcome = ControlOutcome {
+        controlled,
+        baseline,
+    };
+    (render(spec, &outcome), outcome)
+}
+
+/// One engine run's headline numbers in the bench artifact.
+#[derive(Debug, Serialize)]
+struct RunJson {
+    offered: u64,
+    processed: u64,
+    ingest_dropped: u64,
+    shed: u64,
+    steer_dropped: u64,
+    drop_pct: f64,
+    mpps: f64,
+    handled_mpps: f64,
+    conserved: bool,
+}
+
+/// Disposal rate: packets per second the pipeline *kept up with* —
+/// processed plus deliberately dropped with accounting (shed, steering
+/// blacklist). Uncontrolled ingest overruns are excluded: those are the
+/// packets the system failed to keep up with.
+fn handled_mpps(r: &EngineReport) -> f64 {
+    let secs = r.elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        (r.processed() + r.shed() + r.steer_dropped()) as f64 / secs / 1e6
+    }
+}
+
+impl RunJson {
+    fn from(r: &EngineReport) -> RunJson {
+        RunJson {
+            offered: r.offered,
+            processed: r.processed(),
+            ingest_dropped: r.ingest_dropped(),
+            shed: r.shed(),
+            steer_dropped: r.steer_dropped(),
+            drop_pct: r.drop_rate() * 100.0,
+            mpps: r.mpps(),
+            handled_mpps: handled_mpps(r),
+            conserved: r.conserved(),
+        }
+    }
+}
+
+/// One timeline entry: the epoch it happened in plus the rendered event.
+#[derive(Debug, Serialize)]
+struct TimelineJson {
+    epoch: u64,
+    event: String,
+}
+
+/// The controller's side of the artifact (mirrors [`ControlReport`]).
+#[derive(Debug, Serialize)]
+struct CtrlJson {
+    epochs: u64,
+    mode_switches: u64,
+    whitelist_promotions: u64,
+    whitelist_expired: u64,
+    blacklist_expired: u64,
+    shed_epochs: u64,
+    shed_packets: u64,
+    snapshot_publishes: u64,
+    shed_active: bool,
+    final_modes: Vec<String>,
+    timeline: Vec<TimelineJson>,
+    timeline_dropped: u64,
+}
+
+impl CtrlJson {
+    fn from(c: &ControlReport) -> CtrlJson {
+        CtrlJson {
+            epochs: c.epochs,
+            mode_switches: c.mode_switches,
+            whitelist_promotions: c.whitelist_promotions,
+            whitelist_expired: c.whitelist_expired,
+            blacklist_expired: c.blacklist_expired,
+            shed_epochs: c.shed_epochs,
+            shed_packets: c.shed_packets,
+            snapshot_publishes: c.snapshot_publishes,
+            shed_active: c.shed_active,
+            final_modes: c
+                .final_modes
+                .iter()
+                .map(|m| m.label().to_string())
+                .collect(),
+            timeline: c
+                .timeline
+                .iter()
+                .map(|e| TimelineJson {
+                    epoch: e.epoch(),
+                    event: e.render(),
+                })
+                .collect(),
+            timeline_dropped: c.timeline_dropped,
+        }
+    }
+}
+
+/// The `BENCH_control.json` schema (field order = emission order).
+#[derive(Debug, Serialize)]
+struct ControlBenchJson {
+    bench: String,
+    shards: usize,
+    packets: usize,
+    batch: usize,
+    base_mpps: f64,
+    peak_mpps: f64,
+    spike_start: f64,
+    spike_end: f64,
+    epoch_ms: u64,
+    controlled: RunJson,
+    control: CtrlJson,
+    baseline: RunJson,
+    handled_ratio: f64,
+}
+
+/// The CI benchmark artifact (`BENCH_control.json`): both runs'
+/// headline numbers plus the full mode/shed timeline, so CI can assert
+/// the spike actually flipped shards Lite and back without parsing the
+/// rendered table.
+pub fn bench_json(spec: &ControlRunSpec, o: &ControlOutcome) -> String {
+    let ctrl = o
+        .controlled
+        .control
+        .as_ref()
+        .expect("controlled run carries a ControlReport");
+    let v = ControlBenchJson {
+        bench: "control".to_string(),
+        shards: spec.shards,
+        packets: spec.packets,
+        batch: spec.batch,
+        base_mpps: spec.base_mpps,
+        peak_mpps: spec.peak_mpps,
+        spike_start: spec.spike_start,
+        spike_end: spec.spike_end,
+        epoch_ms: spec.epoch_ms,
+        controlled: RunJson::from(&o.controlled),
+        control: CtrlJson::from(ctrl),
+        baseline: RunJson::from(&o.baseline),
+        handled_ratio: handled_mpps(&o.controlled)
+            / handled_mpps(&o.baseline).max(f64::MIN_POSITIVE),
+    };
+    serde_json::to_string_pretty(&v).expect("bench report serializes")
+}
+
+fn run_row(name: &str, r: &EngineReport) -> Vec<String> {
+    vec![
+        name.to_string(),
+        r.offered.to_string(),
+        r.processed().to_string(),
+        r.shed().to_string(),
+        r.steer_dropped().to_string(),
+        r.ingest_dropped().to_string(),
+        format!("{:.2}", r.drop_rate() * 100.0),
+        format!("{:.3}", r.mpps()),
+        format!("{:.3}", handled_mpps(r)),
+    ]
+}
+
+fn render(spec: &ControlRunSpec, o: &ControlOutcome) -> Table {
+    let ctrl = o
+        .controlled
+        .control
+        .as_ref()
+        .expect("controlled run carries a ControlReport");
+    let mut t = Table::new(
+        "control",
+        "adaptive control plane under a rectangular overload spike",
+        &[
+            "run",
+            "offered",
+            "processed",
+            "shed",
+            "steer_drop",
+            "ingest_drop",
+            "drop%",
+            "Mpps",
+            "handled",
+        ],
+    );
+    t.row(run_row("controlled", &o.controlled));
+    t.row(run_row("baseline", &o.baseline));
+    t.note(format!(
+        "spike: {} → {} Mpps over [{:.0}%, {:.0}%) of {} pkts; controller epoch {} ms",
+        spec.base_mpps,
+        spec.peak_mpps,
+        spec.spike_start * 100.0,
+        spec.spike_end * 100.0,
+        spec.packets,
+        spec.epoch_ms,
+    ));
+    t.note(format!(
+        "controller: {} epochs, {} mode switches, {} shed epochs ({} pkts shed), \
+         {} promotions, final modes [{}]",
+        ctrl.epochs,
+        ctrl.mode_switches,
+        ctrl.shed_epochs,
+        ctrl.shed_packets,
+        ctrl.whitelist_promotions,
+        ctrl.final_modes
+            .iter()
+            .map(|m| m.label())
+            .collect::<Vec<_>>()
+            .join(","),
+    ));
+    let shown = ctrl.timeline.len().min(12);
+    let mut timeline: Vec<String> = ctrl.timeline[..shown].iter().map(|e| e.render()).collect();
+    if ctrl.timeline.len() > shown {
+        timeline.push(format!("… +{} more", ctrl.timeline.len() - shown));
+    }
+    t.note(format!("mode timeline: {}", timeline.join(" ; ")));
+    t.note(format!(
+        "conservation: controlled {} | baseline {} (offered = processed + named drops)",
+        if o.controlled.conserved() {
+            "OK"
+        } else {
+            "VIOLATED"
+        },
+        if o.baseline.conserved() {
+            "OK"
+        } else {
+            "VIOLATED"
+        },
+    ));
+    t.note(
+        "`handled` = (processed + shed + steer_drop) / s — the rate the \
+         pipeline kept up with offered load; ingest_drop is the loss it \
+         did not keep up with (RX ring overruns)",
+    );
+    t.note(
+        "wall-clock numbers — machine- and load-dependent; `control-sim` is \
+         the deterministic virtual-time drive of the same state machine",
+    );
+    t
+}
+
+/// `repro control-sim` — the deterministic controller drive: default
+/// [`LoadProfile`] (4 shards, 120 × 5 ms epochs, 1 → 12 Mpps spike)
+/// through the default [`ControlConfig`] in virtual time. Byte-stable
+/// for a seed; the determinism tests pin the summary.
+pub fn control_sim(_ctx: &ExpCtx) -> Table {
+    let profile = LoadProfile::default();
+    let out = simulate(ControlConfig::default(), &profile);
+    let r = &out.report;
+    let mut t = Table::new(
+        "control-sim",
+        "deterministic controller drive (virtual time, synthetic spike)",
+        &["metric", "value"],
+    );
+    let rows: Vec<(&str, String)> = vec![
+        ("epochs", r.epochs.to_string()),
+        ("all_lite_epochs", out.lite_epochs.to_string()),
+        ("mode_switches", r.mode_switches.to_string()),
+        ("whitelist_promotions", r.whitelist_promotions.to_string()),
+        ("whitelist_expired", r.whitelist_expired.to_string()),
+        ("blacklist_expired", r.blacklist_expired.to_string()),
+        ("shed_epochs", r.shed_epochs.to_string()),
+        ("shed_packets", r.shed_packets.to_string()),
+        ("snapshot_publishes", r.snapshot_publishes.to_string()),
+        (
+            "final_modes",
+            r.final_modes
+                .iter()
+                .map(|m| m.label())
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    t.note(format!(
+        "profile: {} shards, {} epochs × {} s, {} → {} Mpps spike over epochs [{}, {})",
+        profile.shards,
+        profile.epochs,
+        profile.epoch_secs,
+        profile.base_mpps,
+        profile.peak_mpps,
+        profile.spike_start,
+        profile.spike_end,
+    ));
+    t.note(
+        "deterministic for the profile seed: two identical runs render \
+         byte-identical tables and counters-only summaries",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_snic::Mode;
+
+    fn small_spec() -> ControlRunSpec {
+        ControlRunSpec {
+            packets: 100_000,
+            ..ControlRunSpec::default()
+        }
+    }
+
+    #[test]
+    fn control_experiment_conserves_and_flips_lite() {
+        let ctx = ExpCtx::new(1);
+        let (t, o) = control_run_report(&ctx, &small_spec());
+        assert_eq!(t.rows.len(), 2);
+        assert!(t
+            .notes
+            .iter()
+            .any(|n| n.contains("conservation: controlled OK | baseline OK")));
+        let ctrl = o.controlled.control.as_ref().expect("controller ran");
+        assert!(
+            ctrl.mode_switches >= 2,
+            "spike then recovery implies flips both ways"
+        );
+        assert!(ctrl.final_modes.iter().all(|&m| m == Mode::General));
+        // The run published control metrics into the shared registry.
+        let snap = ctx.registry.snapshot();
+        assert!(snap.counter("control.epochs").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn bench_json_carries_timeline_and_both_runs() {
+        let ctx = ExpCtx::new(1);
+        let spec = small_spec();
+        let (_, o) = control_run_report(&ctx, &spec);
+        let json = bench_json(&spec, &o);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let field = |k: &str| v.get(k).unwrap_or_else(|| panic!("missing field {k}"));
+        assert_eq!(field("bench").as_str(), Some("control"));
+        assert_eq!(
+            field("controlled")
+                .get("conserved")
+                .and_then(|x| x.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            field("baseline").get("conserved").and_then(|x| x.as_bool()),
+            Some(true)
+        );
+        let timeline = field("control")
+            .get("timeline")
+            .and_then(|x| x.as_array())
+            .expect("timeline array");
+        assert!(
+            timeline
+                .iter()
+                .any(|e| e["event"].as_str().unwrap_or("").contains("lite")),
+            "timeline must record a General→Lite flip: {timeline:?}"
+        );
+        // The controller must keep up with offered load at least as
+        // well as the uncontrolled baseline (the Lite + shed fast path
+        // is cheaper than falling behind into RX overruns).
+        assert!(field("handled_ratio").as_f64().expect("ratio") > 0.9);
+    }
+
+    #[test]
+    fn control_sim_table_is_deterministic() {
+        let ctx = ExpCtx::new(1);
+        let a = control_sim(&ctx).render();
+        let b = control_sim(&ctx).render();
+        assert_eq!(a, b, "virtual-time drive must be reproducible");
+        assert!(a.contains("mode_switches"));
+    }
+}

@@ -187,6 +187,11 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
     let pace_cell = match pace {
         Pace::Flatout => "flat-out".to_string(),
         Pace::RateMpps(mpps) => format!("{mpps} Mpps"),
+        Pace::Spike {
+            base_mpps,
+            peak_mpps,
+            ..
+        } => format!("{base_mpps}→{peak_mpps} Mpps"),
     };
     t.row(vec![
         spec.shards.to_string(),

@@ -10,6 +10,7 @@
 
 pub mod exp_ablation;
 pub mod exp_cache;
+pub mod exp_control;
 pub mod exp_covert;
 pub mod exp_detect;
 pub mod exp_engine;
@@ -76,5 +77,6 @@ pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
         ("ablation-steer-width", exp_ablation::ablation_steer_width),
         ("ablation-cleanup", exp_ablation::ablation_cleanup),
         ("ablation-sampling", exp_ablation::ablation_sampling),
+        ("control-sim", exp_control::control_sim),
     ]
 }

@@ -205,6 +205,126 @@ pub type BuildDigestHasher = BuildHasherDefault<DigestHasher>;
 /// structure used by the runtime shards' black/whitelists.
 pub type DigestSet = HashSet<u64, BuildDigestHasher>;
 
+/// A TTL'd, capacity-bounded digest set for long-lived black/whitelists.
+///
+/// The plain [`DigestSet`] accumulates forever — fine for a one-shot
+/// replay, fatal for a long-running engine where every verdict ever
+/// issued would stay resident. This variant stamps each digest with the
+/// epoch it was last inserted/touched:
+///
+/// * [`AgingDigestSet::sweep`] expires entries untouched for more than
+///   `ttl` epochs (counted in `expired`);
+/// * inserts past `capacity` evict the stalest entry (counted in
+///   `evicted`) — the set never exceeds its bound, even if the caller
+///   forgets to sweep.
+///
+/// "Epoch" is whatever monotone counter the caller advances — the
+/// control plane uses controller epochs, the runtime shards use batch
+/// counts — so aging stays deterministic for deterministic inputs.
+#[derive(Clone, Debug)]
+pub struct AgingDigestSet {
+    map: std::collections::HashMap<u64, u64, BuildDigestHasher>,
+    capacity: usize,
+    ttl: u64,
+    expired: u64,
+    evicted: u64,
+}
+
+impl AgingDigestSet {
+    /// Set bounded to `capacity` entries whose members expire after
+    /// going `ttl` epochs untouched. `capacity` ≥ 1.
+    pub fn new(capacity: usize, ttl: u64) -> AgingDigestSet {
+        assert!(capacity >= 1, "aging set needs capacity >= 1");
+        AgingDigestSet {
+            map: std::collections::HashMap::default(),
+            capacity,
+            ttl,
+            expired: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Insert (or refresh) `digest` at epoch `now`. Returns `true` if the
+    /// digest was not already present. At capacity, the stalest entry is
+    /// evicted first (accounted in [`AgingDigestSet::evicted`]).
+    pub fn insert(&mut self, digest: u64, now: u64) -> bool {
+        if let Some(stamp) = self.map.get_mut(&digest) {
+            *stamp = now;
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            // Rare path (only at the bound): O(n) scan for the stalest.
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, s)| **s).map(|(d, _)| *d) {
+                self.map.remove(&oldest);
+                self.evicted += 1;
+            }
+        }
+        self.map.insert(digest, now);
+        true
+    }
+
+    /// Membership probe (identity-hashed, no stamp refresh).
+    pub fn contains(&self, digest: &u64) -> bool {
+        self.map.contains_key(digest)
+    }
+
+    /// Refresh the stamp of a resident digest — an actively matching
+    /// entry should not age out while it is still doing work. Returns
+    /// `true` if the digest was resident.
+    pub fn touch(&mut self, digest: &u64, now: u64) -> bool {
+        if let Some(stamp) = self.map.get_mut(digest) {
+            *stamp = now;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a digest outright (e.g. a whitelist entry superseded by a
+    /// blacklist verdict). Returns `true` if it was resident.
+    pub fn remove(&mut self, digest: &u64) -> bool {
+        self.map.remove(digest).is_some()
+    }
+
+    /// Expire every entry untouched for more than the TTL as of epoch
+    /// `now`; returns how many were removed (also accumulated in
+    /// [`AgingDigestSet::expired`]).
+    pub fn sweep(&mut self, now: u64) -> u64 {
+        let ttl = self.ttl;
+        let before = self.map.len();
+        self.map
+            .retain(|_, stamp| now.saturating_sub(*stamp) <= ttl);
+        let removed = (before - self.map.len()) as u64;
+        self.expired += removed;
+        removed
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no digests are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries removed by TTL sweeps so far.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Entries evicted by the capacity bound so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterate over resident digests (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &u64> {
+        self.map.keys()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +472,57 @@ mod tests {
         }
         assert!(!set.contains(&h.hash_u64(5000).0));
         assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn aging_set_expires_untouched_entries() {
+        let mut set = AgingDigestSet::new(1024, 10);
+        for d in 0..100u64 {
+            assert!(set.insert(d, 0));
+        }
+        // Keep half alive by touching them at epoch 8.
+        for d in 0..50u64 {
+            assert!(set.touch(&d, 8));
+        }
+        assert_eq!(set.sweep(11), 50, "untouched half expires past TTL");
+        assert_eq!(set.len(), 50);
+        assert_eq!(set.expired(), 50);
+        for d in 0..50u64 {
+            assert!(set.contains(&d), "touched digest {d} must survive");
+        }
+        for d in 50..100u64 {
+            assert!(!set.contains(&d), "stale digest {d} must expire");
+        }
+        // Survivors expire too once their refreshed stamp goes stale.
+        assert_eq!(set.sweep(19), 50);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn aging_set_capacity_evicts_stalest() {
+        let mut set = AgingDigestSet::new(4, u64::MAX);
+        for (epoch, d) in (100..104u64).enumerate() {
+            set.insert(d, epoch as u64);
+        }
+        assert_eq!(set.len(), 4);
+        // Refresh the oldest so the *second*-oldest becomes the victim.
+        set.touch(&100, 10);
+        set.insert(999, 11);
+        assert_eq!(set.len(), 4, "capacity bound holds");
+        assert_eq!(set.evicted(), 1);
+        assert!(set.contains(&100), "refreshed entry survives");
+        assert!(!set.contains(&101), "stalest entry evicted");
+        assert!(set.contains(&999));
+    }
+
+    #[test]
+    fn aging_set_reinsert_refreshes_instead_of_duplicating() {
+        let mut set = AgingDigestSet::new(8, 5);
+        assert!(set.insert(42, 0));
+        assert!(!set.insert(42, 7), "re-insert refreshes, not duplicates");
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.sweep(9), 0, "refreshed entry is inside TTL");
+        assert!(set.contains(&42));
     }
 
     #[test]

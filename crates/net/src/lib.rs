@@ -39,7 +39,10 @@ pub mod tcp;
 pub mod time;
 pub mod wire;
 
-pub use hash::{shard_for, shard_for_digest, DigestSet, FlowHasher, HashDigest};
+pub use hash::{
+    shard_for, shard_for_digest, AgingDigestSet, BuildDigestHasher, DigestSet, FlowHasher,
+    HashDigest,
+};
 pub use key::{FlowKey, Proto};
 pub use label::{AttackKind, Label};
 pub use packet::{Packet, PacketBuilder};

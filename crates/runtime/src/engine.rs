@@ -17,16 +17,23 @@
 //! in total) holds for every shard count and pacing mode.
 
 use crate::batch::{Batch, BufferPool, DigestedPacket};
-use crate::control::ControlLog;
+use crate::control::{ControlLog, LogReader};
 use crate::escalate::{HostPool, TriageNf};
 use crate::shard::{
-    Escalation, ShardCounters, ShardEndState, ShardMsg, ShardStats, ShardWorker, StageHists,
+    ControlHooks, Escalation, ShardCounters, ShardEndState, ShardMsg, ShardStats, ShardWorker,
+    StageHists,
 };
 use crate::spsc::{spsc, Producer};
+use smartwatch_control::{
+    ControlConfig, ControlReport, Controller, EpochInput, ModeCell, ShardSample, SnapshotCell,
+    SnapshotReader, SteeringSnapshot,
+};
 use smartwatch_net::hash::shard_for_digest;
 use smartwatch_net::{FlowHasher, Packet};
 use smartwatch_snic::{FlowCache, FlowCacheConfig};
-use smartwatch_telemetry::{HistSnapshot, Registry};
+use smartwatch_telemetry::{Counter, HistSnapshot, Registry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -55,6 +62,12 @@ pub struct EngineConfig {
     /// FlowCache hash seed (per-shard caches share it; partitioning
     /// comes from RSS, not from distinct hash functions).
     pub hash_seed: u64,
+    /// Attach the adaptive control plane: an epoch thread that runs
+    /// Algorithm 4 mode switching per shard, promotes heavy hitters,
+    /// publishes steering snapshots and decides load shedding. `None`
+    /// runs the engine open-loop (the pre-control behaviour, and the
+    /// deterministic-test configuration).
+    pub control: Option<ControlConfig>,
 }
 
 impl EngineConfig {
@@ -71,7 +84,16 @@ impl EngineConfig {
             triage_threshold: 64,
             enforce_verdicts: true,
             hash_seed: 0x51CC,
+            control: None,
         }
+    }
+
+    /// Attach a control plane (its hash seed is forced to the engine's
+    /// so verdict/steering digests line up with dispatch digests).
+    pub fn with_control(mut self, mut ctrl: ControlConfig) -> EngineConfig {
+        ctrl.hash_seed = self.hash_seed;
+        self.control = Some(ctrl);
+        self
     }
 }
 
@@ -84,6 +106,22 @@ pub enum Pace {
     /// Open-loop at a target offered rate in Mpps: a full queue at
     /// arrival time is a counted drop, like a NIC RX ring overrun.
     RateMpps(f64),
+    /// Open-loop at `base_mpps` with one rectangular overload spike at
+    /// `peak_mpps` while the replay position is inside
+    /// `[spike_start, spike_end)` (fractions of the packet sequence).
+    /// This is the control plane's repro workload: the spike drives
+    /// Algorithm 4 into Lite and (if sustained) engages shedding; the
+    /// return to base rate must recover General.
+    Spike {
+        /// Offered rate outside the spike, Mpps.
+        base_mpps: f64,
+        /// Offered rate inside the spike, Mpps.
+        peak_mpps: f64,
+        /// Spike start as a fraction of the sequence, `0.0..=1.0`.
+        spike_start: f64,
+        /// Spike end as a fraction of the sequence, `0.0..=1.0`.
+        spike_end: f64,
+    },
 }
 
 /// The sharded wall-clock engine.
@@ -144,13 +182,69 @@ impl Engine {
         // so the steady state allocates nothing.
         let bufpool = BufferPool::new(n * (cfg.queue_batches + 2), cfg.batch, &self.registry);
 
+        // Per-shard counters exist before both the control plane (which
+        // samples them) and the shard threads (which write them).
+        let counters: Vec<ShardCounters> = (0..n)
+            .map(|i| ShardCounters::registered(&self.registry, i))
+            .collect();
+
+        // ── Control plane (optional) ────────────────────────────────
+        // Mode cells + snapshot cell + heavy-hitter channel wire the
+        // controller thread to the dispatcher and every shard.
+        let mut shard_hooks: Vec<Option<ControlHooks>> = (0..n).map(|_| None).collect();
+        let mut dispatcher_steer: Option<SnapshotReader<SteeringSnapshot>> = None;
+        let mut controller = None;
+        if let Some(mut ctrl_cfg) = cfg.control.clone() {
+            ctrl_cfg.hash_seed = cfg.hash_seed;
+            let mode_cells: Vec<Arc<ModeCell>> =
+                (0..n).map(|_| Arc::new(ModeCell::default())).collect();
+            let snap_cell = Arc::new(SnapshotCell::new(SteeringSnapshot::empty()));
+            let (heavy_tx, heavy_rx) = std::sync::mpsc::sync_channel::<(u64, u64)>(8192);
+            for (i, slot) in shard_hooks.iter_mut().enumerate() {
+                *slot = Some(ControlHooks {
+                    mode: Arc::clone(&mode_cells[i]),
+                    steer: snap_cell.reader(),
+                    heavy_tx: heavy_tx.clone(),
+                });
+            }
+            drop(heavy_tx);
+            dispatcher_steer = Some(snap_cell.reader());
+            let epoch = Duration::from_millis(ctrl_cfg.epoch_ms.max(1));
+            let ctrl = Controller::with_registry(ctrl_cfg, &self.registry);
+            let reader = log.reader();
+            let stop = Arc::new(AtomicBool::new(false));
+            let thread_args = (
+                Arc::clone(&log),
+                counters.clone(),
+                host_processed.clone(),
+                Arc::clone(&stop),
+            );
+            let handle = std::thread::Builder::new()
+                .name("sw-control".into())
+                .spawn(move || {
+                    let (log, counters, host_processed, stop) = thread_args;
+                    controller_loop(
+                        ctrl,
+                        log,
+                        reader,
+                        heavy_rx,
+                        counters,
+                        host_processed,
+                        mode_cells,
+                        snap_cell,
+                        stop,
+                        epoch,
+                    )
+                })
+                .expect("spawn controller thread");
+            controller = Some((handle, stop));
+        }
+
         // Shards: one SPSC queue + one thread each.
         let mut producers: Vec<Producer<ShardMsg>> = Vec::with_capacity(n);
-        let mut counters: Vec<ShardCounters> = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, hooks) in shard_hooks.iter_mut().enumerate() {
             let (tx, rx) = spsc::<ShardMsg>(cfg.queue_batches);
-            let shard_counters = ShardCounters::registered(&self.registry, i);
             let mut cache_cfg = FlowCacheConfig::general(cfg.cache_row_bits);
             cache_cfg.hash_seed = cfg.hash_seed;
             let mut cache = FlowCache::new(cache_cfg);
@@ -163,12 +257,13 @@ impl Engine {
                 cache,
                 escalation,
                 Arc::clone(&log),
-                shard_counters.clone(),
+                counters[i].clone(),
                 stage.clone(),
                 host_processed.clone(),
                 cfg.enforce_verdicts,
                 hasher,
                 bufpool.recycler(),
+                hooks.take(),
             );
             handles.push(
                 std::thread::Builder::new()
@@ -177,26 +272,83 @@ impl Engine {
                     .expect("spawn shard thread"),
             );
             producers.push(tx);
-            counters.push(shard_counters);
         }
 
         // ── Dispatch ────────────────────────────────────────────────
         let start = Instant::now();
         let mut bufs: Vec<Vec<DigestedPacket>> = (0..n).map(|_| bufpool.acquire()).collect();
-        let ns_per_pkt = match pace {
-            Pace::Flatout => 0.0,
+        let paced = !matches!(pace, Pace::Flatout);
+        let (spike_lo, spike_hi) = match pace {
             Pace::RateMpps(r) => {
                 assert!(r > 0.0, "offered rate must be positive");
-                1000.0 / r
+                (0, 0)
             }
+            Pace::Spike {
+                base_mpps,
+                peak_mpps,
+                spike_start,
+                spike_end,
+            } => {
+                assert!(base_mpps > 0.0 && peak_mpps > 0.0, "rates must be positive");
+                assert!(
+                    spike_start <= spike_end,
+                    "spike must not end before it starts"
+                );
+                let total = packets.len() as f64;
+                (
+                    (spike_start.clamp(0.0, 1.0) * total) as usize,
+                    (spike_end.clamp(0.0, 1.0) * total) as usize,
+                )
+            }
+            Pace::Flatout => (0, 0),
         };
+        // Open-loop pacing accumulates per-packet inter-arrival gaps so
+        // the offered rate can change mid-replay (the spike).
+        let mut due_ns: f64 = 0.0;
         for (i, pkt) in packets.iter().enumerate() {
-            if ns_per_pkt > 0.0 && i % 256 == 0 {
-                let due = Duration::from_nanos((i as f64 * ns_per_pkt) as u64);
-                Self::pace_until(start, due);
+            match pace {
+                Pace::Flatout => {}
+                Pace::RateMpps(r) => due_ns += 1000.0 / r,
+                Pace::Spike {
+                    base_mpps,
+                    peak_mpps,
+                    ..
+                } => {
+                    let r = if (spike_lo..spike_hi).contains(&i) {
+                        peak_mpps
+                    } else {
+                        base_mpps
+                    };
+                    due_ns += 1000.0 / r;
+                }
+            }
+            if i % 256 == 0 {
+                if paced {
+                    Self::pace_until(start, Duration::from_nanos(due_ns as u64));
+                }
+                // One atomic load; re-clones the snapshot Arc only when
+                // the controller published since the last check.
+                if let Some(sr) = dispatcher_steer.as_mut() {
+                    sr.refresh();
+                }
             }
             let (canon, digest) = hasher.digest_symmetric(&pkt.key);
             let s = shard_for_digest(digest, n);
+            // Steering enforcement at dispatch: blacklisted flows drop
+            // here (prevention at the earliest point), and under load
+            // shedding only whitelisted flows pass. Both are accounted
+            // per shard — conservation includes them.
+            if let Some(sr) = &dispatcher_steer {
+                let snap = sr.current();
+                if cfg.enforce_verdicts && snap.blacklist.contains(&digest.0) {
+                    counters[s].steer_dropped.inc();
+                    continue;
+                }
+                if snap.shed && !snap.whitelist.contains(&digest.0) {
+                    counters[s].shed.inc();
+                    continue;
+                }
+            }
             bufs[s].push(DigestedPacket {
                 pkt: *pkt,
                 canon,
@@ -204,13 +356,13 @@ impl Engine {
             });
             if bufs[s].len() == cfg.batch {
                 let batch = std::mem::replace(&mut bufs[s], bufpool.acquire());
-                Self::flush(&producers[s], &counters[s], &bufpool, batch, pace);
+                Self::flush(&producers[s], &counters[s], &bufpool, batch, paced);
             }
         }
         for s in 0..n {
             if !bufs[s].is_empty() {
                 let batch = std::mem::take(&mut bufs[s]);
-                Self::flush(&producers[s], &counters[s], &bufpool, batch, pace);
+                Self::flush(&producers[s], &counters[s], &bufpool, batch, paced);
             }
             // Stop is never dropped: it blocks until a slot frees up.
             producers[s].push_blocking(ShardMsg::Stop);
@@ -227,6 +379,14 @@ impl Engine {
         if let Some(p) = pool {
             p.shutdown();
         }
+        // Stop the controller last: it runs one final epoch (capturing
+        // the post-drain counter tails and any late verdicts) and
+        // returns its report.
+        let control = controller.map(|(handle, stop)| {
+            stop.store(true, Ordering::Release);
+            handle.thread().unpark();
+            handle.join().expect("controller thread panicked")
+        });
 
         let shards: Vec<ShardStats> = counters
             .iter()
@@ -239,6 +399,7 @@ impl Engine {
             shards,
             host_processed: host_processed.get(),
             verdicts_published: log.len() as u64,
+            control,
             stage: StageSnapshot {
                 queue_ns: stage.queue_ns.snapshot(),
                 cache_ns: stage.cache_ns.snapshot(),
@@ -271,19 +432,15 @@ impl Engine {
         counters: &ShardCounters,
         pool: &BufferPool,
         batch: Vec<DigestedPacket>,
-        pace: Pace,
+        paced: bool,
     ) {
         let len = batch.len() as u64;
         let msg = ShardMsg::Batch(Batch {
             pkts: batch,
             sent: Instant::now(),
         });
-        match pace {
-            Pace::Flatout => {
-                tx.push_blocking(msg);
-                counters.ingested.add(len);
-            }
-            Pace::RateMpps(_) => match tx.try_push(msg) {
+        if paced {
+            match tx.try_push(msg) {
                 Ok(()) => counters.ingested.add(len),
                 // Open loop: a full ring at arrival time is a loss, and
                 // it is *accounted* — never silent. The buffer itself
@@ -293,11 +450,97 @@ impl Engine {
                     pool.give_back(b.pkts);
                 }
                 Err(ShardMsg::Stop) => unreachable!("flush only pushes batches"),
-            },
+            }
+        } else {
+            tx.push_blocking(msg);
+            counters.ingested.add(len);
         }
         let depth = tx.len() as f64;
         counters.queue_depth.set(depth);
         counters.queue_depth_peak.set_max(depth);
+    }
+}
+
+/// The controller thread body: one epoch per `epoch` period (or on
+/// shutdown). Each epoch samples cumulative shard counters, drains the
+/// verdict log and the heavy-hitter channel, feeds the pure
+/// [`Controller`] state machine, applies its per-shard mode decisions
+/// to the [`ModeCell`]s and publishes any new steering snapshot.
+/// When `stop` is observed it runs one final epoch (counter tails +
+/// late verdicts) and returns the report.
+#[allow(clippy::too_many_arguments)]
+fn controller_loop(
+    mut ctrl: Controller,
+    log: Arc<ControlLog>,
+    reader: LogReader,
+    heavy_rx: Receiver<(u64, u64)>,
+    counters: Vec<ShardCounters>,
+    host_processed: Counter,
+    mode_cells: Vec<Arc<ModeCell>>,
+    snap_cell: Arc<SnapshotCell<SteeringSnapshot>>,
+    stop: Arc<AtomicBool>,
+    epoch: Duration,
+) -> ControlReport {
+    let mut last = Instant::now();
+    loop {
+        let done = stop.load(Ordering::Acquire);
+        if !done {
+            std::thread::park_timeout(epoch);
+        }
+        let now = Instant::now();
+        let elapsed_secs = now.duration_since(last).as_secs_f64();
+        last = now;
+
+        // Escalation backlog: packets escalated but neither dropped at
+        // the ring nor processed by the host yet. The pool is shared,
+        // so every shard's sample carries the aggregate.
+        let mut escalated = 0u64;
+        let mut esc_dropped = 0u64;
+        for c in &counters {
+            escalated += c.escalated.get();
+            esc_dropped += c.escalation_dropped.get();
+        }
+        let backlog = escalated
+            .saturating_sub(esc_dropped)
+            .saturating_sub(host_processed.get());
+
+        let shards: Vec<ShardSample> = counters
+            .iter()
+            .map(|c| ShardSample {
+                offered: c.ingested.get()
+                    + c.ingest_dropped.get()
+                    + c.shed.get()
+                    + c.steer_dropped.get(),
+                processed: c.processed.get(),
+                shed: c.shed.get(),
+                escalation_backlog: backlog,
+            })
+            .collect();
+        let verdicts = log.poll(&reader);
+        let mut heavy = Vec::new();
+        while let Ok(h) = heavy_rx.try_recv() {
+            heavy.push(h);
+            if heavy.len() >= 16_384 {
+                break;
+            }
+        }
+
+        let decision = ctrl.epoch(&EpochInput {
+            elapsed_secs,
+            shards,
+            verdicts,
+            heavy,
+        });
+        for (cell, &m) in mode_cells.iter().zip(&decision.modes) {
+            cell.set(m);
+        }
+        if let Some(snap) = decision.snapshot {
+            snap_cell.publish(snap);
+        }
+        if done {
+            log.release(reader);
+            return ctrl.report();
+        }
     }
 }
 
@@ -328,6 +571,9 @@ pub struct EngineReport {
     pub host_processed: u64,
     /// Verdicts published to the control log.
     pub verdicts_published: u64,
+    /// Control-plane report (present when the engine ran with a
+    /// controller attached).
+    pub control: Option<ControlReport>,
     /// Per-stage latency/size distributions.
     pub stage: StageSnapshot,
 }
@@ -341,6 +587,16 @@ impl EngineReport {
     /// Packets dropped at ingest across all shards.
     pub fn ingest_dropped(&self) -> u64 {
         self.shards.iter().map(|s| s.ingest_dropped).sum()
+    }
+
+    /// Packets shed at dispatch under controller load shedding.
+    pub fn shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    /// Packets dropped at dispatch by the steering blacklist.
+    pub fn steer_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.steer_dropped).sum()
     }
 
     /// Packets escalated to the host tier.
@@ -380,10 +636,11 @@ impl EngineReport {
     }
 
     /// The conservation invariant: every offered packet is either
-    /// processed by exactly one shard or dropped with accounting.
+    /// processed by exactly one shard or dropped with accounting
+    /// (ingest overrun, load shed, or steering blacklist).
     pub fn conserved(&self) -> bool {
         let ingested: u64 = self.shards.iter().map(|s| s.ingested).sum();
-        ingested + self.ingest_dropped() == self.offered
+        ingested + self.ingest_dropped() + self.shed() + self.steer_dropped() == self.offered
             && self.shards.iter().all(|s| s.ingested == s.processed)
     }
 
@@ -395,11 +652,13 @@ impl EngineReport {
         let mut out = format!("offered={}\n", self.offered);
         for (i, s) in self.shards.iter().enumerate() {
             out.push_str(&format!(
-                "shard{i}: ingested={} dropped={} processed={} verdict_dropped={} \
-                 fast_path={} escalated={} escalation_dropped={} ctrl_applied={} \
-                 alerts={} blacklisted={} whitelisted={} cache_resident={}\n",
+                "shard{i}: ingested={} dropped={} shed={} steer_dropped={} processed={} \
+                 verdict_dropped={} fast_path={} escalated={} escalation_dropped={} \
+                 ctrl_applied={} alerts={} blacklisted={} whitelisted={} cache_resident={}\n",
                 s.ingested,
                 s.ingest_dropped,
+                s.shed,
+                s.steer_dropped,
                 s.processed,
                 s.verdict_dropped,
                 s.fast_path,

@@ -14,7 +14,8 @@
 //! * [`spsc`] — bounded single-producer/single-consumer batch queues
 //!   with explicit backpressure or accounted drops (never silent loss).
 //! * [`control`] — the epoch-stamped verdict log fanning host decisions
-//!   back to every shard at batch boundaries.
+//!   back to every shard at batch boundaries. Bounded: the applied
+//!   prefix compacts away once every registered reader is past it.
 //! * [`escalate`] — the host-side worker pool (a multi-threaded
 //!   generalisation of [`smartwatch_host::NfWorker`]) plus the default
 //!   [`TriageNf`] escalation triage.
@@ -31,6 +32,13 @@
 //! Telemetry flows through [`smartwatch_telemetry`]: per-shard counters
 //! (`runtime.shard.*{shard=N}`), queue-depth gauges, and aggregate
 //! per-stage latency histograms (`runtime.stage.*`).
+//!
+//! With [`EngineConfig::with_control`] the engine additionally runs the
+//! [`smartwatch_control`] adaptive control plane: a controller thread
+//! closes the paper's feedback loop each epoch — Algorithm 4 mode
+//! switching applied to the live per-shard FlowCaches, heavy-hitter
+//! whitelist promotion, RCU-published steering snapshots enforced at
+//! dispatch, and hysteretic load shedding with accounted drops.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +50,8 @@ pub mod escalate;
 pub mod shard;
 pub mod spsc;
 
-pub use control::ControlLog;
+pub use control::{ControlLog, LogReader};
 pub use engine::{Engine, EngineConfig, EngineReport, Pace, StageSnapshot};
 pub use escalate::{HostPool, TriageNf};
 pub use shard::{ShardCounters, ShardStats};
+pub use smartwatch_control::{ControlConfig, ControlEvent, ControlReport};

@@ -18,13 +18,15 @@
 //! return to the dispatcher's pool instead of being freed.
 
 use crate::batch::{Backoff, Batch, DigestedPacket, RecycleSender};
-use crate::control::ControlLog;
+use crate::control::{ControlLog, LogReader};
 use crate::escalate::TriageNf;
+use smartwatch_control::{ModeCell, SnapshotReader, SteeringSnapshot};
 use smartwatch_core::{DetectorSuite, HostNeed};
 use smartwatch_host::{HostNf, Verdict};
-use smartwatch_net::{DigestSet, FlowHasher, Packet};
+use smartwatch_net::{AgingDigestSet, BuildDigestHasher, FlowHasher, Packet};
 use smartwatch_snic::FlowCache;
 use smartwatch_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::collections::HashMap;
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,6 +37,22 @@ pub(crate) enum ShardMsg {
     Batch(Batch),
     /// Graceful shutdown: drain, final-sweep, exit.
     Stop,
+}
+
+/// The shard side of an attached control plane: the live mode cell the
+/// controller writes, the steering snapshot reader, and the channel
+/// heavy-hitter candidates flush through. Absent when the engine runs
+/// without a controller.
+pub(crate) struct ControlHooks {
+    /// Controller's Algorithm 4 decision for this shard; applied to the
+    /// live FlowCache at batch boundaries.
+    pub mode: Arc<ModeCell>,
+    /// RCU reader over the published steering table.
+    pub steer: SnapshotReader<SteeringSnapshot>,
+    /// Sampled heavy-hitter candidates `(digest, estimated packets)`
+    /// flow controller-ward through here (bounded; drops are fine —
+    /// a real heavy hitter re-qualifies next flush).
+    pub heavy_tx: SyncSender<(u64, u64)>,
 }
 
 /// Where a shard sends suspects (the ≤16% escalation path).
@@ -52,6 +70,11 @@ pub struct ShardCounters {
     pub ingested: Counter,
     /// Packets dropped at ingest because the shard queue was full.
     pub ingest_dropped: Counter,
+    /// Packets shed at dispatch (load shedding: not whitelisted while
+    /// the controller had shedding engaged).
+    pub shed: Counter,
+    /// Packets dropped at dispatch by the published steering blacklist.
+    pub steer_dropped: Counter,
     /// Packets fully processed by the shard pipeline.
     pub processed: Counter,
     /// Packets dropped by an applied blacklist verdict (prevention).
@@ -81,6 +104,8 @@ impl ShardCounters {
         ShardCounters {
             ingested: reg.counter("runtime.shard.ingested", l),
             ingest_dropped: reg.counter("runtime.shard.ingest_dropped", l),
+            shed: reg.counter("runtime.shard.shed", l),
+            steer_dropped: reg.counter("runtime.shard.steer_dropped", l),
             processed: reg.counter("runtime.shard.processed", l),
             verdict_dropped: reg.counter("runtime.shard.verdict_dropped", l),
             fast_path: reg.counter("runtime.shard.fast_path", l),
@@ -99,6 +124,8 @@ impl ShardCounters {
         ShardStats {
             ingested: self.ingested.get(),
             ingest_dropped: self.ingest_dropped.get(),
+            shed: self.shed.get(),
+            steer_dropped: self.steer_dropped.get(),
             processed: self.processed.get(),
             verdict_dropped: self.verdict_dropped.get(),
             fast_path: self.fast_path.get(),
@@ -121,6 +148,10 @@ pub struct ShardStats {
     pub ingested: u64,
     /// Packets dropped at ingest (full queue, paced mode).
     pub ingest_dropped: u64,
+    /// Packets shed at dispatch under controller load shedding.
+    pub shed: u64,
+    /// Packets dropped at dispatch by the steering blacklist.
+    pub steer_dropped: u64,
     /// Packets fully processed.
     pub processed: u64,
     /// Packets dropped by blacklist verdicts.
@@ -178,10 +209,27 @@ pub(crate) struct ShardEndState {
     pub cache_resident: u64,
 }
 
-/// Sample 1 packet in 16 for per-stage wall-clock timing: dense enough
-/// for stable percentiles, sparse enough that `Instant::now()` overhead
-/// does not dominate a 64-byte-packet pipeline.
+/// Sample 1 packet in 16 for per-stage wall-clock timing and for the
+/// heavy-hitter candidate counts: dense enough for stable percentiles
+/// and hitter estimates, sparse enough that the overhead never
+/// dominates a 64-byte-packet pipeline.
 const SAMPLE_MASK: u64 = 0xF;
+/// Scale a 1-in-16 sampled count back to an estimated packet count.
+const SAMPLE_SCALE: u64 = 16;
+
+/// Verdict-set bounds: capacity plus a TTL in *batch* counts (the
+/// shard's own monotone clock). At 64-packet batches, 8192 batches is
+/// roughly half a million packets of inactivity before an entry ages
+/// out.
+const VERDICT_SET_CAPACITY: usize = 65_536;
+const VERDICT_TTL_BATCHES: u64 = 8192;
+/// Run the TTL sweep every this many batches.
+const SWEEP_EVERY_BATCHES: u64 = 256;
+/// Flush sampled heavy-hitter counts controller-ward every this many
+/// batches.
+const HEAVY_FLUSH_BATCHES: u64 = 64;
+/// Minimum sampled count for a digest to be worth reporting.
+const HEAVY_MIN_SAMPLES: u64 = 4;
 
 /// Plain-integer accumulator for one batch, flushed into the shared
 /// atomic [`ShardCounters`] exactly once per batch — collapsing what
@@ -221,11 +269,20 @@ pub(crate) struct ShardWorker {
     /// Drained batch buffers go home through here.
     recycle: RecycleSender,
     /// Digest-keyed (identity-hashed) verdict sets: membership is one
-    /// u64 probe instead of a SipHash over the 13-byte 5-tuple.
-    blacklist: DigestSet,
-    whitelist: DigestSet,
+    /// u64 probe instead of a SipHash over the 13-byte 5-tuple. TTL'd
+    /// and capacity-bounded so a long-running shard never accumulates
+    /// every verdict it has ever seen.
+    blacklist: AgingDigestSet,
+    whitelist: AgingDigestSet,
+    /// Attached control plane (mode cell, steering reader, heavy-hitter
+    /// channel); `None` when the engine runs without a controller.
+    hooks: Option<ControlHooks>,
+    /// Sampled per-digest packet counts since the last heavy flush.
+    heavy_counts: HashMap<u64, u64, BuildDigestHasher>,
     local: LocalBatchStats,
-    cursor: usize,
+    reader: LogReader,
+    /// Batches consumed — the monotone clock the aging sets tick on.
+    batches: u64,
     seen: u64,
     last_ts: smartwatch_net::Ts,
 }
@@ -242,7 +299,9 @@ impl ShardWorker {
         enforce_verdicts: bool,
         hasher: FlowHasher,
         recycle: RecycleSender,
+        hooks: Option<ControlHooks>,
     ) -> ShardWorker {
+        let reader = log.reader();
         ShardWorker {
             cache,
             suite: DetectorSuite::new(),
@@ -254,10 +313,13 @@ impl ShardWorker {
             enforce_verdicts,
             hasher,
             recycle,
-            blacklist: DigestSet::default(),
-            whitelist: DigestSet::default(),
+            blacklist: AgingDigestSet::new(VERDICT_SET_CAPACITY, VERDICT_TTL_BATCHES),
+            whitelist: AgingDigestSet::new(VERDICT_SET_CAPACITY, VERDICT_TTL_BATCHES),
+            hooks,
+            heavy_counts: HashMap::default(),
             local: LocalBatchStats::default(),
-            cursor: 0,
+            reader,
+            batches: 0,
             seen: 0,
             last_ts: smartwatch_net::Ts::ZERO,
         }
@@ -274,15 +336,18 @@ impl ShardWorker {
                         .queue_ns
                         .record(batch.sent.elapsed().as_nanos() as u64);
                     self.stage.batch_pkts.record(batch.pkts.len() as u64);
-                    self.apply_control();
+                    self.control_tick();
                     self.process_batch(&batch.pkts);
                     self.flush_local();
                     self.recycle.give_back(batch.pkts);
                 }
                 Some(ShardMsg::Stop) => {
                     self.apply_control();
+                    self.flush_heavy();
                     let final_alerts = self.suite.finish(self.last_ts);
                     self.counters.alerts.add(final_alerts.len() as u64);
+                    // Stop pinning the verdict log's buffer.
+                    self.log.release(self.reader);
                     return ShardEndState {
                         blacklisted: self.blacklist.len() as u64,
                         whitelisted: self.whitelist.len() as u64,
@@ -301,13 +366,55 @@ impl ShardWorker {
         }
     }
 
+    /// Per-batch control-plane housekeeping: advance the batch clock,
+    /// apply pending verdicts, pick up the controller's mode decision
+    /// and the latest steering snapshot, and run the periodic sweeps.
+    fn control_tick(&mut self) {
+        self.batches += 1;
+        self.apply_control();
+        if let Some(h) = &mut self.hooks {
+            // The controller's Algorithm 4 decision, applied to the live
+            // cache at this batch boundary (safe: lazy Alg. 3 cleanup).
+            let decided = h.mode.get();
+            if decided != self.cache.mode() {
+                self.cache.set_mode(decided);
+            }
+            h.steer.refresh();
+        }
+        if self.batches.is_multiple_of(SWEEP_EVERY_BATCHES) {
+            let now = self.batches;
+            self.blacklist.sweep(now);
+            self.whitelist.sweep(now);
+        }
+        if self.hooks.is_some() && self.batches.is_multiple_of(HEAVY_FLUSH_BATCHES) {
+            self.flush_heavy();
+        }
+    }
+
+    /// Push sampled heavy-hitter candidates controller-ward. Lossy by
+    /// design: a full channel just means this flush's estimates are
+    /// stale — a real heavy hitter re-qualifies on the next one.
+    fn flush_heavy(&mut self) {
+        if self.heavy_counts.is_empty() {
+            return;
+        }
+        if let Some(h) = &self.hooks {
+            for (&digest, &count) in self.heavy_counts.iter() {
+                if count >= HEAVY_MIN_SAMPLES {
+                    let _ = h.heavy_tx.try_send((digest, count * SAMPLE_SCALE));
+                }
+            }
+        }
+        self.heavy_counts.clear();
+    }
+
     fn apply_control(&mut self) {
-        let tail = self.log.since(self.cursor);
+        let tail = self.log.poll(&self.reader);
         if tail.is_empty() {
             return;
         }
-        self.cursor += tail.len();
         self.counters.ctrl_applied.add(tail.len() as u64);
+        let now = self.batches;
         for v in tail {
             match v {
                 Verdict::Blacklist(k) => {
@@ -315,12 +422,13 @@ impl ShardWorker {
                     // The host is done with this flow — release the pin
                     // so the record becomes evictable again.
                     self.cache.unpin(&canon);
-                    self.blacklist.insert(digest.0);
+                    self.blacklist.insert(digest.0, now);
+                    self.whitelist.remove(&digest.0);
                 }
                 Verdict::Whitelist(k) => {
                     let (canon, digest) = self.hasher.digest_symmetric(&k);
                     self.cache.unpin(&canon);
-                    self.whitelist.insert(digest.0);
+                    self.whitelist.insert(digest.0, now);
                 }
                 Verdict::Alert(_) => self.counters.alerts.inc(),
                 Verdict::Drop => {}
@@ -378,6 +486,11 @@ impl ShardWorker {
             }
             let sample = self.seen & SAMPLE_MASK == 0;
             self.seen += 1;
+            if sample && self.hooks.is_some() {
+                // Sampled heavy-hitter estimate; flushed controller-ward
+                // every HEAVY_FLUSH_BATCHES batches.
+                *self.heavy_counts.entry(dp.digest.0).or_insert(0) += 1;
+            }
 
             // Stage 1: FlowCache update (digest reused — no re-hash).
             if sample {
@@ -389,8 +502,16 @@ impl ShardWorker {
             }
 
             // Whitelisted flows skip the detector suite — the wall-clock
-            // analogue of the switch no longer steering them.
-            if self.whitelist.contains(&dp.digest.0) {
+            // analogue of the switch no longer steering them. Either the
+            // shard's own verdict overlay or the controller's published
+            // steering table qualifies; the snapshot read is a plain
+            // deref into the batch-cached Arc.
+            if self.whitelist.contains(&dp.digest.0)
+                || self
+                    .hooks
+                    .as_ref()
+                    .is_some_and(|h| h.steer.current().whitelist.contains(&dp.digest.0))
+            {
                 self.local.fast_path += 1;
                 self.local.processed += 1;
                 continue;
@@ -410,7 +531,7 @@ impl ShardWorker {
             for flow in &outcome.whitelist {
                 self.cache.unpin(flow);
                 let (_, digest) = self.hasher.digest_symmetric(flow);
-                self.whitelist.insert(digest.0);
+                self.whitelist.insert(digest.0, self.batches);
             }
 
             // Stage 3: host escalation for suspects.
@@ -472,6 +593,7 @@ mod tests {
             true,
             hasher,
             pool.recycler(),
+            None,
         );
 
         // Distinct SSH flows: auth-port TCP traffic escalates until the

@@ -100,6 +100,9 @@ fn reference_run(packets: &[Packet], cfg: &EngineConfig) -> GroundTruth {
                     let canon = k.canonical().0;
                     cache.unpin(&canon);
                     blacklist.insert(canon);
+                    // Blacklist wins: a host-flagged flow loses any
+                    // standing whitelist fast-path entry.
+                    whitelist.remove(&canon);
                 }
                 Verdict::Whitelist(k) => {
                     let canon = k.canonical().0;
@@ -248,7 +251,11 @@ fn buffer_pool_allocations_are_bounded_and_packet_independent() {
     for packets in [25_000usize, 200_000] {
         let reg = Registry::new();
         let cfg = EngineConfig::new(2);
-        let cap = (cfg.shards * (cfg.queue_batches + 2)) as u64;
+        // Steady-state live buffers: per shard, a full queue plus one in
+        // the shard's hands plus one in the dispatcher's. A shard racing
+        // a momentarily-full recycle channel can drop a buffer (and force
+        // one later re-allocation), so allow that transient per shard.
+        let cap = (cfg.shards * (cfg.queue_batches + 2) + cfg.shards) as u64;
         let report = Engine::with_registry(cfg, &reg).run(&workload(packets), Pace::Flatout);
         assert!(report.conserved());
         let allocs = reg.counter("runtime.pool.allocated", &[]).get();

@@ -46,6 +46,16 @@ pub enum Mode {
     Lite,
 }
 
+impl Mode {
+    /// Lowercase label for metrics/bench rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::General => "general",
+            Mode::Lite => "lite",
+        }
+    }
+}
+
 /// FlowCache geometry and policy configuration.
 #[derive(Clone, Debug)]
 pub struct FlowCacheConfig {
@@ -189,6 +199,8 @@ pub struct CacheStats {
     pub pins: u64,
     /// Flows unpinned (host verdict releases).
     pub unpins: u64,
+    /// Live General↔Lite mode switches applied (Algorithm 4 decisions).
+    pub mode_switches: u64,
 }
 
 impl CacheStats {
@@ -223,6 +235,7 @@ pub struct CacheCounters {
     cleanup_evictions: Counter,
     pins: Counter,
     unpins: Counter,
+    mode_switches: Counter,
 }
 
 impl CacheCounters {
@@ -237,6 +250,7 @@ impl CacheCounters {
             cleanup_evictions: Counter::detached(),
             pins: Counter::detached(),
             unpins: Counter::detached(),
+            mode_switches: Counter::detached(),
         }
     }
 
@@ -259,6 +273,7 @@ impl CacheCounters {
             cleanup_evictions: c("snic.cache.cleanup_evictions", current.cleanup_evictions),
             pins: c("snic.cache.pins", current.pins),
             unpins: c("snic.cache.unpins", current.unpins),
+            mode_switches: c("snic.cache.mode_switches", current.mode_switches),
         }
     }
 
@@ -273,6 +288,7 @@ impl CacheCounters {
             cleanup_evictions: self.cleanup_evictions.get(),
             pins: self.pins.get(),
             unpins: self.unpins.get(),
+            mode_switches: self.mode_switches.get(),
         }
     }
 }
@@ -293,6 +309,7 @@ impl Clone for CacheCounters {
         fresh.cleanup_evictions.add(cur.cleanup_evictions);
         fresh.pins.add(cur.pins);
         fresh.unpins.add(cur.unpins);
+        fresh.mode_switches.add(cur.mode_switches);
         fresh
     }
 }
@@ -669,8 +686,13 @@ impl FlowCache {
     }
 
     /// Switch operating mode (Algorithm 4's effect). General→Lite marks
-    /// every row dirty for lazy cleanup; Lite→General needs no reordering
-    /// because Lite candidates are a subset of General candidates.
+    /// every row dirty for lazy cleanup (Algorithm 3 runs on the data
+    /// path, row by row, as traffic touches each row — never a
+    /// stop-the-world rebuild); Lite→General needs no reordering because
+    /// Lite candidates are a subset of General candidates. Safe to call
+    /// at any packet boundary on a live cache: `get`/`get_mut` search
+    /// whole rows while they are dirty, so no resident record is ever
+    /// invisible mid-transition.
     pub fn set_mode(&mut self, mode: Mode) {
         if mode == self.mode {
             return;
@@ -681,6 +703,7 @@ impl FlowCache {
             self.dirty.fill(false);
         }
         self.mode = mode;
+        self.stats.mode_switches.inc();
     }
 
     /// Look up a flow without touching statistics or policy metadata.
@@ -1110,6 +1133,84 @@ mod tests {
         for i in &ids {
             assert!(fc.get(&key(*i)).is_some(), "flow {i} invisible while dirty");
         }
+    }
+
+    /// Satellite of the control-plane PR: live General↔Lite flipping
+    /// under a sustained update stream must never lose or double-count a
+    /// flow record. The invariant checked is full conservation — every
+    /// packet that was not escalated is attributable to exactly one
+    /// record (resident or rings), and no flow appears twice in the
+    /// table. The flip schedule is a seeded LCG so the hammering is
+    /// reproducible.
+    #[test]
+    fn live_mode_flips_conserve_flow_records() {
+        let mut fc = FlowCache::new(FlowCacheConfig::general(5));
+        let mut truth_packets: u64 = 0;
+        let mut rng: u64 = 0xDEAD_BEEF_1234_5678;
+        let mut flips = 0u64;
+        let mut exported: HashMap<FlowKey, u64> = HashMap::new();
+        for i in 0..30_000u32 {
+            let p = pkt(i % 700, u64::from(i));
+            if fc.process(&p).outcome != Outcome::ToHost {
+                truth_packets += 1;
+            }
+            // xorshift schedule: flip roughly every ~128 packets, pin and
+            // unpin a few flows along the way to exercise both cleanup
+            // branches of Algorithm 3.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            if rng.is_multiple_of(128) {
+                let next = if fc.mode() == Mode::General {
+                    Mode::Lite
+                } else {
+                    Mode::General
+                };
+                fc.set_mode(next);
+                flips += 1;
+            }
+            if rng.is_multiple_of(97) {
+                fc.pin(&key(i % 700));
+            }
+            if rng.is_multiple_of(89) {
+                fc.unpin(&key((i + 350) % 700));
+            }
+            // Periodically drain the rings like the host would, so ring
+            // overflow (which forwards records to the host, invisible to
+            // this accounting) never triggers.
+            if i % 4096 == 0 {
+                for r in fc.rings().drain() {
+                    *exported.entry(r.key).or_default() += r.packets;
+                }
+            }
+        }
+        assert!(flips >= 100, "schedule must actually hammer set_mode");
+        assert_eq!(fc.stats().mode_switches, flips);
+        assert_eq!(fc.ring_overflow(), 0, "accounting requires no overflow");
+
+        // No duplicate flow entries after all that reshuffling.
+        let mut seen: HashMap<FlowKey, usize> = HashMap::new();
+        for r in fc.iter() {
+            *seen.entry(r.key).or_default() += 1;
+        }
+        assert!(
+            seen.values().all(|&c| c == 1),
+            "mode flipping duplicated a flow record"
+        );
+
+        // Conservation: rings + residents account for every processed
+        // packet — nothing lost, nothing double-counted.
+        for r in fc.rings().drain() {
+            *exported.entry(r.key).or_default() += r.packets;
+        }
+        for r in fc.drain_all() {
+            *exported.entry(r.key).or_default() += r.packets;
+        }
+        let total: u64 = exported.values().sum();
+        assert_eq!(
+            total, truth_packets,
+            "packets lost or double-counted across live mode flips"
+        );
     }
 
     #[test]
