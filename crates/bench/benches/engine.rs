@@ -1,36 +1,58 @@
 //! Criterion benchmark of the wall-clock runtime engine, sweeping the
-//! shard count on the 64-byte stress workload.
+//! RX-queue × shard mesh on the 64-byte stress workload.
 //!
-//! On a multi-core machine throughput should rise with shards (the
-//! acceptance shape: 4 shards > 1 shard on 64B packets); on a single
-//! hardware thread the sweep still exercises the dispatcher, queues and
-//! drain logic, but the scaling signal is meaningless — read it with
-//! `nproc` in hand.
+//! On a multi-core machine throughput should rise with shards and with
+//! RX queues (the acceptance shapes: 4 shards > 1 shard, and 4 queues ≥
+//! 1.8× 1 queue on 64B packets); on a single hardware thread the sweeps
+//! still exercise the dispatchers, the R×N lane mesh and the drain
+//! logic, but the scaling signal is meaningless — read it with `nproc`
+//! in hand. Each Criterion cell also prints its own measured Mpps so a
+//! scaling table can be read straight off the run log.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use smartwatch_bench::exp_engine::{engine_workload, EngineRunSpec, EngineWorkload};
 use smartwatch_runtime::{Engine, EngineConfig, Pace};
 
-fn bench_engine_shards(c: &mut Criterion) {
+fn bench_engine_mesh(c: &mut Criterion) {
     let spec = EngineRunSpec {
         packets: 100_000,
         workload: EngineWorkload::Stress,
         ..EngineRunSpec::default()
     };
     let pkts = engine_workload(&spec, 1);
-    let mut g = c.benchmark_group("engine_shards_64b");
+    let mut g = c.benchmark_group("engine_mesh_64b");
     g.throughput(Throughput::Elements(pkts.len() as u64));
     g.sample_size(10);
-    for shards in [1usize, 2, 4] {
-        g.bench_function(format!("shards{shards}"), |b| {
-            b.iter(|| {
-                // Fresh engine (and registry) per run: counters must not
-                // accumulate across iterations.
-                let report = Engine::new(EngineConfig::new(shards)).run(&pkts, Pace::Flatout);
-                assert!(report.conserved());
-                report.processed()
+    for rxq in [1usize, 2, 4] {
+        for shards in [1usize, 2, 4] {
+            // One out-of-band measured run per cell: Criterion's timing
+            // includes engine setup/teardown, so the engine's own Mpps
+            // (timed dispatch→drain only) is the number the DESIGN
+            // scaling table quotes.
+            let mut cfg = EngineConfig::new(shards);
+            cfg.rx_queues = rxq;
+            let probe = Engine::new(cfg).run(&pkts, Pace::Flatout);
+            assert!(probe.conserved());
+            println!(
+                "engine_mesh_64b/rxq{rxq}_shards{shards}: {:.3} Mpps \
+                 ({} pkts, {:?})",
+                probe.mpps(),
+                probe.processed(),
+                probe.elapsed
+            );
+
+            g.bench_function(format!("rxq{rxq}_shards{shards}"), |b| {
+                b.iter(|| {
+                    // Fresh engine (and registry) per run: counters must
+                    // not accumulate across iterations.
+                    let mut cfg = EngineConfig::new(shards);
+                    cfg.rx_queues = rxq;
+                    let report = Engine::new(cfg).run(&pkts, Pace::Flatout);
+                    assert!(report.conserved());
+                    report.processed()
+                });
             });
-        });
+        }
     }
     g.finish();
 }
@@ -38,6 +60,6 @@ fn bench_engine_shards(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_engine_shards
+    targets = bench_engine_mesh
 }
 criterion_main!(benches);

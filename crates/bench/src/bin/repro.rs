@@ -35,6 +35,10 @@ fn main() {
                 engine_spec.shards = parse_num(it.next(), "--shards");
                 control_spec.shards = engine_spec.shards;
             }
+            "--rx-queues" => {
+                engine_spec.rx_queues = parse_num(it.next(), "--rx-queues");
+                control_spec.rx_queues = engine_spec.rx_queues;
+            }
             "--packets" => {
                 engine_spec.packets = parse_num(it.next(), "--packets");
                 control_spec.packets = engine_spec.packets;
@@ -214,12 +218,13 @@ fn usage() {
         "repro — regenerate the SmartWatch paper's tables and figures\n\n\
          usage: repro <experiment…|all|list> [--scale N] [--json]\n\
                       [--metrics-json <path>] [--trace-out <path>]\n\
-                repro engine [--shards N] [--packets N] [--batch N]\n\
-                      [--host-workers N] [--rate MPPS]\n\
+                repro engine [--shards N] [--rx-queues R] [--packets N]\n\
+                      [--batch N] [--host-workers N] [--rate MPPS]\n\
                       [--workload stress|stress64|mix] [--bench-json <path>]\n\
-                repro control [--shards N] [--packets N] [--batch N]\n\
-                      [--base MPPS] [--peak MPPS] [--spike-start F]\n\
-                      [--spike-end F] [--epoch-ms N] [--bench-json <path>]\n\n\
+                repro control [--shards N] [--rx-queues R] [--packets N]\n\
+                      [--batch N] [--base MPPS] [--peak MPPS]\n\
+                      [--spike-start F] [--spike-end F] [--epoch-ms N]\n\
+                      [--bench-json <path>]\n\n\
          --json          print tables as JSON instead of aligned text\n\
          --metrics-json  dump every counter/gauge/histogram the selected\n\
                          experiments registered (deterministic for a seed)\n\
@@ -229,7 +234,9 @@ fn usage() {
                          numbers as JSON (control adds the mode timeline)\n\n\
          `repro engine` runs the sharded wall-clock runtime (OS threads,\n\
          measured Mpps — machine-dependent, unlike every other experiment).\n\
-         Default: 2 shards, 200k packets, flat-out, 64B stress workload.\n\n\
+         Default: 2 shards, 1 RX queue, 200k packets, flat-out, 64B\n\
+         stress workload. `--rx-queues R` fans ingest out over R\n\
+         dispatcher threads (the multi-queue NIC model).\n\n\
          `repro control` replays one overload spike twice — with the\n\
          adaptive control plane (Alg. 4 mode switching, steering\n\
          snapshots, load shedding) and without — and reports both.\n\

@@ -26,6 +26,8 @@ use smartwatch_trace::background::Preset;
 pub struct ControlRunSpec {
     /// Worker shards (threads).
     pub shards: usize,
+    /// RX dispatcher queues (threads) — the multi-queue NIC model.
+    pub rx_queues: usize,
     /// Packets to replay (the workload is cycled to this length).
     pub packets: usize,
     /// Packets per dispatch batch.
@@ -46,6 +48,7 @@ impl Default for ControlRunSpec {
     fn default() -> ControlRunSpec {
         ControlRunSpec {
             shards: 2,
+            rx_queues: 1,
             packets: 400_000,
             batch: 64,
             base_mpps: 0.2,
@@ -121,6 +124,7 @@ pub fn control_run_report(ctx: &ExpCtx, spec: &ControlRunSpec) -> (Table, Contro
     let pace = spike_pace(spec);
 
     let mut cfg = EngineConfig::new(spec.shards);
+    cfg.rx_queues = spec.rx_queues;
     cfg.batch = spec.batch;
     let controlled = Engine::with_registry(cfg.with_control(control_config(spec)), &ctx.registry)
         .run(&packets, pace);
@@ -128,6 +132,7 @@ pub fn control_run_report(ctx: &ExpCtx, spec: &ControlRunSpec) -> (Table, Contro
     // Baseline: same spike, no controller, private registry so the two
     // runs' counters don't mix in `--metrics-json`.
     let mut base_cfg = EngineConfig::new(spec.shards);
+    base_cfg.rx_queues = spec.rx_queues;
     base_cfg.batch = spec.batch;
     let baseline = Engine::new(base_cfg).run(&packets, pace);
 
@@ -240,6 +245,7 @@ impl CtrlJson {
 struct ControlBenchJson {
     bench: String,
     shards: usize,
+    rx_queues: usize,
     packets: usize,
     batch: usize,
     base_mpps: f64,
@@ -266,6 +272,7 @@ pub fn bench_json(spec: &ControlRunSpec, o: &ControlOutcome) -> String {
     let v = ControlBenchJson {
         bench: "control".to_string(),
         shards: spec.shards,
+        rx_queues: spec.rx_queues,
         packets: spec.packets,
         batch: spec.batch,
         base_mpps: spec.base_mpps,
@@ -320,13 +327,15 @@ fn render(spec: &ControlRunSpec, o: &ControlOutcome) -> Table {
     t.row(run_row("controlled", &o.controlled));
     t.row(run_row("baseline", &o.baseline));
     t.note(format!(
-        "spike: {} → {} Mpps over [{:.0}%, {:.0}%) of {} pkts; controller epoch {} ms",
+        "spike: {} → {} Mpps over [{:.0}%, {:.0}%) of {} pkts; controller epoch {} ms; \
+         {} RX queue(s)",
         spec.base_mpps,
         spec.peak_mpps,
         spec.spike_start * 100.0,
         spec.spike_end * 100.0,
         spec.packets,
         spec.epoch_ms,
+        spec.rx_queues,
     ));
     t.note(format!(
         "controller: {} epochs, {} mode switches, {} shed epochs ({} pkts shed), \

@@ -29,6 +29,8 @@ pub enum EngineWorkload {
 pub struct EngineRunSpec {
     /// Worker shards (threads).
     pub shards: usize,
+    /// RX dispatcher queues (threads) — the multi-queue NIC model.
+    pub rx_queues: usize,
     /// Packets to replay (the workload is cycled to this length).
     pub packets: usize,
     /// Packets per dispatch batch.
@@ -45,6 +47,7 @@ impl Default for EngineRunSpec {
     fn default() -> EngineRunSpec {
         EngineRunSpec {
             shards: 2,
+            rx_queues: 1,
             packets: 200_000,
             batch: 64,
             host_workers: 1,
@@ -84,6 +87,7 @@ pub fn engine_run(ctx: &ExpCtx, spec: &EngineRunSpec) -> Table {
 pub fn engine_run_report(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineReport) {
     let packets = engine_workload(spec, ctx.scale);
     let mut cfg = EngineConfig::new(spec.shards);
+    cfg.rx_queues = spec.rx_queues;
     cfg.batch = spec.batch;
     cfg.host_workers = spec.host_workers;
     let pace = match spec.rate_mpps {
@@ -119,6 +123,7 @@ impl StageJson {
 struct EngineBenchJson {
     bench: String,
     shards: usize,
+    rx_queues: usize,
     batch: usize,
     workload: String,
     rate_mpps: Option<f64>,
@@ -145,6 +150,7 @@ pub fn bench_json(spec: &EngineRunSpec, r: &EngineReport) -> String {
     let v = EngineBenchJson {
         bench: "engine".to_string(),
         shards: spec.shards,
+        rx_queues: spec.rx_queues,
         batch: spec.batch,
         workload: format!("{:?}", spec.workload).to_lowercase(),
         rate_mpps: spec.rate_mpps,
@@ -172,6 +178,7 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
         "wall-clock sharded runtime (full pipeline on OS threads)",
         &[
             "shards",
+            "rxq",
             "workload",
             "pace",
             "offered",
@@ -195,6 +202,7 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
     };
     t.row(vec![
         spec.shards.to_string(),
+        spec.rx_queues.to_string(),
         format!("{:?}", spec.workload).to_lowercase(),
         pace_cell,
         r.offered.to_string(),
@@ -259,6 +267,7 @@ mod tests {
         let field = |k: &str| v.get(k).unwrap_or_else(|| panic!("missing field {k}"));
         assert_eq!(field("bench").as_str(), Some("engine"));
         assert_eq!(field("shards").as_u64(), Some(2));
+        assert_eq!(field("rx_queues").as_u64(), Some(1));
         assert_eq!(field("offered").as_u64(), Some(20_000));
         assert_eq!(field("conserved").as_bool(), Some(true));
         assert!(field("mpps").as_f64().expect("mpps is a number") > 0.0);
@@ -266,6 +275,23 @@ mod tests {
             .get("p99_ns")
             .and_then(|x| x.as_u64())
             .is_some());
+    }
+
+    #[test]
+    fn multi_queue_run_conserves_and_reports_queue_count() {
+        let ctx = ExpCtx::new(1);
+        let spec = EngineRunSpec {
+            packets: 20_000,
+            rx_queues: 2,
+            ..EngineRunSpec::default()
+        };
+        let (t, report) = engine_run_report(&ctx, &spec);
+        assert!(t.notes.iter().any(|n| n.contains("conservation: OK")));
+        assert_eq!(report.rx_queues(), 2);
+        let json = bench_json(&spec, &report);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["rx_queues"].as_u64(), Some(2));
+        assert_eq!(v["conserved"].as_bool(), Some(true));
     }
 
     #[test]

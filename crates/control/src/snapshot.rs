@@ -1,8 +1,11 @@
 //! RCU-style steering-state publication.
 //!
 //! The controller publishes immutable [`SteeringSnapshot`]s through a
-//! [`SnapshotCell`]; the dispatcher and every shard hold a
-//! [`SnapshotReader`]. The protocol:
+//! [`SnapshotCell`]; every RX-queue dispatcher and every shard hold
+//! their *own* [`SnapshotReader`] — readers are independent cursors, so
+//! a multi-queue engine hands one to each of its R dispatcher threads
+//! and they refresh (and lag) independently without coordination. The
+//! protocol:
 //!
 //! 1. The publisher builds a fresh snapshot (a new `Arc`), stores it in
 //!    the cell's slot, then bumps the version counter (release order).
@@ -226,6 +229,37 @@ mod tests {
             h.join().expect("reader never panics");
         }
         assert_eq!(cell.version(), 1000);
+    }
+
+    #[test]
+    fn per_dispatcher_readers_are_independent_cursors() {
+        // The multi-queue engine gives each RX dispatcher its own
+        // reader. One dispatcher refreshing must not advance (or
+        // invalidate) another's cached snapshot: each converges on its
+        // own schedule.
+        let cell = Arc::new(SnapshotCell::new(SteeringSnapshot::empty()));
+        let mut readers: Vec<_> = (0..4).map(|_| cell.reader()).collect();
+
+        let mut next = SteeringSnapshot::empty();
+        next.version = 1;
+        next.blacklist.insert(7);
+        cell.publish(Arc::new(next));
+
+        // Refresh only queue 0: the others keep serving the boot
+        // snapshot until their own batch boundary comes around.
+        assert!(readers[0].refresh());
+        assert_eq!(readers[0].current().version, 1);
+        for r in &readers[1..] {
+            assert_eq!(r.current().version, 0, "unrefreshed readers lag safely");
+        }
+        for r in &mut readers[1..] {
+            assert!(r.refresh());
+            assert!(r.current().blacklist.contains(&7));
+        }
+        assert!(
+            readers.iter_mut().all(|r| !r.refresh()),
+            "all caught up: refreshes are quiescent again"
+        );
     }
 
     #[test]

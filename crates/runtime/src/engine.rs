@@ -1,34 +1,42 @@
-//! The engine: RSS dispatch onto N shard threads, host escalation pool,
-//! graceful drain, and a wall-clock throughput/latency report.
+//! The engine: R RX-queue dispatchers feeding N shard threads over an
+//! R×N mesh of bounded SPSC lanes, a host escalation pool, graceful
+//! drain, and a wall-clock throughput/latency report.
 //!
 //! ```text
-//!            ┌───────────── shard 0: FlowCache + DetectorSuite ─┐
-//! packets →  │ RSS        ┌─ shard 1: …                         │ → verdicts
-//! (replay)   │ dispatch → │  bounded SPSC batch queues          │   (epoch-
-//!            │            └─ shard N-1: …                       │    stamped
-//!            └───────────────│ suspects (≤16%) ─→ host pool ────┘    log)
+//!            ┌ rxq 0: digest+steer ┐   ┌─ shard 0: FlowCache + suite ─┐
+//! packets →  │ rxq 1: …            │ × │  shard 1: …                  │ → verdicts
+//! (RSS       │   R×N SPSC lanes    │   │  shard N-1: …                │   (epoch-
+//!  split)    └ rxq R-1: …          ┘   └── suspects ─→ host pool ─────┘    stamped log)
 //! ```
+//!
+//! The offered trace is pre-split into R per-queue sub-streams by
+//! flow digest ([`smartwatch_net::hash::queue_for_digest`], a salted
+//! splitmix64 remix — the software model of multi-queue NIC RSS), so
+//! each dispatcher owns complete flows and intra-flow order survives.
+//! Every (queue, shard) pair gets its own single-producer ring; shards
+//! merge their R lanes under a [`MergePolicy`].
 //!
 //! Unlike everything else in the workspace, this engine runs on the
 //! *wall clock*: `run()` spawns real OS threads, measures elapsed time
 //! with `std::time::Instant`, and reports Mpps. Packet `ts` fields are
 //! replay metadata here, not the clock. Counters remain exact — the
-//! conservation invariant (offered = processed + dropped, per shard and
-//! in total) holds for every shard count and pacing mode.
+//! conservation invariant (offered = processed + ingest_drop + shed +
+//! steer_drop, per shard, per queue, and in total) holds for every
+//! shard count, queue count, and pacing mode.
 
 use crate::batch::{Batch, BufferPool, DigestedPacket};
 use crate::control::{ControlLog, LogReader};
 use crate::escalate::{HostPool, TriageNf};
 use crate::shard::{
-    ControlHooks, Escalation, ShardCounters, ShardEndState, ShardMsg, ShardStats, ShardWorker,
-    StageHists,
+    ControlHooks, Escalation, LaneRx, MergePolicy, ShardCounters, ShardEndState, ShardMsg,
+    ShardStats, ShardWorker, StageHists,
 };
 use crate::spsc::{spsc, Producer};
 use smartwatch_control::{
     ControlConfig, ControlReport, Controller, EpochInput, ModeCell, ShardSample, SnapshotCell,
     SnapshotReader, SteeringSnapshot,
 };
-use smartwatch_net::hash::shard_for_digest;
+use smartwatch_net::hash::{queue_for_digest, shard_for_digest, splitmix64};
 use smartwatch_net::{FlowHasher, Packet};
 use smartwatch_snic::{FlowCache, FlowCacheConfig};
 use smartwatch_telemetry::{Counter, HistSnapshot, Registry};
@@ -43,6 +51,17 @@ pub struct EngineConfig {
     /// Worker shards (threads). Each owns a FlowCache partition and a
     /// full detector suite.
     pub shards: usize,
+    /// RX-queue dispatcher threads (the multi-queue NIC model). Each
+    /// owns a digest-split sub-stream of the offered trace, its own
+    /// buffer pool and steering-snapshot reader, and one SPSC lane per
+    /// shard (an R×N mesh). `1` reproduces the classic single-dispatcher
+    /// hot path.
+    pub rx_queues: usize,
+    /// How shards interleave their R ingest lanes. [`MergePolicy::Fair`]
+    /// (the default) round-robins whole batches for throughput;
+    /// [`MergePolicy::Ordered`] k-way-merges by arrival sequence so the
+    /// deterministic summary is byte-identical for any `rx_queues`.
+    pub merge: MergePolicy,
     /// Packets per dispatch batch.
     pub batch: usize,
     /// Per-shard ingest queue capacity, in batches.
@@ -71,11 +90,14 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
-    /// Defaults for `shards` workers: 64-packet batches, 64-batch queues,
-    /// 2^12-row partitions, one host worker.
+    /// Defaults for `shards` workers: one RX queue (fair-merged),
+    /// 64-packet batches, 64-batch queues, 2^12-row partitions, one
+    /// host worker.
     pub fn new(shards: usize) -> EngineConfig {
         EngineConfig {
             shards,
+            rx_queues: 1,
+            merge: MergePolicy::Fair,
             batch: 64,
             queue_batches: 64,
             cache_row_bits: 12,
@@ -94,6 +116,20 @@ impl EngineConfig {
         ctrl.hash_seed = self.hash_seed;
         self.control = Some(ctrl);
         self
+    }
+
+    /// The byte-deterministic replay recipe with `rx_queues` dispatchers:
+    /// one shard, inline triage (`host_workers = 0`, no thread-timing
+    /// races on the verdict log) and the ordered lane merge (shard
+    /// processing order independent of dispatcher scheduling). Two
+    /// same-seed runs — at *any* queue count — produce byte-identical
+    /// [`EngineReport::deterministic_summary`] output.
+    pub fn deterministic(rx_queues: usize) -> EngineConfig {
+        let mut cfg = EngineConfig::new(1);
+        cfg.rx_queues = rx_queues;
+        cfg.merge = MergePolicy::Ordered;
+        cfg.host_workers = 0;
+        cfg
     }
 }
 
@@ -139,6 +175,7 @@ impl Engine {
     /// Engine publishing into an existing registry (`runtime.*` metrics).
     pub fn with_registry(cfg: EngineConfig, registry: &Registry) -> Engine {
         assert!(cfg.shards >= 1, "engine needs at least one shard");
+        assert!(cfg.rx_queues >= 1, "engine needs at least one RX queue");
         assert!(cfg.batch >= 1, "batch size must be at least 1");
         assert!(cfg.queue_batches >= 1, "queue must hold at least 1 batch");
         Engine {
@@ -157,6 +194,11 @@ impl Engine {
     pub fn run(&self, packets: &[Packet], pace: Pace) -> EngineReport {
         let cfg = &self.cfg;
         let n = cfg.shards;
+        let r = cfg.rx_queues;
+        assert!(
+            packets.len() <= u32::MAX as usize,
+            "sequence indices are u32 at split time"
+        );
         let log = Arc::new(ControlLog::new());
         let stage = StageHists::registered(&self.registry);
         let host_processed = self.registry.counter("runtime.host.processed", &[]);
@@ -173,26 +215,28 @@ impl Engine {
             )
         });
 
-        // The one hasher of the hot path: the dispatcher digests every
-        // packet exactly once with it; shards and their FlowCaches (all
-        // seeded identically) reuse the digest instead of re-hashing.
+        // The one hasher of the hot path: each dispatcher digests every
+        // packet of its sub-stream exactly once with it; shards and
+        // their FlowCaches (all seeded identically) reuse the digest
+        // instead of re-hashing.
         let hasher = FlowHasher::new(cfg.hash_seed);
-        // Batch buffers recycle through this pool; capacity covers every
-        // buffer that can be alive at once (queued + in-shard + staging),
-        // so the steady state allocates nothing.
-        let bufpool = BufferPool::new(n * (cfg.queue_batches + 2), cfg.batch, &self.registry);
 
         // Per-shard counters exist before both the control plane (which
         // samples them) and the shard threads (which write them).
         let counters: Vec<ShardCounters> = (0..n)
             .map(|i| ShardCounters::registered(&self.registry, i))
             .collect();
+        // Per-queue dispatcher counters (`runtime.queue.*{queue=q}`).
+        let qcounters: Vec<QueueCounters> = (0..r)
+            .map(|q| QueueCounters::registered(&self.registry, q))
+            .collect();
 
         // ── Control plane (optional) ────────────────────────────────
         // Mode cells + snapshot cell + heavy-hitter channel wire the
-        // controller thread to the dispatcher and every shard.
+        // controller thread to every dispatcher and every shard.
         let mut shard_hooks: Vec<Option<ControlHooks>> = (0..n).map(|_| None).collect();
-        let mut dispatcher_steer: Option<SnapshotReader<SteeringSnapshot>> = None;
+        let mut queue_steer: Vec<Option<SnapshotReader<SteeringSnapshot>>> =
+            (0..r).map(|_| None).collect();
         let mut controller = None;
         if let Some(mut ctrl_cfg) = cfg.control.clone() {
             ctrl_cfg.hash_seed = cfg.hash_seed;
@@ -208,7 +252,13 @@ impl Engine {
                 });
             }
             drop(heavy_tx);
-            dispatcher_steer = Some(snap_cell.reader());
+            // One independent RCU reader per dispatcher: refreshes are
+            // per-queue (a lagging queue never staleness-couples the
+            // others), and the steer/shed drops each queue takes are
+            // accounted in its own counters.
+            for slot in queue_steer.iter_mut() {
+                *slot = Some(snap_cell.reader());
+            }
             let epoch = Duration::from_millis(ctrl_cfg.epoch_ms.max(1));
             let ctrl = Controller::with_registry(ctrl_cfg, &self.registry);
             let reader = log.reader();
@@ -240,11 +290,35 @@ impl Engine {
             controller = Some((handle, stop));
         }
 
-        // Shards: one SPSC queue + one thread each.
-        let mut producers: Vec<Producer<ShardMsg>> = Vec::with_capacity(n);
+        // ── The R×N lane mesh ───────────────────────────────────────
+        // One single-producer ring per (queue, shard) pair, so the SPSC
+        // discipline survives multi-queue ingest. Buffer pools are
+        // per-queue (a pool's receiver is single-consumer); each lane
+        // carries a recycler into the pool of the queue that owns it, so
+        // drained buffers go home to the dispatcher that allocated them.
+        // Pool capacity covers every buffer a queue can have alive at
+        // once (N full lanes + in-shard + staging): steady state
+        // allocates nothing.
+        let mut pools: Vec<BufferPool> = Vec::with_capacity(r);
+        let mut producer_rows: Vec<Vec<Producer<ShardMsg>>> =
+            (0..r).map(|_| Vec::with_capacity(n)).collect();
+        let mut lane_rows: Vec<Vec<LaneRx>> = (0..n).map(|_| Vec::with_capacity(r)).collect();
+        for row in producer_rows.iter_mut() {
+            let pool = BufferPool::new(n * (cfg.queue_batches + 2), cfg.batch, &self.registry);
+            for lanes in lane_rows.iter_mut() {
+                let (tx, rx) = spsc::<ShardMsg>(cfg.queue_batches);
+                row.push(tx);
+                lanes.push(LaneRx {
+                    rx,
+                    recycle: pool.recycler(),
+                });
+            }
+            pools.push(pool);
+        }
+
+        // Shards: one thread each, consuming R lanes.
         let mut handles = Vec::with_capacity(n);
-        for (i, hooks) in shard_hooks.iter_mut().enumerate() {
-            let (tx, rx) = spsc::<ShardMsg>(cfg.queue_batches);
+        for (i, lanes) in lane_rows.into_iter().enumerate() {
             let mut cache_cfg = FlowCacheConfig::general(cfg.cache_row_bits);
             cache_cfg.hash_seed = cfg.hash_seed;
             let mut cache = FlowCache::new(cache_cfg);
@@ -262,111 +336,54 @@ impl Engine {
                 host_processed.clone(),
                 cfg.enforce_verdicts,
                 hasher,
-                bufpool.recycler(),
-                hooks.take(),
+                cfg.merge,
+                cfg.batch,
+                shard_hooks[i].take(),
             );
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("sw-shard-{i}"))
-                    .spawn(move || worker.run(rx))
+                    .spawn(move || worker.run(lanes))
                     .expect("spawn shard thread"),
             );
-            producers.push(tx);
         }
 
-        // ── Dispatch ────────────────────────────────────────────────
+        // ── RSS split ───────────────────────────────────────────────
+        // Assign each packet to a queue by salted digest remix — the
+        // software stand-in for the NIC distributing flows across RX
+        // queues, done outside the timed region (hardware RSS is free).
+        // The timed hot path still digests every packet itself, so the
+        // per-packet work is identical at every R and the Mpps scaling
+        // comparison stays honest.
+        let plan = PacePlan::resolve(pace, packets.len());
+        let streams = split_streams(packets, r, cfg.hash_seed, &hasher);
+
+        // ── Dispatch: R threads, each replaying its sub-stream ──────
         let start = Instant::now();
-        let mut bufs: Vec<Vec<DigestedPacket>> = (0..n).map(|_| bufpool.acquire()).collect();
-        let paced = !matches!(pace, Pace::Flatout);
-        let (spike_lo, spike_hi) = match pace {
-            Pace::RateMpps(r) => {
-                assert!(r > 0.0, "offered rate must be positive");
-                (0, 0)
+        std::thread::scope(|scope| {
+            for ((q, stream), (row, pool)) in streams
+                .into_iter()
+                .enumerate()
+                .zip(producer_rows.into_iter().zip(pools))
+            {
+                let dispatcher = RxDispatcher {
+                    batch: cfg.batch,
+                    enforce_verdicts: cfg.enforce_verdicts,
+                    hasher,
+                    pool,
+                    producers: row,
+                    counters: &counters,
+                    queue: &qcounters[q],
+                    steer: queue_steer[q].take(),
+                    plan,
+                    start,
+                };
+                std::thread::Builder::new()
+                    .name(format!("sw-rxq-{q}"))
+                    .spawn_scoped(scope, move || dispatcher.run(packets, stream))
+                    .expect("spawn dispatcher thread");
             }
-            Pace::Spike {
-                base_mpps,
-                peak_mpps,
-                spike_start,
-                spike_end,
-            } => {
-                assert!(base_mpps > 0.0 && peak_mpps > 0.0, "rates must be positive");
-                assert!(
-                    spike_start <= spike_end,
-                    "spike must not end before it starts"
-                );
-                let total = packets.len() as f64;
-                (
-                    (spike_start.clamp(0.0, 1.0) * total) as usize,
-                    (spike_end.clamp(0.0, 1.0) * total) as usize,
-                )
-            }
-            Pace::Flatout => (0, 0),
-        };
-        // Open-loop pacing accumulates per-packet inter-arrival gaps so
-        // the offered rate can change mid-replay (the spike).
-        let mut due_ns: f64 = 0.0;
-        for (i, pkt) in packets.iter().enumerate() {
-            match pace {
-                Pace::Flatout => {}
-                Pace::RateMpps(r) => due_ns += 1000.0 / r,
-                Pace::Spike {
-                    base_mpps,
-                    peak_mpps,
-                    ..
-                } => {
-                    let r = if (spike_lo..spike_hi).contains(&i) {
-                        peak_mpps
-                    } else {
-                        base_mpps
-                    };
-                    due_ns += 1000.0 / r;
-                }
-            }
-            if i % 256 == 0 {
-                if paced {
-                    Self::pace_until(start, Duration::from_nanos(due_ns as u64));
-                }
-                // One atomic load; re-clones the snapshot Arc only when
-                // the controller published since the last check.
-                if let Some(sr) = dispatcher_steer.as_mut() {
-                    sr.refresh();
-                }
-            }
-            let (canon, digest) = hasher.digest_symmetric(&pkt.key);
-            let s = shard_for_digest(digest, n);
-            // Steering enforcement at dispatch: blacklisted flows drop
-            // here (prevention at the earliest point), and under load
-            // shedding only whitelisted flows pass. Both are accounted
-            // per shard — conservation includes them.
-            if let Some(sr) = &dispatcher_steer {
-                let snap = sr.current();
-                if cfg.enforce_verdicts && snap.blacklist.contains(&digest.0) {
-                    counters[s].steer_dropped.inc();
-                    continue;
-                }
-                if snap.shed && !snap.whitelist.contains(&digest.0) {
-                    counters[s].shed.inc();
-                    continue;
-                }
-            }
-            bufs[s].push(DigestedPacket {
-                pkt: *pkt,
-                canon,
-                digest,
-            });
-            if bufs[s].len() == cfg.batch {
-                let batch = std::mem::replace(&mut bufs[s], bufpool.acquire());
-                Self::flush(&producers[s], &counters[s], &bufpool, batch, paced);
-            }
-        }
-        for s in 0..n {
-            if !bufs[s].is_empty() {
-                let batch = std::mem::take(&mut bufs[s]);
-                Self::flush(&producers[s], &counters[s], &bufpool, batch, paced);
-            }
-            // Stop is never dropped: it blocks until a slot frees up.
-            producers[s].push_blocking(ShardMsg::Stop);
-        }
+        });
 
         // ── Drain & join ────────────────────────────────────────────
         let mut ends: Vec<ShardEndState> = Vec::with_capacity(n);
@@ -397,6 +414,7 @@ impl Engine {
             offered: packets.len() as u64,
             elapsed,
             shards,
+            queues: qcounters.iter().map(QueueCounters::snapshot).collect(),
             host_processed: host_processed.get(),
             verdicts_published: log.len() as u64,
             control,
@@ -408,56 +426,267 @@ impl Engine {
             },
         }
     }
+}
 
-    /// Open-loop pacing wait: park for the bulk of a long gap (an idle
-    /// dispatcher must not burn the core at low offered rates), then
-    /// yield-spin the final stretch for timing accuracy.
-    fn pace_until(start: Instant, due: Duration) {
-        loop {
-            let elapsed = start.elapsed();
-            if elapsed >= due {
-                return;
+/// Open-loop pacing wait: park for the bulk of a long gap (an idle
+/// dispatcher must not burn the core at low offered rates), then
+/// yield-spin the final stretch for timing accuracy.
+fn pace_until(start: Instant, due: Duration) {
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= due {
+            return;
+        }
+        let remaining = due - elapsed;
+        if remaining > Duration::from_micros(500) {
+            std::thread::park_timeout(remaining - Duration::from_micros(200));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// A [`Pace`] resolved against the trace length into a closed-form
+/// arrival schedule over *global* packet indices. Every dispatcher
+/// computes its packets' due times from their global sequence numbers,
+/// so R queues replay the same wall-clock arrival process the single
+/// dispatcher would — the spike hits every queue in the same window.
+#[derive(Clone, Copy, Debug)]
+enum PacePlan {
+    Flatout,
+    Rate {
+        gap_ns: f64,
+    },
+    Spike {
+        base_gap_ns: f64,
+        peak_gap_ns: f64,
+        lo: usize,
+        hi: usize,
+    },
+}
+
+impl PacePlan {
+    fn resolve(pace: Pace, total: usize) -> PacePlan {
+        match pace {
+            Pace::Flatout => PacePlan::Flatout,
+            Pace::RateMpps(r) => {
+                assert!(r > 0.0, "offered rate must be positive");
+                PacePlan::Rate { gap_ns: 1000.0 / r }
             }
-            let remaining = due - elapsed;
-            if remaining > Duration::from_micros(500) {
-                std::thread::park_timeout(remaining - Duration::from_micros(200));
-            } else {
-                std::thread::yield_now();
+            Pace::Spike {
+                base_mpps,
+                peak_mpps,
+                spike_start,
+                spike_end,
+            } => {
+                assert!(base_mpps > 0.0 && peak_mpps > 0.0, "rates must be positive");
+                assert!(
+                    spike_start <= spike_end,
+                    "spike must not end before it starts"
+                );
+                let total = total as f64;
+                PacePlan::Spike {
+                    base_gap_ns: 1000.0 / base_mpps,
+                    peak_gap_ns: 1000.0 / peak_mpps,
+                    lo: (spike_start.clamp(0.0, 1.0) * total) as usize,
+                    hi: (spike_end.clamp(0.0, 1.0) * total) as usize,
+                }
             }
         }
     }
 
-    fn flush(
-        tx: &Producer<ShardMsg>,
-        counters: &ShardCounters,
-        pool: &BufferPool,
-        batch: Vec<DigestedPacket>,
-        paced: bool,
-    ) {
+    fn paced(&self) -> bool {
+        !matches!(self, PacePlan::Flatout)
+    }
+
+    /// Arrival deadline of global packet `i`: the sum of inter-arrival
+    /// gaps of packets `0..=i` (gap `peak` inside `[lo, hi)`, `base`
+    /// outside), in closed form so per-queue replay needs no shared
+    /// accumulator.
+    fn due_ns(&self, i: usize) -> f64 {
+        match *self {
+            PacePlan::Flatout => 0.0,
+            PacePlan::Rate { gap_ns } => (i as f64 + 1.0) * gap_ns,
+            PacePlan::Spike {
+                base_gap_ns,
+                peak_gap_ns,
+                lo,
+                hi,
+            } => {
+                let arrived = i + 1;
+                let in_spike = arrived.clamp(lo, hi) - lo;
+                let at_base = arrived - in_spike;
+                at_base as f64 * base_gap_ns + in_spike as f64 * peak_gap_ns
+            }
+        }
+    }
+}
+
+/// One RX queue's share of the offered trace.
+enum QueueStream {
+    /// `rx_queues = 1`: the whole slice, no split pre-pass.
+    All,
+    /// Global indices of this queue's packets, ascending — so each
+    /// queue's sub-stream preserves arrival order (and flow affinity
+    /// comes from the digest-based assignment).
+    Picked(Vec<u32>),
+}
+
+/// Split the trace across `r` queues by salted flow-digest remix
+/// ([`queue_for_digest`]); the salt derives from the engine seed via
+/// [`splitmix64`], so the per-queue sub-streams are a pure function of
+/// (trace, seed, r) — reproducible across runs.
+fn split_streams(packets: &[Packet], r: usize, seed: u64, hasher: &FlowHasher) -> Vec<QueueStream> {
+    if r == 1 {
+        return vec![QueueStream::All];
+    }
+    let salt = splitmix64(seed);
+    let mut picked: Vec<Vec<u32>> = (0..r)
+        .map(|_| Vec::with_capacity(packets.len() / r + 1))
+        .collect();
+    for (i, pkt) in packets.iter().enumerate() {
+        let digest = hasher.hash_symmetric(&pkt.key);
+        picked[queue_for_digest(digest, salt, r)].push(i as u32);
+    }
+    picked.into_iter().map(QueueStream::Picked).collect()
+}
+
+/// Plain-integer per-queue tallies, folded into the shared
+/// [`QueueCounters`] atomics once per dispatch stream (nothing reads
+/// them mid-run — unlike the per-shard counters the controller samples).
+#[derive(Default)]
+struct QueueLocal {
+    offered: u64,
+    ingested: u64,
+    ingest_dropped: u64,
+    shed: u64,
+    steer_dropped: u64,
+}
+
+/// One RX-queue dispatcher: owns its producers row of the mesh, its
+/// buffer pool, its steering reader, and replays its sub-stream at the
+/// globally-scheduled arrival times.
+struct RxDispatcher<'a> {
+    batch: usize,
+    enforce_verdicts: bool,
+    hasher: FlowHasher,
+    /// Owned, not shared: a pool's receiver is single-consumer, so each
+    /// dispatcher allocates from (and paced drops return to) its own.
+    pool: BufferPool,
+    producers: Vec<Producer<ShardMsg>>,
+    counters: &'a [ShardCounters],
+    queue: &'a QueueCounters,
+    steer: Option<SnapshotReader<SteeringSnapshot>>,
+    plan: PacePlan,
+    start: Instant,
+}
+
+impl RxDispatcher<'_> {
+    fn run(self, packets: &[Packet], stream: QueueStream) {
+        match stream {
+            QueueStream::All => self.dispatch(packets, 0..packets.len()),
+            QueueStream::Picked(idx) => self.dispatch(packets, idx.into_iter().map(|i| i as usize)),
+        }
+    }
+
+    fn dispatch(mut self, packets: &[Packet], stream: impl Iterator<Item = usize>) {
+        let n = self.producers.len();
+        let paced = self.plan.paced();
+        let mut bufs: Vec<Vec<DigestedPacket>> = (0..n).map(|_| self.pool.acquire()).collect();
+        let mut local = QueueLocal::default();
+        for (k, i) in stream.enumerate() {
+            let pkt = &packets[i];
+            local.offered += 1;
+            if k % 256 == 0 {
+                if paced {
+                    pace_until(self.start, Duration::from_nanos(self.plan.due_ns(i) as u64));
+                }
+                // One atomic load; re-clones the snapshot Arc only when
+                // the controller published since the last check.
+                if let Some(sr) = self.steer.as_mut() {
+                    sr.refresh();
+                }
+            }
+            let (canon, digest) = self.hasher.digest_symmetric(&pkt.key);
+            let s = shard_for_digest(digest, n);
+            // Steering enforcement at dispatch: blacklisted flows drop
+            // here (prevention at the earliest point), and under load
+            // shedding only whitelisted flows pass. Both are accounted
+            // per shard *and* per queue — conservation includes them on
+            // both axes.
+            if let Some(sr) = &self.steer {
+                let snap = sr.current();
+                if self.enforce_verdicts && snap.blacklist.contains(&digest.0) {
+                    self.counters[s].steer_dropped.inc();
+                    local.steer_dropped += 1;
+                    continue;
+                }
+                if snap.shed && !snap.whitelist.contains(&digest.0) {
+                    self.counters[s].shed.inc();
+                    local.shed += 1;
+                    continue;
+                }
+            }
+            bufs[s].push(DigestedPacket {
+                pkt: *pkt,
+                canon,
+                digest,
+                seq: i as u64,
+            });
+            if bufs[s].len() == self.batch {
+                let batch = std::mem::replace(&mut bufs[s], self.pool.acquire());
+                self.flush(s, batch, paced, &mut local);
+            }
+        }
+        for (s, buf) in bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let batch = std::mem::take(buf);
+                self.flush(s, batch, paced, &mut local);
+            }
+            // Stop is never dropped: it blocks until a slot frees up.
+            self.producers[s].push_blocking(ShardMsg::Stop);
+        }
+        self.queue.offered.add(local.offered);
+        self.queue.ingested.add(local.ingested);
+        self.queue.ingest_dropped.add(local.ingest_dropped);
+        self.queue.shed.add(local.shed);
+        self.queue.steer_dropped.add(local.steer_dropped);
+    }
+
+    fn flush(&self, s: usize, batch: Vec<DigestedPacket>, paced: bool, local: &mut QueueLocal) {
         let len = batch.len() as u64;
+        let tx = &self.producers[s];
         let msg = ShardMsg::Batch(Batch {
             pkts: batch,
             sent: Instant::now(),
         });
         if paced {
             match tx.try_push(msg) {
-                Ok(()) => counters.ingested.add(len),
+                Ok(()) => {
+                    self.counters[s].ingested.add(len);
+                    local.ingested += len;
+                }
                 // Open loop: a full ring at arrival time is a loss, and
                 // it is *accounted* — never silent. The buffer itself
                 // goes straight back to the pool.
                 Err(ShardMsg::Batch(b)) => {
-                    counters.ingest_dropped.add(len);
-                    pool.give_back(b.pkts);
+                    self.counters[s].ingest_dropped.add(len);
+                    local.ingest_dropped += len;
+                    self.pool.give_back(b.pkts);
                 }
                 Err(ShardMsg::Stop) => unreachable!("flush only pushes batches"),
             }
         } else {
             tx.push_blocking(msg);
-            counters.ingested.add(len);
+            self.counters[s].ingested.add(len);
+            local.ingested += len;
         }
+        // With R queues the gauge tracks this lane's depth (last writer
+        // wins across queues; the peak gauge is a max, so it stays a
+        // true high-water mark of any single lane).
         let depth = tx.len() as f64;
-        counters.queue_depth.set(depth);
-        counters.queue_depth_peak.set_max(depth);
+        self.counters[s].queue_depth.set(depth);
+        self.counters[s].queue_depth_peak.set_max(depth);
     }
 }
 
@@ -544,6 +773,63 @@ fn controller_loop(
     }
 }
 
+/// Per-RX-queue dispatcher counters, registered as
+/// `runtime.queue.*{queue=Q}`.
+#[derive(Clone)]
+pub(crate) struct QueueCounters {
+    /// Packets of the offered trace assigned to this queue.
+    pub offered: Counter,
+    /// Packets this queue enqueued onto its shard lanes.
+    pub ingested: Counter,
+    /// Packets dropped at this queue's lanes (full ring, paced mode).
+    pub ingest_dropped: Counter,
+    /// Packets this queue shed under controller load shedding.
+    pub shed: Counter,
+    /// Packets this queue dropped on the steering blacklist.
+    pub steer_dropped: Counter,
+}
+
+impl QueueCounters {
+    fn registered(reg: &Registry, queue: usize) -> QueueCounters {
+        let q = queue.to_string();
+        let l: &[(&str, &str)] = &[("queue", &q)];
+        QueueCounters {
+            offered: reg.counter("runtime.queue.offered", l),
+            ingested: reg.counter("runtime.queue.ingested", l),
+            ingest_dropped: reg.counter("runtime.queue.ingest_dropped", l),
+            shed: reg.counter("runtime.queue.shed", l),
+            steer_dropped: reg.counter("runtime.queue.steer_dropped", l),
+        }
+    }
+
+    fn snapshot(&self) -> QueueStats {
+        QueueStats {
+            offered: self.offered.get(),
+            ingested: self.ingested.get(),
+            ingest_dropped: self.ingest_dropped.get(),
+            shed: self.shed.get(),
+            steer_dropped: self.steer_dropped.get(),
+        }
+    }
+}
+
+/// Frozen per-RX-queue dispatcher statistics (the report view). The
+/// queue-local conservation law is
+/// `offered = ingested + ingest_dropped + shed + steer_dropped`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    /// Packets of the offered trace assigned to this queue by RSS.
+    pub offered: u64,
+    /// Packets enqueued onto this queue's shard lanes.
+    pub ingested: u64,
+    /// Packets dropped at full lanes (paced mode).
+    pub ingest_dropped: u64,
+    /// Packets shed under controller load shedding.
+    pub shed: u64,
+    /// Packets dropped on the steering blacklist.
+    pub steer_dropped: u64,
+}
+
 /// Aggregate per-stage wall-clock distributions.
 #[derive(Clone, Copy, Debug)]
 pub struct StageSnapshot {
@@ -567,6 +853,9 @@ pub struct EngineReport {
     pub elapsed: Duration,
     /// Per-shard statistics.
     pub shards: Vec<ShardStats>,
+    /// Per-RX-queue dispatcher statistics, in queue order (canonical:
+    /// queue 0 first — merge order never depends on thread timing).
+    pub queues: Vec<QueueStats>,
     /// Escalated packets processed by the host tier (pool or inline).
     pub host_processed: u64,
     /// Verdicts published to the control log.
@@ -635,19 +924,43 @@ impl EngineReport {
         }
     }
 
+    /// RX dispatcher queues the run used.
+    pub fn rx_queues(&self) -> usize {
+        self.queues.len()
+    }
+
     /// The conservation invariant: every offered packet is either
     /// processed by exactly one shard or dropped with accounting
-    /// (ingest overrun, load shed, or steering blacklist).
+    /// (ingest overrun, load shed, or steering blacklist) — and the
+    /// books balance on *both* axes of the mesh: per shard
+    /// (`ingested = processed`) and per RX queue
+    /// (`offered = ingested + ingest_dropped + shed + steer_dropped`),
+    /// with the two sides agreeing on the totals.
     pub fn conserved(&self) -> bool {
-        let ingested: u64 = self.shards.iter().map(|s| s.ingested).sum();
-        ingested + self.ingest_dropped() + self.shed() + self.steer_dropped() == self.offered
-            && self.shards.iter().all(|s| s.ingested == s.processed)
+        let shard_ingested: u64 = self.shards.iter().map(|s| s.ingested).sum();
+        let shards_ok = shard_ingested + self.ingest_dropped() + self.shed() + self.steer_dropped()
+            == self.offered
+            && self.shards.iter().all(|s| s.ingested == s.processed);
+        let queue_offered: u64 = self.queues.iter().map(|q| q.offered).sum();
+        let queue_ingested: u64 = self.queues.iter().map(|q| q.ingested).sum();
+        let queues_ok = self
+            .queues
+            .iter()
+            .all(|q| q.offered == q.ingested + q.ingest_dropped + q.shed + q.steer_dropped)
+            && queue_offered == self.offered
+            && queue_ingested == shard_ingested;
+        shards_ok && queues_ok
     }
 
     /// A byte-stable rendering of every *deterministic* quantity (exact
-    /// counters; no wall-clock values). With one shard and inline triage
-    /// (`host_workers = 0`), two same-seed runs produce identical strings
-    /// — the determinism tests diff exactly this.
+    /// counters; no wall-clock values). With one shard, inline triage
+    /// (`host_workers = 0`) and the ordered lane merge, two same-seed
+    /// runs produce identical strings *at any `rx_queues`* — the
+    /// determinism tests diff exactly this. Per-shard lines merge the R
+    /// queues' contributions canonically (each counter is the order-free
+    /// sum over queues); per-queue breakdowns deliberately stay out of
+    /// this rendering — they live in [`EngineReport::queues`] — because
+    /// printing them would make the byte output depend on R.
     pub fn deterministic_summary(&self) -> String {
         let mut out = format!("offered={}\n", self.offered);
         for (i, s) in self.shards.iter().enumerate() {

@@ -21,16 +21,23 @@
 //!   [`TriageNf`] escalation triage.
 //! * [`shard`] — the per-thread worker: one FlowCache partition, one
 //!   detector suite, no cross-shard synchronisation on the packet path.
-//! * [`engine`] — the [`Engine`]: RSS dispatch, pacing ([`Pace`]),
+//!   Ingest arrives over R lanes merged under a [`MergePolicy`].
+//! * [`engine`] — the [`Engine`]: R RX-queue dispatchers
+//!   ([`EngineConfig::rx_queues`], the multi-queue NIC model) feeding
+//!   the shards over an R×N mesh of SPSC lanes, pacing ([`Pace`]),
 //!   graceful drain, and the merged [`EngineReport`].
 //!
-//! The RSS dispatcher uses the *symmetric* shard mapping
+//! Every RSS dispatcher uses the *symmetric* shard mapping
 //! [`smartwatch_net::hash::shard_for_digest`] over the dispatch-time
 //! digest, so both directions of a flow always land on the same shard
-//! and per-shard state needs no locks.
+//! and per-shard state needs no locks. The trace splits across the R
+//! queues by [`smartwatch_net::hash::queue_for_digest`] — a salted
+//! splitmix64 remix, flow-affine and statistically independent of the
+//! shard mapping.
 //!
 //! Telemetry flows through [`smartwatch_telemetry`]: per-shard counters
-//! (`runtime.shard.*{shard=N}`), queue-depth gauges, and aggregate
+//! (`runtime.shard.*{shard=N}`), per-queue dispatcher counters
+//! (`runtime.queue.*{queue=Q}`), queue-depth gauges, and aggregate
 //! per-stage latency histograms (`runtime.stage.*`).
 //!
 //! With [`EngineConfig::with_control`] the engine additionally runs the
@@ -51,7 +58,7 @@ pub mod shard;
 pub mod spsc;
 
 pub use control::{ControlLog, LogReader};
-pub use engine::{Engine, EngineConfig, EngineReport, Pace, StageSnapshot};
+pub use engine::{Engine, EngineConfig, EngineReport, Pace, QueueStats, StageSnapshot};
 pub use escalate::{HostPool, TriageNf};
-pub use shard::{ShardCounters, ShardStats};
+pub use shard::{MergePolicy, ShardCounters, ShardStats};
 pub use smartwatch_control::{ControlConfig, ControlEvent, ControlReport};

@@ -1,13 +1,18 @@
 //! One worker shard: a pinned OS thread owning a FlowCache partition and
 //! a full per-shard detector suite.
 //!
-//! The RSS dispatcher guarantees that both directions of a flow land on
+//! The RSS dispatchers guarantee that both directions of a flow land on
 //! the same shard (symmetric [`smartwatch_net::hash::shard_for`]), so a
 //! shard's FlowCache and detectors see a complete, self-contained slice
 //! of the traffic and never need cross-shard synchronisation on the
-//! packet path. The only shared state is the escalation channel (bounded
-//! MPSC to the host pool) and the epoch-stamped control log, polled at
-//! batch boundaries.
+//! packet path. With `rx_queues = R` the shard ingests from R bounded
+//! SPSC lanes — one per dispatcher — and merges them under a
+//! [`MergePolicy`]: round-robin over whole batches (`Fair`, the
+//! throughput discipline) or a per-packet k-way merge by global sequence
+//! number (`Ordered`, which reconstructs the exact single-queue
+//! processing order for deterministic replay). The only shared state is
+//! the escalation channel (bounded MPSC to the host pool) and the
+//! epoch-stamped control log, polled at batch boundaries.
 //!
 //! The packet path is built to do no per-packet expensive work beyond
 //! the pipeline itself: packets arrive pre-digested (canonical key +
@@ -26,7 +31,7 @@ use smartwatch_host::{HostNf, Verdict};
 use smartwatch_net::{AgingDigestSet, BuildDigestHasher, FlowHasher, Packet};
 use smartwatch_snic::FlowCache;
 use smartwatch_telemetry::{Counter, Gauge, Histogram, Registry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,6 +42,49 @@ pub(crate) enum ShardMsg {
     Batch(Batch),
     /// Graceful shutdown: drain, final-sweep, exit.
     Stop,
+}
+
+/// How a shard merges its R ingest lanes (one bounded SPSC ring per RX
+/// dispatcher) into a single processing stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Round-robin over the lanes, one whole batch per open lane per
+    /// sweep, with the idle [`Backoff`] escalation only when *every*
+    /// lane came up empty. This is the throughput discipline: no lane
+    /// can starve the others, and no packet waits on an unrelated lane.
+    /// Cross-queue arrival order at the shard is scheduling-dependent.
+    Fair,
+    /// Per-packet k-way merge by [`DigestedPacket::seq`]: the shard
+    /// always processes the lowest-sequence packet available across all
+    /// lanes, reconstructing the exact order a single dispatcher would
+    /// have delivered — so per-shard state evolution (and therefore
+    /// [`crate::EngineReport::deterministic_summary`]) is byte-identical
+    /// for any `rx_queues`. While one open lane is empty the shard must
+    /// wait for it (the missing packet could sort first); other lanes
+    /// are drained into a local pending list meanwhile so their
+    /// producers never deadlock behind the stall. That local buffering
+    /// is unbounded by design — this is the deterministic-replay
+    /// discipline, not the perf one.
+    Ordered,
+}
+
+/// One ingest lane as seen from the shard: the consumer half of a
+/// dispatcher's SPSC ring plus the return path into *that* dispatcher's
+/// buffer pool (pools are per-queue because a pool's receiver is
+/// single-consumer).
+pub(crate) struct LaneRx {
+    pub rx: crate::spsc::Consumer<ShardMsg>,
+    pub recycle: RecycleSender,
+}
+
+/// Per-lane state for the ordered merge: the batch currently being
+/// consumed (with a cursor), batches drained early while waiting on a
+/// different lane, and whether the lane's Stop marker has been seen.
+struct OrderedLane {
+    lane: LaneRx,
+    cur: Option<(Vec<DigestedPacket>, usize)>,
+    pending: VecDeque<Vec<DigestedPacket>>,
+    open: bool,
 }
 
 /// The shard side of an attached control plane: the live mode cell the
@@ -263,11 +311,15 @@ pub(crate) struct ShardWorker {
     /// Escalations handled inline count into the same pool counter.
     pub host_processed: Counter,
     pub enforce_verdicts: bool,
-    /// Same seed as the dispatcher and the cache — verdict keys (the
+    /// Same seed as the dispatchers and the cache — verdict keys (the
     /// only un-digested keys a shard sees) digest through this.
     hasher: FlowHasher,
-    /// Drained batch buffers go home through here.
-    recycle: RecycleSender,
+    /// How the R ingest lanes interleave into one processing stream.
+    merge: MergePolicy,
+    /// Packets per control-tick group under the ordered merge (the
+    /// engine's batch size, so tick boundaries match the single-queue
+    /// dispatcher's batch boundaries exactly).
+    group: usize,
     /// Digest-keyed (identity-hashed) verdict sets: membership is one
     /// u64 probe instead of a SipHash over the 13-byte 5-tuple. TTL'd
     /// and capacity-bounded so a long-running shard never accumulates
@@ -298,7 +350,8 @@ impl ShardWorker {
         host_processed: Counter,
         enforce_verdicts: bool,
         hasher: FlowHasher,
-        recycle: RecycleSender,
+        merge: MergePolicy,
+        group: usize,
         hooks: Option<ControlHooks>,
     ) -> ShardWorker {
         let reader = log.reader();
@@ -312,7 +365,8 @@ impl ShardWorker {
             host_processed,
             enforce_verdicts,
             hasher,
-            recycle,
+            merge,
+            group: group.max(1),
             blacklist: AgingDigestSet::new(VERDICT_SET_CAPACITY, VERDICT_TTL_BATCHES),
             whitelist: AgingDigestSet::new(VERDICT_SET_CAPACITY, VERDICT_TTL_BATCHES),
             hooks,
@@ -325,44 +379,198 @@ impl ShardWorker {
         }
     }
 
-    /// Consume batches until the Stop marker, then drain and final-sweep.
-    pub(crate) fn run(mut self, rx: crate::spsc::Consumer<ShardMsg>) -> ShardEndState {
+    /// Consume batches from the R ingest lanes until every lane's Stop
+    /// marker arrives, then final-sweep and exit.
+    pub(crate) fn run(self, lanes: Vec<LaneRx>) -> ShardEndState {
+        match self.merge {
+            MergePolicy::Fair => self.run_fair(lanes),
+            MergePolicy::Ordered => self.run_ordered(lanes),
+        }
+    }
+
+    /// Fair merge: sweep the open lanes round-robin (rotating the start
+    /// index so no lane gets structural priority), at most one batch per
+    /// lane per sweep. The idle backoff escalates only when a full sweep
+    /// found *every* lane empty — a shard with any lane delivering never
+    /// parks.
+    fn run_fair(mut self, lanes: Vec<LaneRx>) -> ShardEndState {
+        let r = lanes.len();
+        let mut open = vec![true; r];
+        let mut live = r;
+        let mut next = 0usize;
         let mut backoff = Backoff::new();
+        while live > 0 {
+            let mut progressed = false;
+            for k in 0..r {
+                let j = (next + k) % r;
+                if !open[j] {
+                    continue;
+                }
+                match lanes[j].rx.try_pop() {
+                    Some(ShardMsg::Batch(batch)) => {
+                        progressed = true;
+                        self.stage
+                            .queue_ns
+                            .record(batch.sent.elapsed().as_nanos() as u64);
+                        self.stage.batch_pkts.record(batch.pkts.len() as u64);
+                        self.control_tick();
+                        self.process_batch(&batch.pkts);
+                        self.flush_local();
+                        lanes[j].recycle.give_back(batch.pkts);
+                    }
+                    Some(ShardMsg::Stop) => {
+                        progressed = true;
+                        open[j] = false;
+                        live -= 1;
+                    }
+                    None => {}
+                }
+            }
+            next = (next + 1) % r;
+            if progressed {
+                backoff.reset();
+            } else if backoff.idle() {
+                // Bounded exponential backoff: spin → yield → short
+                // park, so idle shards (paced low-rate runs) stop
+                // burning a full core while staying quick to wake.
+                self.counters.idle_parks.inc();
+            }
+        }
+        self.finish()
+    }
+
+    /// Ordered merge: always process the lowest-sequence packet available
+    /// across the lanes, grouping control ticks / counter flushes every
+    /// `group` merged packets — exactly the batch boundaries a single
+    /// dispatcher would have produced. When an open lane is empty the
+    /// merge must stall on it (its next packet could sort first); the
+    /// other lanes are drained into local pending lists meanwhile so
+    /// their producers never block behind the stall (which could
+    /// otherwise deadlock the mesh).
+    fn run_ordered(mut self, lanes: Vec<LaneRx>) -> ShardEndState {
+        let mut lanes: Vec<OrderedLane> = lanes
+            .into_iter()
+            .map(|lane| OrderedLane {
+                lane,
+                cur: None,
+                pending: VecDeque::new(),
+                open: true,
+            })
+            .collect();
+        let mut backoff = Backoff::new();
+        let mut in_group = 0usize;
         loop {
-            match rx.try_pop() {
-                Some(ShardMsg::Batch(batch)) => {
-                    backoff.reset();
-                    self.stage
-                        .queue_ns
-                        .record(batch.sent.elapsed().as_nanos() as u64);
-                    self.stage.batch_pkts.record(batch.pkts.len() as u64);
-                    self.control_tick();
-                    self.process_batch(&batch.pkts);
-                    self.flush_local();
-                    self.recycle.give_back(batch.pkts);
+            // Refill: every lane that can have a head batch gets one,
+            // from its pending list first (arrival order), then its ring.
+            let mut progressed = false;
+            for l in lanes.iter_mut() {
+                if l.cur.is_some() {
+                    continue;
                 }
-                Some(ShardMsg::Stop) => {
-                    self.apply_control();
-                    self.flush_heavy();
-                    let final_alerts = self.suite.finish(self.last_ts);
-                    self.counters.alerts.add(final_alerts.len() as u64);
-                    // Stop pinning the verdict log's buffer.
-                    self.log.release(self.reader);
-                    return ShardEndState {
-                        blacklisted: self.blacklist.len() as u64,
-                        whitelisted: self.whitelist.len() as u64,
-                        cache_resident: self.cache.occupied() as u64,
-                    };
-                }
-                None => {
-                    // Bounded exponential backoff: spin → yield → short
-                    // park, so idle shards (paced low-rate runs) stop
-                    // burning a full core while staying quick to wake.
-                    if backoff.idle() {
-                        self.counters.idle_parks.inc();
+                if let Some(buf) = l.pending.pop_front() {
+                    l.cur = Some((buf, 0));
+                } else if l.open {
+                    match l.lane.rx.try_pop() {
+                        Some(ShardMsg::Batch(batch)) => {
+                            progressed = true;
+                            self.stage
+                                .queue_ns
+                                .record(batch.sent.elapsed().as_nanos() as u64);
+                            self.stage.batch_pkts.record(batch.pkts.len() as u64);
+                            l.cur = Some((batch.pkts, 0));
+                        }
+                        Some(ShardMsg::Stop) => {
+                            progressed = true;
+                            l.open = false;
+                        }
+                        None => {}
                     }
                 }
             }
+            if lanes.iter().any(|l| l.open && l.cur.is_none()) {
+                // A live lane has nothing to offer: its next packet may
+                // sort before everything in hand, so the merge waits —
+                // but keeps the other producers moving by draining their
+                // rings locally.
+                for l in lanes.iter_mut() {
+                    if !l.open || l.cur.is_none() {
+                        continue;
+                    }
+                    while let Some(msg) = l.lane.rx.try_pop() {
+                        match msg {
+                            ShardMsg::Batch(batch) => {
+                                progressed = true;
+                                self.stage
+                                    .queue_ns
+                                    .record(batch.sent.elapsed().as_nanos() as u64);
+                                self.stage.batch_pkts.record(batch.pkts.len() as u64);
+                                l.pending.push_back(batch.pkts);
+                            }
+                            ShardMsg::Stop => {
+                                progressed = true;
+                                l.open = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if progressed {
+                    backoff.reset();
+                } else if backoff.idle() {
+                    self.counters.idle_parks.inc();
+                }
+                continue;
+            }
+            // Every lane is either closed-and-drained or has a head
+            // batch: pick the lane whose head packet sorts first.
+            let Some(j) = lanes
+                .iter()
+                .enumerate()
+                .filter_map(|(j, l)| l.cur.as_ref().map(|(buf, c)| (j, buf[*c].seq)))
+                .min_by_key(|&(_, seq)| seq)
+                .map(|(j, _)| j)
+            else {
+                break; // all lanes closed and fully drained
+            };
+            backoff.reset();
+            if in_group == 0 {
+                self.control_tick();
+            }
+            let (buf, cursor) = lanes[j].cur.as_mut().expect("selected lane has a head");
+            let dp = buf[*cursor];
+            *cursor += 1;
+            let exhausted = *cursor == buf.len();
+            self.process_packet(&dp);
+            in_group += 1;
+            if in_group == self.group {
+                self.flush_local();
+                in_group = 0;
+            }
+            if exhausted {
+                let (buf, _) = lanes[j].cur.take().expect("head still present");
+                lanes[j].lane.recycle.give_back(buf);
+            }
+        }
+        if in_group > 0 {
+            self.flush_local();
+        }
+        self.finish()
+    }
+
+    /// Stop-marker tail: apply the last verdicts, flush heavy-hitter
+    /// samples, run the detectors' end-of-trace sweep, release the log
+    /// reader, and freeze the end state.
+    fn finish(mut self) -> ShardEndState {
+        self.apply_control();
+        self.flush_heavy();
+        let final_alerts = self.suite.finish(self.last_ts);
+        self.counters.alerts.add(final_alerts.len() as u64);
+        // Stop pinning the verdict log's buffer.
+        self.log.release(self.reader);
+        ShardEndState {
+            blacklisted: self.blacklist.len() as u64,
+            whitelisted: self.whitelist.len() as u64,
+            cache_resident: self.cache.occupied() as u64,
         }
     }
 
@@ -476,96 +684,99 @@ impl ShardWorker {
 
     fn process_batch(&mut self, pkts: &[DigestedPacket]) {
         for dp in pkts {
-            let pkt = &dp.pkt;
-            self.last_ts = self.last_ts.max(pkt.ts);
-            if self.enforce_verdicts && self.blacklist.contains(&dp.digest.0) {
-                self.local.verdict_dropped += 1;
-                self.local.processed += 1;
-                self.seen += 1;
-                continue;
-            }
-            let sample = self.seen & SAMPLE_MASK == 0;
+            self.process_packet(dp);
+        }
+    }
+
+    fn process_packet(&mut self, dp: &DigestedPacket) {
+        let pkt = &dp.pkt;
+        self.last_ts = self.last_ts.max(pkt.ts);
+        if self.enforce_verdicts && self.blacklist.contains(&dp.digest.0) {
+            self.local.verdict_dropped += 1;
+            self.local.processed += 1;
             self.seen += 1;
-            if sample && self.hooks.is_some() {
-                // Sampled heavy-hitter estimate; flushed controller-ward
-                // every HEAVY_FLUSH_BATCHES batches.
-                *self.heavy_counts.entry(dp.digest.0).or_insert(0) += 1;
-            }
+            return;
+        }
+        let sample = self.seen & SAMPLE_MASK == 0;
+        self.seen += 1;
+        if sample && self.hooks.is_some() {
+            // Sampled heavy-hitter estimate; flushed controller-ward
+            // every HEAVY_FLUSH_BATCHES batches.
+            *self.heavy_counts.entry(dp.digest.0).or_insert(0) += 1;
+        }
 
-            // Stage 1: FlowCache update (digest reused — no re-hash).
-            if sample {
-                let t0 = Instant::now();
-                self.cache.process_digested(pkt, &dp.canon, dp.digest);
-                self.local.cache_ns.push(t0.elapsed().as_nanos() as u64);
-            } else {
-                self.cache.process_digested(pkt, &dp.canon, dp.digest);
-            }
+        // Stage 1: FlowCache update (digest reused — no re-hash).
+        if sample {
+            let t0 = Instant::now();
+            self.cache.process_digested(pkt, &dp.canon, dp.digest);
+            self.local.cache_ns.push(t0.elapsed().as_nanos() as u64);
+        } else {
+            self.cache.process_digested(pkt, &dp.canon, dp.digest);
+        }
 
-            // Whitelisted flows skip the detector suite — the wall-clock
-            // analogue of the switch no longer steering them. Either the
-            // shard's own verdict overlay or the controller's published
-            // steering table qualifies; the snapshot read is a plain
-            // deref into the batch-cached Arc.
-            if self.whitelist.contains(&dp.digest.0)
-                || self
-                    .hooks
-                    .as_ref()
-                    .is_some_and(|h| h.steer.current().whitelist.contains(&dp.digest.0))
-            {
-                self.local.fast_path += 1;
-                self.local.processed += 1;
-                continue;
-            }
+        // Whitelisted flows skip the detector suite — the wall-clock
+        // analogue of the switch no longer steering them. Either the
+        // shard's own verdict overlay or the controller's published
+        // steering table qualifies; the snapshot read is a plain
+        // deref into the batch-cached Arc.
+        if self.whitelist.contains(&dp.digest.0)
+            || self
+                .hooks
+                .as_ref()
+                .is_some_and(|h| h.steer.current().whitelist.contains(&dp.digest.0))
+        {
+            self.local.fast_path += 1;
+            self.local.processed += 1;
+            return;
+        }
 
-            // Stage 2: detector suite.
-            let outcome = if sample {
-                let t0 = Instant::now();
-                let o = self.suite.on_packet(pkt);
-                self.local.detect_ns.push(t0.elapsed().as_nanos() as u64);
-                o
-            } else {
-                self.suite.on_packet(pkt)
-            };
+        // Stage 2: detector suite.
+        let outcome = if sample {
+            let t0 = Instant::now();
+            let o = self.suite.on_packet(pkt);
+            self.local.detect_ns.push(t0.elapsed().as_nanos() as u64);
+            o
+        } else {
+            self.suite.on_packet(pkt)
+        };
 
-            self.local.alerts += outcome.alerts.len() as u64;
-            for flow in &outcome.whitelist {
-                self.cache.unpin(flow);
-                let (_, digest) = self.hasher.digest_symmetric(flow);
-                self.whitelist.insert(digest.0, self.batches);
-            }
+        self.local.alerts += outcome.alerts.len() as u64;
+        for flow in &outcome.whitelist {
+            self.cache.unpin(flow);
+            let (_, digest) = self.hasher.digest_symmetric(flow);
+            self.whitelist.insert(digest.0, self.batches);
+        }
 
-            // Stage 3: host escalation for suspects.
-            if outcome.host == HostNeed::Host {
-                self.local.escalated += 1;
-                // Pin the flow while the host works on it (§3.2).
-                self.cache.pin(&dp.canon);
-                match &mut self.escalation {
-                    Escalation::Pool(tx) => {
-                        if tx.try_send(*pkt).is_err() {
-                            self.local.escalation_dropped += 1;
-                            // The host will never see this packet, so no
-                            // verdict will ever unpin the flow — release
-                            // it now instead of pinning it forever.
-                            self.cache.unpin(&dp.canon);
-                        }
+        // Stage 3: host escalation for suspects.
+        if outcome.host == HostNeed::Host {
+            self.local.escalated += 1;
+            // Pin the flow while the host works on it (§3.2).
+            self.cache.pin(&dp.canon);
+            match &mut self.escalation {
+                Escalation::Pool(tx) => {
+                    if tx.try_send(*pkt).is_err() {
+                        self.local.escalation_dropped += 1;
+                        // The host will never see this packet, so no
+                        // verdict will ever unpin the flow — release
+                        // it now instead of pinning it forever.
+                        self.cache.unpin(&dp.canon);
                     }
-                    Escalation::Inline(nf) => {
-                        self.local.host_inline += 1;
-                        for v in nf.on_packet(pkt) {
-                            self.log.publish(v);
-                        }
+                }
+                Escalation::Inline(nf) => {
+                    self.local.host_inline += 1;
+                    for v in nf.on_packet(pkt) {
+                        self.log.publish(v);
                     }
                 }
             }
-            self.local.processed += 1;
         }
+        self.local.processed += 1;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batch::BufferPool;
     use smartwatch_snic::FlowCacheConfig;
     use smartwatch_telemetry::Registry;
     use std::net::Ipv4Addr;
@@ -579,7 +790,6 @@ mod tests {
 
         let reg = Registry::new();
         let hasher = FlowHasher::new(0x51CC);
-        let pool = BufferPool::new(4, 64, &reg);
         let (tx, _rx_keepalive) = std::sync::mpsc::sync_channel::<Packet>(1);
         let mut cache_cfg = FlowCacheConfig::general(6);
         cache_cfg.hash_seed = 0x51CC;
@@ -592,7 +802,8 @@ mod tests {
             Counter::detached(),
             true,
             hasher,
-            pool.recycler(),
+            MergePolicy::Fair,
+            64,
             None,
         );
 
@@ -608,7 +819,12 @@ mod tests {
                 );
                 let pkt = PacketBuilder::new(key, Ts::from_nanos(u64::from(i))).build();
                 let (canon, digest) = hasher.digest_symmetric(&key);
-                DigestedPacket { pkt, canon, digest }
+                DigestedPacket {
+                    pkt,
+                    canon,
+                    digest,
+                    seq: u64::from(i),
+                }
             })
             .collect();
         worker.process_batch(&batch);

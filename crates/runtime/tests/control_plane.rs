@@ -101,6 +101,51 @@ fn controlled_spike_conserves_and_recovers() {
 }
 
 #[test]
+fn controlled_spike_is_safe_at_every_queue_count() {
+    // The same spike drive with the dispatcher fanned out over R RX
+    // queues: every queue paces its sub-stream against the *global*
+    // arrival schedule, so the controller sees the same offered-rate
+    // shape and the safety invariants must hold unchanged. (Whether
+    // shedding engages depends on wall-clock scheduling headroom, so —
+    // unlike the R=1 test above — this sweep asserts the invariants,
+    // not the overload response itself.)
+    for rx in [1usize, 2, 4] {
+        let mut cfg = EngineConfig::new(2).with_control(test_control());
+        cfg.rx_queues = rx;
+        let report = Engine::new(cfg).run(&workload(100_000), spike());
+        assert!(
+            report.conserved(),
+            "rx={rx}: conservation violated:\n{:?}\n{:?}",
+            report.shards,
+            report.queues
+        );
+        assert_eq!(report.rx_queues(), rx);
+        let ctrl = report.control.as_ref().expect("controller ran");
+        assert!(ctrl.epochs > 10, "rx={rx}: 2 ms epochs over a ≥200 ms run");
+        assert!(
+            ctrl.final_modes.iter().all(|&m| m == Mode::General),
+            "rx={rx}: calm tail must recover General, got {:?}",
+            ctrl.final_modes
+        );
+        assert!(
+            !ctrl.shed_active,
+            "rx={rx}: shedding must release after the spike"
+        );
+        assert_eq!(
+            ctrl.shed_packets,
+            report.shed(),
+            "rx={rx}: controller's shed accounting must match the shards"
+        );
+        // Steering + shedding drops are enforced per dispatcher; their
+        // per-queue tallies must sum to the report aggregates.
+        let q_shed: u64 = report.queues.iter().map(|q| q.shed).sum();
+        let q_steer: u64 = report.queues.iter().map(|q| q.steer_dropped).sum();
+        assert_eq!(q_shed, report.shed());
+        assert_eq!(q_steer, report.steer_dropped());
+    }
+}
+
+#[test]
 fn live_mode_switches_touch_every_shard_cache_safely() {
     let cfg = EngineConfig::new(2).with_control(test_control());
     let engine = Engine::new(cfg);

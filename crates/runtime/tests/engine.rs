@@ -1,5 +1,6 @@
-//! Engine invariants: conservation under every shard count and pacing
-//! mode, and bit-exact determinism in single-shard inline mode.
+//! Engine invariants: conservation under every shard count, RX-queue
+//! count and pacing mode, and bit-exact determinism in single-shard
+//! inline mode — including byte-identical summaries across `rx_queues`.
 
 use smartwatch_net::Dur;
 use smartwatch_runtime::{Engine, EngineConfig, Pace};
@@ -7,6 +8,36 @@ use smartwatch_trace::background::{preset_trace, Preset};
 
 fn workload(flows: usize, seed: u64) -> Vec<smartwatch_net::Packet> {
     preset_trace(Preset::Caida2018, flows, Dur::from_millis(500), seed).into_packets()
+}
+
+/// CAIDA background interleaved with an SSH brute-force sweep, so runs
+/// exercise escalation, triage verdicts and enforced blacklist drops —
+/// the paths that would expose a merge-order dependence.
+fn hostile_workload(total: usize) -> Vec<smartwatch_net::Packet> {
+    use smartwatch_net::{FlowKey, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    let base = workload(300, 17);
+    let mut out = Vec::with_capacity(total);
+    let mut sweep = 0u32;
+    for (i, pkt) in base.iter().cycle().enumerate() {
+        if out.len() >= total {
+            break;
+        }
+        out.push(*pkt);
+        if i % 7 == 3 && out.len() < total {
+            let sport = 40_000 + (sweep % 32) as u16;
+            let key = FlowKey::tcp(
+                Ipv4Addr::new(203, 0, 113, 9),
+                sport,
+                Ipv4Addr::new(10, 0, 0, 1),
+                22,
+            );
+            out.push(PacketBuilder::new(key, pkt.ts).build());
+            sweep += 1;
+        }
+    }
+    out
 }
 
 #[test]
@@ -66,6 +97,80 @@ fn single_shard_inline_mode_is_deterministic() {
     let b = run();
     assert_eq!(a, b, "same seed + one shard must be byte-identical");
     assert!(a.contains("offered="), "summary is non-empty");
+}
+
+#[test]
+fn conservation_flatout_across_queue_counts() {
+    let packets = workload(400, 7);
+    for rx in [1usize, 2, 4] {
+        for shards in [1usize, 2] {
+            let mut cfg = EngineConfig::new(shards);
+            cfg.rx_queues = rx;
+            cfg.host_workers = 1;
+            let report = Engine::new(cfg).run(&packets, Pace::Flatout);
+            assert!(
+                report.conserved(),
+                "conservation violated at rx={rx} shards={shards}:\n{}",
+                report.deterministic_summary()
+            );
+            assert_eq!(report.rx_queues(), rx);
+            assert_eq!(report.offered, packets.len() as u64);
+            assert_eq!(report.processed(), report.offered);
+            let per_queue_offered: u64 = report.queues.iter().map(|q| q.offered).sum();
+            assert_eq!(per_queue_offered, report.offered);
+            if rx > 1 {
+                assert!(
+                    report.queues.iter().all(|q| q.offered > 0),
+                    "the salted RSS split must feed every queue"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conservation_holds_under_forced_drops_multi_queue() {
+    let packets = workload(400, 11);
+    let mut cfg = EngineConfig::new(2);
+    cfg.rx_queues = 4;
+    cfg.queue_batches = 1;
+    cfg.batch = 32;
+    let report = Engine::new(cfg).run(&packets, Pace::RateMpps(10_000.0));
+    assert!(
+        report.conserved(),
+        "per-queue drops must still be accounted:\n{}",
+        report.deterministic_summary()
+    );
+    assert!(report.ingest_dropped() > 0, "sized to overrun");
+    let per_queue_drops: u64 = report.queues.iter().map(|q| q.ingest_dropped).sum();
+    assert_eq!(per_queue_drops, report.ingest_dropped());
+}
+
+#[test]
+fn deterministic_summary_is_byte_identical_across_rx_queues() {
+    // Satellite regression: the canonical merge of per-queue counters
+    // must make R invisible in the summary. Ordered merge + one shard +
+    // inline triage reproduces the exact R=1 processing order, so every
+    // counter — including order-sensitive ones like verdict drops and
+    // sampled latencies — lands on the same value.
+    let packets = hostile_workload(6_000);
+    let run = |rx: usize| {
+        let mut cfg = EngineConfig::deterministic(rx);
+        cfg.triage_threshold = 8;
+        Engine::new(cfg)
+            .run(&packets, Pace::Flatout)
+            .deterministic_summary()
+    };
+    let base = run(1);
+    assert!(base.contains("verdicts="), "summary must be non-trivial");
+    for rx in [2usize, 4] {
+        assert_eq!(
+            base,
+            run(rx),
+            "summary for rx_queues={rx} diverged from single-queue"
+        );
+    }
+    assert_eq!(run(4), run(4), "multi-queue replay is run-to-run stable");
 }
 
 #[test]

@@ -16,7 +16,7 @@
 use smartwatch_core::{DetectorSuite, HostNeed};
 use smartwatch_host::{HostNf, Verdict};
 use smartwatch_net::{Dur, FlowKey, Packet, PacketBuilder, Ts};
-use smartwatch_runtime::{Engine, EngineConfig, EngineReport, Pace, TriageNf};
+use smartwatch_runtime::{Engine, EngineConfig, EngineReport, MergePolicy, Pace, TriageNf};
 use smartwatch_snic::{FlowCache, FlowCacheConfig};
 use smartwatch_telemetry::Registry;
 use smartwatch_trace::background::{preset_trace, Preset};
@@ -244,37 +244,121 @@ fn paced_mode_matches_ground_truth_when_drop_free() {
 }
 
 #[test]
+fn multi_queue_ordered_merge_matches_ground_truth() {
+    // The R×N mesh with MergePolicy::Ordered must be *invisible*: every
+    // counter equals the scalar reference, at every queue count, in
+    // every pacing mode (provided the paced runs are drop-free).
+    let packets = workload(12_000);
+    let cfg = deterministic_cfg(64);
+    let truth = reference_run(&packets, &cfg);
+    let paces = [
+        Pace::Flatout,
+        Pace::RateMpps(1.0),
+        Pace::Spike {
+            base_mpps: 1.0,
+            peak_mpps: 4.0,
+            spike_start: 0.25,
+            spike_end: 0.75,
+        },
+    ];
+    for rx in [2usize, 4] {
+        for pace in paces {
+            let mut cfg = deterministic_cfg(64);
+            cfg.rx_queues = rx;
+            cfg.merge = MergePolicy::Ordered;
+            let report = Engine::new(cfg).run(&packets, pace);
+            assert!(report.conserved());
+            assert_eq!(report.rx_queues(), rx);
+            assert_eq!(report.ingest_dropped(), 0, "sized to be drop-free");
+            assert_eq!(
+                observed(&report),
+                truth,
+                "rx={rx} {pace:?}: ordered merge diverged from ground truth\n{}",
+                report.deterministic_summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_queue_fair_merge_conserves_across_pacing_modes() {
+    // Fair merge reorders across queues (throughput mode), so exact
+    // counter equality is out of scope — but conservation and full
+    // processing must hold at every (rx, pace) point.
+    let packets = workload(12_000);
+    let paces = [
+        Pace::Flatout,
+        Pace::RateMpps(2.0),
+        Pace::Spike {
+            base_mpps: 1.0,
+            peak_mpps: 4.0,
+            spike_start: 0.25,
+            spike_end: 0.75,
+        },
+    ];
+    for rx in [1usize, 2, 4] {
+        for pace in paces {
+            let mut cfg = EngineConfig::new(2);
+            cfg.rx_queues = rx;
+            cfg.queue_batches = 1024; // drop-free by construction
+            let report = Engine::new(cfg).run(&packets, pace);
+            assert!(
+                report.conserved(),
+                "rx={rx} {pace:?}:\n{}",
+                report.deterministic_summary()
+            );
+            assert_eq!(report.rx_queues(), rx);
+            assert_eq!(report.processed(), report.offered);
+        }
+    }
+}
+
+#[test]
 fn buffer_pool_allocations_are_bounded_and_packet_independent() {
-    // Two runs, 8× apart in offered packets: allocations stay under the
-    // pool capacity both times — the steady state recycles, never grows.
+    // Runs 8× apart in offered packets, at one and two RX queues:
+    // allocations stay under the pool capacity every time — the steady
+    // state recycles, never grows.
     let mut allocated = Vec::new();
-    for packets in [25_000usize, 200_000] {
+    for (rx, packets) in [
+        (1usize, 25_000usize),
+        (1, 200_000),
+        (2, 25_000),
+        (2, 200_000),
+    ] {
         let reg = Registry::new();
-        let cfg = EngineConfig::new(2);
-        // Steady-state live buffers: per shard, a full queue plus one in
-        // the shard's hands plus one in the dispatcher's. A shard racing
-        // a momentarily-full recycle channel can drop a buffer (and force
-        // one later re-allocation), so allow that transient per shard.
-        let cap = (cfg.shards * (cfg.queue_batches + 2) + cfg.shards) as u64;
+        let mut cfg = EngineConfig::new(2);
+        cfg.rx_queues = rx;
+        // Steady-state live buffers, per queue: a full lane per shard
+        // plus one in the shard's hands plus one in the dispatcher's. A
+        // shard racing a momentarily-full recycle channel can drop a
+        // buffer (and force one later re-allocation), so allow that
+        // transient per lane.
+        let cap = (rx * cfg.shards * (cfg.queue_batches + 2) + rx * cfg.shards) as u64;
         let report = Engine::with_registry(cfg, &reg).run(&workload(packets), Pace::Flatout);
         assert!(report.conserved());
         let allocs = reg.counter("runtime.pool.allocated", &[]).get();
         let recycles = reg.counter("runtime.pool.recycled", &[]).get();
         assert!(
             allocs <= cap,
-            "{packets} pkts: {allocs} allocations exceed pool capacity {cap}"
+            "rx={rx} {packets} pkts: {allocs} allocations exceed pool capacity {cap}"
         );
-        assert!(
-            recycles > allocs,
-            "{packets} pkts: steady state must be recycle-dominated \
-             ({recycles} recycled vs {allocs} allocated)"
-        );
+        // On the long runs the warm-up is amortised away and recycling
+        // must dominate; the short runs only pin the capacity bound.
+        if packets > 100_000 {
+            assert!(
+                recycles > allocs,
+                "rx={rx} {packets} pkts: steady state must be recycle-dominated \
+                 ({recycles} recycled vs {allocs} allocated)"
+            );
+        }
         allocated.push(allocs);
     }
-    assert!(
-        allocated[1] <= allocated[0].saturating_mul(2),
-        "8× the packets must not grow allocations ({} → {})",
-        allocated[0],
-        allocated[1]
-    );
+    for pair in allocated.chunks(2) {
+        assert!(
+            pair[1] <= pair[0].saturating_mul(2),
+            "8× the packets must not grow allocations ({} → {})",
+            pair[0],
+            pair[1]
+        );
+    }
 }
