@@ -8,15 +8,20 @@
 //! repro fig5 --metrics-json m.json   # dump the metric registry
 //! repro fig5 --trace-out trace.json  # chrome://tracing / Perfetto trace
 //! repro engine --shards 4 --packets 1000000   # wall-clock runtime
+//! repro engine --trace-sample 64 --trace-out t.json  # wall-clock spans
+//! repro engine --listen 127.0.0.1:9184        # live /metrics plane
+//! repro engine --flight-dump flight.json      # black-box event rings
 //! repro control --peak 4.0 --bench-json BENCH_control.json  # control plane
 //! repro list               # experiment index
 //! ```
 
 use smartwatch_bench::exp_control::{
-    bench_json as control_bench_json, control_run_report, ControlRunSpec,
+    bench_json as control_bench_json, control_run_full, ControlRunSpec,
 };
-use smartwatch_bench::exp_engine::{bench_json, engine_run_report, EngineRunSpec, EngineWorkload};
+use smartwatch_bench::exp_engine::{bench_json, engine_run_full, EngineRunSpec, EngineWorkload};
 use smartwatch_bench::{all_experiments, ExpCtx};
+use smartwatch_runtime::{Engine, EngineReport};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +30,7 @@ fn main() {
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut flight_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut engine_spec = EngineRunSpec::default();
     let mut control_spec = ControlRunSpec::default();
@@ -94,6 +100,31 @@ fn main() {
                         .unwrap_or_else(|| die("--bench-json needs a path")),
                 );
             }
+            "--flight-dump" => {
+                flight_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--flight-dump needs a path")),
+                );
+            }
+            "--trace-sample" => {
+                let n = parse_u64(it.next(), "--trace-sample");
+                engine_spec.trace_sample = n;
+                control_spec.trace_sample = n;
+            }
+            "--listen" => {
+                let addr = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--listen needs an address like 127.0.0.1:9184"));
+                engine_spec.listen = Some(addr.clone());
+                control_spec.listen = Some(addr);
+            }
+            "--serve-hold-ms" => {
+                let ms = parse_u64(it.next(), "--serve-hold-ms");
+                engine_spec.serve_hold_ms = ms;
+                control_spec.serve_hold_ms = ms;
+            }
             "--scale" => {
                 scale = it
                     .next()
@@ -143,11 +174,14 @@ fn main() {
     let mut ran = 0;
     let wants_engine = selected.iter().any(|s| s == "engine");
     let wants_control = selected.iter().any(|s| s == "control");
-    if bench_out.is_some() && wants_engine && wants_control {
-        die("--bench-json applies to one of `engine`/`control` per invocation");
+    if (bench_out.is_some() || flight_out.is_some()) && wants_engine && wants_control {
+        die("--bench-json/--flight-dump apply to one of `engine`/`control` per invocation");
+    }
+    if engine_spec.listen.is_some() && !wants_engine && !wants_control {
+        die("--listen only applies to the `engine` and `control` experiments");
     }
     if wants_engine {
-        let (table, report) = engine_run_report(&ctx, &engine_spec);
+        let (table, report, engine) = engine_run_full(&ctx, &engine_spec);
         if json {
             println!("{}", table.to_json());
         } else {
@@ -159,11 +193,32 @@ fn main() {
             }
             eprintln!("repro: engine bench report written to {path}");
         }
+        if let Some(path) = flight_out.take() {
+            write_flight(&engine, &path, "flight recorder");
+        }
+        // Black-box rule: an anomalous run dumps its flight recorder
+        // unconditionally, so the evidence survives even when nobody
+        // asked for it. Flat-out runs apply backpressure instead of
+        // dropping, so any drop there is as anomalous as a
+        // conservation failure.
+        let unexpected_drops = engine_spec.rate_mpps.is_none()
+            && report.ingest_dropped() + report.shed() + report.steer_dropped() > 0;
+        if !report.conserved() || unexpected_drops {
+            eprintln!(
+                "repro: anomalous engine run (conserved={}, ingest_dropped={}, shed={}, \
+                 steer_dropped={})",
+                report.conserved(),
+                report.ingest_dropped(),
+                report.shed(),
+                report.steer_dropped(),
+            );
+            write_flight(&engine, "FLIGHT_anomaly.json", "anomaly flight dump");
+        }
         selected.retain(|s| s != "engine");
         ran += 1;
     }
     if wants_control {
-        let (table, outcome) = control_run_report(&ctx, &control_spec);
+        let (table, outcome, engine) = control_run_full(&ctx, &control_spec);
         if json {
             println!("{}", table.to_json());
         } else {
@@ -175,12 +230,25 @@ fn main() {
             }
             eprintln!("repro: control bench report written to {path}");
         }
+        if let Some(path) = flight_out.take() {
+            write_flight(&engine, &path, "flight recorder");
+        }
+        if !outcome.controlled.conserved() || !outcome.baseline.conserved() {
+            report_conservation("controlled", &outcome.controlled);
+            report_conservation("baseline", &outcome.baseline);
+            write_flight(&engine, "FLIGHT_anomaly.json", "anomaly flight dump");
+        }
         selected.retain(|s| s != "control");
         ran += 1;
     }
     if let Some(path) = bench_out {
         die(&format!(
             "--bench-json {path} only applies to the `engine` and `control` experiments"
+        ));
+    }
+    if let Some(path) = flight_out {
+        die(&format!(
+            "--flight-dump {path} only applies to the `engine` and `control` experiments"
         ));
     }
     for (id, f) in &experiments {
@@ -209,8 +277,40 @@ fn main() {
         if let Err(e) = std::fs::write(&path, ctx.tracer.to_chrome_json()) {
             die(&format!("writing {path}: {e}"));
         }
-        eprintln!("repro: trace written to {path} (open in chrome://tracing or Perfetto)");
+        eprintln!(
+            "repro: trace written to {path} (open in chrome://tracing or Perfetto; \
+             {} spans dropped at full rings)",
+            ctx.tracer.total_dropped()
+        );
+    } else if ctx.tracer.total_dropped() > 0 {
+        eprintln!(
+            "repro: tracer dropped {} spans at full rings (no --trace-out given)",
+            ctx.tracer.total_dropped()
+        );
     }
+}
+
+/// Dump the engine's flight recorder to `path` (`--flight-dump` and the
+/// anomaly auto-dump share this).
+fn write_flight(engine: &Arc<Engine>, path: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, engine.flight().to_json()) {
+        die(&format!("writing {path}: {e}"));
+    }
+    eprintln!("repro: {what} written to {path}");
+}
+
+/// One line of conservation evidence for an anomalous run.
+fn report_conservation(name: &str, r: &EngineReport) {
+    eprintln!(
+        "repro: {name} run conserved={} (offered={}, processed={}, ingest_dropped={}, \
+         shed={}, steer_dropped={})",
+        r.conserved(),
+        r.offered,
+        r.processed(),
+        r.ingest_dropped(),
+        r.shed(),
+        r.steer_dropped(),
+    );
 }
 
 fn usage() {
@@ -221,17 +321,35 @@ fn usage() {
                 repro engine [--shards N] [--rx-queues R] [--packets N]\n\
                       [--batch N] [--host-workers N] [--rate MPPS]\n\
                       [--workload stress|stress64|mix] [--bench-json <path>]\n\
+                      [--trace-sample N] [--listen ADDR]\n\
+                      [--serve-hold-ms N] [--flight-dump <path>]\n\
                 repro control [--shards N] [--rx-queues R] [--packets N]\n\
                       [--batch N] [--base MPPS] [--peak MPPS]\n\
                       [--spike-start F] [--spike-end F] [--epoch-ms N]\n\
-                      [--bench-json <path>]\n\n\
+                      [--bench-json <path>] [--trace-sample N]\n\
+                      [--listen ADDR] [--serve-hold-ms N]\n\
+                      [--flight-dump <path>]\n\n\
          --json          print tables as JSON instead of aligned text\n\
          --metrics-json  dump every counter/gauge/histogram the selected\n\
                          experiments registered (deterministic for a seed)\n\
-         --trace-out     dump the sim-time event trace in chrome-trace\n\
-                         format (load in chrome://tracing or ui.perfetto.dev)\n\
+         --trace-out     dump the event trace in chrome-trace format\n\
+                         (load in chrome://tracing or ui.perfetto.dev);\n\
+                         with `engine`/`control` and --trace-sample it\n\
+                         also carries the wall-clock thread spans\n\
          --bench-json    (engine/control) write the headline wall-clock\n\
-                         numbers as JSON (control adds the mode timeline)\n\n\
+                         numbers as JSON (control adds the mode timeline\n\
+                         and the per-epoch controller decision audit)\n\
+         --trace-sample  (engine/control) sample 1-in-N batches per\n\
+                         engine thread into --trace-out (0 = off; the\n\
+                         first batch per thread is always sampled)\n\
+         --listen        (engine/control) serve /metrics, /stats.json\n\
+                         and /flight.json live during the run\n\
+                         (e.g. 127.0.0.1:9184; port 0 = ephemeral)\n\
+         --serve-hold-ms (engine/control) keep --listen endpoints up\n\
+                         this long after the run ends\n\
+         --flight-dump   (engine/control) write the flight recorder\n\
+                         (per-thread black-box event rings) as JSON;\n\
+                         anomalous runs auto-dump FLIGHT_anomaly.json\n\n\
          `repro engine` runs the sharded wall-clock runtime (OS threads,\n\
          measured Mpps — machine-dependent, unlike every other experiment).\n\
          Default: 2 shards, 1 RX queue, 200k packets, flat-out, 64B\n\
@@ -254,6 +372,11 @@ fn parse_num(v: Option<&String>, flag: &str) -> usize {
         die(&format!("{flag} must be ≥ 1"));
     }
     n
+}
+
+fn parse_u64(v: Option<&String>, flag: &str) -> u64 {
+    v.and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a non-negative integer")))
 }
 
 fn parse_mpps(v: Option<&String>, flag: &str) -> f64 {

@@ -16,10 +16,11 @@
 use crate::output::Table;
 use crate::{workloads, ExpCtx};
 use serde::Serialize;
-use smartwatch_control::{simulate, ControlConfig, LoadProfile};
+use smartwatch_control::{simulate, ControlConfig, DecisionRecord, LoadProfile};
 use smartwatch_net::Packet;
 use smartwatch_runtime::{ControlReport, Engine, EngineConfig, EngineReport, Pace};
 use smartwatch_trace::background::Preset;
+use std::sync::Arc;
 
 /// One `repro control` invocation, fully specified.
 #[derive(Clone, Debug)]
@@ -42,6 +43,14 @@ pub struct ControlRunSpec {
     pub spike_end: f64,
     /// Controller epoch length in milliseconds.
     pub epoch_ms: u64,
+    /// Wall-clock trace sampling for the controlled run: 1-in-N batches
+    /// per engine thread (0 = off).
+    pub trace_sample: u64,
+    /// Bind this address and serve the live observability endpoints for
+    /// the duration of the controlled run.
+    pub listen: Option<String>,
+    /// Keep `--listen` endpoints up this long after the controlled run.
+    pub serve_hold_ms: u64,
 }
 
 impl Default for ControlRunSpec {
@@ -56,6 +65,9 @@ impl Default for ControlRunSpec {
             spike_start: 0.2,
             spike_end: 0.8,
             epoch_ms: 2,
+            trace_sample: 0,
+            listen: None,
+            serve_hold_ms: 0,
         }
     }
 }
@@ -120,14 +132,33 @@ pub fn control_run(ctx: &ExpCtx, spec: &ControlRunSpec) -> Table {
 /// [`control_run`], also handing back both raw reports for
 /// machine-readable output ([`bench_json`], CI artifacts).
 pub fn control_run_report(ctx: &ExpCtx, spec: &ControlRunSpec) -> (Table, ControlOutcome) {
+    let (table, outcome, _) = control_run_full(ctx, spec);
+    (table, outcome)
+}
+
+/// [`control_run_report`], also handing back the controlled [`Engine`]
+/// so callers can dump its flight recorder (mode switches, shed edges)
+/// after the run.
+pub fn control_run_full(
+    ctx: &ExpCtx,
+    spec: &ControlRunSpec,
+) -> (Table, ControlOutcome, Arc<Engine>) {
     let packets = control_workload(spec, ctx.scale);
     let pace = spike_pace(spec);
 
     let mut cfg = EngineConfig::new(spec.shards);
     cfg.rx_queues = spec.rx_queues;
     cfg.batch = spec.batch;
-    let controlled = Engine::with_registry(cfg.with_control(control_config(spec)), &ctx.registry)
-        .run(&packets, pace);
+    cfg.trace_sample = spec.trace_sample;
+    let mut engine = Engine::with_registry(cfg.with_control(control_config(spec)), &ctx.registry);
+    engine.attach_tracer(&ctx.tracer);
+    let engine = Arc::new(engine);
+    let controlled = crate::exp_engine::serve_during(
+        &engine,
+        spec.listen.as_deref(),
+        spec.serve_hold_ms,
+        || engine.run(&packets, pace),
+    );
 
     // Baseline: same spike, no controller, private registry so the two
     // runs' counters don't mix in `--metrics-json`.
@@ -140,7 +171,7 @@ pub fn control_run_report(ctx: &ExpCtx, spec: &ControlRunSpec) -> (Table, Contro
         controlled,
         baseline,
     };
-    (render(spec, &outcome), outcome)
+    (render(spec, &outcome), outcome, engine)
 }
 
 /// One engine run's headline numbers in the bench artifact.
@@ -193,6 +224,42 @@ struct TimelineJson {
     event: String,
 }
 
+/// One per-epoch controller decision in the bench artifact: the inputs
+/// the controller saw and every output it decided (mirrors
+/// [`DecisionRecord`]).
+#[derive(Debug, Serialize)]
+struct DecisionJson {
+    epoch: u64,
+    offered_mpps: f64,
+    smoothed_mpps: Vec<f64>,
+    max_backlog: u64,
+    modes: Vec<String>,
+    shed: bool,
+    promotions: u64,
+    whitelist_evictions: u64,
+    whitelist_len: u64,
+    blacklist_len: u64,
+    snapshot_published: bool,
+}
+
+impl DecisionJson {
+    fn from(d: &DecisionRecord) -> DecisionJson {
+        DecisionJson {
+            epoch: d.epoch,
+            offered_mpps: d.offered_mpps,
+            smoothed_mpps: d.smoothed_mpps.clone(),
+            max_backlog: d.max_backlog,
+            modes: d.modes.iter().map(|m| m.label().to_string()).collect(),
+            shed: d.shed,
+            promotions: d.promotions,
+            whitelist_evictions: d.whitelist_evictions,
+            whitelist_len: d.whitelist_len as u64,
+            blacklist_len: d.blacklist_len as u64,
+            snapshot_published: d.snapshot_published,
+        }
+    }
+}
+
 /// The controller's side of the artifact (mirrors [`ControlReport`]).
 #[derive(Debug, Serialize)]
 struct CtrlJson {
@@ -208,6 +275,8 @@ struct CtrlJson {
     final_modes: Vec<String>,
     timeline: Vec<TimelineJson>,
     timeline_dropped: u64,
+    decisions: Vec<DecisionJson>,
+    decisions_dropped: u64,
 }
 
 impl CtrlJson {
@@ -236,6 +305,8 @@ impl CtrlJson {
                 })
                 .collect(),
             timeline_dropped: c.timeline_dropped,
+            decisions: c.decisions.iter().map(DecisionJson::from).collect(),
+            decisions_dropped: c.decisions_dropped,
         }
     }
 }

@@ -13,6 +13,7 @@ use smartwatch_net::Packet;
 use smartwatch_runtime::{Engine, EngineConfig, EngineReport, Pace};
 use smartwatch_telemetry::HistSnapshot;
 use smartwatch_trace::background::Preset;
+use std::sync::Arc;
 
 /// Which replay workload the engine run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +42,15 @@ pub struct EngineRunSpec {
     pub rate_mpps: Option<f64>,
     /// Replay workload.
     pub workload: EngineWorkload,
+    /// Wall-clock trace sampling: 1-in-N batches per engine thread
+    /// (0 = off; the first unit of work per thread is always sampled).
+    pub trace_sample: u64,
+    /// Bind this address and serve `/metrics`, `/stats.json` and
+    /// `/flight.json` live for the duration of the run.
+    pub listen: Option<String>,
+    /// Keep the `--listen` endpoints up this long after the run ends,
+    /// so scrapers can read the settled final counters.
+    pub serve_hold_ms: u64,
 }
 
 impl Default for EngineRunSpec {
@@ -53,6 +63,9 @@ impl Default for EngineRunSpec {
             host_workers: 1,
             rate_mpps: None,
             workload: EngineWorkload::Stress,
+            trace_sample: 0,
+            listen: None,
+            serve_hold_ms: 0,
         }
     }
 }
@@ -85,19 +98,55 @@ pub fn engine_run(ctx: &ExpCtx, spec: &EngineRunSpec) -> Table {
 /// [`engine_run`], also handing back the raw [`EngineReport`] for
 /// machine-readable output ([`bench_json`], CI artifacts).
 pub fn engine_run_report(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineReport) {
+    let (table, report, _) = engine_run_full(ctx, spec);
+    (table, report)
+}
+
+/// [`engine_run_report`], also handing back the [`Engine`] itself so
+/// callers can dump its flight recorder or decision audit after the run
+/// (`--flight-dump`, anomaly artifacts).
+pub fn engine_run_full(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineReport, Arc<Engine>) {
     let packets = engine_workload(spec, ctx.scale);
     let mut cfg = EngineConfig::new(spec.shards);
     cfg.rx_queues = spec.rx_queues;
     cfg.batch = spec.batch;
     cfg.host_workers = spec.host_workers;
+    cfg.trace_sample = spec.trace_sample;
     let pace = match spec.rate_mpps {
         Some(r) => Pace::RateMpps(r),
         None => Pace::Flatout,
     };
-    let engine = Engine::with_registry(cfg, &ctx.registry);
-    let report = engine.run(&packets, pace);
+    let mut engine = Engine::with_registry(cfg, &ctx.registry);
+    engine.attach_tracer(&ctx.tracer);
+    let engine = Arc::new(engine);
+    let report = serve_during(&engine, spec.listen.as_deref(), spec.serve_hold_ms, || {
+        engine.run(&packets, pace)
+    });
     let table = render(spec, pace, &report);
-    (table, report)
+    (table, report, engine)
+}
+
+/// Run `work` with the live observability endpoints up on `listen` (if
+/// any), holding them for `hold_ms` after the work completes so
+/// scrapers can read the settled final counters.
+pub(crate) fn serve_during<T>(
+    engine: &Arc<Engine>,
+    listen: Option<&str>,
+    hold_ms: u64,
+    work: impl FnOnce() -> T,
+) -> T {
+    let server = listen.map(|addr| {
+        crate::serve::serve(addr, engine)
+            .unwrap_or_else(|e| panic!("repro: binding --listen {addr}: {e}"))
+    });
+    let out = work();
+    if let Some(server) = server {
+        if hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+        }
+        server.shutdown();
+    }
+    out
 }
 
 /// One stage's tail latencies in the bench artifact.
@@ -141,6 +190,7 @@ struct EngineBenchJson {
     queue_ns: StageJson,
     cache_ns: StageJson,
     detect_ns: StageJson,
+    escalate_ns: StageJson,
 }
 
 /// The CI benchmark artifact (`BENCH_engine.json`): one flat JSON object
@@ -168,6 +218,7 @@ pub fn bench_json(spec: &EngineRunSpec, r: &EngineReport) -> String {
         queue_ns: StageJson::from(&r.stage.queue_ns),
         cache_ns: StageJson::from(&r.stage.cache_ns),
         detect_ns: StageJson::from(&r.stage.detect_ns),
+        escalate_ns: StageJson::from(&r.stage.escalate_ns),
     };
     serde_json::to_string_pretty(&v).expect("bench report serializes")
 }
@@ -215,10 +266,12 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
         r.verdicts_published.to_string(),
     ]);
     t.note(format!(
-        "stage latency ns (p50/p90/p99): queue-wait {} | flowcache {} | detectors {}",
+        "stage latency ns (p50/p90/p99): queue-wait {} | flowcache {} | detectors {} \
+         | escalation round-trip {}",
         ns_cell(&r.stage.queue_ns),
         ns_cell(&r.stage.cache_ns),
         ns_cell(&r.stage.detect_ns),
+        ns_cell(&r.stage.escalate_ns),
     ));
     t.note(format!(
         "delivered batch size: mean {:.1} pkts (configured {})",

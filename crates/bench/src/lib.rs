@@ -17,6 +17,7 @@ pub mod exp_engine;
 pub mod exp_scale;
 pub mod exp_traffic;
 pub mod output;
+pub mod serve;
 pub mod workloads;
 
 use output::Table;

@@ -1,0 +1,109 @@
+//! Live observability endpoints over a running [`Engine`].
+//!
+//! `repro engine --listen 127.0.0.1:9184` binds the std-only HTTP
+//! listener from [`smartwatch_telemetry::http`] and serves three routes
+//! for the lifetime of the run (plus `--serve-hold-ms` afterwards):
+//!
+//! * `/metrics` — the shared registry in Prometheus text exposition
+//!   format ([`Snapshot::to_prometheus`](smartwatch_telemetry::Snapshot::to_prometheus)).
+//! * `/stats.json` — [`Engine::stats_json`]: live EngineReport-shaped
+//!   conservation counters, per-shard/per-queue breakdowns, stage
+//!   latency snapshots, and the controller decision audit.
+//! * `/flight.json` — the engine's flight recorder
+//!   ([`FlightRecorder::to_json`](smartwatch_telemetry::FlightRecorder::to_json)).
+//!
+//! Every handler is a snapshot read over lock-free state, so polling
+//! never perturbs the hot path beyond the shared-counter loads the
+//! engine already pays.
+
+use smartwatch_runtime::Engine;
+use smartwatch_telemetry::http::{HttpResponse, HttpServer, Route};
+use std::sync::Arc;
+
+/// Prometheus text exposition content type.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// The standard observability route set over one engine.
+pub fn routes(engine: &Arc<Engine>) -> Vec<Route> {
+    let metrics = Arc::clone(engine);
+    let stats = Arc::clone(engine);
+    let flight = Arc::clone(engine);
+    vec![
+        (
+            "/metrics".to_string(),
+            Box::new(move || {
+                HttpResponse::ok(
+                    PROMETHEUS_CONTENT_TYPE,
+                    metrics.registry().snapshot().to_prometheus(),
+                )
+            }),
+        ),
+        (
+            "/stats.json".to_string(),
+            Box::new(move || HttpResponse::ok("application/json", stats.stats_json())),
+        ),
+        (
+            "/flight.json".to_string(),
+            Box::new(move || HttpResponse::ok("application/json", flight.flight().to_json())),
+        ),
+    ]
+}
+
+/// Bind `addr` and serve [`routes`] over `engine` until the returned
+/// server is shut down (or dropped). Port 0 picks an ephemeral port;
+/// the bound address is announced on stderr so scripts can scrape it.
+pub fn serve(addr: &str, engine: &Arc<Engine>) -> std::io::Result<HttpServer> {
+    let server = HttpServer::serve(addr, routes(engine))?;
+    eprintln!(
+        "repro: serving /metrics /stats.json /flight.json on http://{}",
+        server.local_addr()
+    );
+    Ok(server)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartwatch_runtime::EngineConfig;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn all_three_routes_answer_before_and_after_a_run() {
+        let engine = Arc::new(Engine::new(EngineConfig::new(1)));
+        let server = serve("127.0.0.1:0", &engine).unwrap();
+        let addr = server.local_addr();
+
+        // Before any run: endpoints answer with empty-but-valid bodies.
+        let (status, body) = get(addr, "/stats.json");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+        assert_eq!(v.get("offered").and_then(|x| x.as_u64()), Some(0));
+
+        let (status, body) = get(addr, "/flight.json");
+        assert_eq!(status, 200);
+        assert!(serde_json::from_str::<serde_json::Value>(&body).is_ok());
+
+        let (status, _) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+
+        server.shutdown();
+    }
+}

@@ -80,6 +80,9 @@ pub struct ControlConfig {
     pub blacklist_capacity: usize,
     /// Bound on the retained event timeline (oldest dropped beyond).
     pub timeline_capacity: usize,
+    /// Bound on the retained per-epoch decision audit ring (oldest
+    /// [`DecisionRecord`]s dropped beyond).
+    pub decision_capacity: usize,
 }
 
 impl Default for ControlConfig {
@@ -100,6 +103,7 @@ impl Default for ControlConfig {
             whitelist_capacity: 65_536,
             blacklist_capacity: 65_536,
             timeline_capacity: 4096,
+            decision_capacity: 512,
         }
     }
 }
@@ -147,6 +151,39 @@ pub struct EpochDecision {
     /// Freshly built steering snapshot, present only when the steering
     /// state (tables or shed flag) changed this epoch.
     pub snapshot: Option<Arc<SteeringSnapshot>>,
+    /// Full audit record of the inputs and outputs of this epoch (also
+    /// retained in the controller's bounded decision ring).
+    pub record: DecisionRecord,
+}
+
+/// One epoch's decision audit: what the controller saw and what it did.
+/// Bounded copies live in the controller ([`ControlReport::decisions`])
+/// and, via the runtime, in `/stats.json` and `BENCH_control.json` —
+/// the answer to "why did the control plane do *that*?".
+#[derive(Clone, Debug, PartialEq)]
+pub struct DecisionRecord {
+    /// Epoch number (1-based).
+    pub epoch: u64,
+    /// Aggregate offered rate observed this epoch, Mpps.
+    pub offered_mpps: f64,
+    /// Per-shard Algorithm 4 EWMA-smoothed rate, Mpps.
+    pub smoothed_mpps: Vec<f64>,
+    /// Largest instantaneous escalation backlog across shards.
+    pub max_backlog: u64,
+    /// Decided per-shard mode.
+    pub modes: Vec<Mode>,
+    /// Shed state after this epoch.
+    pub shed: bool,
+    /// Heavy hitters promoted into the whitelist this epoch.
+    pub promotions: u64,
+    /// Whitelist entries expired by TTL this epoch.
+    pub whitelist_evictions: u64,
+    /// Whitelist size after this epoch.
+    pub whitelist_len: usize,
+    /// Blacklist size after this epoch.
+    pub blacklist_len: usize,
+    /// Whether a steering snapshot was published this epoch.
+    pub snapshot_published: bool,
 }
 
 /// A notable control-plane transition, kept in a bounded timeline for
@@ -223,6 +260,10 @@ pub struct ControlReport {
     pub timeline: Vec<ControlEvent>,
     /// Events dropped from the timeline because of the bound.
     pub timeline_dropped: u64,
+    /// Bounded per-epoch decision audit (oldest dropped past the bound).
+    pub decisions: Vec<DecisionRecord>,
+    /// Decision records dropped because of the bound.
+    pub decisions_dropped: u64,
 }
 
 impl ControlReport {
@@ -318,6 +359,8 @@ pub struct Controller {
     dirty: bool,
     timeline: VecDeque<ControlEvent>,
     timeline_dropped: u64,
+    decisions: VecDeque<DecisionRecord>,
+    decisions_dropped: u64,
 }
 
 impl Controller {
@@ -366,6 +409,8 @@ impl Controller {
             dirty: false,
             timeline: VecDeque::new(),
             timeline_dropped: 0,
+            decisions: VecDeque::new(),
+            decisions_dropped: 0,
         }
     }
 
@@ -564,8 +609,12 @@ impl Controller {
         }
 
         self.apply_verdicts(&input.verdicts);
+        let promos_before = self.counters.whitelist_promotions.get();
         self.promote_heavy(&input.heavy);
+        let promotions = self.counters.whitelist_promotions.get() - promos_before;
+        let evict_before = self.counters.whitelist_expired.get();
         self.age_tables();
+        let whitelist_evictions = self.counters.whitelist_expired.get() - evict_before;
 
         let offered_mpps = offered_delta_total as f64 / elapsed / 1e6;
         self.decide_shed(offered_mpps, max_backlog);
@@ -609,11 +658,35 @@ impl Controller {
             None
         };
 
+        let record = DecisionRecord {
+            epoch,
+            offered_mpps,
+            smoothed_mpps: self
+                .shards
+                .iter()
+                .map(|s| s.switcher.smoothed_rate() / 1e6)
+                .collect(),
+            max_backlog,
+            modes: modes.clone(),
+            shed,
+            promotions,
+            whitelist_evictions,
+            whitelist_len: self.whitelist.len(),
+            blacklist_len: self.blacklist.len(),
+            snapshot_published: snapshot.is_some(),
+        };
+        if self.decisions.len() == self.cfg.decision_capacity {
+            self.decisions.pop_front();
+            self.decisions_dropped += 1;
+        }
+        self.decisions.push_back(record.clone());
+
         EpochDecision {
             epoch,
             modes,
             shed,
             snapshot,
+            record,
         }
     }
 
@@ -642,6 +715,8 @@ impl Controller {
             shed_active: self.shed,
             timeline: self.timeline.iter().cloned().collect(),
             timeline_dropped: self.timeline_dropped,
+            decisions: self.decisions.iter().cloned().collect(),
+            decisions_dropped: self.decisions_dropped,
         }
     }
 }
@@ -868,6 +943,37 @@ mod tests {
             r.mode_switches - 8,
             "drops are accounted"
         );
+    }
+
+    #[test]
+    fn decision_audit_records_inputs_and_outputs() {
+        let cfg = ControlConfig {
+            shed_on_mpps: 4.0,
+            shed_off_mpps: 1.5,
+            shed_sustain_epochs: 2,
+            decision_capacity: 4,
+            ..ControlConfig::default()
+        };
+        let mut c = Controller::new(cfg);
+        let mut cum = Vec::new();
+        let d = c.epoch(&input(10.0, 2, 0.005, &mut cum));
+        assert_eq!(d.record.epoch, 1);
+        assert!(d.record.offered_mpps > 4.0, "audit carries the input rate");
+        assert_eq!(d.record.smoothed_mpps.len(), 2);
+        assert_eq!(d.record.modes, d.modes);
+        assert!(!d.record.shed);
+        for _ in 0..6 {
+            c.epoch(&input(10.0, 2, 0.005, &mut cum));
+        }
+        let r = c.report();
+        assert_eq!(r.decisions.len(), 4, "ring holds its bound");
+        assert_eq!(r.decisions_dropped, 3, "overflow is accounted");
+        let last = r.decisions.last().unwrap();
+        assert_eq!(last.epoch, 7, "newest record retained");
+        assert!(last.shed, "sustained overload shows up in the audit");
+        assert!(last.modes.iter().all(|&m| m == Mode::Lite));
+        // The ring and the per-epoch decision carry identical records.
+        assert_eq!(r.decisions[0].epoch, 4);
     }
 
     #[test]

@@ -46,7 +46,8 @@ pub mod sim;
 pub mod snapshot;
 
 pub use controller::{
-    ControlConfig, ControlEvent, ControlReport, Controller, EpochDecision, EpochInput, ShardSample,
+    ControlConfig, ControlEvent, ControlReport, Controller, DecisionRecord, EpochDecision,
+    EpochInput, ShardSample,
 };
 pub use sim::{simulate, LoadProfile, SimOutcome};
 pub use snapshot::{ModeCell, SnapshotCell, SnapshotReader, SteeringSnapshot};

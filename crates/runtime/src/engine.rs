@@ -26,23 +26,28 @@
 
 use crate::batch::{Batch, BufferPool, DigestedPacket};
 use crate::control::{ControlLog, LogReader};
-use crate::escalate::{HostPool, TriageNf};
+use crate::escalate::{HostObs, HostPool, TriageNf};
+use crate::obs::{ThreadTrace, TraceSpec};
 use crate::shard::{
     ControlHooks, Escalation, LaneRx, MergePolicy, ShardCounters, ShardEndState, ShardMsg,
-    ShardStats, ShardWorker, StageHists,
+    ShardObs, ShardStats, ShardWorker, StageHists,
 };
 use crate::spsc::{spsc, Producer};
+use serde::{Number, Value};
 use smartwatch_control::{
-    ControlConfig, ControlReport, Controller, EpochInput, ModeCell, ShardSample, SnapshotCell,
-    SnapshotReader, SteeringSnapshot,
+    ControlConfig, ControlReport, Controller, DecisionRecord, EpochInput, ModeCell, ShardSample,
+    SnapshotCell, SnapshotReader, SteeringSnapshot,
 };
 use smartwatch_net::hash::{queue_for_digest, shard_for_digest, splitmix64};
 use smartwatch_net::{FlowHasher, Packet};
-use smartwatch_snic::{FlowCache, FlowCacheConfig};
-use smartwatch_telemetry::{Counter, HistSnapshot, Registry};
+use smartwatch_snic::{FlowCache, FlowCacheConfig, Mode};
+use smartwatch_telemetry::{
+    Counter, FlightKind, FlightRecorder, FlightRing, HistSnapshot, Registry, Tracer, WallAnchor,
+};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
@@ -87,6 +92,14 @@ pub struct EngineConfig {
     /// runs the engine open-loop (the pre-control behaviour, and the
     /// deterministic-test configuration).
     pub control: Option<ControlConfig>,
+    /// Wall-clock trace sampling period: emit chrome-trace spans for
+    /// 1 in `trace_sample` batches per thread (`0` disables tracing
+    /// entirely — the hot path carries no `Instant` reads for it).
+    /// Takes effect only when a [`Tracer`] is attached via
+    /// [`Engine::attach_tracer`]. The sampling counters start at zero,
+    /// so every thread's *first* batch is always traced and every live
+    /// thread owns at least one span at any period.
+    pub trace_sample: u64,
 }
 
 impl EngineConfig {
@@ -107,6 +120,7 @@ impl EngineConfig {
             enforce_verdicts: true,
             hash_seed: 0x51CC,
             control: None,
+            trace_sample: 0,
         }
     }
 
@@ -164,6 +178,14 @@ pub enum Pace {
 pub struct Engine {
     cfg: EngineConfig,
     registry: Registry,
+    /// Chrome-trace sink for sampled wall-clock spans; set by
+    /// [`Engine::attach_tracer`], inert without one.
+    tracer: Option<Tracer>,
+    /// Always-on black box: bounded lock-free per-thread event rings.
+    flight: FlightRecorder,
+    /// Controller decision audit mirrored out of the control thread so
+    /// live readers (`/stats.json`) can see it mid-run.
+    decisions: Arc<Mutex<VecDeque<DecisionRecord>>>,
 }
 
 impl Engine {
@@ -181,12 +203,162 @@ impl Engine {
         Engine {
             cfg,
             registry: registry.clone(),
+            tracer: None,
+            flight: FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY),
+            decisions: Arc::new(Mutex::new(VecDeque::new())),
         }
     }
 
     /// The metric registry the engine publishes into.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Attach a chrome-trace sink. Spans are emitted only when
+    /// [`EngineConfig::trace_sample`] is non-zero; each engine thread
+    /// opens its own track (`sw-rxq-{q}`, `sw-shard-{i}`,
+    /// `sw-host-{w}`, `sw-control`) named after the OS thread.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = Some(tracer.clone());
+    }
+
+    /// The engine's flight recorder (drop/mode-switch black box).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The controller's per-epoch decision audit so far (bounded to the
+    /// control config's `decision_capacity`; empty without a control
+    /// plane). Safe to call mid-run — this is what `/stats.json` serves.
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.decisions
+            .lock()
+            .expect("decision audit poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The live `/stats.json` document: [`EngineReport`]-shaped counters
+    /// read straight from the registry atomics, so it is safe to call
+    /// from any thread at any time. Mid-run, values are at most one
+    /// checkpoint (dispatchers) or one batch (shards) stale; after
+    /// `run()` returns, the conservation counters match the final
+    /// report exactly.
+    pub fn stats_json(&self) -> String {
+        let cfg = &self.cfg;
+        let u = |v: u64| Value::Number(Number::U(v));
+
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let (mut ingested, mut processed, mut ingest_dropped, mut shed, mut steer_dropped) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut shards_balanced = true;
+        for i in 0..cfg.shards {
+            let l = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &l)];
+            let get = |name: &str| self.registry.counter(name, labels).get();
+            let s_ing = get("runtime.shard.ingested");
+            let s_proc = get("runtime.shard.processed");
+            let s_drop = get("runtime.shard.ingest_dropped");
+            let s_shed = get("runtime.shard.shed");
+            let s_steer = get("runtime.shard.steer_dropped");
+            ingested += s_ing;
+            processed += s_proc;
+            ingest_dropped += s_drop;
+            shed += s_shed;
+            steer_dropped += s_steer;
+            shards_balanced &= s_ing == s_proc;
+            shards.push(Value::Object(vec![
+                ("shard".into(), u(i as u64)),
+                ("ingested".into(), u(s_ing)),
+                ("ingest_dropped".into(), u(s_drop)),
+                ("shed".into(), u(s_shed)),
+                ("steer_dropped".into(), u(s_steer)),
+                ("processed".into(), u(s_proc)),
+                (
+                    "verdict_dropped".into(),
+                    u(get("runtime.shard.verdict_dropped")),
+                ),
+                ("fast_path".into(), u(get("runtime.shard.fast_path"))),
+                ("escalated".into(), u(get("runtime.shard.escalated"))),
+                (
+                    "escalation_dropped".into(),
+                    u(get("runtime.shard.escalation_dropped")),
+                ),
+                ("ctrl_applied".into(), u(get("runtime.shard.ctrl_applied"))),
+                ("alerts".into(), u(get("runtime.shard.alerts"))),
+            ]));
+        }
+
+        let mut queues = Vec::with_capacity(cfg.rx_queues);
+        let (mut q_offered, mut q_ingested) = (0u64, 0u64);
+        let mut queues_balanced = true;
+        for q in 0..cfg.rx_queues {
+            let l = q.to_string();
+            let labels: &[(&str, &str)] = &[("queue", &l)];
+            let get = |name: &str| self.registry.counter(name, labels).get();
+            let off = get("runtime.queue.offered");
+            let ing = get("runtime.queue.ingested");
+            let drop = get("runtime.queue.ingest_dropped");
+            let qshed = get("runtime.queue.shed");
+            let qsteer = get("runtime.queue.steer_dropped");
+            q_offered += off;
+            q_ingested += ing;
+            queues_balanced &= off == ing + drop + qshed + qsteer;
+            queues.push(Value::Object(vec![
+                ("queue".into(), u(q as u64)),
+                ("offered".into(), u(off)),
+                ("ingested".into(), u(ing)),
+                ("ingest_dropped".into(), u(drop)),
+                ("shed".into(), u(qshed)),
+                ("steer_dropped".into(), u(qsteer)),
+            ]));
+        }
+
+        // The same two-axis conservation law as EngineReport::conserved,
+        // over the live counter values.
+        let conserved = ingested + ingest_dropped + shed + steer_dropped == q_offered
+            && shards_balanced
+            && queues_balanced
+            && q_ingested == ingested;
+
+        let hist = |name: &str| hist_value(&self.registry.histogram(name, &[]).snapshot());
+        let doc = Value::Object(vec![
+            ("offered".into(), u(q_offered)),
+            ("processed".into(), u(processed)),
+            ("ingest_dropped".into(), u(ingest_dropped)),
+            ("shed".into(), u(shed)),
+            ("steer_dropped".into(), u(steer_dropped)),
+            (
+                "host_processed".into(),
+                u(self.registry.counter("runtime.host.processed", &[]).get()),
+            ),
+            ("conserved".into(), Value::Bool(conserved)),
+            ("shards".into(), Value::Array(shards)),
+            ("queues".into(), Value::Array(queues)),
+            (
+                "stage".into(),
+                Value::Object(vec![
+                    ("queue_ns".into(), hist("runtime.stage.queue_ns")),
+                    ("cache_ns".into(), hist("runtime.stage.cache_ns")),
+                    ("detect_ns".into(), hist("runtime.stage.detect_ns")),
+                    ("escalate_ns".into(), hist("runtime.stage.escalate_ns")),
+                    ("batch_pkts".into(), hist("runtime.stage.batch_pkts")),
+                ]),
+            ),
+            (
+                "decisions".into(),
+                Value::Array(self.decisions().iter().map(decision_value).collect()),
+            ),
+            (
+                "flight".into(),
+                Value::Object(vec![
+                    ("recorded".into(), u(self.flight.total_recorded())),
+                    ("dropped".into(), u(self.flight.total_dropped())),
+                ]),
+            ),
+        ]);
+        serde::json::write(&doc, false)
     }
 
     /// Replay `packets` through the full pipeline and block until every
@@ -203,6 +375,26 @@ impl Engine {
         let stage = StageHists::registered(&self.registry);
         let host_processed = self.registry.counter("runtime.host.processed", &[]);
 
+        // One wall-clock origin for the whole run: every thread maps
+        // its `Instant`s through this anchor, so all trace tracks share
+        // an axis. Tracing is live only with a tracer attached AND a
+        // non-zero sampling period — otherwise the spec stays `None`
+        // and the hot paths skip even the `Instant` reads.
+        let anchor = WallAnchor::new();
+        let spec: Option<TraceSpec> =
+            self.tracer
+                .as_ref()
+                .filter(|_| cfg.trace_sample > 0)
+                .map(|t| TraceSpec {
+                    tracer: t.clone(),
+                    anchor,
+                    every: cfg.trace_sample,
+                });
+        self.decisions
+            .lock()
+            .expect("decision audit poisoned")
+            .clear();
+
         // Host pool (None = inline triage on each shard).
         let pool = (cfg.host_workers > 0).then(|| {
             let threshold = cfg.triage_threshold;
@@ -211,6 +403,7 @@ impl Engine {
                 cfg.host_queue,
                 Arc::clone(&log),
                 host_processed.clone(),
+                HostObs::new(stage.escalate_ns.clone(), spec.clone()),
                 move |_| Box::new(TriageNf::new(threshold)),
             )
         });
@@ -260,6 +453,12 @@ impl Engine {
                 *slot = Some(snap_cell.reader());
             }
             let epoch = Duration::from_millis(ctrl_cfg.epoch_ms.max(1));
+            let obs = CtrlObs {
+                flight: self.flight.ring("sw-control"),
+                trace: spec.as_ref().map(|s| s.thread("sw-control")),
+                audit: Arc::clone(&self.decisions),
+                audit_cap: ctrl_cfg.decision_capacity.max(1),
+            };
             let ctrl = Controller::with_registry(ctrl_cfg, &self.registry);
             let reader = log.reader();
             let stop = Arc::new(AtomicBool::new(false));
@@ -284,6 +483,7 @@ impl Engine {
                         snap_cell,
                         stop,
                         epoch,
+                        obs,
                     )
                 })
                 .expect("spawn controller thread");
@@ -339,6 +539,10 @@ impl Engine {
                 cfg.merge,
                 cfg.batch,
                 shard_hooks[i].take(),
+                ShardObs {
+                    flight: self.flight.ring(format!("sw-shard-{i}")),
+                    trace: spec.as_ref().map(|s| s.thread(format!("sw-shard-{i}"))),
+                },
             );
             handles.push(
                 std::thread::Builder::new()
@@ -377,6 +581,8 @@ impl Engine {
                     steer: queue_steer[q].take(),
                     plan,
                     start,
+                    flight: self.flight.ring(format!("sw-rxq-{q}")),
+                    trace: spec.as_ref().map(|s| s.thread(format!("sw-rxq-{q}"))),
                 };
                 std::thread::Builder::new()
                     .name(format!("sw-rxq-{q}"))
@@ -410,7 +616,7 @@ impl Engine {
             .zip(&ends)
             .map(|(c, e)| c.snapshot(*e))
             .collect();
-        EngineReport {
+        let report = EngineReport {
             offered: packets.len() as u64,
             elapsed,
             shards,
@@ -422,9 +628,32 @@ impl Engine {
                 queue_ns: stage.queue_ns.snapshot(),
                 cache_ns: stage.cache_ns.snapshot(),
                 detect_ns: stage.detect_ns.snapshot(),
+                escalate_ns: stage.escalate_ns.snapshot(),
                 batch_pkts: stage.batch_pkts.snapshot(),
             },
+        };
+        // Close out the black box: a conservation failure records its
+        // delta (the smoking gun a post-mortem dump starts from), and
+        // every run ends with a RunEnd marker.
+        let eng_ring = self.flight.ring("sw-engine");
+        if !report.conserved() {
+            let accounted = report
+                .shards
+                .iter()
+                .map(|s| s.ingested + s.ingest_dropped + s.shed + s.steer_dropped)
+                .sum::<u64>();
+            eng_ring.record(
+                FlightKind::ConservationDelta,
+                report.offered.abs_diff(accounted),
+                report.offered,
+            );
         }
+        eng_ring.record(
+            FlightKind::RunEnd,
+            u64::from(report.conserved()),
+            report.offered,
+        );
+        report
     }
 }
 
@@ -552,8 +781,9 @@ fn split_streams(packets: &[Packet], r: usize, seed: u64, hasher: &FlowHasher) -
 }
 
 /// Plain-integer per-queue tallies, folded into the shared
-/// [`QueueCounters`] atomics once per dispatch stream (nothing reads
-/// them mid-run — unlike the per-shard counters the controller samples).
+/// [`QueueCounters`] atomics at every 256-packet checkpoint (so live
+/// readers — `/stats.json`, `/metrics` — see queue counters at most a
+/// checkpoint stale) and once more at end of stream.
 #[derive(Default)]
 struct QueueLocal {
     offered: u64,
@@ -579,6 +809,10 @@ struct RxDispatcher<'a> {
     steer: Option<SnapshotReader<SteeringSnapshot>>,
     plan: PacePlan,
     start: Instant,
+    /// This queue's flight-recorder ring (always on; drop events only).
+    flight: FlightRing,
+    /// Sampled dispatch-block trace track (`None` when tracing is off).
+    trace: Option<ThreadTrace>,
 }
 
 impl RxDispatcher<'_> {
@@ -594,6 +828,12 @@ impl RxDispatcher<'_> {
         let paced = self.plan.paced();
         let mut bufs: Vec<Vec<DigestedPacket>> = (0..n).map(|_| self.pool.acquire()).collect();
         let mut local = QueueLocal::default();
+        // Dispatch-block trace state: blocks are the 256-packet
+        // checkpoint windows; one sampling decision per block covers
+        // the whole window's span.
+        let mut block_t0 = self.start;
+        let mut block_sampled = false;
+        let mut block_idx = 0u64;
         for (k, i) in stream.enumerate() {
             let pkt = &packets[i];
             local.offered += 1;
@@ -605,6 +845,30 @@ impl RxDispatcher<'_> {
                 // the controller published since the last check.
                 if let Some(sr) = self.steer.as_mut() {
                     sr.refresh();
+                }
+                if k > 0 {
+                    // Coalesced black-box deltas for the finished block
+                    // (`local` resets each checkpoint, so its values are
+                    // exactly the per-block deltas), then the live fold.
+                    block_idx = (k / 256) as u64;
+                    if local.shed > 0 {
+                        self.flight
+                            .record(FlightKind::ShedDrop, local.shed, block_idx);
+                    }
+                    if local.steer_dropped > 0 {
+                        self.flight
+                            .record(FlightKind::SteerDrop, local.steer_dropped, block_idx);
+                    }
+                    self.queue.fold(&mut local);
+                }
+                if let Some(tt) = self.trace.as_mut() {
+                    if k > 0 && block_sampled {
+                        tt.span_since(block_t0, "dispatch", "rxq");
+                    }
+                    block_sampled = tt.tick();
+                    if block_sampled {
+                        block_t0 = Instant::now();
+                    }
                 }
             }
             let (canon, digest) = self.hasher.digest_symmetric(&pkt.key);
@@ -638,6 +902,11 @@ impl RxDispatcher<'_> {
                 self.flush(s, batch, paced, &mut local);
             }
         }
+        if block_sampled {
+            if let Some(tt) = &self.trace {
+                tt.span_since(block_t0, "dispatch", "rxq");
+            }
+        }
         for (s, buf) in bufs.iter_mut().enumerate() {
             if !buf.is_empty() {
                 let batch = std::mem::take(buf);
@@ -646,11 +915,15 @@ impl RxDispatcher<'_> {
             // Stop is never dropped: it blocks until a slot frees up.
             self.producers[s].push_blocking(ShardMsg::Stop);
         }
-        self.queue.offered.add(local.offered);
-        self.queue.ingested.add(local.ingested);
-        self.queue.ingest_dropped.add(local.ingest_dropped);
-        self.queue.shed.add(local.shed);
-        self.queue.steer_dropped.add(local.steer_dropped);
+        if local.shed > 0 {
+            self.flight
+                .record(FlightKind::ShedDrop, local.shed, block_idx + 1);
+        }
+        if local.steer_dropped > 0 {
+            self.flight
+                .record(FlightKind::SteerDrop, local.steer_dropped, block_idx + 1);
+        }
+        self.queue.fold(&mut local);
     }
 
     fn flush(&self, s: usize, batch: Vec<DigestedPacket>, paced: bool, local: &mut QueueLocal) {
@@ -672,6 +945,7 @@ impl RxDispatcher<'_> {
                 Err(ShardMsg::Batch(b)) => {
                     self.counters[s].ingest_dropped.add(len);
                     local.ingest_dropped += len;
+                    self.flight.record(FlightKind::IngestDrop, s as u64, len);
                     self.pool.give_back(b.pkts);
                 }
                 Err(ShardMsg::Stop) => unreachable!("flush only pushes batches"),
@@ -687,6 +961,24 @@ impl RxDispatcher<'_> {
         let depth = tx.len() as f64;
         self.counters[s].queue_depth.set(depth);
         self.counters[s].queue_depth_peak.set_max(depth);
+    }
+}
+
+/// Observability wiring for the controller thread: its flight ring,
+/// its optional trace track, and the shared decision-audit mirror that
+/// live readers (`Engine::decisions`, `/stats.json`) poll mid-run.
+struct CtrlObs {
+    flight: FlightRing,
+    trace: Option<ThreadTrace>,
+    audit: Arc<Mutex<VecDeque<DecisionRecord>>>,
+    audit_cap: usize,
+}
+
+/// Stable numeric encoding of a FlowCache mode for flight-event args.
+fn mode_code(m: Mode) -> u64 {
+    match m {
+        Mode::General => 0,
+        Mode::Lite => 1,
     }
 }
 
@@ -709,8 +1001,11 @@ fn controller_loop(
     snap_cell: Arc<SnapshotCell<SteeringSnapshot>>,
     stop: Arc<AtomicBool>,
     epoch: Duration,
+    mut obs: CtrlObs,
 ) -> ControlReport {
     let mut last = Instant::now();
+    let mut prev_modes: Vec<Mode> = vec![Mode::General; counters.len()];
+    let mut prev_shed = false;
     loop {
         let done = stop.load(Ordering::Acquire);
         if !done {
@@ -763,14 +1058,126 @@ fn controller_loop(
         for (cell, &m) in mode_cells.iter().zip(&decision.modes) {
             cell.set(m);
         }
+        // Black-box the epoch's notable transitions before publishing:
+        // per-shard mode flips, shed edges, promotions and evictions.
+        let record = &decision.record;
+        for (i, (&m, &p)) in decision.modes.iter().zip(&prev_modes).enumerate() {
+            if m != p {
+                obs.flight
+                    .record(FlightKind::ModeSwitch, i as u64, mode_code(m));
+            }
+        }
+        prev_modes.clone_from(&decision.modes);
+        if record.shed != prev_shed {
+            let kind = if record.shed {
+                FlightKind::ShedOn
+            } else {
+                FlightKind::ShedOff
+            };
+            obs.flight.record(kind, record.epoch, record.max_backlog);
+            prev_shed = record.shed;
+        }
+        if record.promotions > 0 {
+            obs.flight
+                .record(FlightKind::Promotion, record.promotions, record.epoch);
+        }
+        if record.whitelist_evictions > 0 {
+            obs.flight.record(
+                FlightKind::WhitelistEvict,
+                record.whitelist_evictions,
+                record.epoch,
+            );
+        }
+        // Mirror the decision into the shared audit so live readers see
+        // it without waiting for the final ControlReport.
+        {
+            let mut audit = obs.audit.lock().expect("decision audit poisoned");
+            if audit.len() == obs.audit_cap {
+                audit.pop_front();
+            }
+            audit.push_back(record.clone());
+        }
         if let Some(snap) = decision.snapshot {
             snap_cell.publish(snap);
+        }
+        if let Some(tt) = obs.trace.as_mut() {
+            if tt.tick() {
+                tt.span_since(now, "epoch apply", "control");
+            }
         }
         if done {
             log.release(reader);
             return ctrl.report();
         }
     }
+}
+
+/// Render a [`HistSnapshot`] as a JSON object — shared by
+/// [`Engine::stats_json`] and the bench JSON artifacts.
+pub fn hist_value(h: &HistSnapshot) -> Value {
+    Value::Object(vec![
+        ("count".into(), Value::Number(Number::U(h.count))),
+        ("sum".into(), Value::Number(Number::U(h.sum))),
+        ("min".into(), Value::Number(Number::U(h.min))),
+        ("max".into(), Value::Number(Number::U(h.max))),
+        ("mean".into(), Value::Number(Number::F(h.mean))),
+        ("p50".into(), Value::Number(Number::U(h.p50))),
+        ("p90".into(), Value::Number(Number::U(h.p90))),
+        ("p99".into(), Value::Number(Number::U(h.p99))),
+        ("p999".into(), Value::Number(Number::U(h.p999))),
+    ])
+}
+
+/// Render a controller [`DecisionRecord`] as a JSON object — shared by
+/// [`Engine::stats_json`] and the bench control timeline.
+pub fn decision_value(d: &DecisionRecord) -> Value {
+    Value::Object(vec![
+        ("epoch".into(), Value::Number(Number::U(d.epoch))),
+        (
+            "offered_mpps".into(),
+            Value::Number(Number::F(d.offered_mpps)),
+        ),
+        (
+            "smoothed_mpps".into(),
+            Value::Array(
+                d.smoothed_mpps
+                    .iter()
+                    .map(|&f| Value::Number(Number::F(f)))
+                    .collect(),
+            ),
+        ),
+        (
+            "max_backlog".into(),
+            Value::Number(Number::U(d.max_backlog)),
+        ),
+        (
+            "modes".into(),
+            Value::Array(
+                d.modes
+                    .iter()
+                    .map(|m| Value::String(m.label().into()))
+                    .collect(),
+            ),
+        ),
+        ("shed".into(), Value::Bool(d.shed)),
+        ("promotions".into(), Value::Number(Number::U(d.promotions))),
+        (
+            "whitelist_evictions".into(),
+            Value::Number(Number::U(d.whitelist_evictions)),
+        ),
+        (
+            "whitelist_len".into(),
+            Value::Number(Number::U(d.whitelist_len as u64)),
+        ),
+        (
+            "blacklist_len".into(),
+            Value::Number(Number::U(d.blacklist_len as u64)),
+        ),
+        (
+            "snapshot_published".into(),
+            Value::Bool(d.snapshot_published),
+        ),
+    ])
 }
 
 /// Per-RX-queue dispatcher counters, registered as
@@ -811,6 +1218,28 @@ impl QueueCounters {
             steer_dropped: self.steer_dropped.get(),
         }
     }
+
+    /// Fold a dispatcher's plain-integer tallies into the shared
+    /// atomics and reset them — called at checkpoints (live visibility)
+    /// and at end of stream (exactness).
+    fn fold(&self, local: &mut QueueLocal) {
+        if local.offered > 0 {
+            self.offered.add(local.offered);
+        }
+        if local.ingested > 0 {
+            self.ingested.add(local.ingested);
+        }
+        if local.ingest_dropped > 0 {
+            self.ingest_dropped.add(local.ingest_dropped);
+        }
+        if local.shed > 0 {
+            self.shed.add(local.shed);
+        }
+        if local.steer_dropped > 0 {
+            self.steer_dropped.add(local.steer_dropped);
+        }
+        *local = QueueLocal::default();
+    }
 }
 
 /// Frozen per-RX-queue dispatcher statistics (the report view). The
@@ -839,6 +1268,9 @@ pub struct StageSnapshot {
     pub cache_ns: HistSnapshot,
     /// Detector-suite stage per sampled packet, ns.
     pub detect_ns: HistSnapshot,
+    /// Host-escalation round trip (shard hand-off → verdict published),
+    /// ns. Inline triage records its synchronous call here.
+    pub escalate_ns: HistSnapshot,
     /// Delivered batch sizes, packets.
     pub batch_pkts: HistSnapshot,
 }

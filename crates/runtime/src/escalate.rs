@@ -10,14 +10,16 @@
 //! where shards apply them at batch boundaries.
 
 use crate::control::ControlLog;
+use crate::obs::TraceSpec;
 use smartwatch_host::{HostNf, Verdict};
 use smartwatch_net::{FlowKey, Packet};
-use smartwatch_telemetry::Counter;
+use smartwatch_telemetry::{Counter, Histogram};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::mpsc::{sync_channel, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// The engine's default host NF: per-source escalation triage.
 ///
@@ -62,9 +64,40 @@ impl HostNf for TriageNf {
     }
 }
 
+/// One escalated packet in flight to the host tier, stamped with the
+/// instant the shard handed it off so the host worker can account the
+/// full shard→host round-trip latency (`runtime.stage.escalate_ns`).
+pub(crate) struct Escalated {
+    pub pkt: Packet,
+    pub sent: Instant,
+}
+
+/// Observation sinks for the host pool: the escalation round-trip
+/// histogram plus (optionally) sampled per-worker trace tracks.
+#[derive(Clone)]
+pub struct HostObs {
+    escalate_ns: Histogram,
+    trace: Option<TraceSpec>,
+}
+
+impl HostObs {
+    /// An observation sink that records into nothing — for standalone
+    /// pools and tests that don't care about latency accounting.
+    pub fn detached() -> HostObs {
+        HostObs {
+            escalate_ns: Histogram::new(),
+            trace: None,
+        }
+    }
+
+    pub(crate) fn new(escalate_ns: Histogram, trace: Option<TraceSpec>) -> HostObs {
+        HostObs { escalate_ns, trace }
+    }
+}
+
 /// A pool of host NF workers draining one bounded escalation channel.
 pub struct HostPool {
-    tx: Option<SyncSender<Packet>>,
+    tx: Option<SyncSender<Escalated>>,
     handles: Vec<JoinHandle<()>>,
     /// Escalated packets actually processed by a host worker.
     pub processed: Counter,
@@ -74,19 +107,20 @@ impl HostPool {
     /// Spawn `workers` threads, each owning its own NF built by
     /// `make_nf(worker_idx)`. `queue` bounds in-flight escalations across
     /// the whole pool (the SR-IOV RX ring stand-in). Verdicts go straight
-    /// to `log`.
+    /// to `log`; round-trip latencies land in `obs`.
     pub fn spawn<F>(
         workers: usize,
         queue: usize,
         log: Arc<ControlLog>,
         processed: Counter,
+        obs: HostObs,
         make_nf: F,
     ) -> HostPool
     where
         F: Fn(usize) -> Box<dyn HostNf>,
     {
         assert!(workers >= 1, "pool needs at least one worker");
-        let (tx, rx) = sync_channel::<Packet>(queue.max(1));
+        let (tx, rx) = sync_channel::<Escalated>(queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|w| {
@@ -94,20 +128,37 @@ impl HostPool {
                 let log = Arc::clone(&log);
                 let mut nf = make_nf(w);
                 let processed = processed.clone();
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("sw-host-{w}"))
                     .spawn(move || {
+                        let mut trace =
+                            obs.trace.as_ref().map(|s| s.thread(format!("sw-host-{w}")));
                         let mut backoff = crate::batch::Backoff::new();
                         loop {
                             // Hold the receiver lock only for the non-blocking
                             // poll, so workers interleave rather than convoy.
                             let next = rx.lock().expect("pool receiver poisoned").try_recv();
                             match next {
-                                Ok(pkt) => {
+                                Ok(esc) => {
                                     backoff.reset();
                                     processed.inc();
-                                    for v in nf.on_packet(&pkt) {
+                                    for v in nf.on_packet(&esc.pkt) {
                                         log.publish(v);
+                                    }
+                                    // The full shard→verdict round trip,
+                                    // queueing included.
+                                    let rt = esc.sent.elapsed().as_nanos() as u64;
+                                    obs.escalate_ns.record(rt);
+                                    if let Some(tt) = trace.as_mut() {
+                                        if tt.tick() {
+                                            tt.span_at(
+                                                esc.sent,
+                                                rt,
+                                                "escalation round-trip",
+                                                "host",
+                                            );
+                                        }
                                     }
                                 }
                                 // Same spin→yield→park backoff as the shards:
@@ -132,13 +183,19 @@ impl HostPool {
     /// Enqueue one escalated packet; `false` means the pool ring was full
     /// (the caller must count the drop — never silent).
     pub fn try_send(&self, pkt: Packet) -> bool {
-        self.tx.as_ref().is_some_and(|tx| tx.try_send(pkt).is_ok())
+        self.tx.as_ref().is_some_and(|tx| {
+            tx.try_send(Escalated {
+                pkt,
+                sent: Instant::now(),
+            })
+            .is_ok()
+        })
     }
 
     /// A sender clone for a shard thread to own. The pool still shuts
     /// down cleanly only once every clone is dropped, so shards must be
     /// joined before `shutdown()` — the engine does exactly that.
-    pub(crate) fn sender(&self) -> SyncSender<Packet> {
+    pub(crate) fn sender(&self) -> SyncSender<Escalated> {
         self.tx.as_ref().expect("pool already shut down").clone()
     }
 
@@ -195,9 +252,15 @@ mod tests {
     #[test]
     fn pool_processes_everything_and_publishes_verdicts() {
         let log = Arc::new(ControlLog::new());
-        let pool = HostPool::spawn(2, 256, Arc::clone(&log), Counter::detached(), |_| {
-            Box::new(TriageNf::new(1))
-        });
+        let hist = Histogram::new();
+        let pool = HostPool::spawn(
+            2,
+            256,
+            Arc::clone(&log),
+            Counter::detached(),
+            HostObs::new(hist.clone(), None),
+            |_| Box::new(TriageNf::new(1)),
+        );
         let mut sent = 0u64;
         for i in 0..100u8 {
             if pool.try_send(pkt(i, 22)) {
@@ -210,6 +273,8 @@ mod tests {
         assert_eq!(processed.get(), 100, "shutdown drains the queue");
         // threshold=1 and distinct flows ⇒ one blacklist per packet.
         assert_eq!(log.len(), 100);
+        assert_eq!(hist.count(), 100, "every escalation records a round-trip");
+        assert!(hist.max() > 0, "round-trip latency is a real duration");
     }
 
     #[test]
@@ -225,7 +290,9 @@ mod tests {
             }
         }
         let log = Arc::new(ControlLog::new());
-        let pool = HostPool::spawn(1, 2, log, Counter::detached(), |_| Box::new(Stuck));
+        let pool = HostPool::spawn(1, 2, log, Counter::detached(), HostObs::detached(), |_| {
+            Box::new(Stuck)
+        });
         let mut rejected = false;
         for i in 0..64u8 {
             if !pool.try_send(pkt(i, 22)) {

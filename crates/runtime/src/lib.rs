@@ -54,11 +54,14 @@ pub(crate) mod batch;
 pub mod control;
 pub mod engine;
 pub mod escalate;
+pub(crate) mod obs;
 pub mod shard;
 pub mod spsc;
 
 pub use control::{ControlLog, LogReader};
-pub use engine::{Engine, EngineConfig, EngineReport, Pace, QueueStats, StageSnapshot};
-pub use escalate::{HostPool, TriageNf};
+pub use engine::{
+    decision_value, hist_value, Engine, EngineConfig, EngineReport, Pace, QueueStats, StageSnapshot,
+};
+pub use escalate::{HostObs, HostPool, TriageNf};
 pub use shard::{MergePolicy, ShardCounters, ShardStats};
-pub use smartwatch_control::{ControlConfig, ControlEvent, ControlReport};
+pub use smartwatch_control::{ControlConfig, ControlEvent, ControlReport, DecisionRecord};

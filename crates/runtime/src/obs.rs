@@ -1,0 +1,112 @@
+//! Observability plumbing for the wall-clock engine: sampled per-thread
+//! chrome-trace spans and the flight-recorder wiring.
+//!
+//! Tracing here is *wall-clock*: the engine anchors one
+//! [`WallAnchor`] at `run()` entry and every thread maps its
+//! `Instant`s onto the shared trace axis through it, so dispatcher,
+//! shard, host-worker and controller tracks line up in Perfetto.
+//! Spans are sampled 1-in-N units of work (batches, escalations,
+//! dispatch blocks) with the counter starting at zero — the *first*
+//! unit on every thread is always sampled, so every live thread owns
+//! at least one span in the output regardless of N.
+
+use smartwatch_net::Dur;
+use smartwatch_telemetry::{TraceShard, Tracer, WallAnchor};
+use std::time::Instant;
+
+/// The run-wide tracing recipe an engine hands to each thread: the
+/// shared [`Tracer`], the run's wall-clock anchor, and the 1-in-N
+/// sampling period. Cheap to clone; `None`-like when tracing is off
+/// (the engine simply doesn't build one).
+#[derive(Clone)]
+pub(crate) struct TraceSpec {
+    pub tracer: Tracer,
+    pub anchor: WallAnchor,
+    /// Sample every `every`-th unit of work (≥ 1).
+    pub every: u64,
+}
+
+impl TraceSpec {
+    /// Open a named per-thread track with its own sampling counter.
+    pub fn thread(&self, name: impl Into<String>) -> ThreadTrace {
+        ThreadTrace {
+            shard: self.tracer.shard(name),
+            anchor: self.anchor,
+            every: self.every.max(1),
+            count: 0,
+        }
+    }
+}
+
+/// One thread's sampled tracing handle: a chrome-trace track plus a
+/// local 1-in-N sampler. Not shared — each OS thread owns its own, so
+/// the sampling counter is a plain integer.
+pub(crate) struct ThreadTrace {
+    shard: TraceShard,
+    anchor: WallAnchor,
+    every: u64,
+    count: u64,
+}
+
+impl ThreadTrace {
+    /// Advance the sampler; `true` means the unit of work that is about
+    /// to start (or just finished) should emit spans. The first call
+    /// always returns `true`.
+    pub fn tick(&mut self) -> bool {
+        let hit = self.count.is_multiple_of(self.every);
+        self.count += 1;
+        hit
+    }
+
+    /// Emit a complete span from `t0` until now.
+    pub fn span_since(&self, t0: Instant, name: impl Into<String>, cat: &'static str) {
+        let (ts, dur) = self.anchor.span_since(t0);
+        self.shard.span(ts, dur, name, cat);
+    }
+
+    /// Emit a span that started at `at` and lasted `dur_ns` — for
+    /// durations measured elsewhere (e.g. a batch's lane wait, whose
+    /// start instant the *dispatcher* stamped).
+    pub fn span_at(&self, at: Instant, dur_ns: u64, name: impl Into<String>, cat: &'static str) {
+        self.shard
+            .span(self.anchor.ts_of(at), Dur::from_nanos(dur_ns), name, cat);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_unit_is_always_sampled() {
+        let spec = TraceSpec {
+            tracer: Tracer::new(16),
+            anchor: WallAnchor::new(),
+            every: 64,
+        };
+        let mut tt = spec.thread("t");
+        assert!(tt.tick(), "unit 0 sampled regardless of period");
+        for _ in 0..63 {
+            assert!(!tt.tick());
+        }
+        assert!(tt.tick(), "unit 64 sampled at period 64");
+    }
+
+    #[test]
+    fn spans_land_on_the_named_track() {
+        let tracer = Tracer::new(16);
+        let spec = TraceSpec {
+            tracer: tracer.clone(),
+            anchor: WallAnchor::new(),
+            every: 1,
+        };
+        let tt = spec.thread("sw-test-0");
+        let t0 = Instant::now();
+        tt.span_since(t0, "work", "test");
+        tt.span_at(t0, 1234, "wait", "test");
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("\"sw-test-0\""));
+        assert!(json.contains("\"work\""));
+        assert!(json.contains("\"wait\""));
+    }
+}

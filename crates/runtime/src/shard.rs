@@ -24,13 +24,14 @@
 
 use crate::batch::{Backoff, Batch, DigestedPacket, RecycleSender};
 use crate::control::{ControlLog, LogReader};
-use crate::escalate::TriageNf;
+use crate::escalate::{Escalated, TriageNf};
+use crate::obs::ThreadTrace;
 use smartwatch_control::{ModeCell, SnapshotReader, SteeringSnapshot};
 use smartwatch_core::{DetectorSuite, HostNeed};
 use smartwatch_host::{HostNf, Verdict};
-use smartwatch_net::{AgingDigestSet, BuildDigestHasher, FlowHasher, Packet};
+use smartwatch_net::{AgingDigestSet, BuildDigestHasher, FlowHasher};
 use smartwatch_snic::FlowCache;
-use smartwatch_telemetry::{Counter, Gauge, Histogram, Registry};
+use smartwatch_telemetry::{Counter, FlightKind, FlightRing, Gauge, Histogram, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
@@ -105,10 +106,19 @@ pub(crate) struct ControlHooks {
 
 /// Where a shard sends suspects (the ≤16% escalation path).
 pub(crate) enum Escalation {
-    /// Bounded channel into the shared host worker pool.
-    Pool(SyncSender<Packet>),
+    /// Bounded channel into the shared host worker pool. Payloads carry
+    /// the hand-off instant so the host side can time the round trip.
+    Pool(SyncSender<Escalated>),
     /// Synchronous per-shard triage (deterministic mode, `host_workers = 0`).
     Inline(TriageNf),
+}
+
+/// Per-shard observability wiring: the thread's flight-recorder ring
+/// (always on — events are rare and the ring is bounded) plus the
+/// optional sampled chrome-trace track.
+pub(crate) struct ShardObs {
+    pub flight: FlightRing,
+    pub trace: Option<ThreadTrace>,
 }
 
 /// Per-shard counters, registered as `runtime.shard.*{shard=N}`.
@@ -234,6 +244,9 @@ pub(crate) struct StageHists {
     pub cache_ns: Histogram,
     /// Detector-suite stage latency per sampled packet, ns.
     pub detect_ns: Histogram,
+    /// Host-escalation round-trip latency (shard hand-off → verdict
+    /// published), ns. Inline triage records its synchronous call here.
+    pub escalate_ns: Histogram,
     /// Batch sizes actually delivered, packets.
     pub batch_pkts: Histogram,
 }
@@ -244,6 +257,7 @@ impl StageHists {
             queue_ns: reg.histogram("runtime.stage.queue_ns", &[]),
             cache_ns: reg.histogram("runtime.stage.cache_ns", &[]),
             detect_ns: reg.histogram("runtime.stage.detect_ns", &[]),
+            escalate_ns: reg.histogram("runtime.stage.escalate_ns", &[]),
             batch_pkts: reg.histogram("runtime.stage.batch_pkts", &[]),
         }
     }
@@ -298,6 +312,9 @@ struct LocalBatchStats {
     cache_ns: Vec<u64>,
     /// Sampled detector stage latencies, ns.
     detect_ns: Vec<u64>,
+    /// Inline-triage round-trip latencies, ns (pool-mode round trips
+    /// are recorded host-side where the verdict lands).
+    escalate_ns: Vec<u64>,
 }
 
 /// The per-thread shard state.
@@ -331,6 +348,8 @@ pub(crate) struct ShardWorker {
     hooks: Option<ControlHooks>,
     /// Sampled per-digest packet counts since the last heavy flush.
     heavy_counts: HashMap<u64, u64, BuildDigestHasher>,
+    /// Flight ring + optional sampled trace track for this thread.
+    obs: ShardObs,
     local: LocalBatchStats,
     reader: LogReader,
     /// Batches consumed — the monotone clock the aging sets tick on.
@@ -353,6 +372,7 @@ impl ShardWorker {
         merge: MergePolicy,
         group: usize,
         hooks: Option<ControlHooks>,
+        obs: ShardObs,
     ) -> ShardWorker {
         let reader = log.reader();
         ShardWorker {
@@ -371,6 +391,7 @@ impl ShardWorker {
             whitelist: AgingDigestSet::new(VERDICT_SET_CAPACITY, VERDICT_TTL_BATCHES),
             hooks,
             heavy_counts: HashMap::default(),
+            obs,
             local: LocalBatchStats::default(),
             reader,
             batches: 0,
@@ -409,12 +430,23 @@ impl ShardWorker {
                 match lanes[j].rx.try_pop() {
                     Some(ShardMsg::Batch(batch)) => {
                         progressed = true;
-                        self.stage
-                            .queue_ns
-                            .record(batch.sent.elapsed().as_nanos() as u64);
+                        let wait_ns = batch.sent.elapsed().as_nanos() as u64;
+                        self.stage.queue_ns.record(wait_ns);
                         self.stage.batch_pkts.record(batch.pkts.len() as u64);
+                        // One sampling decision covers the batch's lane
+                        // wait and its processing span.
+                        let sampled = self.obs.trace.as_mut().is_some_and(ThreadTrace::tick);
+                        if sampled {
+                            if let Some(tt) = &self.obs.trace {
+                                tt.span_at(batch.sent, wait_ns, "lane wait", "lane");
+                            }
+                        }
                         self.control_tick();
+                        let t0 = sampled.then(Instant::now);
                         self.process_batch(&batch.pkts);
+                        if let (Some(t0), Some(tt)) = (t0, &self.obs.trace) {
+                            tt.span_since(t0, "shard process", "shard");
+                        }
                         self.flush_local();
                         lanes[j].recycle.give_back(batch.pkts);
                     }
@@ -459,6 +491,9 @@ impl ShardWorker {
             .collect();
         let mut backoff = Backoff::new();
         let mut in_group = 0usize;
+        // Start instant of the current merged group when it is sampled;
+        // groups are the ordered merge's batch-granularity unit.
+        let mut group_t0: Option<Instant> = None;
         loop {
             // Refill: every lane that can have a head batch gets one,
             // from its pending list first (arrival order), then its ring.
@@ -473,10 +508,14 @@ impl ShardWorker {
                     match l.lane.rx.try_pop() {
                         Some(ShardMsg::Batch(batch)) => {
                             progressed = true;
-                            self.stage
-                                .queue_ns
-                                .record(batch.sent.elapsed().as_nanos() as u64);
+                            let wait_ns = batch.sent.elapsed().as_nanos() as u64;
+                            self.stage.queue_ns.record(wait_ns);
                             self.stage.batch_pkts.record(batch.pkts.len() as u64);
+                            if self.obs.trace.as_mut().is_some_and(ThreadTrace::tick) {
+                                if let Some(tt) = &self.obs.trace {
+                                    tt.span_at(batch.sent, wait_ns, "lane wait", "lane");
+                                }
+                            }
                             l.cur = Some((batch.pkts, 0));
                         }
                         Some(ShardMsg::Stop) => {
@@ -500,10 +539,14 @@ impl ShardWorker {
                         match msg {
                             ShardMsg::Batch(batch) => {
                                 progressed = true;
-                                self.stage
-                                    .queue_ns
-                                    .record(batch.sent.elapsed().as_nanos() as u64);
+                                let wait_ns = batch.sent.elapsed().as_nanos() as u64;
+                                self.stage.queue_ns.record(wait_ns);
                                 self.stage.batch_pkts.record(batch.pkts.len() as u64);
+                                if self.obs.trace.as_mut().is_some_and(ThreadTrace::tick) {
+                                    if let Some(tt) = &self.obs.trace {
+                                        tt.span_at(batch.sent, wait_ns, "lane wait", "lane");
+                                    }
+                                }
                                 l.pending.push_back(batch.pkts);
                             }
                             ShardMsg::Stop => {
@@ -535,6 +578,12 @@ impl ShardWorker {
             backoff.reset();
             if in_group == 0 {
                 self.control_tick();
+                group_t0 = self
+                    .obs
+                    .trace
+                    .as_mut()
+                    .is_some_and(ThreadTrace::tick)
+                    .then(Instant::now);
             }
             let (buf, cursor) = lanes[j].cur.as_mut().expect("selected lane has a head");
             let dp = buf[*cursor];
@@ -543,6 +592,9 @@ impl ShardWorker {
             self.process_packet(&dp);
             in_group += 1;
             if in_group == self.group {
+                if let (Some(t0), Some(tt)) = (group_t0.take(), &self.obs.trace) {
+                    tt.span_since(t0, "shard process", "shard");
+                }
                 self.flush_local();
                 in_group = 0;
             }
@@ -552,6 +604,9 @@ impl ShardWorker {
             }
         }
         if in_group > 0 {
+            if let (Some(t0), Some(tt)) = (group_t0.take(), &self.obs.trace) {
+                tt.span_since(t0, "shard process", "shard");
+            }
             self.flush_local();
         }
         self.finish()
@@ -662,6 +717,13 @@ impl ShardWorker {
         }
         if l.escalation_dropped > 0 {
             self.counters.escalation_dropped.add(l.escalation_dropped);
+            // Coalesced per batch: one black-box event per batch that
+            // lost escalations, stamped with the batch clock.
+            self.obs.flight.record(
+                FlightKind::EscalationDrop,
+                l.escalation_dropped,
+                self.batches,
+            );
         }
         if l.alerts > 0 {
             self.counters.alerts.add(l.alerts);
@@ -671,6 +733,7 @@ impl ShardWorker {
         }
         self.stage.cache_ns.record_all(&l.cache_ns);
         self.stage.detect_ns.record_all(&l.detect_ns);
+        self.stage.escalate_ns.record_all(&l.escalate_ns);
         l.processed = 0;
         l.verdict_dropped = 0;
         l.fast_path = 0;
@@ -680,6 +743,7 @@ impl ShardWorker {
         l.host_inline = 0;
         l.cache_ns.clear();
         l.detect_ns.clear();
+        l.escalate_ns.clear();
     }
 
     fn process_batch(&mut self, pkts: &[DigestedPacket]) {
@@ -754,7 +818,11 @@ impl ShardWorker {
             self.cache.pin(&dp.canon);
             match &mut self.escalation {
                 Escalation::Pool(tx) => {
-                    if tx.try_send(*pkt).is_err() {
+                    let esc = Escalated {
+                        pkt: *pkt,
+                        sent: Instant::now(),
+                    };
+                    if tx.try_send(esc).is_err() {
                         self.local.escalation_dropped += 1;
                         // The host will never see this packet, so no
                         // verdict will ever unpin the flow — release
@@ -764,9 +832,13 @@ impl ShardWorker {
                 }
                 Escalation::Inline(nf) => {
                     self.local.host_inline += 1;
+                    // The synchronous analogue of the pool round trip:
+                    // triage + verdict publication, timed end to end.
+                    let t0 = Instant::now();
                     for v in nf.on_packet(pkt) {
                         self.log.publish(v);
                     }
+                    self.local.escalate_ns.push(t0.elapsed().as_nanos() as u64);
                 }
             }
         }
@@ -790,9 +862,10 @@ mod tests {
 
         let reg = Registry::new();
         let hasher = FlowHasher::new(0x51CC);
-        let (tx, _rx_keepalive) = std::sync::mpsc::sync_channel::<Packet>(1);
+        let (tx, _rx_keepalive) = std::sync::mpsc::sync_channel::<Escalated>(1);
         let mut cache_cfg = FlowCacheConfig::general(6);
         cache_cfg.hash_seed = 0x51CC;
+        let flight = smartwatch_telemetry::FlightRecorder::new(64);
         let mut worker = ShardWorker::new(
             FlowCache::new(cache_cfg),
             Escalation::Pool(tx),
@@ -805,6 +878,10 @@ mod tests {
             MergePolicy::Fair,
             64,
             None,
+            ShardObs {
+                flight: flight.ring("sw-shard-0"),
+                trace: None,
+            },
         );
 
         // Distinct SSH flows: auth-port TCP traffic escalates until the
@@ -846,5 +923,17 @@ mod tests {
         );
         let pinned_resident = worker.cache.iter().filter(|r| r.pinned).count() as u64;
         assert_eq!(pinned_resident, in_flight, "cache holds only live pins");
+
+        // The flight recorder black-boxed the loss: one coalesced
+        // EscalationDrop event carrying the batch's full drop count.
+        let events = flight.snapshot();
+        let (name, evs) = &events[0];
+        assert_eq!(name, "sw-shard-0");
+        let drops: Vec<_> = evs
+            .iter()
+            .filter(|e| e.kind == FlightKind::EscalationDrop)
+            .collect();
+        assert_eq!(drops.len(), 1, "drops coalesce to one event per flush");
+        assert_eq!(drops[0].a, dropped, "event carries the drop count");
     }
 }

@@ -170,32 +170,36 @@ impl Snapshot {
 
     /// Render in Prometheus exposition format. Dots in metric names
     /// become underscores; histograms surface as summaries with
-    /// `quantile` labels plus `_sum`/`_count` series.
+    /// `quantile` labels plus `_sum`/`_count` series. Each metric
+    /// family gets `# HELP` (carrying the original dotted name) and
+    /// `# TYPE` lines, and label values are escaped per the exposition
+    /// spec (backslash, double quote, newline).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_type: Option<(String, &str)> = None;
-        let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+        let mut type_line = |out: &mut String, name: &str, orig: &str, kind: &'static str| {
             if last_type
                 .as_ref()
                 .is_none_or(|(n, k)| n != name || *k != kind)
             {
+                let _ = writeln!(out, "# HELP {name} SmartWatch metric `{orig}`.");
                 let _ = writeln!(out, "# TYPE {name} {kind}");
                 last_type = Some((name.to_string(), kind));
             }
         };
         for (id, v) in &self.counters {
             let name = prom_name(&id.name);
-            type_line(&mut out, &name, "counter");
+            type_line(&mut out, &name, &id.name, "counter");
             let _ = writeln!(out, "{}{} {v}", name, prom_labels(&id.labels, None));
         }
         for (id, v) in &self.gauges {
             let name = prom_name(&id.name);
-            type_line(&mut out, &name, "gauge");
+            type_line(&mut out, &name, &id.name, "gauge");
             let _ = writeln!(out, "{}{} {v}", name, prom_labels(&id.labels, None));
         }
         for (id, h) in &self.hists {
             let name = prom_name(&id.name);
-            type_line(&mut out, &name, "summary");
+            type_line(&mut out, &name, &id.name, "summary");
             for (q, v) in [
                 ("0.5", h.p50),
                 ("0.9", h.p90),
@@ -234,13 +238,28 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline must be backslash-escaped inside the quotes.
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
     if labels.is_empty() && extra.is_none() {
         return String::new();
     }
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), v))
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), prom_escape(v)))
         .collect();
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
@@ -292,12 +311,38 @@ mod tests {
     #[test]
     fn prometheus_exposition_shape() {
         let p = sample().snapshot().to_prometheus();
+        assert!(p.contains("# HELP snic_cache_hits SmartWatch metric `snic.cache.hits`."));
         assert!(p.contains("# TYPE snic_cache_hits counter"));
         assert!(p.contains("snic_cache_hits{policy=\"lru\"} 10"));
         assert!(p.contains("# TYPE core_escalation_rate gauge"));
+        assert!(p.contains("# HELP host_agg_latency_ns SmartWatch metric `host.agg.latency_ns`."));
         assert!(p.contains("# TYPE host_agg_latency_ns summary"));
         assert!(p.contains("host_agg_latency_ns{quantile=\"0.99\"}"));
         assert!(p.contains("host_agg_latency_ns_count 100"));
+        // HELP/TYPE appear once per family, not once per series.
+        assert_eq!(p.matches("# TYPE snic_cache_hits counter").count(), 1);
+        assert_eq!(p.matches("# HELP host_agg_latency_ns ").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let r = Registry::new();
+        r.counter("evil", &[("path", "C:\\tmp\\x")]).add(1);
+        r.counter("evil", &[("quote", "say \"hi\"")]).add(2);
+        r.counter("evil", &[("nl", "a\nb")]).add(3);
+        r.counter("evil", &[("clean", "ok")]).add(4);
+        let p = r.snapshot().to_prometheus();
+        assert!(p.contains("evil{path=\"C:\\\\tmp\\\\x\"} 1"), "{p}");
+        assert!(p.contains("evil{quote=\"say \\\"hi\\\"\"} 2"), "{p}");
+        assert!(p.contains("evil{nl=\"a\\nb\"} 3"), "{p}");
+        assert!(p.contains("evil{clean=\"ok\"} 4"));
+        assert!(!p.contains('\u{0}'));
+        // Every non-comment line still has exactly one unescaped space
+        // separating series from value — i.e. the exposition parses.
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("series SP value");
+            assert!(!series.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Flight recorder: fixed-capacity, lock-free per-thread event rings.
+//!
+//! Every hot thread in the wall-clock engine (dispatchers, shards, host
+//! workers, the controller) owns one [`FlightRing`]: a power-of-two ring
+//! of structured events — drops with reasons, mode switches, whitelist
+//! promotions and evictions, conservation deltas — recorded with two
+//! atomic stores per event and never a lock. When something goes wrong
+//! (a conservation failure, unexpected drops in flat-out mode) the
+//! recorder is dumped to JSON and the last `capacity` events per thread
+//! explain *why*, black-box style.
+//!
+//! The ring is a seqlock per slot, written without `unsafe`: every slot
+//! field is an `AtomicU64`, and a per-slot sequence word is taken odd
+//! before the fields are written and even (encoding the event's global
+//! sequence number) after. A concurrent reader ([`FlightRing::snapshot`],
+//! used by the live `/flight.json` endpoint) retries slots whose
+//! sequence is odd or changed mid-read, so it only ever observes fully
+//! committed events. Each ring has a single writing thread by
+//! convention; overwrites of the oldest events are counted, never
+//! blocked on.
+
+use serde::{Number, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What happened. Each kind names its two payload words via
+/// [`FlightKind::arg_names`] so dumps are self-describing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u64)]
+pub enum FlightKind {
+    /// A full SPSC lane forced the dispatcher to drop a batch.
+    IngestDrop = 1,
+    /// The steering table blacklisted packets at ingest.
+    SteerDrop = 2,
+    /// The load shedder turned packets away at ingest.
+    ShedDrop = 3,
+    /// The host escalation queue was full; packet handled inline.
+    EscalationDrop = 4,
+    /// The controller switched a shard between General and Lite.
+    ModeSwitch = 5,
+    /// Load shedding engaged.
+    ShedOn = 6,
+    /// Load shedding released.
+    ShedOff = 7,
+    /// Heavy-hitter flows promoted to the whitelist this epoch.
+    Promotion = 8,
+    /// Whitelist entries aged out this epoch.
+    WhitelistEvict = 9,
+    /// End-of-run conservation check found a non-zero delta.
+    ConservationDelta = 10,
+    /// End-of-run marker with the conservation verdict.
+    RunEnd = 11,
+}
+
+impl FlightKind {
+    /// Stable snake_case name used in JSON dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::IngestDrop => "ingest_drop",
+            FlightKind::SteerDrop => "steer_drop",
+            FlightKind::ShedDrop => "shed_drop",
+            FlightKind::EscalationDrop => "escalation_drop",
+            FlightKind::ModeSwitch => "mode_switch",
+            FlightKind::ShedOn => "shed_on",
+            FlightKind::ShedOff => "shed_off",
+            FlightKind::Promotion => "promotion",
+            FlightKind::WhitelistEvict => "whitelist_evict",
+            FlightKind::ConservationDelta => "conservation_delta",
+            FlightKind::RunEnd => "run_end",
+        }
+    }
+
+    /// JSON field names for the `(a, b)` payload words.
+    pub fn arg_names(self) -> (&'static str, &'static str) {
+        match self {
+            FlightKind::IngestDrop => ("shard", "count"),
+            FlightKind::SteerDrop => ("count", "block"),
+            FlightKind::ShedDrop => ("count", "block"),
+            FlightKind::EscalationDrop => ("count", "batch"),
+            FlightKind::ModeSwitch => ("shard", "mode"),
+            FlightKind::ShedOn => ("epoch", "backlog"),
+            FlightKind::ShedOff => ("epoch", "backlog"),
+            FlightKind::Promotion => ("count", "epoch"),
+            FlightKind::WhitelistEvict => ("count", "epoch"),
+            FlightKind::ConservationDelta => ("delta", "offered"),
+            FlightKind::RunEnd => ("conserved", "offered"),
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<FlightKind> {
+        Some(match v {
+            1 => FlightKind::IngestDrop,
+            2 => FlightKind::SteerDrop,
+            3 => FlightKind::ShedDrop,
+            4 => FlightKind::EscalationDrop,
+            5 => FlightKind::ModeSwitch,
+            6 => FlightKind::ShedOn,
+            7 => FlightKind::ShedOff,
+            8 => FlightKind::Promotion,
+            9 => FlightKind::WhitelistEvict,
+            10 => FlightKind::ConservationDelta,
+            11 => FlightKind::RunEnd,
+            _ => return None,
+        })
+    }
+}
+
+/// A fully committed event read back out of a ring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global per-ring sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub ts_ns: u64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// First payload word; meaning per [`FlightKind::arg_names`].
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+#[derive(Default)]
+struct Slot {
+    /// 0 = never written; odd = write in progress; even `2s + 2` =
+    /// event with sequence number `s` committed.
+    seq: AtomicU64,
+    ts_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+struct RingInner {
+    name: String,
+    cap: usize,
+    epoch: Instant,
+    slots: Vec<Slot>,
+    /// Total events ever recorded (next sequence number).
+    head: AtomicU64,
+}
+
+/// One thread's event ring; cheap to clone, lock-free to write.
+#[derive(Clone)]
+pub struct FlightRing {
+    inner: Arc<RingInner>,
+}
+
+impl FlightRing {
+    /// Record an event stamped "now" (nanoseconds since the recorder
+    /// was created).
+    pub fn record(&self, kind: FlightKind, a: u64, b: u64) {
+        let ts = self.inner.epoch.elapsed().as_nanos() as u64;
+        self.record_at(ts, kind, a, b);
+    }
+
+    /// Record an event with an explicit timestamp — the deterministic
+    /// entry point used by tests and sim-time callers.
+    pub fn record_at(&self, ts_ns: u64, kind: FlightKind, a: u64, b: u64) {
+        let seq = self.inner.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.inner.slots[(seq % self.inner.cap as u64) as usize];
+        slot.seq.store(2 * seq + 1, Ordering::Release);
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(2 * seq + 2, Ordering::Release);
+    }
+
+    /// Ring (thread) name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Total events ever recorded into this ring.
+    pub fn recorded(&self) -> u64 {
+        self.inner.head.load(Ordering::Acquire)
+    }
+
+    /// Events overwritten because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.recorded().saturating_sub(self.inner.cap as u64)
+    }
+
+    /// Read every committed event still resident, oldest first. Safe to
+    /// call while the owning thread keeps writing: slots caught
+    /// mid-write (or already overwritten by a newer event) are skipped,
+    /// so the result only contains consistent events, sorted by
+    /// sequence number.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let head = self.inner.head.load(Ordering::Acquire);
+        let cap = self.inner.cap as u64;
+        let lo = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - lo) as usize);
+        for seq in lo..head {
+            let slot = &self.inner.slots[(seq % cap) as usize];
+            // Two-phase consistent read with a small retry budget: the
+            // writer may lap this slot, in which case the event is gone
+            // and we move on.
+            for _ in 0..4 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 != 2 * seq + 2 {
+                    if s1 > 2 * seq + 2 {
+                        break; // overwritten by a newer event
+                    }
+                    continue; // write in progress; retry
+                }
+                let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
+                let kind = slot.kind.load(Ordering::Relaxed);
+                let a = slot.a.load(Ordering::Relaxed);
+                let b = slot.b.load(Ordering::Relaxed);
+                let s2 = slot.seq.load(Ordering::Acquire);
+                if s1 == s2 {
+                    if let Some(kind) = FlightKind::from_u64(kind) {
+                        out.push(FlightEvent {
+                            seq,
+                            ts_ns,
+                            kind,
+                            a,
+                            b,
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+struct RecorderInner {
+    cap: usize,
+    epoch: Instant,
+    rings: Mutex<Vec<FlightRing>>,
+}
+
+/// The whole recorder: one ring per registered thread, plus the JSON
+/// dump path. Clones share the same store.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Default per-ring capacity: enough to hold the interesting tail
+    /// of a run without measurable memory cost.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// New recorder whose rings each hold `cap` events.
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                cap: cap.max(1),
+                epoch: Instant::now(),
+                rings: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Open a named ring (one per thread by convention). Rings are
+    /// listed in registration order in dumps.
+    pub fn ring(&self, name: impl Into<String>) -> FlightRing {
+        let cap = self.inner.cap;
+        let ring = FlightRing {
+            inner: Arc::new(RingInner {
+                name: name.into(),
+                cap,
+                epoch: self.inner.epoch,
+                slots: (0..cap).map(|_| Slot::default()).collect(),
+                head: AtomicU64::new(0),
+            }),
+        };
+        self.inner.rings.lock().unwrap().push(ring.clone());
+        ring
+    }
+
+    /// Total events recorded across every ring.
+    pub fn total_recorded(&self) -> u64 {
+        self.inner
+            .rings
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.recorded())
+            .sum()
+    }
+
+    /// Total events lost to ring wrap across every ring.
+    pub fn total_dropped(&self) -> u64 {
+        self.inner
+            .rings
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.dropped())
+            .sum()
+    }
+
+    /// Snapshot of every ring, in registration order.
+    pub fn snapshot(&self) -> Vec<(String, Vec<FlightEvent>)> {
+        self.inner
+            .rings
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| (r.name().to_string(), r.snapshot()))
+            .collect()
+    }
+
+    /// JSON dump: one object per ring with its recorded/dropped
+    /// accounting and the resident events, each self-describing via
+    /// [`FlightKind::arg_names`].
+    pub fn to_json_value(&self) -> Value {
+        let rings = self.inner.rings.lock().unwrap();
+        let ring_values: Vec<Value> = rings
+            .iter()
+            .map(|ring| {
+                let events: Vec<Value> = ring
+                    .snapshot()
+                    .into_iter()
+                    .map(|ev| {
+                        let (an, bn) = ev.kind.arg_names();
+                        Value::Object(vec![
+                            ("seq".to_string(), Value::Number(Number::U(ev.seq))),
+                            ("ts_ns".to_string(), Value::Number(Number::U(ev.ts_ns))),
+                            (
+                                "kind".to_string(),
+                                Value::String(ev.kind.label().to_string()),
+                            ),
+                            (an.to_string(), Value::Number(Number::U(ev.a))),
+                            (bn.to_string(), Value::Number(Number::U(ev.b))),
+                        ])
+                    })
+                    .collect();
+                Value::Object(vec![
+                    ("thread".to_string(), Value::String(ring.name().to_string())),
+                    (
+                        "recorded".to_string(),
+                        Value::Number(Number::U(ring.recorded())),
+                    ),
+                    (
+                        "dropped".to_string(),
+                        Value::Number(Number::U(ring.dropped())),
+                    ),
+                    ("events".to_string(), Value::Array(events)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "capacity".to_string(),
+                Value::Number(Number::U(self.inner.cap as u64)),
+            ),
+            ("rings".to_string(), Value::Array(ring_values)),
+        ])
+    }
+
+    /// Pretty-printed JSON dump.
+    pub fn to_json(&self) -> String {
+        serde::json::write(&self.to_json_value(), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back_in_order() {
+        let rec = FlightRecorder::new(8);
+        let ring = rec.ring("sw-shard-0");
+        ring.record_at(10, FlightKind::IngestDrop, 0, 64);
+        ring.record_at(20, FlightKind::ModeSwitch, 1, 1);
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[0].kind, FlightKind::IngestDrop);
+        assert_eq!(evs[0].b, 64);
+        assert_eq!(evs[1].ts_ns, 20);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn wrap_drops_oldest_and_counts() {
+        let rec = FlightRecorder::new(4);
+        let ring = rec.ring("r");
+        for i in 0..10u64 {
+            ring.record_at(i, FlightKind::ShedDrop, i, 0);
+        }
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 6);
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].seq, 6, "oldest resident is seq 6");
+        assert_eq!(evs[3].seq, 9);
+    }
+
+    #[test]
+    fn json_dump_is_deterministic_and_self_describing() {
+        let build = || {
+            let rec = FlightRecorder::new(8);
+            let a = rec.ring("sw-rxq-0");
+            let b = rec.ring("sw-control");
+            a.record_at(5, FlightKind::IngestDrop, 1, 32);
+            b.record_at(9, FlightKind::ShedOn, 3, 17);
+            b.record_at(12, FlightKind::ModeSwitch, 0, 1);
+            rec.to_json()
+        };
+        let j = build();
+        assert_eq!(j, build(), "fixed timestamps render byte-identically");
+        assert!(j.contains("\"thread\": \"sw-rxq-0\""));
+        assert!(j.contains("\"kind\": \"ingest_drop\""));
+        assert!(j.contains("\"shard\": 1"));
+        assert!(j.contains("\"count\": 32"));
+        assert!(j.contains("\"backlog\": 17"));
+        assert!(j.contains("\"mode\": 1"));
+    }
+
+    #[test]
+    fn concurrent_reader_sees_only_committed_events() {
+        let rec = FlightRecorder::new(64);
+        let ring = rec.ring("w");
+        let writer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    ring.record_at(i, FlightKind::EscalationDrop, i, i ^ 0xFF);
+                }
+            })
+        };
+        let mut checked = 0u64;
+        while !writer.is_finished() {
+            for ev in ring.snapshot() {
+                assert_eq!(ev.ts_ns, ev.a, "torn read: ts/a mismatch");
+                assert_eq!(ev.b, ev.a ^ 0xFF, "torn read: a/b mismatch");
+                checked += 1;
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(ring.recorded(), 50_000);
+        let _ = checked;
+    }
+
+    #[test]
+    fn wallclock_record_stamps_monotonically() {
+        let rec = FlightRecorder::new(8);
+        let ring = rec.ring("t");
+        ring.record(FlightKind::RunEnd, 1, 0);
+        ring.record(FlightKind::RunEnd, 1, 0);
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].ts_ns <= evs[1].ts_ns);
+    }
+}

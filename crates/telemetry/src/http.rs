@@ -1,0 +1,246 @@
+//! Minimal std-only HTTP/1.1 server for live observability endpoints.
+//!
+//! No dependency beyond `std::net`: a single accept-loop thread parses
+//! `GET <path>` request lines and answers from registered route
+//! handlers, each a closure over snapshot reads (`Registry::snapshot`,
+//! `FlightRecorder::to_json`, …). Good enough for `curl`, a Prometheus
+//! scraper, or a browser pointed at a running engine — and nothing
+//! more: one connection at a time, short timeouts, `Connection: close`.
+//!
+//! Shutdown is cooperative: [`HttpServer::shutdown`] raises a flag and
+//! pokes the listener with a loopback connection so `accept` returns.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// What a route handler returns.
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// 200 with the given content type.
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        }
+    }
+}
+
+/// A route: exact path (query strings are stripped) plus its handler,
+/// called on the server thread for every matching request.
+pub type Route = (String, Box<dyn Fn() -> HttpResponse + Send + Sync>);
+
+struct ServerShared {
+    stop: AtomicBool,
+}
+
+/// A running listener; dropping it (or calling [`HttpServer::shutdown`])
+/// stops the accept loop.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
+    /// serve `routes` from a background thread named `sw-http`.
+    pub fn serve(addr: impl ToSocketAddrs, routes: Vec<Route>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            stop: AtomicBool::new(false),
+        });
+        let thread_shared = shared.clone();
+        let handle = thread::Builder::new()
+            .name("sw-http".into())
+            .spawn(move || accept_loop(listener, routes, thread_shared))
+            .expect("spawn sw-http");
+        Ok(HttpServer {
+            addr: local,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.shared.stop.store(true, Ordering::Release);
+            // Unblock accept() with a throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, routes: Vec<Route>, shared: Arc<ServerShared>) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = handle_connection(stream, &routes);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, routes: &[Route]) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (or 8 KiB, whichever is
+    // first) — bodies are ignored; these endpoints are GET-only.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let raw_path = parts.next().unwrap_or("/");
+    let path = raw_path.split('?').next().unwrap_or("/");
+
+    let response = if method != "GET" {
+        HttpResponse {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "only GET is supported\n".into(),
+        }
+    } else {
+        match routes.iter().find(|(p, _)| p == path) {
+            Some((_, handler)) => handler(),
+            None => {
+                let known: Vec<&str> = routes.iter().map(|(p, _)| p.as_str()).collect();
+                HttpResponse {
+                    status: 404,
+                    content_type: "text/plain; charset=utf-8",
+                    body: format!("no such route {path}; try: {}\n", known.join(" ")),
+                }
+            }
+        }
+    };
+
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.status_text(),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_routes_and_404s() {
+        let routes: Vec<Route> = vec![
+            (
+                "/metrics".to_string(),
+                Box::new(|| HttpResponse::ok("text/plain; version=0.0.4", "up 1\n")),
+            ),
+            (
+                "/stats.json".to_string(),
+                Box::new(|| HttpResponse::ok("application/json", "{\"ok\":true}")),
+            ),
+        ];
+        let server = HttpServer::serve("127.0.0.1:0", routes).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert_eq!(body, "up 1\n");
+
+        let (status, body) = get(addr, "/stats.json?pretty=1");
+        assert_eq!(status, 200, "query strings are stripped");
+        assert!(body.contains("\"ok\""));
+
+        let (status, body) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        assert!(body.contains("/metrics"), "404 lists known routes");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let routes: Vec<Route> = vec![(
+            "/".to_string(),
+            Box::new(|| HttpResponse::ok("text/plain", "hi")),
+        )];
+        let server = HttpServer::serve("127.0.0.1:0", routes).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+}

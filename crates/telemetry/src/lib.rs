@@ -21,15 +21,28 @@
 //! The experiment harness threads one [`Registry`] + [`Tracer`] pair
 //! through the platform tiers; `repro <exp> --metrics-json out.json
 //! --trace-out trace.json` dumps both.
+//!
+//! The wall-clock engine adds three more pieces on the same
+//! foundations: [`WallAnchor`] maps real `Instant`s onto the trace
+//! axis so OS threads get chrome-trace tracks, [`FlightRecorder`]
+//! keeps a lock-free black-box ring of drop/mode-switch events per
+//! thread, and [`http::HttpServer`] serves `/metrics`, `/stats.json`
+//! and `/flight.json` live from snapshot reads using nothing beyond
+//! `std::net`.
 
 #![forbid(unsafe_code)]
 
 pub mod export;
+mod flight;
 mod hist;
+pub mod http;
 mod metrics;
 mod trace;
+mod wallclock;
 
 pub use export::Snapshot;
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, FlightRing};
 pub use hist::{HistSnapshot, Histogram, QUANTILE_ERROR_BOUND};
 pub use metrics::{Counter, Gauge, MetricId, Registry};
 pub use trace::{TraceShard, Tracer};
+pub use wallclock::WallAnchor;

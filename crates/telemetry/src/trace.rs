@@ -159,6 +159,19 @@ impl Tracer {
             .sum()
     }
 
+    /// Per-shard `(name, dropped)` accounting, in registration order.
+    /// Lets callers report *which* track a truncated trace lost events
+    /// from, not just that some were lost.
+    pub fn dropped_by_shard(&self) -> Vec<(String, u64)> {
+        self.inner
+            .shards
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|s| (s.name.clone(), s.dropped.load(Ordering::Relaxed)))
+            .collect()
+    }
+
     /// Render the chrome-trace-viewer JSON document. Virtual-clock
     /// nanoseconds map to the viewer's microsecond axis with three
     /// decimals, so nothing is lost to rounding.
@@ -200,10 +213,20 @@ impl Tracer {
             .iter()
             .map(|s| s.dropped.load(Ordering::Relaxed))
             .sum::<u64>();
+        let mut by_shard = String::new();
+        for shard in shards.iter() {
+            let d = shard.dropped.load(Ordering::Relaxed);
+            if d > 0 {
+                if !by_shard.is_empty() {
+                    by_shard.push(',');
+                }
+                let _ = write!(by_shard, "{}:{d}", json_str(&shard.name));
+            }
+        }
         let _ = write!(
             out,
             "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"clock\":\"virtual\",\
-             \"droppedEvents\":{dropped}}}}}"
+             \"droppedEvents\":{dropped},\"droppedByShard\":{{{by_shard}}}}}}}"
         );
         out
     }
@@ -255,6 +278,8 @@ mod tests {
         assert!(json.contains("\"e9\""), "newest retained");
         assert!(!json.contains("\"e0\""), "oldest dropped");
         assert!(json.contains("\"droppedEvents\":6"));
+        assert!(json.contains("\"droppedByShard\":{\"pme0\":6}"));
+        assert_eq!(tracer.dropped_by_shard(), vec![("pme0".to_string(), 6)]);
     }
 
     #[test]
