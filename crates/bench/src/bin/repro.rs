@@ -18,7 +18,9 @@
 use smartwatch_bench::exp_control::{
     bench_json as control_bench_json, control_run_full, ControlRunSpec,
 };
-use smartwatch_bench::exp_engine::{bench_json, engine_run_full, EngineRunSpec, EngineWorkload};
+use smartwatch_bench::exp_engine::{
+    bench_json, engine_run_full, EngineRunSpec, EngineSource, EngineWorkload,
+};
 use smartwatch_bench::{all_experiments, ExpCtx};
 use smartwatch_runtime::{Engine, EngineReport};
 use std::sync::Arc;
@@ -92,6 +94,19 @@ fn main() {
                     Some("mix") => EngineWorkload::Mix,
                     _ => die("--workload must be `stress`, `stress64` or `mix`"),
                 };
+            }
+            "--source" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--source needs synthetic, compiled or pcap:<path>"));
+                let src = EngineSource::parse(v).unwrap_or_else(|e| die(&e));
+                if let EngineSource::Pcap(path) = &src {
+                    if let Err(e) = std::fs::metadata(path) {
+                        die(&format!("--source pcap: cannot read {path}: {e}"));
+                    }
+                }
+                engine_spec.source = src.clone();
+                control_spec.source = src;
             }
             "--bench-json" => {
                 bench_out = Some(
@@ -320,12 +335,15 @@ fn usage() {
                       [--metrics-json <path>] [--trace-out <path>]\n\
                 repro engine [--shards N] [--rx-queues R] [--packets N]\n\
                       [--batch N] [--host-workers N] [--rate MPPS]\n\
-                      [--workload stress|stress64|mix] [--bench-json <path>]\n\
+                      [--workload stress|stress64|mix]\n\
+                      [--source synthetic|compiled|pcap:<path>]\n\
+                      [--bench-json <path>]\n\
                       [--trace-sample N] [--listen ADDR]\n\
                       [--serve-hold-ms N] [--flight-dump <path>]\n\
                 repro control [--shards N] [--rx-queues R] [--packets N]\n\
                       [--batch N] [--base MPPS] [--peak MPPS]\n\
                       [--spike-start F] [--spike-end F] [--epoch-ms N]\n\
+                      [--source synthetic|compiled|pcap:<path>]\n\
                       [--bench-json <path>] [--trace-sample N]\n\
                       [--listen ADDR] [--serve-hold-ms N]\n\
                       [--flight-dump <path>]\n\n\
@@ -336,6 +354,13 @@ fn usage() {
                          (load in chrome://tracing or ui.perfetto.dev);\n\
                          with `engine`/`control` and --trace-sample it\n\
                          also carries the wall-clock thread spans\n\
+         --source        (engine/control) what the dispatchers ingest:\n\
+                         `synthetic` (default) replays pre-built Packet\n\
+                         structs; `compiled` serialises the workload once\n\
+                         into packed wire frames and parses + digests the\n\
+                         header bytes in place (the zero-copy data plane);\n\
+                         `pcap:<path>` replays a capture file through the\n\
+                         same wire path, cycled to --packets\n\
          --bench-json    (engine/control) write the headline wall-clock\n\
                          numbers as JSON (control adds the mode timeline\n\
                          and the per-epoch controller decision audit)\n\

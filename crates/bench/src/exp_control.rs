@@ -13,13 +13,14 @@
 //! virtual time ([`smartwatch_control::simulate`]), whose counters-only
 //! summary is byte-stable for a seed.
 
+use crate::exp_engine::{replay_data, EngineSource};
 use crate::output::Table;
 use crate::{workloads, ExpCtx};
 use serde::Serialize;
 use smartwatch_control::{simulate, ControlConfig, DecisionRecord, LoadProfile};
-use smartwatch_net::Packet;
 use smartwatch_runtime::{ControlReport, Engine, EngineConfig, EngineReport, Pace};
 use smartwatch_trace::background::Preset;
+use smartwatch_trace::Trace;
 use std::sync::Arc;
 
 /// One `repro control` invocation, fully specified.
@@ -43,6 +44,10 @@ pub struct ControlRunSpec {
     pub spike_end: f64,
     /// Controller epoch length in milliseconds.
     pub epoch_ms: u64,
+    /// Replay source: synthetic packets, compiled wire frames or a
+    /// pcap file (`--source`). Both the controlled run and the
+    /// baseline replay the same source.
+    pub source: EngineSource,
     /// Wall-clock trace sampling for the controlled run: 1-in-N batches
     /// per engine thread (0 = off).
     pub trace_sample: u64,
@@ -65,6 +70,7 @@ impl Default for ControlRunSpec {
             spike_start: 0.2,
             spike_end: 0.8,
             epoch_ms: 2,
+            source: EngineSource::Synthetic,
             trace_sample: 0,
             listen: None,
             serve_hold_ms: 0,
@@ -110,10 +116,8 @@ fn spike_pace(spec: &ControlRunSpec) -> Pace {
     }
 }
 
-fn control_workload(spec: &ControlRunSpec, scale: usize) -> Vec<Packet> {
-    let base = workloads::caida_64b(Preset::Caida2018, scale, 0xC7).into_packets();
-    assert!(!base.is_empty(), "workload generator produced no packets");
-    base.iter().cycle().take(spec.packets).copied().collect()
+fn control_base_trace(scale: usize) -> Trace {
+    workloads::caida_64b(Preset::Caida2018, scale, 0xC7)
 }
 
 /// Both runs of the experiment, for machine-readable output.
@@ -143,7 +147,7 @@ pub fn control_run_full(
     ctx: &ExpCtx,
     spec: &ControlRunSpec,
 ) -> (Table, ControlOutcome, Arc<Engine>) {
-    let packets = control_workload(spec, ctx.scale);
+    let replay = replay_data(&spec.source, || control_base_trace(ctx.scale), spec.packets);
     let pace = spike_pace(spec);
 
     let mut cfg = EngineConfig::new(spec.shards);
@@ -157,7 +161,7 @@ pub fn control_run_full(
         &engine,
         spec.listen.as_deref(),
         spec.serve_hold_ms,
-        || engine.run(&packets, pace),
+        || replay.run(&engine, pace),
     );
 
     // Baseline: same spike, no controller, private registry so the two
@@ -165,7 +169,7 @@ pub fn control_run_full(
     let mut base_cfg = EngineConfig::new(spec.shards);
     base_cfg.rx_queues = spec.rx_queues;
     base_cfg.batch = spec.batch;
-    let baseline = Engine::new(base_cfg).run(&packets, pace);
+    let baseline = replay.run(&Engine::new(base_cfg), pace);
 
     let outcome = ControlOutcome {
         controlled,
@@ -319,6 +323,7 @@ struct ControlBenchJson {
     rx_queues: usize,
     packets: usize,
     batch: usize,
+    source: String,
     base_mpps: f64,
     peak_mpps: f64,
     spike_start: f64,
@@ -346,6 +351,7 @@ pub fn bench_json(spec: &ControlRunSpec, o: &ControlOutcome) -> String {
         rx_queues: spec.rx_queues,
         packets: spec.packets,
         batch: spec.batch,
+        source: spec.source.label().to_string(),
         base_mpps: spec.base_mpps,
         peak_mpps: spec.peak_mpps,
         spike_start: spec.spike_start,
@@ -398,13 +404,14 @@ fn render(spec: &ControlRunSpec, o: &ControlOutcome) -> Table {
     t.row(run_row("controlled", &o.controlled));
     t.row(run_row("baseline", &o.baseline));
     t.note(format!(
-        "spike: {} → {} Mpps over [{:.0}%, {:.0}%) of {} pkts; controller epoch {} ms; \
-         {} RX queue(s)",
+        "spike: {} → {} Mpps over [{:.0}%, {:.0}%) of {} pkts ({} source); \
+         controller epoch {} ms; {} RX queue(s)",
         spec.base_mpps,
         spec.peak_mpps,
         spec.spike_start * 100.0,
         spec.spike_end * 100.0,
         spec.packets,
+        spec.source.label(),
         spec.epoch_ms,
         spec.rx_queues,
     ));

@@ -9,10 +9,12 @@
 use crate::output::Table;
 use crate::{workloads, ExpCtx};
 use serde::Serialize;
-use smartwatch_net::Packet;
+use smartwatch_net::{FrameStore, Packet};
 use smartwatch_runtime::{Engine, EngineConfig, EngineReport, Pace};
 use smartwatch_telemetry::HistSnapshot;
 use smartwatch_trace::background::Preset;
+use smartwatch_trace::compile::compile_cycled;
+use smartwatch_trace::Trace;
 use std::sync::Arc;
 
 /// Which replay workload the engine run uses.
@@ -23,6 +25,106 @@ pub enum EngineWorkload {
     Stress,
     /// The Table-4 attack mix — exercises escalation and verdicts.
     Mix,
+}
+
+/// Where the replay bytes come from (`--source`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum EngineSource {
+    /// Generator output replayed as owned model packets — the pre-wire
+    /// path, and the default.
+    #[default]
+    Synthetic,
+    /// The workload compiled once into packed wire frames
+    /// ([`smartwatch_trace::compile`]) and replayed through the
+    /// engine's zero-copy path (`Engine::run_frames`).
+    Compiled,
+    /// A classic pcap file replayed through the zero-copy path (cycled
+    /// to the requested packet count).
+    Pcap(String),
+}
+
+impl EngineSource {
+    /// Parse a `--source` argument: `synthetic`, `compiled` or
+    /// `pcap:<path>`.
+    pub fn parse(s: &str) -> Result<EngineSource, String> {
+        match s {
+            "synthetic" => Ok(EngineSource::Synthetic),
+            "compiled" => Ok(EngineSource::Compiled),
+            _ => match s.strip_prefix("pcap:") {
+                Some(path) if !path.is_empty() => Ok(EngineSource::Pcap(path.to_string())),
+                _ => Err(format!(
+                    "unknown --source '{s}' (expected synthetic, compiled or pcap:<path>)"
+                )),
+            },
+        }
+    }
+
+    /// Stable one-word label for tables and JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineSource::Synthetic => "synthetic",
+            EngineSource::Compiled => "compiled",
+            EngineSource::Pcap(_) => "pcap",
+        }
+    }
+}
+
+/// A materialised replay input: owned packets (synthetic) or a packed
+/// wire-frame store (compiled / pcap).
+pub enum ReplayData {
+    /// Owned model packets.
+    Packets(Vec<Packet>),
+    /// Packed wire frames for the zero-copy path.
+    Wire(FrameStore),
+}
+
+impl ReplayData {
+    /// Packets this replay offers.
+    pub fn len(&self) -> usize {
+        match self {
+            ReplayData::Packets(p) => p.len(),
+            ReplayData::Wire(s) => s.len(),
+        }
+    }
+
+    /// True when the replay offers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run `engine` over this replay input.
+    pub fn run(&self, engine: &Engine, pace: Pace) -> EngineReport {
+        match self {
+            ReplayData::Packets(p) => engine.run(p, pace),
+            ReplayData::Wire(s) => engine.run_frames(s, pace),
+        }
+    }
+}
+
+/// Materialise a replay input from a source selector: generate-and-cycle
+/// for the synthetic path, compile-once-replay-many for the wire path,
+/// read-validate-cycle for pcap files. `base` builds the generator
+/// trace and is only invoked for the sources that need it.
+pub fn replay_data(
+    source: &EngineSource,
+    base: impl FnOnce() -> Trace,
+    total: usize,
+) -> ReplayData {
+    match source {
+        EngineSource::Synthetic => {
+            let b = base().into_packets();
+            assert!(!b.is_empty(), "workload generator produced no packets");
+            ReplayData::Packets(b.iter().cycle().take(total).copied().collect())
+        }
+        EngineSource::Compiled => ReplayData::Wire(compile_cycled(&base(), total)),
+        EngineSource::Pcap(path) => {
+            let data = std::fs::read(path).unwrap_or_else(|e| panic!("repro: reading {path}: {e}"));
+            let store = FrameStore::from_pcap(&data)
+                .unwrap_or_else(|e| panic!("repro: parsing {path}: {e}"));
+            assert!(!store.is_empty(), "pcap {path} contains no frames");
+            ReplayData::Wire(store.cycled_to(total))
+        }
+    }
 }
 
 /// One `repro engine` invocation, fully specified.
@@ -42,6 +144,9 @@ pub struct EngineRunSpec {
     pub rate_mpps: Option<f64>,
     /// Replay workload.
     pub workload: EngineWorkload,
+    /// Replay source: synthetic packets, compiled wire frames or a
+    /// pcap file (`--source`).
+    pub source: EngineSource,
     /// Wall-clock trace sampling: 1-in-N batches per engine thread
     /// (0 = off; the first unit of work per thread is always sampled).
     pub trace_sample: u64,
@@ -63,6 +168,7 @@ impl Default for EngineRunSpec {
             host_workers: 1,
             rate_mpps: None,
             workload: EngineWorkload::Stress,
+            source: EngineSource::Synthetic,
             trace_sample: 0,
             listen: None,
             serve_hold_ms: 0,
@@ -70,14 +176,19 @@ impl Default for EngineRunSpec {
     }
 }
 
-/// Build the replay buffer for a spec: generate the base trace, then
-/// cycle it up (or cut it down) to exactly `spec.packets` packets.
-pub fn engine_workload(spec: &EngineRunSpec, scale: usize) -> Vec<Packet> {
-    let base = match spec.workload {
+/// The spec's base generator trace (before cycling).
+pub fn engine_base_trace(spec: &EngineRunSpec, scale: usize) -> Trace {
+    match spec.workload {
         EngineWorkload::Stress => workloads::caida_64b(Preset::Caida2018, scale, 0xE1),
         EngineWorkload::Mix => workloads::attack_mix(scale, 0xE2),
     }
-    .into_packets();
+}
+
+/// Build the synthetic replay buffer for a spec: generate the base
+/// trace, then cycle it up (or cut it down) to exactly `spec.packets`
+/// packets.
+pub fn engine_workload(spec: &EngineRunSpec, scale: usize) -> Vec<Packet> {
+    let base = engine_base_trace(spec, scale).into_packets();
     assert!(!base.is_empty(), "workload generator produced no packets");
     base.iter().cycle().take(spec.packets).copied().collect()
 }
@@ -106,7 +217,11 @@ pub fn engine_run_report(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineRe
 /// callers can dump its flight recorder or decision audit after the run
 /// (`--flight-dump`, anomaly artifacts).
 pub fn engine_run_full(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineReport, Arc<Engine>) {
-    let packets = engine_workload(spec, ctx.scale);
+    let replay = replay_data(
+        &spec.source,
+        || engine_base_trace(spec, ctx.scale),
+        spec.packets,
+    );
     let mut cfg = EngineConfig::new(spec.shards);
     cfg.rx_queues = spec.rx_queues;
     cfg.batch = spec.batch;
@@ -120,7 +235,7 @@ pub fn engine_run_full(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineRepo
     engine.attach_tracer(&ctx.tracer);
     let engine = Arc::new(engine);
     let report = serve_during(&engine, spec.listen.as_deref(), spec.serve_hold_ms, || {
-        engine.run(&packets, pace)
+        replay.run(&engine, pace)
     });
     let table = render(spec, pace, &report);
     (table, report, engine)
@@ -175,6 +290,7 @@ struct EngineBenchJson {
     rx_queues: usize,
     batch: usize,
     workload: String,
+    source: String,
     rate_mpps: Option<f64>,
     offered: u64,
     processed: u64,
@@ -203,6 +319,7 @@ pub fn bench_json(spec: &EngineRunSpec, r: &EngineReport) -> String {
         rx_queues: spec.rx_queues,
         batch: spec.batch,
         workload: format!("{:?}", spec.workload).to_lowercase(),
+        source: spec.source.label().to_string(),
         rate_mpps: spec.rate_mpps,
         offered: r.offered,
         processed: r.processed(),
@@ -231,6 +348,7 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
             "shards",
             "rxq",
             "workload",
+            "source",
             "pace",
             "offered",
             "processed",
@@ -255,6 +373,7 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
         spec.shards.to_string(),
         spec.rx_queues.to_string(),
         format!("{:?}", spec.workload).to_lowercase(),
+        spec.source.label().to_string(),
         pace_cell,
         r.offered.to_string(),
         r.processed().to_string(),
@@ -281,6 +400,18 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
         "conservation: {} (offered = Σ processed + dropped, per shard)",
         if r.conserved() { "OK" } else { "VIOLATED" }
     ));
+    match &spec.source {
+        EngineSource::Synthetic => {}
+        EngineSource::Compiled => t.note(
+            "wire data plane: workload compiled once into packed frames; \
+             dispatchers parse headers in place and digest from the bytes",
+        ),
+        EngineSource::Pcap(path) => t.note(format!(
+            "wire data plane: replaying pcap {path} (cycled to {} pkts) \
+             through the in-place parse + digest path",
+            spec.packets
+        )),
+    }
     t.note(
         "wall-clock numbers — machine- and load-dependent, unlike the \
          deterministic virtual-time experiments (see EXPERIMENTS.md)",
@@ -354,5 +485,70 @@ mod tests {
             ..EngineRunSpec::default()
         };
         assert_eq!(engine_workload(&spec, 1).len(), 1234);
+    }
+
+    #[test]
+    fn source_parses_and_labels() {
+        assert_eq!(
+            EngineSource::parse("synthetic"),
+            Ok(EngineSource::Synthetic)
+        );
+        assert_eq!(EngineSource::parse("compiled"), Ok(EngineSource::Compiled));
+        assert_eq!(
+            EngineSource::parse("pcap:/tmp/x.pcap"),
+            Ok(EngineSource::Pcap("/tmp/x.pcap".into()))
+        );
+        assert!(EngineSource::parse("pcap:").is_err());
+        assert!(EngineSource::parse("wire").is_err());
+        assert_eq!(EngineSource::Pcap("a".into()).label(), "pcap");
+    }
+
+    #[test]
+    fn compiled_source_conserves_and_tags_the_artifact() {
+        let ctx = ExpCtx::new(1);
+        let spec = EngineRunSpec {
+            packets: 20_000,
+            rx_queues: 2,
+            source: EngineSource::Compiled,
+            ..EngineRunSpec::default()
+        };
+        let (t, report) = engine_run_report(&ctx, &spec);
+        assert!(t.notes.iter().any(|n| n.contains("conservation: OK")));
+        assert_eq!(report.offered, 20_000);
+        assert!(report.conserved());
+        let json = bench_json(&spec, &report);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["source"].as_str(), Some("compiled"));
+        assert_eq!(v["conserved"].as_bool(), Some(true));
+        // The wire path ran through the frame pools.
+        assert!(
+            ctx.registry
+                .counter("runtime.frame_pool.recycled", &[])
+                .get()
+                > 0
+        );
+    }
+
+    #[test]
+    fn pcap_source_replays_a_file_through_the_wire_path() {
+        let ctx = ExpCtx::new(1);
+        // Write a small capture of the stress workload, then replay it.
+        let base = engine_base_trace(&EngineRunSpec::default(), 1);
+        let pcap_bytes = smartwatch_net::pcap::write(&base.packets()[..2_000]);
+        let path = std::env::temp_dir().join("sw_bench_source_test.pcap");
+        std::fs::write(&path, &pcap_bytes).expect("write temp pcap");
+        let spec = EngineRunSpec {
+            packets: 10_000,
+            source: EngineSource::Pcap(path.to_string_lossy().into_owned()),
+            ..EngineRunSpec::default()
+        };
+        let (t, report) = engine_run_report(&ctx, &spec);
+        std::fs::remove_file(&path).ok();
+        assert!(t.notes.iter().any(|n| n.contains("conservation: OK")));
+        assert_eq!(report.offered, 10_000, "pcap replay cycles to the spec");
+        assert!(report.conserved());
+        let v: serde_json::Value =
+            serde_json::from_str(&bench_json(&spec, &report)).expect("valid JSON");
+        assert_eq!(v["source"].as_str(), Some("pcap"));
     }
 }

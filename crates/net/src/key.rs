@@ -170,6 +170,51 @@ impl FlowKey {
     }
 }
 
+/// The raw directed 5-tuple as it appears on the wire: host-order integers,
+/// no [`Ipv4Addr`]/[`Proto`] wrappers.
+///
+/// This is the form the zero-copy ingest path extracts straight from frame
+/// bytes ([`crate::wire::FrameView::raw_tuple`]) and feeds to
+/// [`crate::FlowHasher::digest_raw`] / `digest_batch` without materialising
+/// a [`FlowKey`] first. Conversions to and from `FlowKey` are lossless.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RawTuple {
+    /// Source IPv4 address in host byte order.
+    pub src_ip: u32,
+    /// Destination IPv4 address in host byte order.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Raw IP protocol number.
+    pub proto: u8,
+}
+
+impl RawTuple {
+    /// Extract the raw tuple from a [`FlowKey`].
+    pub fn from_key(key: &FlowKey) -> RawTuple {
+        RawTuple {
+            src_ip: u32::from(key.src_ip),
+            dst_ip: u32::from(key.dst_ip),
+            src_port: key.src_port,
+            dst_port: key.dst_port,
+            proto: key.proto.number(),
+        }
+    }
+
+    /// Materialise the equivalent [`FlowKey`].
+    pub fn key(&self) -> FlowKey {
+        FlowKey::new(
+            Ipv4Addr::from(self.src_ip),
+            Ipv4Addr::from(self.dst_ip),
+            self.src_port,
+            self.dst_port,
+            Proto::from_number(self.proto),
+        )
+    }
+}
+
 /// Truncate an IPv4 address to its top `bits` bits (returned left-aligned,
 /// i.e. as the network address of the prefix).
 pub fn prefix_of(ip: Ipv4Addr, bits: u8) -> u32 {
@@ -244,6 +289,16 @@ mod tests {
     fn proto_numbers_round_trip() {
         for n in 0u8..=255 {
             assert_eq!(Proto::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn raw_tuple_round_trips_through_flow_key() {
+        for proto in [Proto::Tcp, Proto::Udp, Proto::Icmp, Proto::Other(89)] {
+            let k = FlowKey::new(ip("10.0.0.9"), ip("172.16.1.2"), 40000, 22, proto);
+            let t = RawTuple::from_key(&k);
+            assert_eq!(t.key(), k);
+            assert_eq!(t.proto, proto.number());
         }
     }
 

@@ -20,7 +20,11 @@
 //!   engine, so packets carry headers plus a payload *digest* rather than a
 //!   full payload (the paper assumes DC traffic is encrypted, §6).
 //! - [`wire`] — Ethernet/IPv4/TCP/UDP encode/decode for interoperability
-//!   tests and pcap ingestion; smoltcp-flavoured zero-copy views.
+//!   tests and pcap ingestion, including the borrow-based
+//!   [`wire::FrameView`] that parses headers in place from `&[u8]`.
+//! - [`frame`] — packed wire-frame arenas ([`FrameStore`]): compile a
+//!   trace to raw frames once, replay it many times through the
+//!   zero-copy ingest path.
 //! - [`pcap`] — classic libpcap read/write, so traces interoperate with
 //!   tcpdump/wireshark/editcap, matching the paper's methodology.
 //! - [`hash`] — the hash family used by the FlowCache and sketches,
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod hash;
 pub mod key;
 pub mod label;
@@ -39,12 +44,14 @@ pub mod tcp;
 pub mod time;
 pub mod wire;
 
+pub use frame::{FrameMeta, FrameStore};
 pub use hash::{
     shard_for, shard_for_digest, AgingDigestSet, BuildDigestHasher, DigestSet, FlowHasher,
     HashDigest,
 };
-pub use key::{FlowKey, Proto};
+pub use key::{FlowKey, Proto, RawTuple};
 pub use label::{AttackKind, Label};
 pub use packet::{Packet, PacketBuilder};
 pub use tcp::TcpFlags;
 pub use time::{Dur, Ts};
+pub use wire::FrameView;

@@ -12,11 +12,11 @@
 //! options beyond padding, and UDP. Anything else parses as
 //! [`WireError::Unsupported`].
 
-use crate::key::{FlowKey, Proto};
+use crate::key::{FlowKey, Proto, RawTuple};
 use crate::packet::Packet;
 use crate::tcp::TcpFlags;
 use crate::time::Ts;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -75,14 +75,11 @@ pub fn checksum(data: &[u8], initial: u32) -> u16 {
 }
 
 fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, len: u16) -> u32 {
-    let s = src.octets();
-    let d = dst.octets();
-    u32::from(u16::from_be_bytes([s[0], s[1]]))
-        + u32::from(u16::from_be_bytes([s[2], s[3]]))
-        + u32::from(u16::from_be_bytes([d[0], d[1]]))
-        + u32::from(u16::from_be_bytes([d[2], d[3]]))
-        + u32::from(proto)
-        + u32::from(len)
+    pseudo_header_sum_raw(u32::from(src), u32::from(dst), proto, len)
+}
+
+fn pseudo_header_sum_raw(src: u32, dst: u32, proto: u8, len: u16) -> u32 {
+    (src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF) + u32::from(proto) + u32::from(len)
 }
 
 /// Encode a [`Packet`] as an Ethernet II / IPv4 / {TCP,UDP} frame.
@@ -164,96 +161,208 @@ pub fn encode(p: &Packet) -> Bytes {
     buf.freeze()
 }
 
-/// Parse an Ethernet II / IPv4 / {TCP,UDP} frame back into a [`Packet`]
-/// metadata record, validating checksums. `ts` is supplied by the capture
-/// layer (frames do not carry timestamps).
-pub fn decode(frame: &[u8], ts: Ts) -> Result<Packet, WireError> {
-    let mut buf = frame;
-    if buf.len() < ETH_HDR_LEN + IPV4_HDR_LEN {
-        return Err(WireError::Truncated);
-    }
-    buf.advance(12); // MACs
-    if buf.get_u16() != ETHERTYPE_IPV4 {
-        return Err(WireError::Unsupported);
-    }
+/// A validated, borrowed view of an Ethernet II / IPv4 / {TCP,UDP} frame.
+///
+/// This is the zero-copy half of the wire data plane: [`FrameView::parse`]
+/// walks the headers in place over `&[u8]` — no allocation, no copy into a
+/// [`Packet`] — and exposes exactly the fields the ingest hot path needs
+/// (the [`RawTuple`] for [`crate::FlowHasher::digest_raw`], TCP
+/// flags/seq/ack for the detectors, payload length for byte accounting).
+/// [`decode`] is now a thin wrapper — `parse` followed by
+/// [`FrameView::to_packet`] — so the owned and borrowed parse paths share
+/// one set of validation semantics:
+///
+/// * IPv4 header checksum verified; IP options ([`WireError::Unsupported`])
+///   and fragments are out of scope.
+/// * TCP options are *skipped*, not rejected: any data offset ≥ 5 words
+///   that fits the segment parses, and the payload length excludes the
+///   options (real pcaps carry SACK/timestamps on most segments).
+/// * UDP checksum 0 means "no checksum" (RFC 768) and is accepted without
+///   verification; non-zero checksums are verified.
+/// * Trailing bytes beyond the IP total length (Ethernet padding) are
+///   ignored.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameView<'a> {
+    frame: &'a [u8],
+    tuple: RawTuple,
+    seq: u32,
+    ack: u32,
+    flags: TcpFlags,
+    payload_len: u16,
+}
 
-    let ip = &frame[ETH_HDR_LEN..];
-    let vihl = ip[0];
-    if vihl >> 4 != 4 {
-        return Err(WireError::Unsupported);
-    }
-    let ihl = usize::from(vihl & 0x0F) * 4;
-    if ihl != IPV4_HDR_LEN {
-        return Err(WireError::Unsupported); // options not modelled
-    }
-    if checksum(&ip[..IPV4_HDR_LEN], 0) != 0 {
-        return Err(WireError::BadIpChecksum);
-    }
-    let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
-    if ip.len() < total_len || total_len < IPV4_HDR_LEN {
-        return Err(WireError::Truncated);
-    }
-    let proto = Proto::from_number(ip[9]);
-    let src_ip = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
-    let dst_ip = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
-    let seg = &ip[IPV4_HDR_LEN..total_len];
-
-    let (src_port, dst_port, seq, ack, flags, payload_len) = match proto {
-        Proto::Tcp => {
-            if seg.len() < TCP_HDR_LEN {
-                return Err(WireError::Truncated);
-            }
-            let data_off = usize::from(seg[12] >> 4) * 4;
-            if data_off < TCP_HDR_LEN || seg.len() < data_off {
-                return Err(WireError::Truncated);
-            }
-            let ph = pseudo_header_sum(src_ip, dst_ip, 6, seg.len() as u16);
-            if checksum(seg, ph) != 0 {
-                return Err(WireError::BadTransportChecksum);
-            }
-            (
-                u16::from_be_bytes([seg[0], seg[1]]),
-                u16::from_be_bytes([seg[2], seg[3]]),
-                u32::from_be_bytes([seg[4], seg[5], seg[6], seg[7]]),
-                u32::from_be_bytes([seg[8], seg[9], seg[10], seg[11]]),
-                TcpFlags(seg[13]),
-                (seg.len() - data_off) as u16,
-            )
+impl<'a> FrameView<'a> {
+    /// Parse and validate `frame` in place.
+    pub fn parse(frame: &'a [u8]) -> Result<FrameView<'a>, WireError> {
+        if frame.len() < ETH_HDR_LEN + IPV4_HDR_LEN {
+            return Err(WireError::Truncated);
         }
-        Proto::Udp => {
-            if seg.len() < UDP_HDR_LEN {
-                return Err(WireError::Truncated);
-            }
-            let udp_csum = u16::from_be_bytes([seg[6], seg[7]]);
-            if udp_csum != 0 {
-                let ph = pseudo_header_sum(src_ip, dst_ip, 17, seg.len() as u16);
+        if u16::from_be_bytes([frame[12], frame[13]]) != ETHERTYPE_IPV4 {
+            return Err(WireError::Unsupported);
+        }
+
+        let ip = &frame[ETH_HDR_LEN..];
+        let vihl = ip[0];
+        if vihl >> 4 != 4 {
+            return Err(WireError::Unsupported);
+        }
+        let ihl = usize::from(vihl & 0x0F) * 4;
+        if ihl != IPV4_HDR_LEN {
+            return Err(WireError::Unsupported); // IP options not modelled
+        }
+        if checksum(&ip[..IPV4_HDR_LEN], 0) != 0 {
+            return Err(WireError::BadIpChecksum);
+        }
+        let total_len = usize::from(u16::from_be_bytes([ip[2], ip[3]]));
+        if ip.len() < total_len || total_len < IPV4_HDR_LEN {
+            return Err(WireError::Truncated);
+        }
+        let proto = ip[9];
+        let src_ip = u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]);
+        let dst_ip = u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]);
+        let seg = &ip[IPV4_HDR_LEN..total_len];
+
+        let (src_port, dst_port, seq, ack, flags, payload_len) = match proto {
+            6 => {
+                if seg.len() < TCP_HDR_LEN {
+                    return Err(WireError::Truncated);
+                }
+                let data_off = usize::from(seg[12] >> 4) * 4;
+                if data_off < TCP_HDR_LEN || seg.len() < data_off {
+                    return Err(WireError::Truncated);
+                }
+                let ph = pseudo_header_sum_raw(src_ip, dst_ip, 6, seg.len() as u16);
                 if checksum(seg, ph) != 0 {
                     return Err(WireError::BadTransportChecksum);
                 }
+                (
+                    u16::from_be_bytes([seg[0], seg[1]]),
+                    u16::from_be_bytes([seg[2], seg[3]]),
+                    u32::from_be_bytes([seg[4], seg[5], seg[6], seg[7]]),
+                    u32::from_be_bytes([seg[8], seg[9], seg[10], seg[11]]),
+                    TcpFlags(seg[13]),
+                    (seg.len() - data_off) as u16,
+                )
             }
-            (
-                u16::from_be_bytes([seg[0], seg[1]]),
-                u16::from_be_bytes([seg[2], seg[3]]),
-                0,
-                0,
-                TcpFlags::NONE,
-                (seg.len() - UDP_HDR_LEN) as u16,
-            )
-        }
-        _ => (0, 0, 0, 0, TcpFlags::NONE, 0),
-    };
+            17 => {
+                if seg.len() < UDP_HDR_LEN {
+                    return Err(WireError::Truncated);
+                }
+                // RFC 768: an all-zero checksum means "none generated";
+                // only verify when the sender computed one.
+                let udp_csum = u16::from_be_bytes([seg[6], seg[7]]);
+                if udp_csum != 0 {
+                    let ph = pseudo_header_sum_raw(src_ip, dst_ip, 17, seg.len() as u16);
+                    if checksum(seg, ph) != 0 {
+                        return Err(WireError::BadTransportChecksum);
+                    }
+                }
+                (
+                    u16::from_be_bytes([seg[0], seg[1]]),
+                    u16::from_be_bytes([seg[2], seg[3]]),
+                    0,
+                    0,
+                    TcpFlags::NONE,
+                    (seg.len() - UDP_HDR_LEN) as u16,
+                )
+            }
+            _ => (0, 0, 0, 0, TcpFlags::NONE, 0),
+        };
 
-    Ok(Packet {
-        key: FlowKey::new(src_ip, dst_ip, src_port, dst_port, proto),
-        ts,
-        wire_len: frame.len().max(usize::from(Packet::MIN_WIRE_LEN)) as u16,
-        payload_len,
-        flags,
-        seq,
-        ack,
-        payload_digest: 0,
-        label: Default::default(),
-    })
+        Ok(FrameView {
+            frame,
+            tuple: RawTuple {
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                proto,
+            },
+            seq,
+            ack,
+            flags,
+            payload_len,
+        })
+    }
+
+    /// The raw frame bytes this view borrows.
+    pub fn frame(&self) -> &'a [u8] {
+        self.frame
+    }
+
+    /// The directed 5-tuple as wire integers — the input to
+    /// [`crate::FlowHasher::digest_raw`] / `digest_batch`.
+    #[inline]
+    pub fn raw_tuple(&self) -> RawTuple {
+        self.tuple
+    }
+
+    /// The directed [`FlowKey`] (materialised on demand; the hot path
+    /// uses [`FrameView::raw_tuple`] instead).
+    pub fn flow_key(&self) -> FlowKey {
+        self.tuple.key()
+    }
+
+    /// Raw IP protocol number.
+    #[inline]
+    pub fn proto_number(&self) -> u8 {
+        self.tuple.proto
+    }
+
+    /// Transport protocol.
+    pub fn proto(&self) -> Proto {
+        Proto::from_number(self.tuple.proto)
+    }
+
+    /// TCP flags ([`TcpFlags::NONE`] for non-TCP).
+    #[inline]
+    pub fn flags(&self) -> TcpFlags {
+        self.flags
+    }
+
+    /// TCP sequence number (0 for non-TCP).
+    #[inline]
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// TCP acknowledgement number (0 for non-TCP).
+    #[inline]
+    pub fn ack(&self) -> u32 {
+        self.ack
+    }
+
+    /// Transport payload length in bytes (options excluded for TCP).
+    #[inline]
+    pub fn payload_len(&self) -> u16 {
+        self.payload_len
+    }
+
+    /// Materialise an owned [`Packet`] metadata record. `ts` is supplied
+    /// by the capture layer (frames do not carry timestamps).
+    pub fn to_packet(&self, ts: Ts) -> Packet {
+        Packet {
+            key: self.flow_key(),
+            ts,
+            wire_len: self.frame.len().max(usize::from(Packet::MIN_WIRE_LEN)) as u16,
+            payload_len: self.payload_len,
+            flags: self.flags,
+            seq: self.seq,
+            ack: self.ack,
+            payload_digest: 0,
+            label: Default::default(),
+        }
+    }
+}
+
+/// Parse an Ethernet II / IPv4 / {TCP,UDP} frame back into a [`Packet`]
+/// metadata record, validating checksums. `ts` is supplied by the capture
+/// layer (frames do not carry timestamps).
+///
+/// Equivalent to [`FrameView::parse`] + [`FrameView::to_packet`]; the
+/// zero-copy ingest path uses the [`FrameView`] half directly.
+pub fn decode(frame: &[u8], ts: Ts) -> Result<Packet, WireError> {
+    Ok(FrameView::parse(frame)?.to_packet(ts))
 }
 
 #[cfg(test)]
@@ -351,6 +460,148 @@ mod tests {
             sum = (sum & 0xFFFF) + (sum >> 16);
         }
         assert_eq!(sum, 0xFFFF);
+    }
+
+    #[test]
+    fn frame_view_matches_decode_for_every_proto() {
+        let key_of = |proto| {
+            FlowKey::new(
+                Ipv4Addr::new(10, 1, 2, 3),
+                Ipv4Addr::new(172, 16, 9, 8),
+                43210,
+                443,
+                proto,
+            )
+        };
+        for proto in [Proto::Tcp, Proto::Udp, Proto::Icmp, Proto::Other(89)] {
+            let p = PacketBuilder::new(key_of(proto), Ts::from_micros(9))
+                .flags(TcpFlags::SYN)
+                .seq(7)
+                .payload(33)
+                .build();
+            let frame = encode(&p);
+            let v = FrameView::parse(&frame).unwrap();
+            let q = decode(&frame, p.ts).unwrap();
+            assert_eq!(v.to_packet(p.ts), q, "view/decode divergence for {proto}");
+            assert_eq!(v.flow_key(), q.key);
+            assert_eq!(v.raw_tuple().key(), q.key);
+            assert_eq!(v.payload_len(), q.payload_len);
+            assert_eq!(v.flags(), q.flags);
+            assert_eq!(v.seq(), q.seq);
+            assert_eq!(v.ack(), q.ack);
+            assert_eq!(v.proto(), q.key.proto);
+            assert_eq!(v.frame(), &frame[..]);
+        }
+    }
+
+    #[test]
+    fn udp_zero_checksum_means_no_checksum() {
+        // RFC 768: a transmitted checksum of zero means the sender did not
+        // compute one; the receiver must accept the datagram unverified.
+        let key = FlowKey::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            5353,
+            Ipv4Addr::new(10, 0, 0, 2),
+            5353,
+        );
+        let p = PacketBuilder::new(key, Ts::ZERO).payload(64).build();
+        let mut frame = encode(&p).to_vec();
+        let csum_at = ETH_HDR_LEN + IPV4_HDR_LEN + 6;
+        frame[csum_at] = 0;
+        frame[csum_at + 1] = 0;
+        let q = decode(&frame, Ts::ZERO).expect("zero checksum must be accepted");
+        assert_eq!(q.key, key);
+        assert_eq!(q.payload_len, 64);
+        let v = FrameView::parse(&frame).expect("FrameView path too");
+        assert_eq!(v.flow_key(), key);
+        // A *wrong* non-zero checksum is still rejected.
+        frame[csum_at + 1] = 0x01;
+        assert_eq!(
+            decode(&frame, Ts::ZERO),
+            Err(WireError::BadTransportChecksum)
+        );
+        assert_eq!(
+            FrameView::parse(&frame).unwrap_err(),
+            WireError::BadTransportChecksum
+        );
+    }
+
+    /// Hand-build a TCP frame carrying `opts` option bytes (data offset
+    /// > 5 words), with valid IP and TCP checksums.
+    fn tcp_frame_with_options(opts: &[u8], payload: &[u8]) -> Vec<u8> {
+        assert_eq!(opts.len() % 4, 0, "options must pad to 32-bit words");
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let seg_len = TCP_HDR_LEN + opts.len() + payload.len();
+        let ip_total = IPV4_HDR_LEN + seg_len;
+        let mut f = Vec::new();
+        f.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x01, 0x02, 0, 0, 0, 0, 0x02]);
+        f.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+        let ip_start = f.len();
+        f.push(0x45);
+        f.push(0);
+        f.extend_from_slice(&(ip_total as u16).to_be_bytes());
+        f.extend_from_slice(&[0, 0, 0x40, 0, 64, 6, 0, 0]);
+        f.extend_from_slice(&src.octets());
+        f.extend_from_slice(&dst.octets());
+        let ip_csum = checksum(&f[ip_start..ip_start + IPV4_HDR_LEN], 0);
+        f[ip_start + 10..ip_start + 12].copy_from_slice(&ip_csum.to_be_bytes());
+        let t_start = f.len();
+        f.extend_from_slice(&40000u16.to_be_bytes());
+        f.extend_from_slice(&443u16.to_be_bytes());
+        f.extend_from_slice(&0xDEAD_BEEFu32.to_be_bytes());
+        f.extend_from_slice(&0x0102_0304u32.to_be_bytes());
+        let words = (TCP_HDR_LEN + opts.len()) / 4;
+        f.push((words as u8) << 4);
+        f.push(TcpFlags::ACK.0);
+        f.extend_from_slice(&0xFFFFu16.to_be_bytes());
+        f.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent placeholder
+        f.extend_from_slice(opts);
+        f.extend_from_slice(payload);
+        let ph = pseudo_header_sum(src, dst, 6, seg_len as u16);
+        let csum = checksum(&f[t_start..], ph);
+        f[t_start + 16..t_start + 18].copy_from_slice(&csum.to_be_bytes());
+        f
+    }
+
+    #[test]
+    fn tcp_options_are_skipped_not_rejected() {
+        // NOP, NOP, then a 10-byte timestamp option padded to 12 bytes —
+        // the shape most real captures carry on every segment.
+        let opts = [
+            0x01, 0x01, 0x08, 0x0A, 0x00, 0x00, 0x12, 0x34, 0x00, 0x00, 0x56, 0x78,
+        ];
+        let payload = [0xAB; 21];
+        let frame = tcp_frame_with_options(&opts, &payload);
+        for parsed in [
+            decode(&frame, Ts::ZERO).expect("options-bearing frame must parse"),
+            FrameView::parse(&frame)
+                .expect("FrameView path too")
+                .to_packet(Ts::ZERO),
+        ] {
+            assert_eq!(parsed.key.proto, Proto::Tcp);
+            assert_eq!(parsed.key.src_port, 40000);
+            assert_eq!(parsed.key.dst_port, 443);
+            assert_eq!(parsed.seq, 0xDEAD_BEEF);
+            assert_eq!(parsed.ack, 0x0102_0304);
+            assert_eq!(parsed.flags, TcpFlags::ACK);
+            assert_eq!(
+                parsed.payload_len,
+                payload.len() as u16,
+                "payload length must exclude the options"
+            );
+        }
+        // An options-free control build of the same segment agrees.
+        let plain = tcp_frame_with_options(&[], &payload);
+        assert_eq!(
+            decode(&plain, Ts::ZERO).unwrap().payload_len,
+            payload.len() as u16
+        );
+        // A data offset pointing past the segment is still truncation.
+        let mut bad = tcp_frame_with_options(&opts, &[]);
+        let off_at = ETH_HDR_LEN + IPV4_HDR_LEN + 12;
+        bad[off_at] = 0xF0; // data offset 15 words = 60 bytes > segment
+        assert_eq!(decode(&bad, Ts::ZERO), Err(WireError::Truncated));
     }
 
     #[test]

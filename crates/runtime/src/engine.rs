@@ -27,6 +27,7 @@
 use crate::batch::{Batch, BufferPool, DigestedPacket};
 use crate::control::{ControlLog, LogReader};
 use crate::escalate::{HostObs, HostPool, TriageNf};
+use crate::frame::{FramePool, FrameSlot};
 use crate::obs::{ThreadTrace, TraceSpec};
 use crate::shard::{
     ControlHooks, Escalation, LaneRx, MergePolicy, ShardCounters, ShardEndState, ShardMsg,
@@ -39,7 +40,7 @@ use smartwatch_control::{
     SnapshotCell, SnapshotReader, SteeringSnapshot,
 };
 use smartwatch_net::hash::{queue_for_digest, shard_for_digest, splitmix64};
-use smartwatch_net::{FlowHasher, Packet};
+use smartwatch_net::{FlowHasher, FrameStore, FrameView, Packet, RawTuple};
 use smartwatch_snic::{FlowCache, FlowCacheConfig, Mode};
 use smartwatch_telemetry::{
     Counter, FlightKind, FlightRecorder, FlightRing, HistSnapshot, Registry, Tracer, WallAnchor,
@@ -172,6 +173,34 @@ pub enum Pace {
         /// Spike end as a fraction of the sequence, `0.0..=1.0`.
         spike_end: f64,
     },
+}
+
+/// What the engine replays: a slice of pre-built model packets (the
+/// synthetic path) or a packed arena of validated wire frames parsed in
+/// place at dispatch (the zero-copy wire path).
+#[derive(Clone, Copy)]
+pub enum FrameSource<'a> {
+    /// Generator output replayed as owned [`Packet`] values.
+    Packets(&'a [Packet]),
+    /// Compiled or captured wire frames ([`FrameStore`]): dispatchers
+    /// load raw bytes into a [`FramePool`], parse headers in place with
+    /// [`FrameView`] and digest straight from the header bytes.
+    Wire(&'a FrameStore),
+}
+
+impl FrameSource<'_> {
+    /// Packets this source offers.
+    pub fn len(&self) -> usize {
+        match self {
+            FrameSource::Packets(p) => p.len(),
+            FrameSource::Wire(s) => s.len(),
+        }
+    }
+
+    /// True when the source offers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The sharded wall-clock engine.
@@ -364,11 +393,31 @@ impl Engine {
     /// Replay `packets` through the full pipeline and block until every
     /// queue is drained and every thread joined.
     pub fn run(&self, packets: &[Packet], pace: Pace) -> EngineReport {
+        self.run_source(FrameSource::Packets(packets), pace)
+    }
+
+    /// Replay a packed wire-frame store through the full pipeline — the
+    /// zero-copy wire path. Each dispatcher owns a [`FramePool`] (the
+    /// software RX ring): it loads 8-frame bursts into pooled slots,
+    /// parses the Ethernet/IPv4/transport headers in place with
+    /// [`FrameView`], digests straight from the header bytes
+    /// ([`FlowHasher::digest_batch8`]) and recycles the slots —
+    /// allocation-free in steady state. With the ordered merge the
+    /// resulting [`EngineReport::deterministic_summary`] is
+    /// byte-identical to the synthetic run of the same packets.
+    pub fn run_frames(&self, store: &FrameStore, pace: Pace) -> EngineReport {
+        self.run_source(FrameSource::Wire(store), pace)
+    }
+
+    /// Replay any [`FrameSource`] and block until every queue is
+    /// drained and every thread joined. [`Engine::run`] and
+    /// [`Engine::run_frames`] are thin wrappers over this.
+    pub fn run_source(&self, source: FrameSource<'_>, pace: Pace) -> EngineReport {
         let cfg = &self.cfg;
         let n = cfg.shards;
         let r = cfg.rx_queues;
         assert!(
-            packets.len() <= u32::MAX as usize,
+            source.len() <= u32::MAX as usize,
             "sequence indices are u32 at split time"
         );
         let log = Arc::new(ControlLog::new());
@@ -559,8 +608,8 @@ impl Engine {
         // The timed hot path still digests every packet itself, so the
         // per-packet work is identical at every R and the Mpps scaling
         // comparison stays honest.
-        let plan = PacePlan::resolve(pace, packets.len());
-        let streams = split_streams(packets, r, cfg.hash_seed, &hasher);
+        let plan = PacePlan::resolve(pace, source.len());
+        let streams = split_streams(source, r, cfg.hash_seed, &hasher);
 
         // ── Dispatch: R threads, each replaying its sub-stream ──────
         let start = Instant::now();
@@ -570,11 +619,22 @@ impl Engine {
                 .enumerate()
                 .zip(producer_rows.into_iter().zip(pools))
             {
+                // Wire mode: each dispatcher owns a frame pool (the
+                // software RX ring) sized to the largest frame in the
+                // store; it warms up on the first burst and then
+                // recycles its 8 slots for the rest of the run.
+                let frames = match source {
+                    FrameSource::Wire(store) => {
+                        Some(FramePool::new(store.max_frame_len(), &self.registry))
+                    }
+                    FrameSource::Packets(_) => None,
+                };
                 let dispatcher = RxDispatcher {
                     batch: cfg.batch,
                     enforce_verdicts: cfg.enforce_verdicts,
                     hasher,
                     pool,
+                    frames,
                     producers: row,
                     counters: &counters,
                     queue: &qcounters[q],
@@ -586,7 +646,7 @@ impl Engine {
                 };
                 std::thread::Builder::new()
                     .name(format!("sw-rxq-{q}"))
-                    .spawn_scoped(scope, move || dispatcher.run(packets, stream))
+                    .spawn_scoped(scope, move || dispatcher.run(source, stream))
                     .expect("spawn dispatcher thread");
             }
         });
@@ -617,7 +677,7 @@ impl Engine {
             .map(|(c, e)| c.snapshot(*e))
             .collect();
         let report = EngineReport {
-            offered: packets.len() as u64,
+            offered: source.len() as u64,
             elapsed,
             shards,
             queues: qcounters.iter().map(QueueCounters::snapshot).collect(),
@@ -764,17 +824,27 @@ enum QueueStream {
 /// Split the trace across `r` queues by salted flow-digest remix
 /// ([`queue_for_digest`]); the salt derives from the engine seed via
 /// [`splitmix64`], so the per-queue sub-streams are a pure function of
-/// (trace, seed, r) — reproducible across runs.
-fn split_streams(packets: &[Packet], r: usize, seed: u64, hasher: &FlowHasher) -> Vec<QueueStream> {
+/// (trace, seed, r) — reproducible across runs. Wire sources digest
+/// from the raw header bytes ([`FlowHasher::digest_raw`], bit-identical
+/// to the key-based digest), so the same flow lands on the same queue
+/// regardless of which representation the engine replays.
+fn split_streams(
+    source: FrameSource<'_>,
+    r: usize,
+    seed: u64,
+    hasher: &FlowHasher,
+) -> Vec<QueueStream> {
     if r == 1 {
         return vec![QueueStream::All];
     }
     let salt = splitmix64(seed);
-    let mut picked: Vec<Vec<u32>> = (0..r)
-        .map(|_| Vec::with_capacity(packets.len() / r + 1))
-        .collect();
-    for (i, pkt) in packets.iter().enumerate() {
-        let digest = hasher.hash_symmetric(&pkt.key);
+    let len = source.len();
+    let mut picked: Vec<Vec<u32>> = (0..r).map(|_| Vec::with_capacity(len / r + 1)).collect();
+    for i in 0..len {
+        let digest = match source {
+            FrameSource::Packets(packets) => hasher.hash_symmetric(&packets[i].key),
+            FrameSource::Wire(store) => hasher.digest_raw(store.view(i).raw_tuple()).1,
+        };
         picked[queue_for_digest(digest, salt, r)].push(i as u32);
     }
     picked.into_iter().map(QueueStream::Picked).collect()
@@ -803,6 +873,11 @@ struct RxDispatcher<'a> {
     /// Owned, not shared: a pool's receiver is single-consumer, so each
     /// dispatcher allocates from (and paced drops return to) its own.
     pool: BufferPool,
+    /// Wire mode only: this dispatcher's frame pool (the software RX
+    /// ring) — raw frames are loaded into its fixed-capacity slots,
+    /// parsed in place and released per burst. `None` on the synthetic
+    /// packet path.
+    frames: Option<FramePool>,
     producers: Vec<Producer<ShardMsg>>,
     counters: &'a [ShardCounters],
     queue: &'a QueueCounters,
@@ -815,11 +890,35 @@ struct RxDispatcher<'a> {
     trace: Option<ThreadTrace>,
 }
 
+/// Per-dispatch-block trace/flight state: blocks are the 256-packet
+/// checkpoint windows; one sampling decision per block covers the whole
+/// window's span.
+struct BlockState {
+    t0: Instant,
+    sampled: bool,
+    idx: u64,
+}
+
+/// Frames per wire-path burst. Must match the width of
+/// [`FlowHasher::digest_batch8`] and divide the 256-packet checkpoint
+/// window so checkpoints always land on burst boundaries.
+const BURST: usize = 8;
+
 impl RxDispatcher<'_> {
-    fn run(self, packets: &[Packet], stream: QueueStream) {
-        match stream {
-            QueueStream::All => self.dispatch(packets, 0..packets.len()),
-            QueueStream::Picked(idx) => self.dispatch(packets, idx.into_iter().map(|i| i as usize)),
+    fn run(self, source: FrameSource<'_>, stream: QueueStream) {
+        match source {
+            FrameSource::Packets(packets) => match stream {
+                QueueStream::All => self.dispatch(packets, 0..packets.len()),
+                QueueStream::Picked(idx) => {
+                    self.dispatch(packets, idx.into_iter().map(|i| i as usize))
+                }
+            },
+            FrameSource::Wire(store) => match stream {
+                QueueStream::All => self.dispatch_frames(store, 0..store.len()),
+                QueueStream::Picked(idx) => {
+                    self.dispatch_frames(store, idx.into_iter().map(|i| i as usize))
+                }
+            },
         }
     }
 
@@ -828,83 +927,228 @@ impl RxDispatcher<'_> {
         let paced = self.plan.paced();
         let mut bufs: Vec<Vec<DigestedPacket>> = (0..n).map(|_| self.pool.acquire()).collect();
         let mut local = QueueLocal::default();
-        // Dispatch-block trace state: blocks are the 256-packet
-        // checkpoint windows; one sampling decision per block covers
-        // the whole window's span.
-        let mut block_t0 = self.start;
-        let mut block_sampled = false;
-        let mut block_idx = 0u64;
+        let mut block = BlockState {
+            t0: self.start,
+            sampled: false,
+            idx: 0,
+        };
         for (k, i) in stream.enumerate() {
             let pkt = &packets[i];
+            if k.is_multiple_of(256) {
+                self.checkpoint(k, i, paced, &mut local, &mut block);
+            }
             local.offered += 1;
-            if k % 256 == 0 {
-                if paced {
-                    pace_until(self.start, Duration::from_nanos(self.plan.due_ns(i) as u64));
-                }
-                // One atomic load; re-clones the snapshot Arc only when
-                // the controller published since the last check.
-                if let Some(sr) = self.steer.as_mut() {
-                    sr.refresh();
-                }
-                if k > 0 {
-                    // Coalesced black-box deltas for the finished block
-                    // (`local` resets each checkpoint, so its values are
-                    // exactly the per-block deltas), then the live fold.
-                    block_idx = (k / 256) as u64;
-                    if local.shed > 0 {
-                        self.flight
-                            .record(FlightKind::ShedDrop, local.shed, block_idx);
-                    }
-                    if local.steer_dropped > 0 {
-                        self.flight
-                            .record(FlightKind::SteerDrop, local.steer_dropped, block_idx);
-                    }
-                    self.queue.fold(&mut local);
-                }
-                if let Some(tt) = self.trace.as_mut() {
-                    if k > 0 && block_sampled {
-                        tt.span_since(block_t0, "dispatch", "rxq");
-                    }
-                    block_sampled = tt.tick();
-                    if block_sampled {
-                        block_t0 = Instant::now();
-                    }
-                }
-            }
             let (canon, digest) = self.hasher.digest_symmetric(&pkt.key);
-            let s = shard_for_digest(digest, n);
-            // Steering enforcement at dispatch: blacklisted flows drop
-            // here (prevention at the earliest point), and under load
-            // shedding only whitelisted flows pass. Both are accounted
-            // per shard *and* per queue — conservation includes them on
-            // both axes.
-            if let Some(sr) = &self.steer {
-                let snap = sr.current();
-                if self.enforce_verdicts && snap.blacklist.contains(&digest.0) {
-                    self.counters[s].steer_dropped.inc();
-                    local.steer_dropped += 1;
-                    continue;
-                }
-                if snap.shed && !snap.whitelist.contains(&digest.0) {
-                    self.counters[s].shed.inc();
-                    local.shed += 1;
-                    continue;
-                }
-            }
-            bufs[s].push(DigestedPacket {
+            let dp = DigestedPacket {
                 pkt: *pkt,
                 canon,
                 digest,
                 seq: i as u64,
-            });
-            if bufs[s].len() == self.batch {
-                let batch = std::mem::replace(&mut bufs[s], self.pool.acquire());
-                self.flush(s, batch, paced, &mut local);
+            };
+            self.offer(dp, paced, &mut bufs, &mut local);
+        }
+        self.finish(bufs, paced, local, block);
+    }
+
+    /// The zero-copy wire path: replay packed frames in [`BURST`]-sized
+    /// bursts. Each burst loads raw bytes into this dispatcher's
+    /// [`FramePool`] slots (the DMA step of the RX-ring model), parses
+    /// the headers in place with [`FrameView`], digests all eight flows
+    /// straight from the header bytes ([`FlowHasher::digest_batch8`] —
+    /// bit-identical to the key-based digest, so shard/queue placement
+    /// and FlowCache rows match the synthetic path exactly), rebuilds
+    /// the model [`Packet`]s from view + sideband, and releases the
+    /// slots. Steady state touches no allocator: the pool's 8 slots
+    /// recycle for the whole run.
+    fn dispatch_frames(mut self, store: &FrameStore, stream: impl Iterator<Item = usize>) {
+        let n = self.producers.len();
+        let paced = self.plan.paced();
+        let mut frames = self
+            .frames
+            .take()
+            .expect("wire dispatch requires a frame pool");
+        let mut bufs: Vec<Vec<DigestedPacket>> = (0..n).map(|_| self.pool.acquire()).collect();
+        let mut local = QueueLocal::default();
+        let mut block = BlockState {
+            t0: self.start,
+            sampled: false,
+            idx: 0,
+        };
+        let mut stream = stream;
+        let mut k = 0usize;
+        loop {
+            // Gather the burst's global indices (full except the tail).
+            let mut idx = [0usize; BURST];
+            let mut m = 0;
+            while m < BURST {
+                match stream.next() {
+                    Some(i) => {
+                        idx[m] = i;
+                        m += 1;
+                    }
+                    None => break,
+                }
+            }
+            if m == 0 {
+                break;
+            }
+            // BURST divides 256, so checkpoints land on burst starts.
+            if k.is_multiple_of(256) {
+                self.checkpoint(k, idx[0], paced, &mut local, &mut block);
+            }
+            // RX: copy the frames into pooled slots.
+            let mut slots: [Option<FrameSlot>; BURST] = Default::default();
+            for (slot, &i) in slots.iter_mut().zip(&idx[..m]) {
+                *slot = Some(frames.load(store.frame(i)));
+            }
+            // Parse in place, digest from the header bytes, rebuild the
+            // model packets. The views borrow the pool, so this scope
+            // ends before the slots go back on the free list.
+            let mut burst: [Option<DigestedPacket>; BURST] = Default::default();
+            {
+                let mut tuples = [RawTuple::default(); BURST];
+                let mut views: [Option<FrameView<'_>>; BURST] = Default::default();
+                for j in 0..m {
+                    let slot = slots[j].as_ref().expect("slot loaded");
+                    let v = FrameView::parse(frames.frame(slot))
+                        .expect("frame validated at store construction");
+                    tuples[j] = v.raw_tuple();
+                    views[j] = Some(v);
+                }
+                if m == BURST {
+                    let digested = self.hasher.digest_batch8(&tuples);
+                    for j in 0..BURST {
+                        let v = views[j].expect("view parsed");
+                        let (canon, digest) = digested[j];
+                        burst[j] = Some(DigestedPacket {
+                            pkt: store.meta(idx[j]).packet(&v),
+                            canon,
+                            digest,
+                            seq: idx[j] as u64,
+                        });
+                    }
+                } else {
+                    for j in 0..m {
+                        let v = views[j].expect("view parsed");
+                        let (canon, digest) = self.hasher.digest_raw(tuples[j]);
+                        burst[j] = Some(DigestedPacket {
+                            pkt: store.meta(idx[j]).packet(&v),
+                            canon,
+                            digest,
+                            seq: idx[j] as u64,
+                        });
+                    }
+                }
+            }
+            for slot in slots.iter_mut() {
+                if let Some(s) = slot.take() {
+                    frames.release(s);
+                }
+            }
+            for dp in burst.iter_mut().take(m) {
+                local.offered += 1;
+                self.offer(dp.take().expect("digested"), paced, &mut bufs, &mut local);
+            }
+            k += m;
+        }
+        self.finish(bufs, paced, local, block);
+    }
+
+    /// The 256-packet checkpoint shared by both dispatch paths: pace to
+    /// the block's first global arrival time, refresh the steering
+    /// snapshot, coalesce the finished block's black-box deltas
+    /// (`local` resets each checkpoint, so its values are exactly the
+    /// per-block deltas), fold the live counters, and make the block's
+    /// trace-sampling decision.
+    fn checkpoint(
+        &mut self,
+        k: usize,
+        global_i: usize,
+        paced: bool,
+        local: &mut QueueLocal,
+        block: &mut BlockState,
+    ) {
+        if paced {
+            pace_until(
+                self.start,
+                Duration::from_nanos(self.plan.due_ns(global_i) as u64),
+            );
+        }
+        // One atomic load; re-clones the snapshot Arc only when the
+        // controller published since the last check.
+        if let Some(sr) = self.steer.as_mut() {
+            sr.refresh();
+        }
+        if k > 0 {
+            block.idx = (k / 256) as u64;
+            if local.shed > 0 {
+                self.flight
+                    .record(FlightKind::ShedDrop, local.shed, block.idx);
+            }
+            if local.steer_dropped > 0 {
+                self.flight
+                    .record(FlightKind::SteerDrop, local.steer_dropped, block.idx);
+            }
+            self.queue.fold(local);
+        }
+        if let Some(tt) = self.trace.as_mut() {
+            if k > 0 && block.sampled {
+                tt.span_since(block.t0, "dispatch", "rxq");
+            }
+            block.sampled = tt.tick();
+            if block.sampled {
+                block.t0 = Instant::now();
             }
         }
-        if block_sampled {
+    }
+
+    /// Offer one digested packet: steering enforcement at dispatch
+    /// (blacklisted flows drop here — prevention at the earliest point —
+    /// and under load shedding only whitelisted flows pass; both are
+    /// accounted per shard *and* per queue, so conservation includes
+    /// them on both axes), then stage into the shard's batch buffer.
+    fn offer(
+        &self,
+        dp: DigestedPacket,
+        paced: bool,
+        bufs: &mut [Vec<DigestedPacket>],
+        local: &mut QueueLocal,
+    ) {
+        let s = shard_for_digest(dp.digest, bufs.len());
+        if let Some(sr) = &self.steer {
+            let snap = sr.current();
+            if self.enforce_verdicts && snap.blacklist.contains(&dp.digest.0) {
+                self.counters[s].steer_dropped.inc();
+                local.steer_dropped += 1;
+                return;
+            }
+            if snap.shed && !snap.whitelist.contains(&dp.digest.0) {
+                self.counters[s].shed.inc();
+                local.shed += 1;
+                return;
+            }
+        }
+        bufs[s].push(dp);
+        if bufs[s].len() == self.batch {
+            let batch = std::mem::replace(&mut bufs[s], self.pool.acquire());
+            self.flush(s, batch, paced, local);
+        }
+    }
+
+    /// End-of-stream tail shared by both dispatch paths: close the
+    /// sampled trace span, flush every staged batch, send `Stop` down
+    /// every lane (never dropped — blocks until a slot frees), record
+    /// the final black-box deltas and fold the counters exactly.
+    fn finish(
+        self,
+        mut bufs: Vec<Vec<DigestedPacket>>,
+        paced: bool,
+        mut local: QueueLocal,
+        block: BlockState,
+    ) {
+        if block.sampled {
             if let Some(tt) = &self.trace {
-                tt.span_since(block_t0, "dispatch", "rxq");
+                tt.span_since(block.t0, "dispatch", "rxq");
             }
         }
         for (s, buf) in bufs.iter_mut().enumerate() {
@@ -912,16 +1156,15 @@ impl RxDispatcher<'_> {
                 let batch = std::mem::take(buf);
                 self.flush(s, batch, paced, &mut local);
             }
-            // Stop is never dropped: it blocks until a slot frees up.
             self.producers[s].push_blocking(ShardMsg::Stop);
         }
         if local.shed > 0 {
             self.flight
-                .record(FlightKind::ShedDrop, local.shed, block_idx + 1);
+                .record(FlightKind::ShedDrop, local.shed, block.idx + 1);
         }
         if local.steer_dropped > 0 {
             self.flight
-                .record(FlightKind::SteerDrop, local.steer_dropped, block_idx + 1);
+                .record(FlightKind::SteerDrop, local.steer_dropped, block.idx + 1);
         }
         self.queue.fold(&mut local);
     }

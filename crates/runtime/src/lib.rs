@@ -11,6 +11,11 @@
 //! * `batch` — the hot-path currency: pre-digested packets (canonical
 //!   key + symmetric hash computed once at dispatch), pooled batch
 //!   buffers recycled shard→dispatcher, and the bounded idle backoff.
+//! * [`frame`] — fixed-capacity frame buffers ([`FramePool`]) for the
+//!   zero-copy wire ingest path: dispatchers load raw frames into pooled
+//!   slots (the software RX-ring), parse them in place with
+//!   [`smartwatch_net::FrameView`] and recycle the slots —
+//!   allocation-free in steady state.
 //! * [`spsc`] — bounded single-producer/single-consumer batch queues
 //!   with explicit backpressure or accounted drops (never silent loss).
 //! * [`control`] — the epoch-stamped verdict log fanning host decisions
@@ -54,14 +59,17 @@ pub(crate) mod batch;
 pub mod control;
 pub mod engine;
 pub mod escalate;
+pub mod frame;
 pub(crate) mod obs;
 pub mod shard;
 pub mod spsc;
 
 pub use control::{ControlLog, LogReader};
 pub use engine::{
-    decision_value, hist_value, Engine, EngineConfig, EngineReport, Pace, QueueStats, StageSnapshot,
+    decision_value, hist_value, Engine, EngineConfig, EngineReport, FrameSource, Pace, QueueStats,
+    StageSnapshot,
 };
 pub use escalate::{HostObs, HostPool, TriageNf};
+pub use frame::{FramePool, FrameSlot};
 pub use shard::{MergePolicy, ShardCounters, ShardStats};
 pub use smartwatch_control::{ControlConfig, ControlEvent, ControlReport, DecisionRecord};

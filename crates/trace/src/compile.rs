@@ -1,0 +1,75 @@
+//! The trace compiler: serialise a generated trace into packed wire
+//! frames once, replay it many times.
+//!
+//! The paper's replay driver (MoonGen) does exactly this — it preloads
+//! pcap frames into DMA buffers and transmits the same bytes over and
+//! over. [`compile`] is the workspace equivalent: any generator output
+//! (background presets, attacks, spike mixes) becomes a
+//! [`FrameStore`] whose arena holds every frame back-to-back, and
+//! [`compile_cycled`] stretches the replay to an exact packet count by
+//! repeating sideband entries over the *same* arena bytes, mirroring how
+//! the bench harness cycles synthetic `Vec<Packet>` workloads.
+//!
+//! Because the [`FrameStore`] sideband carries the model-only fields the
+//! wire cannot (exact ns timestamps, truncated wire lengths, payload
+//! digests, labels), replaying a compiled trace through the engine is
+//! packet-for-packet equivalent to replaying the original trace — the
+//! Ordered-merge `deterministic_summary` comes out byte-identical.
+
+use crate::Trace;
+use smartwatch_net::FrameStore;
+
+/// Compile a trace into a packed [`FrameStore`] (wire-encode every
+/// packet once; checksums valid; sideband preserves the model-only
+/// fields).
+pub fn compile(trace: &Trace) -> FrameStore {
+    FrameStore::from_packets(trace.packets())
+}
+
+/// Compile `trace` once and cycle the replay schedule to exactly
+/// `total` packets. The arena is not repeated — only the small
+/// per-frame sideband grows — so a 25k-flow base trace can drive a
+/// multi-million-packet replay from a few MB of frames.
+pub fn compile_cycled(trace: &Trace, total: usize) -> FrameStore {
+    assert!(!trace.is_empty(), "cannot compile an empty trace");
+    compile(trace).cycled_to(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::background::{preset_trace, Preset};
+    use smartwatch_net::Dur;
+
+    #[test]
+    fn compiled_store_round_trips_the_generator_output() {
+        let t = preset_trace(Preset::Caida2018, 200, Dur::from_millis(50), 0xC0DE);
+        let store = compile(&t);
+        assert_eq!(store.len(), t.len());
+        for (i, p) in t.iter().enumerate() {
+            assert_eq!(store.packet(i), *p, "packet {i}");
+        }
+    }
+
+    #[test]
+    fn truncated_stress_traces_compile_faithfully() {
+        let t = preset_trace(Preset::Caida2018, 150, Dur::from_millis(50), 7).truncated_64b();
+        let store = compile(&t);
+        for (i, p) in t.iter().enumerate() {
+            assert_eq!(store.packet(i), *p, "packet {i}");
+            assert_eq!(store.meta(i).wire_len, 64);
+        }
+    }
+
+    #[test]
+    fn cycled_compile_matches_cycled_packets() {
+        let t = preset_trace(Preset::Caida2016, 80, Dur::from_millis(20), 42);
+        let total = t.len() * 2 + 13;
+        let store = compile_cycled(&t, total);
+        assert_eq!(store.len(), total);
+        let base = t.packets();
+        for i in 0..total {
+            assert_eq!(store.packet(i), base[i % base.len()], "packet {i}");
+        }
+    }
+}

@@ -16,6 +16,10 @@
 //! - [`Trace`] — the container, with the editcap/mergecap/tcprewrite
 //!   equivalents used by the paper's methodology: timestamp shifting,
 //!   merging, 64-byte truncation and replay speed-up.
+//! - [`compile`] — the MoonGen-equivalent trace compiler: serialise any
+//!   generator output into a packed wire-frame arena once
+//!   ([`smartwatch_net::FrameStore`]) and replay it many times through
+//!   the runtime's zero-copy ingest path.
 //!
 //! Everything is deterministic under a caller-provided seed.
 
@@ -24,6 +28,7 @@
 
 pub mod attacks;
 pub mod background;
+pub mod compile;
 pub mod dist;
 pub mod session;
 
