@@ -48,6 +48,60 @@ fn bench_flowcache(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar per-packet probes vs the two-stage batched path
+/// (`process_batch`: digest+prefetch a burst, then probe it), across
+/// table sizes. At `row_bits = 12` the whole table is cache-resident
+/// and the paths should tie; at `row_bits = 16` the General table is
+/// ~63 MB — far past L3 — and the prefetch overlap is the difference
+/// between serialised and pipelined DRAM misses.
+fn bench_batch_vs_scalar(c: &mut Criterion) {
+    let pkts = workloads::scattered_flows(200_000, 0x5EED_CAFE);
+    let mut g = c.benchmark_group("batch_vs_scalar");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    for (mode_name, mode) in [("general", Mode::General), ("lite", Mode::Lite)] {
+        for row_bits in [12u32, 14, 16, 18] {
+            let cfg = FlowCacheConfig::general(row_bits);
+            let fresh = || {
+                let mut fc = FlowCache::new(cfg.clone());
+                fc.set_mode(mode);
+                fc
+            };
+            g.bench_function(format!("scalar_{mode_name}_rb{row_bits}"), |b| {
+                // Collect accesses exactly as the batched cell does, so
+                // the only difference between the cells is the probe
+                // pipeline itself.
+                let mut out = Vec::with_capacity(pkts.len());
+                b.iter_batched(
+                    fresh,
+                    |mut fc| {
+                        for p in &pkts {
+                            out.push(fc.process(p));
+                        }
+                        std::hint::black_box(out.len());
+                        out.clear();
+                        fc
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+            g.bench_function(format!("batch_{mode_name}_rb{row_bits}"), |b| {
+                let mut out = Vec::with_capacity(pkts.len());
+                b.iter_batched(
+                    fresh,
+                    |mut fc| {
+                        fc.process_batch(&pkts, &mut out);
+                        std::hint::black_box(out.len());
+                        out.clear();
+                        fc
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_cuckoo_ablation(c: &mut Criterion) {
     let pkts = workloads::caida_64b(Preset::Caida2018, 1, 7).into_packets();
     let mut g = c.benchmark_group("cuckoo_ablation");
@@ -105,6 +159,6 @@ fn bench_concurrent_cache(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_flowcache, bench_cuckoo_ablation, bench_concurrent_cache
+    targets = bench_flowcache, bench_batch_vs_scalar, bench_cuckoo_ablation, bench_concurrent_cache
 }
 criterion_main!(benches);

@@ -32,6 +32,7 @@ fn main() {
     let mut metrics_json: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut summary_out: Option<String> = None;
     let mut flight_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut engine_spec = EngineRunSpec::default();
@@ -76,6 +77,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--host-workers needs an integer ≥ 0"));
             }
+            "--cache-burst" => {
+                engine_spec.cache_burst = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--cache-burst needs an integer ≥ 0"));
+            }
             "--rate" => {
                 let r: f64 = it
                     .next()
@@ -113,6 +120,13 @@ fn main() {
                     it.next()
                         .cloned()
                         .unwrap_or_else(|| die("--bench-json needs a path")),
+                );
+            }
+            "--summary-out" => {
+                summary_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--summary-out needs a path")),
                 );
             }
             "--flight-dump" => {
@@ -208,6 +222,12 @@ fn main() {
             }
             eprintln!("repro: engine bench report written to {path}");
         }
+        if let Some(path) = summary_out.take() {
+            if let Err(e) = std::fs::write(&path, report.deterministic_summary()) {
+                die(&format!("writing {path}: {e}"));
+            }
+            eprintln!("repro: deterministic summary written to {path}");
+        }
         if let Some(path) = flight_out.take() {
             write_flight(&engine, &path, "flight recorder");
         }
@@ -264,6 +284,11 @@ fn main() {
     if let Some(path) = flight_out {
         die(&format!(
             "--flight-dump {path} only applies to the `engine` and `control` experiments"
+        ));
+    }
+    if let Some(path) = summary_out {
+        die(&format!(
+            "--summary-out {path} only applies to the `engine` experiment"
         ));
     }
     for (id, f) in &experiments {
@@ -335,9 +360,10 @@ fn usage() {
                       [--metrics-json <path>] [--trace-out <path>]\n\
                 repro engine [--shards N] [--rx-queues R] [--packets N]\n\
                       [--batch N] [--host-workers N] [--rate MPPS]\n\
+                      [--cache-burst N]\n\
                       [--workload stress|stress64|mix]\n\
                       [--source synthetic|compiled|pcap:<path>]\n\
-                      [--bench-json <path>]\n\
+                      [--bench-json <path>] [--summary-out <path>]\n\
                       [--trace-sample N] [--listen ADDR]\n\
                       [--serve-hold-ms N] [--flight-dump <path>]\n\
                 repro control [--shards N] [--rx-queues R] [--packets N]\n\
@@ -363,7 +389,14 @@ fn usage() {
                          same wire path, cycled to --packets\n\
          --bench-json    (engine/control) write the headline wall-clock\n\
                          numbers as JSON (control adds the mode timeline\n\
-                         and the per-epoch controller decision audit)\n\
+                         and the per-epoch controller decision audit;\n\
+                         engine adds the flowcache hit-mix/probe section)\n\
+         --summary-out   (engine) write the byte-stable deterministic\n\
+                         summary (exact counters, no wall-clock values)\n\
+                         — what CI diffs against its committed golden\n\
+         --cache-burst   (engine) FlowCache lookup burst width: shards\n\
+                         prefetch N rows ahead before probing (default 8;\n\
+                         0/1 = per-packet reference path, same decisions)\n\
          --trace-sample  (engine/control) sample 1-in-N batches per\n\
                          engine thread into --trace-out (0 = off; the\n\
                          first batch per thread is always sampled)\n\

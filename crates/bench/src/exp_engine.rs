@@ -140,6 +140,10 @@ pub struct EngineRunSpec {
     pub batch: usize,
     /// Host escalation workers (0 = inline deterministic triage).
     pub host_workers: usize,
+    /// FlowCache lookup burst width (`--cache-burst`; `<= 1` selects
+    /// the per-packet reference path). Decisions are identical at every
+    /// width — only memory-level parallelism changes.
+    pub cache_burst: usize,
     /// Offered rate in Mpps; `None` replays flat-out with backpressure.
     pub rate_mpps: Option<f64>,
     /// Replay workload.
@@ -166,6 +170,7 @@ impl Default for EngineRunSpec {
             packets: 200_000,
             batch: 64,
             host_workers: 1,
+            cache_burst: smartwatch_snic::BURST,
             rate_mpps: None,
             workload: EngineWorkload::Stress,
             source: EngineSource::Synthetic,
@@ -226,6 +231,7 @@ pub fn engine_run_full(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineRepo
     cfg.rx_queues = spec.rx_queues;
     cfg.batch = spec.batch;
     cfg.host_workers = spec.host_workers;
+    cfg.cache_burst = spec.cache_burst;
     cfg.trace_sample = spec.trace_sample;
     let pace = match spec.rate_mpps {
         Some(r) => Pace::RateMpps(r),
@@ -282,6 +288,43 @@ impl StageJson {
     }
 }
 
+/// The FlowCache section of the bench artifact: hit mix, tag-filtered
+/// probe lengths, and the batch pipeline's achieved depth.
+#[derive(Debug, Serialize)]
+struct FlowCacheJson {
+    burst: usize,
+    hit_rate: f64,
+    p_hits: u64,
+    e_hits: u64,
+    misses: u64,
+    to_host: u64,
+    ring_pushes: u64,
+    probe_hist: Vec<u64>,
+    mean_probe_len: f64,
+    bursts: u64,
+    burst_pkts: u64,
+    mean_burst_depth: f64,
+}
+
+impl FlowCacheJson {
+    fn from(f: &smartwatch_runtime::FlowCacheSummary) -> FlowCacheJson {
+        FlowCacheJson {
+            burst: f.burst,
+            hit_rate: f.hit_rate(),
+            p_hits: f.p_hits,
+            e_hits: f.e_hits,
+            misses: f.misses,
+            to_host: f.to_host,
+            ring_pushes: f.ring_pushes,
+            probe_hist: f.probe_hist.to_vec(),
+            mean_probe_len: f.mean_probe_len(),
+            bursts: f.bursts,
+            burst_pkts: f.burst_pkts,
+            mean_burst_depth: f.mean_burst_depth(),
+        }
+    }
+}
+
 /// The `BENCH_engine.json` schema (field order = emission order).
 #[derive(Debug, Serialize)]
 struct EngineBenchJson {
@@ -307,6 +350,7 @@ struct EngineBenchJson {
     cache_ns: StageJson,
     detect_ns: StageJson,
     escalate_ns: StageJson,
+    flowcache: FlowCacheJson,
 }
 
 /// The CI benchmark artifact (`BENCH_engine.json`): one flat JSON object
@@ -336,6 +380,7 @@ pub fn bench_json(spec: &EngineRunSpec, r: &EngineReport) -> String {
         cache_ns: StageJson::from(&r.stage.cache_ns),
         detect_ns: StageJson::from(&r.stage.detect_ns),
         escalate_ns: StageJson::from(&r.stage.escalate_ns),
+        flowcache: FlowCacheJson::from(&r.flowcache),
     };
     serde_json::to_string_pretty(&v).expect("bench report serializes")
 }
@@ -395,6 +440,19 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
     t.note(format!(
         "delivered batch size: mean {:.1} pkts (configured {})",
         r.stage.batch_pkts.mean, spec.batch
+    ));
+    let fc = &r.flowcache;
+    t.note(format!(
+        "flowcache: hit rate {:.1}% (P {} / E {} / miss {}), mean probe {:.2} buckets, \
+         burst {} → mean depth {:.1} pkts over {} prefetch bursts",
+        fc.hit_rate() * 100.0,
+        fc.p_hits,
+        fc.e_hits,
+        fc.misses,
+        fc.mean_probe_len(),
+        fc.burst,
+        fc.mean_burst_depth(),
+        fc.bursts,
     ));
     t.note(format!(
         "conservation: {} (offered = Σ processed + dropped, per shard)",
@@ -459,6 +517,26 @@ mod tests {
             .get("p99_ns")
             .and_then(|x| x.as_u64())
             .is_some());
+        // The flowcache section: batched-lookup telemetry (CI asserts
+        // its presence, so its shape is part of the artifact contract).
+        let fc = field("flowcache");
+        assert_eq!(fc["burst"].as_u64(), Some(smartwatch_snic::BURST as u64));
+        let hit_rate = fc["hit_rate"].as_f64().expect("hit_rate is a number");
+        assert!((0.0..=1.0).contains(&hit_rate));
+        let hist = fc["probe_hist"].as_array().expect("probe_hist array");
+        assert_eq!(hist.len(), 16);
+        let accesses: u64 = hist.iter().map(|v| v.as_u64().unwrap()).sum();
+        let processed = fc["p_hits"].as_u64().unwrap()
+            + fc["e_hits"].as_u64().unwrap()
+            + fc["misses"].as_u64().unwrap();
+        assert_eq!(
+            accesses,
+            processed + fc["to_host"].as_u64().unwrap(),
+            "every cache access lands in exactly one probe-length slot"
+        );
+        assert!(fc["bursts"].as_u64().unwrap() > 0, "batched path engaged");
+        let depth = fc["mean_burst_depth"].as_f64().unwrap();
+        assert!(depth > 1.0 && depth <= smartwatch_snic::BURST as f64);
     }
 
     #[test]

@@ -27,6 +27,28 @@ pub fn caida_64b(preset: Preset, scale: usize, seed: u64) -> Trace {
     caida(preset, scale, seed).truncated_64b()
 }
 
+/// `n` packets over `n` *distinct* flows in hash-scattered order: the
+/// cold-row adversarial workload for the FlowCache. Nearly every lookup
+/// probes a different row, so on any table larger than the last-level
+/// cache the data path is DRAM-latency-bound — the regime the batched
+/// prefetch pipeline exists for.
+pub fn scattered_flows(n: usize, seed: u64) -> Vec<smartwatch_net::Packet> {
+    use smartwatch_net::{hash::splitmix64, FlowKey, PacketBuilder};
+    use std::net::Ipv4Addr;
+    (0..n)
+        .map(|i| {
+            let r = splitmix64(i as u64 ^ seed);
+            let key = FlowKey::tcp(
+                Ipv4Addr::from(0x0A00_0000 | ((r >> 40) as u32 & 0x00FF_FFFF)),
+                ((r >> 24) as u16) | 1,
+                Ipv4Addr::new(192, 168, (r >> 8) as u8, r as u8),
+                443,
+            );
+            PacketBuilder::new(key, Ts::from_nanos(i as u64)).build()
+        })
+        .collect()
+}
+
 /// The Table-4 evaluation mix plus the TLS/Kerberos artefact registries
 /// the host analyzers resolve against.
 pub fn attack_mix_full(scale: usize, seed: u64) -> (Trace, Vec<ArtefactInfo>, Vec<ArtefactInfo>) {

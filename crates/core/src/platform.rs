@@ -258,6 +258,10 @@ pub struct SmartWatch {
     next_interval: Ts,
     whitelist_entries: usize,
     sram_peak: usize,
+    /// Reused export scratch for snapshot/drain batches: after the
+    /// first few intervals grow it to the working-set high-water mark,
+    /// the per-interval export pass allocates nothing.
+    export_scratch: Vec<smartwatch_snic::FlowRecord>,
 }
 
 impl SmartWatch {
@@ -312,6 +316,7 @@ impl SmartWatch {
             next_interval: Ts::ZERO + cfg.interval,
             whitelist_entries: 0,
             sram_peak: 0,
+            export_scratch: Vec::new(),
             cfg,
         }
     }
@@ -550,11 +555,15 @@ impl SmartWatch {
         }
 
         // 2. sNIC exports: snapshot deltas + ring drains → host aggregate
-        // (both the per-interval view and the cumulative store).
-        let snapshot = self.cache.snapshot_delta();
+        // (both the per-interval view and the cumulative store). The
+        // snapshot lands in the reused scratch buffer, so steady-state
+        // intervals allocate nothing for it.
+        let mut snapshot = std::mem::take(&mut self.export_scratch);
+        self.cache.snapshot_delta_into(&mut snapshot);
         let export_count = snapshot.len();
         self.long_term.ingest_batch(snapshot.iter().copied());
-        self.aggregator.ingest_batch(snapshot);
+        self.aggregator.ingest_batch(snapshot.iter().copied());
+        self.export_scratch = snapshot;
         let evicted = self.cache.rings().drain();
         let export_count = (export_count + evicted.len()) as u64;
         self.long_term.ingest_batch(evicted.iter().copied());
@@ -625,9 +634,13 @@ impl SmartWatch {
         self.end_interval(now);
         let final_alerts = self.suite.finish(now);
         self.ingest_alerts(final_alerts);
-        // Drain the residual cache so flow logs are complete.
-        let residue = self.cache.drain_all();
-        self.aggregator.ingest_batch(residue);
+        // Drain the residual cache so flow logs are complete (one last
+        // pass through the reused scratch; finish() runs once, but the
+        // discipline keeps the allocation profile flat to the end).
+        let mut residue = std::mem::take(&mut self.export_scratch);
+        self.cache.drain_all_into(&mut residue);
+        self.aggregator.ingest_batch(residue.iter().copied());
+        self.export_scratch = residue;
         let records = self.aggregator.flush();
         self.flowlog.store(self.interval_idx, records);
         self.refresh_derived_gauges();
@@ -800,6 +813,39 @@ mod tests {
         // After the alert fires, subsequent scanner packets are dropped at
         // the switch — prevention, not just detection.
         assert!(rep.metrics.dropped > 0, "post-alert packets should drop");
+    }
+
+    #[test]
+    fn interval_exports_reuse_the_scratch_buffer() {
+        // Zero-growth discipline for the snapshot path: each interval's
+        // snapshot_delta lands in the reused scratch Vec, so once the
+        // first intervals have sized it to the working set, snapshots
+        // stop allocating — capacity over the second half of the run is
+        // flat, and never exceeds the cache's slot count.
+        let trace = preset_trace(Preset::Caida2018, 200, Dur::from_secs(6), 21);
+        let mut sw = SmartWatch::new(PlatformConfig::new(DeployMode::SnicHost), vec![]);
+        let mut caps = Vec::new();
+        let mut last_interval = 0;
+        for p in trace.packets() {
+            sw.on_packet(p);
+            if sw.interval_idx != last_interval {
+                last_interval = sw.interval_idx;
+                caps.push(sw.export_scratch.capacity());
+            }
+        }
+        assert!(
+            caps.len() >= 4,
+            "trace must span several snapshot intervals, got {}",
+            caps.len()
+        );
+        let slots = sw.cache.config().rows() * sw.cache.config().buckets_per_row;
+        assert!(caps.iter().all(|&c| c <= slots));
+        assert!(*caps.last().unwrap() > 0, "snapshots are non-empty");
+        let tail = &caps[caps.len() / 2..];
+        assert!(
+            tail.windows(2).all(|w| w[0] == w[1]),
+            "scratch capacity must stop growing once warmed: {caps:?}"
+        );
     }
 
     #[test]

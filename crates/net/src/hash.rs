@@ -45,6 +45,22 @@ impl HashDigest {
     pub fn bucket(self, m: usize) -> usize {
         (((self.0 >> 32) * m as u64) >> 32) as usize
     }
+
+    /// Compact probe tag for the FlowCache's per-row tag arrays: the top
+    /// byte of the digest, mapped away from zero because 0 is the
+    /// "empty bucket" sentinel. The top byte is untouched by
+    /// [`HashDigest::row`] for every legal `row_bits` (≤ 30), so the tag
+    /// adds discrimination *within* a row: a mismatch skips the full
+    /// 13-byte key compare, a match is wrong only ~1/255 of the time.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        let t = (self.0 >> 56) as u8;
+        if t == 0 {
+            1
+        } else {
+            t
+        }
+    }
 }
 
 /// Seedable 64-bit hasher over flow keys and raw bytes.
@@ -494,6 +510,31 @@ mod tests {
         let d = HashDigest(0xABCD_EF01_2345_6789);
         assert_eq!(d.row(21), (0x2345_6789 & ((1 << 21) - 1)) as usize);
         assert_eq!(d.high(21), 0xABCD_EF01_2345_6789u64 >> 21);
+    }
+
+    #[test]
+    fn tag_is_nonzero_top_byte_and_spreads() {
+        assert_eq!(HashDigest(0).tag(), 1, "zero maps to the sentinel-free 1");
+        assert_eq!(HashDigest(0xAB00_0000_0000_0000).tag(), 0xAB);
+        assert_eq!(
+            HashDigest(0x00FF_FFFF_FFFF_FFFF).tag(),
+            1,
+            "only the top byte participates"
+        );
+        let h = FlowHasher::new(0x51CC);
+        let mut hits = [0u32; 256];
+        for i in 0..100_000u64 {
+            let t = h.hash_u64(i).tag();
+            assert_ne!(t, 0, "tags are never the empty sentinel");
+            hits[t as usize] += 1;
+        }
+        assert_eq!(hits[0], 0);
+        // 255 live values, ~392 each; hits[1] absorbs the 0-remap (~2x).
+        assert!(
+            hits[1..].iter().all(|&c| c > 100 && c < 1200),
+            "poor tag spread: max={:?}",
+            hits.iter().copied().max()
+        );
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! state allocates nothing per batch. Pool traffic is observable as
 //! `runtime.pool.allocated` / `runtime.pool.recycled` counters; the
 //! zero-growth property is what the pool tests pin down.
+//!
+//! On the consuming side, shards walk each delivered batch in
+//! [`EngineConfig::cache_burst`](crate::EngineConfig::cache_burst)-sized
+//! chunks: the carried digest lets the shard prefetch every FlowCache
+//! row a chunk will touch *before* the first probe (stage A), then
+//! process the chunk strictly in sequence (stage B). The prefetch stage
+//! is architecturally inert, so decisions, counters and the
+//! deterministic summary are byte-identical at any burst width.
 
 use smartwatch_net::{HashDigest, Packet};
 use smartwatch_telemetry::{Counter, Registry};

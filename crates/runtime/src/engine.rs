@@ -31,7 +31,7 @@ use crate::frame::{FramePool, FrameSlot};
 use crate::obs::{ThreadTrace, TraceSpec};
 use crate::shard::{
     ControlHooks, Escalation, LaneRx, MergePolicy, ShardCounters, ShardEndState, ShardMsg,
-    ShardObs, ShardStats, ShardWorker, StageHists,
+    ShardObs, ShardStats, ShardWorker, StageHists, PROBE_HIST_SLOTS,
 };
 use crate::spsc::{spsc, Producer};
 use serde::{Number, Value};
@@ -87,6 +87,13 @@ pub struct EngineConfig {
     /// FlowCache hash seed (per-shard caches share it; partitioning
     /// comes from RSS, not from distinct hash functions).
     pub hash_seed: u64,
+    /// FlowCache lookup burst width: shards prefetch this many rows
+    /// ahead before probing (the memory-level-parallel batched path).
+    /// `0` or `1` selects the per-packet reference path. Packet
+    /// *decisions* are identical at every width — prefetching is
+    /// architecturally inert — so this knob trades nothing but cache
+    /// warmth and is safe to change under the determinism tests.
+    pub cache_burst: usize,
     /// Attach the adaptive control plane: an epoch thread that runs
     /// Algorithm 4 mode switching per shard, promotes heavy hitters,
     /// publishes steering snapshots and decides load shedding. `None`
@@ -120,6 +127,7 @@ impl EngineConfig {
             triage_threshold: 64,
             enforce_verdicts: true,
             hash_seed: 0x51CC,
+            cache_burst: smartwatch_snic::BURST,
             control: None,
             trace_sample: 0,
         }
@@ -587,6 +595,7 @@ impl Engine {
                 hasher,
                 cfg.merge,
                 cfg.batch,
+                cfg.cache_burst,
                 shard_hooks[i].take(),
                 ShardObs {
                     flight: self.flight.ring(format!("sw-shard-{i}")),
@@ -671,6 +680,7 @@ impl Engine {
             handle.join().expect("controller thread panicked")
         });
 
+        let flowcache = FlowCacheSummary::aggregate(cfg.cache_burst, &ends);
         let shards: Vec<ShardStats> = counters
             .iter()
             .zip(&ends)
@@ -691,6 +701,7 @@ impl Engine {
                 escalate_ns: stage.escalate_ns.snapshot(),
                 batch_pkts: stage.batch_pkts.snapshot(),
             },
+            flowcache,
         };
         // Close out the black box: a conservation failure records its
         // delta (the smoking gun a post-mortem dump starts from), and
@@ -1518,6 +1529,99 @@ pub struct StageSnapshot {
     pub batch_pkts: HistSnapshot,
 }
 
+/// Aggregate FlowCache behaviour across every shard partition: the
+/// hit mix, the tag-filtered probe-length distribution, and how much
+/// memory-level parallelism the batched lookup path actually achieved.
+/// Every field is an exact counter summed over shards (no wall-clock
+/// values), but the totals depend on how RSS split the trace, so this
+/// section stays out of [`EngineReport::deterministic_summary`].
+#[derive(Clone, Debug, Default)]
+pub struct FlowCacheSummary {
+    /// Configured lookup burst width (`EngineConfig::cache_burst`;
+    /// `<= 1` means the per-packet reference path ran).
+    pub burst: usize,
+    /// Primary-buffer hits.
+    pub p_hits: u64,
+    /// Eviction-buffer hits.
+    pub e_hits: u64,
+    /// Misses (new-flow insertions).
+    pub misses: u64,
+    /// Fully-pinned-row escalations.
+    pub to_host: u64,
+    /// Records pushed to eviction rings by packet-path accesses.
+    pub ring_pushes: u64,
+    /// Probe-length histogram: slot `i` counts accesses that probed
+    /// exactly `i` buckets (last slot absorbs longer probes).
+    pub probe_hist: [u64; PROBE_HIST_SLOTS],
+    /// Prefetch bursts issued by the batched path.
+    pub bursts: u64,
+    /// Packets covered by those bursts.
+    pub burst_pkts: u64,
+}
+
+impl FlowCacheSummary {
+    fn aggregate(burst: usize, ends: &[ShardEndState]) -> FlowCacheSummary {
+        let mut out = FlowCacheSummary {
+            burst,
+            ..FlowCacheSummary::default()
+        };
+        for e in ends {
+            out.p_hits += e.cache_mix.p_hits;
+            out.e_hits += e.cache_mix.e_hits;
+            out.misses += e.cache_mix.misses;
+            out.to_host += e.cache_mix.to_host;
+            out.ring_pushes += e.cache_mix.ring_pushes;
+            for (acc, v) in out.probe_hist.iter_mut().zip(e.probe_hist) {
+                *acc += v;
+            }
+            out.bursts += e.bursts;
+            out.burst_pkts += e.burst_pkts;
+        }
+        out
+    }
+
+    /// Total packet-path cache accesses.
+    pub fn accesses(&self) -> u64 {
+        self.p_hits + self.e_hits + self.misses + self.to_host
+    }
+
+    /// Hit rate over cache-processed packets (to-host escalations
+    /// excluded, matching `CacheStats::hit_rate`).
+    pub fn hit_rate(&self) -> f64 {
+        let p = self.p_hits + self.e_hits + self.misses;
+        if p == 0 {
+            0.0
+        } else {
+            (self.p_hits + self.e_hits) as f64 / p as f64
+        }
+    }
+
+    /// Mean probe length per access, in buckets.
+    pub fn mean_probe_len(&self) -> f64 {
+        let (mut n, mut sum) = (0u64, 0u64);
+        for (len, &count) in self.probe_hist.iter().enumerate() {
+            n += count;
+            sum += count * len as u64;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Mean packets per prefetch burst — how deep the memory-level
+    /// parallel pipeline actually ran (`<= burst`; short tails and
+    /// sub-burst groups drag it down).
+    pub fn mean_burst_depth(&self) -> f64 {
+        if self.bursts == 0 {
+            0.0
+        } else {
+            self.burst_pkts as f64 / self.bursts as f64
+        }
+    }
+}
+
 /// Everything `Engine::run` measured.
 #[derive(Clone, Debug)]
 pub struct EngineReport {
@@ -1540,6 +1644,9 @@ pub struct EngineReport {
     pub control: Option<ControlReport>,
     /// Per-stage latency/size distributions.
     pub stage: StageSnapshot,
+    /// Aggregate FlowCache behaviour (hit mix, probe lengths, batch
+    /// pipeline depth) summed across shard partitions.
+    pub flowcache: FlowCacheSummary,
 }
 
 impl EngineReport {

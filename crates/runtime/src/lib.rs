@@ -66,8 +66,8 @@ pub mod spsc;
 
 pub use control::{ControlLog, LogReader};
 pub use engine::{
-    decision_value, hist_value, Engine, EngineConfig, EngineReport, FrameSource, Pace, QueueStats,
-    StageSnapshot,
+    decision_value, hist_value, Engine, EngineConfig, EngineReport, FlowCacheSummary, FrameSource,
+    Pace, QueueStats, StageSnapshot,
 };
 pub use escalate::{HostObs, HostPool, TriageNf};
 pub use frame::{FramePool, FrameSlot};

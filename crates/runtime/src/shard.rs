@@ -30,7 +30,7 @@ use smartwatch_control::{ModeCell, SnapshotReader, SteeringSnapshot};
 use smartwatch_core::{DetectorSuite, HostNeed};
 use smartwatch_host::{HostNf, Verdict};
 use smartwatch_net::{AgingDigestSet, BuildDigestHasher, FlowHasher};
-use smartwatch_snic::FlowCache;
+use smartwatch_snic::{FlowCache, Outcome};
 use smartwatch_telemetry::{Counter, FlightKind, FlightRing, Gauge, Histogram, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::SyncSender;
@@ -263,12 +263,58 @@ impl StageHists {
     }
 }
 
+/// Probe-length histogram granularity: slot `i` counts accesses that
+/// probed exactly `i` buckets (the last slot absorbs anything longer).
+/// General-mode rows probe at most 12 buckets, so 16 slots lose nothing.
+pub(crate) const PROBE_HIST_SLOTS: usize = 16;
+
+/// This shard's FlowCache access mix, tallied from [`Outcome`]s in plain
+/// integers on the shard thread. The cache's own `snic.cache.*` counters
+/// are shared registry atomics (every shard partition attaches to the
+/// same cells), so the per-shard view has to be counted here — and being
+/// plain integers, it is exactly deterministic for deterministic inputs.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct CacheMix {
+    /// Primary-buffer hits.
+    pub p_hits: u64,
+    /// Eviction-buffer hits.
+    pub e_hits: u64,
+    /// Misses (new-flow insertions).
+    pub misses: u64,
+    /// Fully-pinned-row escalations.
+    pub to_host: u64,
+    /// Records this shard's accesses pushed to eviction rings.
+    pub ring_pushes: u64,
+}
+
+impl CacheMix {
+    fn tally(&mut self, access: &smartwatch_snic::Access) {
+        match access.outcome {
+            Outcome::PHit => self.p_hits += 1,
+            Outcome::EHit => self.e_hits += 1,
+            Outcome::Miss => self.misses += 1,
+            Outcome::ToHost => self.to_host += 1,
+        }
+        self.ring_pushes += u64::from(access.ring_pushes);
+    }
+}
+
 /// What a shard reports back when it exits.
 #[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct ShardEndState {
     pub blacklisted: u64,
     pub whitelisted: u64,
     pub cache_resident: u64,
+    /// FlowCache access mix, counted on this shard thread.
+    pub cache_mix: CacheMix,
+    /// Per-access probe lengths, accumulated in plain integers on the
+    /// shard thread (deterministic for deterministic inputs).
+    pub probe_hist: [u64; PROBE_HIST_SLOTS],
+    /// Prefetch bursts issued by the batched cache path.
+    pub bursts: u64,
+    /// Packets covered by those bursts (`burst_pkts / bursts` = mean
+    /// pipeline depth actually achieved).
+    pub burst_pkts: u64,
 }
 
 /// Sample 1 packet in 16 for per-stage wall-clock timing and for the
@@ -337,6 +383,19 @@ pub(crate) struct ShardWorker {
     /// engine's batch size, so tick boundaries match the single-queue
     /// dispatcher's batch boundaries exactly).
     group: usize,
+    /// FlowCache software-pipeline depth: rows for up to this many
+    /// packets are prefetched ahead of their probes. `<= 1` disables the
+    /// prefetch stage (the per-packet reference path); either way the
+    /// per-packet decision sequence is identical because the prefetch is
+    /// architecturally inert.
+    burst: usize,
+    /// Probe-length histogram (plain integers — no atomics on this path).
+    probe_hist: [u64; PROBE_HIST_SLOTS],
+    /// FlowCache outcome tallies for this partition.
+    cache_mix: CacheMix,
+    /// Prefetch bursts issued / packets they covered.
+    bursts: u64,
+    burst_pkts: u64,
     /// Digest-keyed (identity-hashed) verdict sets: membership is one
     /// u64 probe instead of a SipHash over the 13-byte 5-tuple. TTL'd
     /// and capacity-bounded so a long-running shard never accumulates
@@ -371,6 +430,7 @@ impl ShardWorker {
         hasher: FlowHasher,
         merge: MergePolicy,
         group: usize,
+        burst: usize,
         hooks: Option<ControlHooks>,
         obs: ShardObs,
     ) -> ShardWorker {
@@ -387,6 +447,11 @@ impl ShardWorker {
             hasher,
             merge,
             group: group.max(1),
+            burst,
+            probe_hist: [0; PROBE_HIST_SLOTS],
+            cache_mix: CacheMix::default(),
+            bursts: 0,
+            burst_pkts: 0,
             blacklist: AgingDigestSet::new(VERDICT_SET_CAPACITY, VERDICT_TTL_BATCHES),
             whitelist: AgingDigestSet::new(VERDICT_SET_CAPACITY, VERDICT_TTL_BATCHES),
             hooks,
@@ -491,9 +556,16 @@ impl ShardWorker {
             .collect();
         let mut backoff = Backoff::new();
         let mut in_group = 0usize;
-        // Start instant of the current merged group when it is sampled;
-        // groups are the ordered merge's batch-granularity unit.
-        let mut group_t0: Option<Instant> = None;
+        // Merged packets of the current group, processed together at the
+        // group boundary so the batched FlowCache path (prefetch bursts)
+        // applies here exactly as on the Fair path. Deferring processing
+        // to the boundary changes nothing observable: merging only copies
+        // packets, and control ticks / flushes already sit at group
+        // boundaries.
+        let mut group_buf: Vec<DigestedPacket> = Vec::with_capacity(self.group);
+        // Whether the current merged group is trace-sampled; groups are
+        // the ordered merge's batch-granularity unit.
+        let mut group_sampled = false;
         loop {
             // Refill: every lane that can have a head batch gets one,
             // from its pending list first (arrival order), then its ring.
@@ -578,24 +650,17 @@ impl ShardWorker {
             backoff.reset();
             if in_group == 0 {
                 self.control_tick();
-                group_t0 = self
-                    .obs
-                    .trace
-                    .as_mut()
-                    .is_some_and(ThreadTrace::tick)
-                    .then(Instant::now);
+                group_sampled = self.obs.trace.as_mut().is_some_and(ThreadTrace::tick);
             }
             let (buf, cursor) = lanes[j].cur.as_mut().expect("selected lane has a head");
             let dp = buf[*cursor];
             *cursor += 1;
             let exhausted = *cursor == buf.len();
-            self.process_packet(&dp);
+            group_buf.push(dp);
             in_group += 1;
             if in_group == self.group {
-                if let (Some(t0), Some(tt)) = (group_t0.take(), &self.obs.trace) {
-                    tt.span_since(t0, "shard process", "shard");
-                }
-                self.flush_local();
+                self.process_group(&group_buf, group_sampled);
+                group_buf.clear();
                 in_group = 0;
             }
             if exhausted {
@@ -604,12 +669,20 @@ impl ShardWorker {
             }
         }
         if in_group > 0 {
-            if let (Some(t0), Some(tt)) = (group_t0.take(), &self.obs.trace) {
-                tt.span_since(t0, "shard process", "shard");
-            }
-            self.flush_local();
+            self.process_group(&group_buf, group_sampled);
         }
         self.finish()
+    }
+
+    /// Process one merged group: the ordered-path analogue of a Fair
+    /// batch (timed span, batched cache path, counter flush).
+    fn process_group(&mut self, pkts: &[DigestedPacket], sampled: bool) {
+        let t0 = sampled.then(Instant::now);
+        self.process_batch(pkts);
+        if let (Some(t0), Some(tt)) = (t0, &self.obs.trace) {
+            tt.span_since(t0, "shard process", "shard");
+        }
+        self.flush_local();
     }
 
     /// Stop-marker tail: apply the last verdicts, flush heavy-hitter
@@ -626,6 +699,10 @@ impl ShardWorker {
             blacklisted: self.blacklist.len() as u64,
             whitelisted: self.whitelist.len() as u64,
             cache_resident: self.cache.occupied() as u64,
+            cache_mix: self.cache_mix,
+            probe_hist: self.probe_hist,
+            bursts: self.bursts,
+            burst_pkts: self.burst_pkts,
         }
     }
 
@@ -746,9 +823,29 @@ impl ShardWorker {
         l.escalate_ns.clear();
     }
 
+    /// The batched FlowCache pipeline: for each burst-sized chunk, stage
+    /// A issues a row prefetch per packet (independent DRAM fetches
+    /// overlap), stage B runs the unchanged per-packet decision sequence
+    /// with the rows already in flight. Verdicts, pinning, escalation and
+    /// detector effects all happen in stage B in exact arrival order, so
+    /// the engine's `deterministic_summary` is byte-identical to the
+    /// per-packet reference path (`burst <= 1`).
     fn process_batch(&mut self, pkts: &[DigestedPacket]) {
-        for dp in pkts {
-            self.process_packet(dp);
+        if self.burst <= 1 {
+            for dp in pkts {
+                self.process_packet(dp);
+            }
+            return;
+        }
+        for chunk in pkts.chunks(self.burst) {
+            self.bursts += 1;
+            self.burst_pkts += chunk.len() as u64;
+            for dp in chunk {
+                self.cache.prefetch_row(dp.digest);
+            }
+            for dp in chunk {
+                self.process_packet(dp);
+            }
         }
     }
 
@@ -770,13 +867,16 @@ impl ShardWorker {
         }
 
         // Stage 1: FlowCache update (digest reused — no re-hash).
-        if sample {
+        let access = if sample {
             let t0 = Instant::now();
-            self.cache.process_digested(pkt, &dp.canon, dp.digest);
+            let a = self.cache.process_digested(pkt, &dp.canon, dp.digest);
             self.local.cache_ns.push(t0.elapsed().as_nanos() as u64);
+            a
         } else {
-            self.cache.process_digested(pkt, &dp.canon, dp.digest);
-        }
+            self.cache.process_digested(pkt, &dp.canon, dp.digest)
+        };
+        self.probe_hist[(access.probes as usize).min(PROBE_HIST_SLOTS - 1)] += 1;
+        self.cache_mix.tally(&access);
 
         // Whitelisted flows skip the detector suite — the wall-clock
         // analogue of the switch no longer steering them. Either the
@@ -877,6 +977,7 @@ mod tests {
             hasher,
             MergePolicy::Fair,
             64,
+            8,
             None,
             ShardObs {
                 flight: flight.ring("sw-shard-0"),

@@ -3,7 +3,7 @@
 //! inline mode — including byte-identical summaries across `rx_queues`.
 
 use smartwatch_net::Dur;
-use smartwatch_runtime::{Engine, EngineConfig, Pace};
+use smartwatch_runtime::{Engine, EngineConfig, MergePolicy, Pace};
 use smartwatch_trace::background::{preset_trace, Preset};
 
 fn workload(flows: usize, seed: u64) -> Vec<smartwatch_net::Packet> {
@@ -171,6 +171,74 @@ fn deterministic_summary_is_byte_identical_across_rx_queues() {
         );
     }
     assert_eq!(run(4), run(4), "multi-queue replay is run-to-run stable");
+}
+
+#[test]
+fn batched_cache_path_is_byte_identical_to_per_packet() {
+    // Tentpole regression: the memory-level-parallel cache path (burst
+    // prefetch + staged probes) must change *nothing* about decisions.
+    // The hostile workload drives escalation, pinning, triage verdicts
+    // and enforced drops — the order-sensitive paths a batching bug
+    // would perturb. Matrix: both merge policies and a multi-queue
+    // ordered run, each at per-packet (1), default (8) and wide (16)
+    // burst settings.
+    let packets = hostile_workload(6_000);
+    let run = |rx: usize, merge: MergePolicy, burst: usize| {
+        let mut cfg = EngineConfig::deterministic(rx);
+        cfg.merge = merge;
+        cfg.triage_threshold = 8;
+        cfg.cache_burst = burst;
+        Engine::new(cfg)
+            .run(&packets, Pace::Flatout)
+            .deterministic_summary()
+    };
+    for (rx, merge) in [
+        (1usize, MergePolicy::Fair),
+        (1, MergePolicy::Ordered),
+        (2, MergePolicy::Ordered),
+    ] {
+        let per_packet = run(rx, merge, 1);
+        assert!(
+            per_packet.contains("verdicts="),
+            "summary must be non-trivial"
+        );
+        for burst in [8usize, 16] {
+            assert_eq!(
+                per_packet,
+                run(rx, merge, burst),
+                "burst={burst} diverged from per-packet at rx={rx} merge={merge:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flowcache_report_accounts_every_access() {
+    // The report's flowcache section must balance: every processed
+    // packet that reached the cache is exactly one outcome and exactly
+    // one probe-length histogram slot, and the burst pipeline must have
+    // covered all of them at the default width.
+    let packets = hostile_workload(6_000);
+    let mut cfg = EngineConfig::new(2);
+    cfg.host_workers = 0;
+    cfg.triage_threshold = 8;
+    let report = Engine::new(cfg).run(&packets, Pace::Flatout);
+    let fc = &report.flowcache;
+    let verdict_dropped: u64 = report.shards.iter().map(|s| s.verdict_dropped).sum();
+    assert_eq!(
+        fc.accesses(),
+        report.processed() - verdict_dropped,
+        "every non-blacklisted packet takes exactly one cache access"
+    );
+    assert_eq!(fc.probe_hist.iter().sum::<u64>(), fc.accesses());
+    assert_eq!(
+        fc.burst_pkts,
+        report.processed(),
+        "the burst pipeline covers every delivered packet (blacklist \
+         drops included — their rows are prefetched before the verdict)"
+    );
+    assert!(fc.bursts > 0);
+    assert!(fc.hit_rate() > 0.0, "cycled flows must re-hit");
 }
 
 #[test]

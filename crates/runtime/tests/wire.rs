@@ -36,6 +36,30 @@ fn compiled_replay_summary_is_byte_identical_to_synthetic() {
 }
 
 #[test]
+fn batched_cache_path_is_byte_identical_on_the_wire_path() {
+    // The memory-level-parallel cache path must be decision-invisible on
+    // compiled wire frames exactly as on synthetic packets: per-packet
+    // (burst 1) and batched (burst 8) replays of the same store produce
+    // byte-identical summaries at 1 and 2 RX queues.
+    let trace = workload(300, 0xBEEF);
+    let store = compile_cycled(&trace, trace.len() * 2);
+    for r in [1usize, 2] {
+        let run = |burst: usize| {
+            let mut cfg = EngineConfig::deterministic(r);
+            cfg.cache_burst = burst;
+            Engine::new(cfg)
+                .run_frames(&store, Pace::Flatout)
+                .deterministic_summary()
+        };
+        assert_eq!(
+            run(1),
+            run(8),
+            "batched wire replay diverged from per-packet at rx_queues={r}"
+        );
+    }
+}
+
+#[test]
 fn cycled_compiled_replay_conserves_across_mesh_shapes() {
     let trace = workload(150, 7);
     let total = trace.len() * 3 + 11;

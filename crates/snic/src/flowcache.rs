@@ -28,13 +28,53 @@
 //! Pinned records are never victims; if an insertion finds every candidate
 //! pinned, the packet is forwarded to the host instead (counted, because
 //! the platform strives to keep this below a few percent).
+//!
+//! ## Row layout: tag arrays
+//!
+//! Each row carries a cache-line-aligned header of 8-bit digest tags
+//! ([`HashDigest::tag`]), one per bucket, with 0 reserved for "empty".
+//! A probe scans the tag line first and performs the full 13-byte key
+//! compare only on tag match, so a whole 12-bucket row resolves from one
+//! 64-byte line in the common case — and that line is exactly what
+//! [`FlowCache::prefetch_row`] pulls in ahead of a batched burst
+//! ([`FlowCache::process_batch`]), overlapping up to 8 independent DRAM
+//! misses instead of serialising them. The tag array is redundant
+//! metadata: `tags[row][b] != 0` iff the bucket is occupied, and the tag
+//! always equals the resident record's own digest tag.
 
 use crate::policy::CachePolicy;
+use crate::prefetch::prefetch_read;
 use crate::record::FlowRecord;
 use crate::ring::RingSet;
-use smartwatch_net::{FlowHasher, FlowKey, Packet};
+use smartwatch_net::{FlowHasher, FlowKey, HashDigest, Packet};
 use smartwatch_telemetry::{Counter, Registry};
 use std::ops::Range;
+
+/// Hard ceiling on `buckets_per_row`, sized so one row's tag header is
+/// exactly one 64-byte cache line (the paper uses 12 buckets; every
+/// configuration in the workspace is far below this).
+pub const MAX_BUCKETS: usize = 64;
+
+/// Lookups per software-pipeline stage in [`FlowCache::process_batch`]:
+/// the prefetch distance. Matches the dispatcher's 8-frame digest bursts
+/// and is comfortably within the miss-level parallelism of the memory
+/// subsystems this runs on.
+pub const BURST: usize = 8;
+
+/// One row's probe-tag header: an 8-bit digest tag per bucket, 0 = empty.
+/// `#[repr(align(64))]` keeps every header on its own cache line so a
+/// tag scan (and its prefetch) touches exactly one line.
+#[derive(Clone, Copy, Debug)]
+#[repr(align(64))]
+struct RowTags {
+    tags: [u8; MAX_BUCKETS],
+}
+
+impl RowTags {
+    const EMPTY: RowTags = RowTags {
+        tags: [0; MAX_BUCKETS],
+    };
+}
 
 /// FlowCache operating mode (paper §3.3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -140,7 +180,7 @@ impl FlowCacheConfig {
 
     fn validate(&self) {
         assert!(self.row_bits >= 1 && self.row_bits <= 30);
-        assert!(self.buckets_per_row >= 1);
+        assert!(self.buckets_per_row >= 1 && self.buckets_per_row <= MAX_BUCKETS);
         assert_eq!(self.primary + self.eviction, self.buckets_per_row);
         assert!(self.primary >= 1);
         assert!(self.lite_buckets >= 1 && self.lite_buckets <= self.buckets_per_row);
@@ -162,7 +202,7 @@ pub enum Outcome {
 }
 
 /// Cost-relevant detail of one access, consumed by the DES cost model.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Access {
     /// The access outcome.
     pub outcome: Outcome,
@@ -319,6 +359,11 @@ impl Clone for CacheCounters {
 pub struct FlowCache {
     cfg: FlowCacheConfig,
     slots: Vec<Option<FlowRecord>>,
+    /// One cache-line tag header per row; `tags[row].tags[b]` is 0 iff
+    /// `slots[row * buckets + b]` is `None`, else the occupant's digest
+    /// tag. Maintained by every record move (insert / swap / demote /
+    /// evict / cleanup / drain).
+    tags: Vec<RowTags>,
     dirty: Vec<bool>,
     mode: Mode,
     hasher: FlowHasher,
@@ -334,6 +379,7 @@ impl FlowCache {
         FlowCache {
             hasher: FlowHasher::new(cfg.hash_seed),
             slots: vec![None; rows * cfg.buckets_per_row],
+            tags: vec![RowTags::EMPTY; rows],
             dirty: vec![false; rows],
             mode: Mode::General,
             rings: RingSet::new(cfg.rings, cfg.ring_capacity),
@@ -437,10 +483,67 @@ impl FlowCache {
         &mut self.slots[row * self.cfg.buckets_per_row + bucket]
     }
 
+    #[inline]
+    fn tag_at(&self, row: usize, bucket: usize) -> u8 {
+        self.tags[row].tags[bucket]
+    }
+
+    #[inline]
+    fn set_tag(&mut self, row: usize, bucket: usize, tag: u8) {
+        self.tags[row].tags[bucket] = tag;
+    }
+
+    /// Digest tag of a resident record, recomputed from its own key —
+    /// the invariant-checking oracle (hot paths derive tags from the
+    /// packet digest instead of re-hashing).
+    #[cfg(test)]
+    fn tag_of(&self, rec: &FlowRecord) -> u8 {
+        self.hasher.hash_symmetric(&rec.key).tag()
+    }
+
+    /// Hint the row addressed by `digest` toward L1: its tag header line
+    /// plus the first line of its bucket array. Semantically inert — this
+    /// is the stage-A half of the software pipeline; issue it for a whole
+    /// burst of digests before probing any of them and the row fetches
+    /// overlap instead of serialising.
+    #[inline]
+    pub fn prefetch_row(&self, digest: HashDigest) {
+        let row = digest.row(self.cfg.row_bits);
+        prefetch_read(&self.tags[row]);
+        prefetch_read(&self.slots[row * self.cfg.buckets_per_row]);
+    }
+
     /// Process one packet: update flow state, inserting/evicting as needed.
     pub fn process(&mut self, pkt: &Packet) -> Access {
         let (canon, digest) = self.hasher.digest_symmetric(&pkt.key);
         self.process_digested(pkt, &canon, digest)
+    }
+
+    /// Batched [`FlowCache::process`]: a two-stage software pipeline over
+    /// [`BURST`]-packet chunks. Stage A digests the chunk and issues a
+    /// [`FlowCache::prefetch_row`] per packet; stage B runs the exact
+    /// per-packet [`FlowCache::process_digested`] sequence with the rows
+    /// already in flight. Because the prefetch stage has no architectural
+    /// effect, the `Access` sequence, statistics, eviction-ring contents
+    /// and residency are identical to calling [`FlowCache::process`] on
+    /// each packet in order — pinned by the equivalence tests below.
+    ///
+    /// Appends one [`Access`] per packet to `out` (not cleared: callers
+    /// stream batches into a reused buffer).
+    pub fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<Access>) {
+        out.reserve(pkts.len());
+        let mut dig: [Option<(FlowKey, HashDigest)>; BURST] = [None; BURST];
+        for chunk in pkts.chunks(BURST) {
+            for (d, p) in dig.iter_mut().zip(chunk) {
+                let (canon, digest) = self.hasher.digest_symmetric(&p.key);
+                self.prefetch_row(digest);
+                *d = Some((canon, digest));
+            }
+            for (d, p) in dig.iter_mut().zip(chunk) {
+                let (canon, digest) = d.take().expect("stage A filled this lane");
+                out.push(self.process_digested(p, &canon, digest));
+            }
+        }
     }
 
     /// [`FlowCache::process`] for a packet whose canonical key and hash
@@ -474,13 +577,18 @@ impl FlowCache {
         let cands = self.candidates(high);
         let p = self.p_range(&cands);
         let e = self.e_range(&cands);
+        let tag = digest.tag();
         let mut probes = 0u32;
 
-        // Scan P.
+        // Scan P. The tag line filters: only a matching tag (never the
+        // 0 of an empty bucket) pays the full key compare.
         for b in p.clone() {
             probes += 1;
+            if self.tag_at(row, b) != tag {
+                continue;
+            }
             if let Some(rec) = self.slot(row, b) {
-                if rec.key == canon {
+                if rec.matches(&canon) {
                     self.slot_mut(row, b)
                         .as_mut()
                         .expect("checked above")
@@ -500,8 +608,11 @@ impl FlowCache {
         // Scan E.
         for b in e.clone() {
             probes += 1;
+            if self.tag_at(row, b) != tag {
+                continue;
+            }
             if let Some(rec) = self.slot(row, b) {
-                if rec.key == canon {
+                if rec.matches(&canon) {
                     self.slot_mut(row, b)
                         .as_mut()
                         .expect("checked above")
@@ -513,6 +624,7 @@ impl FlowCache {
                         let pb = row * self.cfg.buckets_per_row + victim_b;
                         let eb = row * self.cfg.buckets_per_row + b;
                         self.slots.swap(pb, eb);
+                        self.tags[row].tags.swap(victim_b, b);
                         writes += 2;
                     }
                     self.stats.e_hits.inc();
@@ -532,9 +644,10 @@ impl FlowCache {
         let mut ring_pushes = 0u32;
         let new_rec = FlowRecord::new(canon, pkt.ts, pkt.wire_len);
 
-        // Empty P slot?
-        if let Some(b) = p.clone().find(|&b| self.slot(row, b).is_none()) {
+        // Empty P slot? (tag 0 ⇔ empty, so this scan stays on the tag line)
+        if let Some(b) = p.clone().find(|&b| self.tag_at(row, b) == 0) {
             *self.slot_mut(row, b) = Some(new_rec);
+            self.set_tag(row, b, tag);
             self.stats.misses.inc();
             return Access {
                 outcome: Outcome::Miss,
@@ -564,17 +677,19 @@ impl FlowCache {
                 .slot_mut(row, p_victim)
                 .take()
                 .expect("victim occupied");
+            self.set_tag(row, p_victim, 0);
             self.rings.push(row, victim);
             self.stats.evictions.inc();
             ring_pushes += 1;
             writes += 1;
         } else {
             // Find room in E: empty slot, else evict E's policy victim.
-            let e_slot = match e.clone().find(|&b| self.slot(row, b).is_none()) {
+            let e_slot = match e.clone().find(|&b| self.tag_at(row, b) == 0) {
                 Some(b) => Some(b),
                 None => match self.pick_victim(row, e.clone(), false) {
                     Some(b) => {
                         let victim = self.slot_mut(row, b).take().expect("victim occupied");
+                        self.set_tag(row, b, 0);
                         self.rings.push(row, victim);
                         self.stats.evictions.inc();
                         ring_pushes += 1;
@@ -586,9 +701,12 @@ impl FlowCache {
             };
             match e_slot {
                 Some(eb) => {
-                    // Demote the P victim into E.
+                    // Demote the P victim into E (its tag moves with it).
                     let demoted = self.slot_mut(row, p_victim).take().expect("occupied");
+                    let demoted_tag = self.tag_at(row, p_victim);
                     *self.slot_mut(row, eb) = Some(demoted);
+                    self.set_tag(row, eb, demoted_tag);
+                    self.set_tag(row, p_victim, 0);
                     writes += 1;
                 }
                 None => {
@@ -597,6 +715,7 @@ impl FlowCache {
                         .slot_mut(row, p_victim)
                         .take()
                         .expect("victim occupied");
+                    self.set_tag(row, p_victim, 0);
                     self.rings.push(row, victim);
                     self.stats.evictions.inc();
                     ring_pushes += 1;
@@ -606,6 +725,7 @@ impl FlowCache {
         }
 
         *self.slot_mut(row, p_victim) = Some(new_rec);
+        self.set_tag(row, p_victim, tag);
         writes += 1;
         self.stats.misses.inc();
         Access {
@@ -646,6 +766,7 @@ impl FlowCache {
         let mut residents: Vec<FlowRecord> = (0..b)
             .filter_map(|bucket| self.slot_mut(row, bucket).take())
             .collect();
+        self.tags[row] = RowTags::EMPTY;
         // Most recent first, so overflow drops the stalest (GetOldest).
         residents.sort_by_key(|r| std::cmp::Reverse(r.last_ts));
         for rec in residents {
@@ -655,7 +776,10 @@ impl FlowCache {
             let end = (start + lite).min(b);
             let placed = (start..end).find(|&bucket| self.slot(row, bucket).is_none());
             match placed {
-                Some(bucket) => *self.slot_mut(row, bucket) = Some(rec),
+                Some(bucket) => {
+                    *self.slot_mut(row, bucket) = Some(rec);
+                    self.set_tag(row, bucket, digest.tag());
+                }
                 None => {
                     if rec.pinned {
                         // Pinned records should survive a mode switch:
@@ -667,7 +791,9 @@ impl FlowCache {
                                 .map(|r| (r.pinned, r.last_ts))
                         });
                         if let Some(bucket) = victim {
-                            if let Some(old) = self.slot_mut(row, bucket).replace(rec) {
+                            let old = self.slot_mut(row, bucket).replace(rec);
+                            self.set_tag(row, bucket, digest.tag());
+                            if let Some(old) = old {
                                 self.stats.cleanup_evictions.inc();
                                 self.rings.push(row, old);
                                 self.stats.evictions.inc();
@@ -765,8 +891,21 @@ impl FlowCache {
     /// snapshot for every active flow and resets in-place counters, so the
     /// host's aggregation of {evictions ∪ snapshots ∪ final drain} is
     /// exactly the per-flow ground truth.
+    ///
+    /// Convenience wrapper over [`FlowCache::snapshot_delta_into`];
+    /// epoch-periodic callers should pass a reused scratch buffer to the
+    /// `_into` form so steady-state snapshots allocate nothing.
     pub fn snapshot_delta(&mut self) -> Vec<FlowRecord> {
         let mut out = Vec::new();
+        self.snapshot_delta_into(&mut out);
+        out
+    }
+
+    /// [`FlowCache::snapshot_delta`] into a caller-owned buffer (cleared
+    /// first). After the first few epochs the buffer's capacity covers
+    /// the active-flow high-water mark and snapshotting stops allocating.
+    pub fn snapshot_delta_into(&mut self, out: &mut Vec<FlowRecord>) {
+        out.clear();
         for s in self.slots.iter_mut().flatten() {
             if s.packets > 0 {
                 out.push(*s);
@@ -775,12 +914,22 @@ impl FlowCache {
                 s.first_ts = s.last_ts;
             }
         }
-        out
     }
 
     /// Final drain: export every resident record and empty the table.
+    ///
+    /// Convenience wrapper over [`FlowCache::drain_all_into`].
     pub fn drain_all(&mut self) -> Vec<FlowRecord> {
         let mut out = Vec::new();
+        self.drain_all_into(&mut out);
+        out
+    }
+
+    /// [`FlowCache::drain_all`] into a caller-owned buffer (cleared
+    /// first): export every resident record with traffic and empty the
+    /// table without allocating.
+    pub fn drain_all_into(&mut self, out: &mut Vec<FlowRecord>) {
+        out.clear();
         for s in self.slots.iter_mut() {
             if let Some(r) = s.take() {
                 if r.packets > 0 {
@@ -788,12 +937,32 @@ impl FlowCache {
                 }
             }
         }
-        out
+        for t in self.tags.iter_mut() {
+            *t = RowTags::EMPTY;
+        }
     }
 
     /// Iterate over resident records.
     pub fn iter(&self) -> impl Iterator<Item = &FlowRecord> {
         self.slots.iter().flatten()
+    }
+
+    /// Verify the tag-array invariant: a bucket's tag is 0 iff the bucket
+    /// is empty, else the occupant's own digest tag. Test support.
+    #[cfg(test)]
+    fn assert_tag_invariant(&self) {
+        for row in 0..self.cfg.rows() {
+            for b in 0..self.cfg.buckets_per_row {
+                match self.slot(row, b) {
+                    Some(rec) => assert_eq!(
+                        self.tag_at(row, b),
+                        self.tag_of(rec),
+                        "stale tag at row {row} bucket {b}"
+                    ),
+                    None => assert_eq!(self.tag_at(row, b), 0, "ghost tag at row {row} bucket {b}"),
+                }
+            }
+        }
     }
 }
 
@@ -1223,5 +1392,197 @@ mod tests {
         assert_eq!(fc.occupied(), 40);
         fc.drain_all();
         assert_eq!(fc.occupied(), 0);
+    }
+
+    /// Seeded packet stream: mostly a working set of `flows` ids, with a
+    /// splitmix-driven scatter of one-off scan flows mixed in so every
+    /// outcome (P/E hits, misses, evictions, Lite regrouping) occurs.
+    fn seeded_stream(seed: u64, n: usize, flows: u32) -> Vec<Packet> {
+        let mut rng = seed;
+        (0..n)
+            .map(|i| {
+                rng = smartwatch_net::hash::splitmix64(rng);
+                let id = if rng.is_multiple_of(5) {
+                    10_000 + (rng >> 8) as u32 % 4_000
+                } else {
+                    (rng >> 8) as u32 % flows
+                };
+                let mut p = pkt(id, i as u64);
+                if rng.is_multiple_of(3) {
+                    p.key = p.key.reversed();
+                }
+                p
+            })
+            .collect()
+    }
+
+    /// The tentpole's correctness pin: `process_batch` must be
+    /// observably identical to the sequential per-packet path — same
+    /// `Access` sequence, same stats, same ring contents, same residency
+    /// — across General/Lite, mode switches between batches, pinning
+    /// churn, and every batch size 1..=16 (covering sub-, exact- and
+    /// multi-BURST chunking).
+    #[test]
+    fn process_batch_matches_sequential_ground_truth() {
+        for seed in [1u64, 0xBEEF, 0x51CC_2026] {
+            let cfg = FlowCacheConfig::general(4);
+            let hasher = smartwatch_net::FlowHasher::new(cfg.hash_seed);
+            let mut seq = FlowCache::new(cfg.clone());
+            let mut bat = FlowCache::new(cfg);
+            let stream = seeded_stream(seed, 3_000, 200);
+            let mut cursor = 0usize;
+            let mut round = 0u64;
+            let mut out = Vec::new();
+            while cursor < stream.len() {
+                round += 1;
+                // Mode switches and pin/unpin churn between batches,
+                // mirrored to both caches (the shard applies control at
+                // exactly these boundaries).
+                if round.is_multiple_of(13) {
+                    let next = if seq.mode() == Mode::General {
+                        Mode::Lite
+                    } else {
+                        Mode::General
+                    };
+                    seq.set_mode(next);
+                    bat.set_mode(next);
+                }
+                if round.is_multiple_of(7) {
+                    let k = key((round as u32 * 11) % 200);
+                    seq.pin(&k);
+                    bat.pin(&k);
+                }
+                if round.is_multiple_of(11) {
+                    let k = key((round as u32 * 5) % 200);
+                    seq.unpin(&k);
+                    bat.unpin(&k);
+                }
+                let size = (round as usize % 16) + 1;
+                let batch = &stream[cursor..(cursor + size).min(stream.len())];
+                cursor += batch.len();
+                out.clear();
+                bat.process_batch(batch, &mut out);
+                assert_eq!(out.len(), batch.len(), "one Access per packet");
+                for (p, got) in batch.iter().zip(&out) {
+                    let (canon, digest) = hasher.digest_symmetric(&p.key);
+                    let want = seq.process_digested(p, &canon, digest);
+                    assert_eq!(want, *got, "Access divergence (seed {seed:#x})");
+                }
+            }
+            let (a, b) = (seq.stats(), bat.stats());
+            assert_eq!(a.p_hits, b.p_hits);
+            assert_eq!(a.e_hits, b.e_hits);
+            assert_eq!(a.misses, b.misses);
+            assert_eq!(a.to_host, b.to_host);
+            assert_eq!(a.evictions, b.evictions);
+            assert_eq!(a.rows_cleaned, b.rows_cleaned);
+            assert_eq!(a.cleanup_evictions, b.cleanup_evictions);
+            assert_eq!(seq.rings().drain(), bat.rings().drain(), "ring contents");
+            bat.assert_tag_invariant();
+            let res_a: Vec<FlowRecord> = seq.drain_all();
+            let res_b: Vec<FlowRecord> = bat.drain_all();
+            assert_eq!(res_a, res_b, "slot-order residency must match");
+        }
+    }
+
+    /// Pinned-row insert failures inside a batch: ToHost outcomes must
+    /// flow through `process_batch` exactly as they do per-packet.
+    #[test]
+    fn process_batch_propagates_to_host_on_pinned_rows() {
+        let cfg = FlowCacheConfig::split(1, 1, 1, CachePolicy::LRU_LPC);
+        let mut seq = FlowCache::new(cfg.clone());
+        let mut bat = FlowCache::new(cfg.clone());
+        let hasher = smartwatch_net::FlowHasher::new(cfg.hash_seed);
+        for fc in [&mut seq, &mut bat] {
+            fc.process(&pkt(1, 1));
+            fc.process(&pkt(2, 2));
+            assert!(fc.pin(&key(1)));
+            assert!(fc.pin(&key(2)));
+        }
+        let batch: Vec<Packet> = (3..30u32).map(|i| pkt(i, u64::from(i))).collect();
+        let mut out = Vec::new();
+        bat.process_batch(&batch, &mut out);
+        let mut to_host = 0;
+        for (p, got) in batch.iter().zip(&out) {
+            let (canon, digest) = hasher.digest_symmetric(&p.key);
+            assert_eq!(seq.process_digested(p, &canon, digest), *got);
+            if got.outcome == Outcome::ToHost {
+                to_host += 1;
+            }
+        }
+        assert!(to_host > 0, "fully pinned row must escalate inside a batch");
+        assert_eq!(bat.stats().to_host, seq.stats().to_host);
+        bat.assert_tag_invariant();
+    }
+
+    /// The tag array is pure metadata: after arbitrary churn (hits,
+    /// evictions, swaps, demotes, mode flips, cleanup, pin displacement,
+    /// snapshots) every tag still mirrors its bucket exactly.
+    #[test]
+    fn tag_invariant_survives_churn_and_mode_flips() {
+        let mut fc = FlowCache::new(FlowCacheConfig::general(3));
+        let stream = seeded_stream(0xD1CE, 8_000, 120);
+        for (i, p) in stream.iter().enumerate() {
+            fc.process(p);
+            if i % 257 == 0 {
+                let next = if fc.mode() == Mode::General {
+                    Mode::Lite
+                } else {
+                    Mode::General
+                };
+                fc.set_mode(next);
+            }
+            if i % 101 == 0 {
+                fc.pin(&key((i as u32) % 120));
+            }
+            if i % 113 == 0 {
+                fc.unpin(&key((i as u32 + 60) % 120));
+            }
+            if i % 997 == 0 {
+                fc.snapshot_delta();
+                fc.assert_tag_invariant();
+            }
+        }
+        fc.assert_tag_invariant();
+        fc.drain_all();
+        fc.assert_tag_invariant();
+        assert_eq!(fc.occupied(), 0);
+    }
+
+    /// The `_into` export variants: identical streams to the allocating
+    /// forms, and steady-state snapshot epochs stop growing the scratch
+    /// buffer's capacity.
+    #[test]
+    fn snapshot_and_drain_into_match_allocating_forms() {
+        let cfg = FlowCacheConfig::split(3, 2, 2, CachePolicy::LRU_LPC);
+        let mut a = FlowCache::new(cfg.clone());
+        let mut b = FlowCache::new(cfg);
+        let stream = seeded_stream(0xA110C, 4_000, 150);
+        let mut scratch: Vec<FlowRecord> = Vec::new();
+        let mut cap_after_warmup = 0usize;
+        for (i, p) in stream.iter().enumerate() {
+            a.process(p);
+            b.process(p);
+            if i % 500 == 499 {
+                let alloc = a.snapshot_delta();
+                b.snapshot_delta_into(&mut scratch);
+                assert_eq!(alloc, scratch, "snapshot streams must match");
+                let epoch = i / 500;
+                if epoch == 1 {
+                    cap_after_warmup = scratch.capacity();
+                } else if epoch > 1 {
+                    assert_eq!(
+                        scratch.capacity(),
+                        cap_after_warmup,
+                        "steady-state snapshots must not grow the scratch"
+                    );
+                }
+            }
+        }
+        assert!(cap_after_warmup > 0, "snapshots saw active flows");
+        let drain_a = a.drain_all();
+        b.drain_all_into(&mut scratch);
+        assert_eq!(drain_a, scratch, "drain streams must match");
+        assert_eq!(b.occupied(), 0);
     }
 }

@@ -51,6 +51,17 @@ impl FlowRecord {
         }
     }
 
+    /// Full-key identity check, the slow half of a FlowCache probe.
+    ///
+    /// The cache's tag arrays filter probes down to buckets whose 8-bit
+    /// digest tag matches, so this 13-byte compare runs only on a tag
+    /// hit — i.e. almost always on the true match, ~1/255 of the time on
+    /// a same-row tag collision.
+    #[inline]
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        self.key == *key
+    }
+
     /// Fold one more packet into the record.
     pub fn update(&mut self, ts: Ts, wire_len: u16) {
         self.packets += 1;

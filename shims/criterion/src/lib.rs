@@ -74,6 +74,10 @@ impl Bencher {
         }
         self.samples.iter().sum::<Duration>() / self.samples.len() as u32
     }
+
+    fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or(Duration::ZERO)
+    }
 }
 
 /// Benchmark registry / runner.
@@ -141,31 +145,50 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Positional CLI arguments act as substring filters on benchmark
+/// names, mirroring real criterion (`cargo bench -- <filter>`). Flag
+/// arguments (anything starting with `-`, e.g. the `--bench` cargo
+/// injects with `harness = false`) are ignored.
+fn name_matches_cli_filter(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     name: &str,
     sample_size: usize,
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    if !name_matches_cli_filter(name) {
+        return;
+    }
     let mut b = Bencher {
         samples: Vec::with_capacity(sample_size),
         target_samples: sample_size,
     };
     f(&mut b);
     let mean = b.mean();
+    // Rates are computed off the *minimum* sample: on shared machines the
+    // mean absorbs scheduler interference spikes, while best-of-N tracks
+    // what the code actually costs.
+    let min = b.min();
     let rate = match throughput {
-        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
-            format!("  {:>12.3} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+        Some(Throughput::Elements(n)) if min > Duration::ZERO => {
+            format!("  {:>12.3} Melem/s", n as f64 / min.as_secs_f64() / 1e6)
         }
-        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+        Some(Throughput::Bytes(n)) if min > Duration::ZERO => {
             format!(
                 "  {:>12.3} MiB/s",
-                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+                n as f64 / min.as_secs_f64() / (1024.0 * 1024.0)
             )
         }
         _ => String::new(),
     };
-    println!("bench {name:<48} mean {mean:>12.3?}{rate}");
+    println!("bench {name:<48} mean {mean:>12.3?}  min {min:>12.3?}{rate}");
 }
 
 /// Declare a benchmark group entry point (criterion-compatible forms).
