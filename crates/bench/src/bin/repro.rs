@@ -12,6 +12,8 @@
 //! repro engine --listen 127.0.0.1:9184        # live /metrics plane
 //! repro engine --flight-dump flight.json      # black-box event rings
 //! repro control --peak 4.0 --bench-json BENCH_control.json  # control plane
+//! repro serve --listen 127.0.0.1:9184 --segments 10   # service mode
+//! repro soak --segments 5 --segment-ms 2000 --bench-json BENCH_serve.json
 //! repro list               # experiment index
 //! ```
 
@@ -21,7 +23,8 @@ use smartwatch_bench::exp_control::{
 use smartwatch_bench::exp_engine::{
     bench_json, engine_run_full, EngineRunSpec, EngineSource, EngineWorkload,
 };
-use smartwatch_bench::{all_experiments, ExpCtx};
+use smartwatch_bench::exp_serve::{serve_bench_json, serve_run_full, ServeSpec};
+use smartwatch_bench::{all_experiments, signal, ExpCtx};
 use smartwatch_runtime::{Engine, EngineReport};
 use std::sync::Arc;
 
@@ -37,24 +40,30 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut engine_spec = EngineRunSpec::default();
     let mut control_spec = ControlRunSpec::default();
+    let mut serve_spec = ServeSpec::default();
+    let mut rss_slack_mb: u64 = 64;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--shards" => {
                 engine_spec.shards = parse_num(it.next(), "--shards");
                 control_spec.shards = engine_spec.shards;
+                serve_spec.shards = engine_spec.shards;
             }
             "--rx-queues" => {
                 engine_spec.rx_queues = parse_num(it.next(), "--rx-queues");
                 control_spec.rx_queues = engine_spec.rx_queues;
+                serve_spec.rx_queues = engine_spec.rx_queues;
             }
             "--packets" => {
                 engine_spec.packets = parse_num(it.next(), "--packets");
                 control_spec.packets = engine_spec.packets;
+                serve_spec.packets = engine_spec.packets;
             }
             "--batch" => {
                 engine_spec.batch = parse_num(it.next(), "--batch");
                 control_spec.batch = engine_spec.batch;
+                serve_spec.batch = engine_spec.batch;
             }
             "--base" => {
                 control_spec.base_mpps = parse_mpps(it.next(), "--base");
@@ -70,12 +79,36 @@ fn main() {
             }
             "--epoch-ms" => {
                 control_spec.epoch_ms = parse_num(it.next(), "--epoch-ms") as u64;
+                serve_spec.epoch_ms = control_spec.epoch_ms;
+            }
+            "--segments" => {
+                serve_spec.segments = parse_num(it.next(), "--segments");
+            }
+            "--segment-ms" => {
+                serve_spec.segment_ms = parse_u64(it.next(), "--segment-ms");
+            }
+            "--serve-config" => {
+                serve_spec.config_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--serve-config needs a path")),
+                );
+            }
+            "--carry-flow-state" => {
+                serve_spec.carry_flow_state = true;
+            }
+            "--flat-out" => {
+                serve_spec.rate_mpps = None;
+            }
+            "--rss-slack-mb" => {
+                rss_slack_mb = parse_u64(it.next(), "--rss-slack-mb");
             }
             "--host-workers" => {
                 engine_spec.host_workers = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--host-workers needs an integer ≥ 0"));
+                serve_spec.host_workers = engine_spec.host_workers;
             }
             "--cache-burst" => {
                 engine_spec.cache_burst = it
@@ -92,6 +125,7 @@ fn main() {
                     die("--rate must be positive");
                 }
                 engine_spec.rate_mpps = Some(r);
+                serve_spec.rate_mpps = Some(r);
             }
             "--workload" => {
                 engine_spec.workload = match it.next().map(String::as_str) {
@@ -101,6 +135,7 @@ fn main() {
                     Some("mix") => EngineWorkload::Mix,
                     _ => die("--workload must be `stress`, `stress64` or `mix`"),
                 };
+                serve_spec.workload = engine_spec.workload;
             }
             "--source" => {
                 let v = it
@@ -113,7 +148,8 @@ fn main() {
                     }
                 }
                 engine_spec.source = src.clone();
-                control_spec.source = src;
+                control_spec.source = src.clone();
+                serve_spec.source = src;
             }
             "--bench-json" => {
                 bench_out = Some(
@@ -147,7 +183,8 @@ fn main() {
                     .cloned()
                     .unwrap_or_else(|| die("--listen needs an address like 127.0.0.1:9184"));
                 engine_spec.listen = Some(addr.clone());
-                control_spec.listen = Some(addr);
+                control_spec.listen = Some(addr.clone());
+                serve_spec.listen = Some(addr);
             }
             "--serve-hold-ms" => {
                 let ms = parse_u64(it.next(), "--serve-hold-ms");
@@ -191,6 +228,21 @@ fn main() {
     }
 
     let experiments = all_experiments();
+    // Reject unknown tokens up front: a typo'd flag must not be
+    // silently swallowed as a never-matched "experiment name" just
+    // because another selection happened to run.
+    for name in &selected {
+        let known = matches!(
+            name.as_str(),
+            "list" | "all" | "engine" | "control" | "serve" | "soak"
+        ) || experiments.iter().any(|(id, _)| name == id);
+        if !known {
+            if name.starts_with('-') {
+                die(&format!("unknown flag {name:?}; try `repro --help`"));
+            }
+            die(&format!("unknown experiment {name:?}; try `repro list`"));
+        }
+    }
     if selected.iter().any(|s| s == "list") {
         println!("available experiments:");
         for (id, _) in &experiments {
@@ -203,11 +255,28 @@ fn main() {
     let mut ran = 0;
     let wants_engine = selected.iter().any(|s| s == "engine");
     let wants_control = selected.iter().any(|s| s == "control");
-    if (bench_out.is_some() || flight_out.is_some()) && wants_engine && wants_control {
-        die("--bench-json/--flight-dump apply to one of `engine`/`control` per invocation");
+    let wants_serve = selected.iter().any(|s| s == "serve");
+    let wants_soak = selected.iter().any(|s| s == "soak");
+    let runtime_drivers = [wants_engine, wants_control, wants_serve, wants_soak]
+        .iter()
+        .filter(|w| **w)
+        .count();
+    if (bench_out.is_some() || flight_out.is_some()) && runtime_drivers > 1 {
+        die("--bench-json/--flight-dump apply to one of `engine`/`control`/`serve`/`soak` per invocation");
     }
-    if engine_spec.listen.is_some() && !wants_engine && !wants_control {
-        die("--listen only applies to the `engine` and `control` experiments");
+    if wants_serve && wants_soak {
+        die("`serve` and `soak` are one service run each; pick one per invocation");
+    }
+    if engine_spec.listen.is_some() && runtime_drivers == 0 {
+        die("--listen only applies to the `engine`, `control`, `serve` and `soak` experiments");
+    }
+    if runtime_drivers > 0 {
+        // Ctrl-C / SIGTERM drains the run gracefully: the mesh quiesces
+        // through the end-of-trace path and the summary still conserves.
+        signal::install();
+        engine_spec.watch_signals = true;
+        control_spec.watch_signals = true;
+        serve_spec.heed_interrupt = true;
     }
     if wants_engine {
         let (table, report, engine) = engine_run_full(&ctx, &engine_spec);
@@ -276,14 +345,58 @@ fn main() {
         selected.retain(|s| s != "control");
         ran += 1;
     }
+    if wants_serve || wants_soak {
+        let (table, outcome, engine) = serve_run_full(&ctx, &serve_spec);
+        if json {
+            println!("{}", table.to_json());
+        } else {
+            println!("{}", table.render());
+        }
+        if let Some(path) = bench_out.take() {
+            if let Err(e) = std::fs::write(&path, serve_bench_json(&serve_spec, &outcome)) {
+                die(&format!("writing {path}: {e}"));
+            }
+            eprintln!("repro: serve bench report written to {path}");
+        }
+        if let Some(path) = flight_out.take() {
+            write_flight(&engine, &path, "flight recorder");
+        }
+        // The endurance gate: conservation every segment, pools flat
+        // after warm-up, RSS growth inside the slack budget. `soak`
+        // fails the process on a violation; `serve` reports it (and
+        // both leave the flight-recorder evidence behind).
+        let violations = outcome.violations(rss_slack_mb << 20);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("repro: soak violation: {v}");
+            }
+            write_flight(&engine, "FLIGHT_anomaly.json", "anomaly flight dump");
+            if wants_soak {
+                std::process::exit(1);
+            }
+        } else if wants_soak {
+            eprintln!(
+                "repro: soak clean — {} segment(s) conserved, final-segment pool growth {}/{}, \
+                 RSS {:+} bytes",
+                outcome.segments.len(),
+                outcome.steady_pool_growth(),
+                outcome.steady_frame_pool_growth(),
+                outcome.rss_growth_bytes(),
+            );
+        }
+        selected.retain(|s| s != "serve" && s != "soak");
+        ran += 1;
+    }
     if let Some(path) = bench_out {
         die(&format!(
-            "--bench-json {path} only applies to the `engine` and `control` experiments"
+            "--bench-json {path} only applies to the `engine`, `control`, `serve` and `soak` \
+             experiments"
         ));
     }
     if let Some(path) = flight_out {
         die(&format!(
-            "--flight-dump {path} only applies to the `engine` and `control` experiments"
+            "--flight-dump {path} only applies to the `engine`, `control`, `serve` and `soak` \
+             experiments"
         ));
     }
     if let Some(path) = summary_out {
@@ -372,7 +485,13 @@ fn usage() {
                       [--source synthetic|compiled|pcap:<path>]\n\
                       [--bench-json <path>] [--trace-sample N]\n\
                       [--listen ADDR] [--serve-hold-ms N]\n\
-                      [--flight-dump <path>]\n\n\
+                      [--flight-dump <path>]\n\
+                repro serve|soak [--shards N] [--rx-queues R]\n\
+                      [--packets N] [--batch N] [--rate MPPS|--flat-out]\n\
+                      [--segments N] [--segment-ms N] [--epoch-ms N]\n\
+                      [--carry-flow-state] [--serve-config <path>]\n\
+                      [--listen ADDR] [--bench-json <path>]\n\
+                      [--flight-dump <path>] [--rss-slack-mb N]\n\n\
          --json          print tables as JSON instead of aligned text\n\
          --metrics-json  dump every counter/gauge/histogram the selected\n\
                          experiments registered (deterministic for a seed)\n\
@@ -417,6 +536,16 @@ fn usage() {
          adaptive control plane (Alg. 4 mode switching, steering\n\
          snapshots, load shedding) and without — and reports both.\n\
          `repro control-sim` is its deterministic virtual-time sibling.\n\n\
+         `repro serve` keeps one engine resident and replays the\n\
+         workload in --segments drain/restart segments; --listen mounts\n\
+         the POST /admin/* control socket next to the read-only\n\
+         endpoints, --serve-config hot-reloads a watched JSON config at\n\
+         epoch boundaries, and --segment-ms drains any over-long\n\
+         segment gracefully. `repro soak` is the endurance gate: the\n\
+         same loop, but conservation / flat pool-allocation / bounded\n\
+         RSS (--rss-slack-mb, default 64) violations fail the process\n\
+         and auto-dump FLIGHT_anomaly.json. SIGINT/SIGTERM drain any\n\
+         runtime driver gracefully — the summary still conserves.\n\n\
          Experiments map 1:1 to the paper's evaluation (see DESIGN.md §3\n\
          and EXPERIMENTS.md for the paper-vs-measured record)."
     );

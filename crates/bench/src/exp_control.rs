@@ -56,6 +56,9 @@ pub struct ControlRunSpec {
     pub listen: Option<String>,
     /// Keep `--listen` endpoints up this long after the controlled run.
     pub serve_hold_ms: u64,
+    /// Translate SIGINT/SIGTERM into a graceful drain of the controlled
+    /// run (the `repro` driver sets this).
+    pub watch_signals: bool,
 }
 
 impl Default for ControlRunSpec {
@@ -74,6 +77,7 @@ impl Default for ControlRunSpec {
             trace_sample: 0,
             listen: None,
             serve_hold_ms: 0,
+            watch_signals: false,
         }
     }
 }
@@ -157,6 +161,9 @@ pub fn control_run_full(
     let mut engine = Engine::with_registry(cfg.with_control(control_config(spec)), &ctx.registry);
     engine.attach_tracer(&ctx.tracer);
     let engine = Arc::new(engine);
+    let _signals = spec
+        .watch_signals
+        .then(|| crate::signal::drain_watch(&engine));
     let controlled = crate::exp_engine::serve_during(
         &engine,
         spec.listen.as_deref(),

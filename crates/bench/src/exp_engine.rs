@@ -160,6 +160,10 @@ pub struct EngineRunSpec {
     /// Keep the `--listen` endpoints up this long after the run ends,
     /// so scrapers can read the settled final counters.
     pub serve_hold_ms: u64,
+    /// Translate a SIGINT/SIGTERM observed by [`crate::signal`] into a
+    /// graceful drain of the run (the `repro` drivers set this; the
+    /// drained report still conserves and is rendered normally).
+    pub watch_signals: bool,
 }
 
 impl Default for EngineRunSpec {
@@ -177,6 +181,7 @@ impl Default for EngineRunSpec {
             trace_sample: 0,
             listen: None,
             serve_hold_ms: 0,
+            watch_signals: false,
         }
     }
 }
@@ -240,6 +245,9 @@ pub fn engine_run_full(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineRepo
     let mut engine = Engine::with_registry(cfg, &ctx.registry);
     engine.attach_tracer(&ctx.tracer);
     let engine = Arc::new(engine);
+    let _signals = spec
+        .watch_signals
+        .then(|| crate::signal::drain_watch(&engine));
     let report = serve_during(&engine, spec.listen.as_deref(), spec.serve_hold_ms, || {
         replay.run(&engine, pace)
     });

@@ -1,61 +1,211 @@
-//! Live observability endpoints over a running [`Engine`].
+//! Live observability + admin endpoints over a running [`Engine`].
 //!
 //! `repro engine --listen 127.0.0.1:9184` binds the std-only HTTP
-//! listener from [`smartwatch_telemetry::http`] and serves three routes
-//! for the lifetime of the run (plus `--serve-hold-ms` afterwards):
+//! listener from [`smartwatch_telemetry::http`] and serves three
+//! read-only routes for the lifetime of the run (plus
+//! `--serve-hold-ms` afterwards):
 //!
-//! * `/metrics` — the shared registry in Prometheus text exposition
+//! * `GET /metrics` — the shared registry in Prometheus text exposition
 //!   format ([`Snapshot::to_prometheus`](smartwatch_telemetry::Snapshot::to_prometheus)).
-//! * `/stats.json` — [`Engine::stats_json`]: live EngineReport-shaped
-//!   conservation counters, per-shard/per-queue breakdowns, stage
-//!   latency snapshots, and the controller decision audit.
-//! * `/flight.json` — the engine's flight recorder
+//! * `GET /stats.json` — [`Engine::stats_json`]: live
+//!   EngineReport-shaped conservation counters, per-shard/per-queue
+//!   breakdowns, stage latency snapshots, memory/pool gauges, service
+//!   state, and the controller decision audit.
+//! * `GET /flight.json` — the engine's flight recorder
 //!   ([`FlightRecorder::to_json`](smartwatch_telemetry::FlightRecorder::to_json)).
 //!
-//! Every handler is a snapshot read over lock-free state, so polling
-//! never perturbs the hot path beyond the shared-counter loads the
-//! engine already pays.
+//! `repro serve` / `repro soak` additionally mount the **admin
+//! surface** ([`admin_routes`]): POST endpoints that steer the engine
+//! live. Every admin edit rides the engine's lock-free publication
+//! machinery — steering/mode/shed commands queue into the bounded
+//! [`AdminCmd`] mailbox and are applied by the controller thread at the
+//! next epoch boundary; pacing changes flip one atomic the dispatchers
+//! re-read at checkpoints; drain raises the graceful-quiesce flag. The
+//! packet hot loop never takes a lock on behalf of an operator.
+//!
+//! | route | body | effect |
+//! |---|---|---|
+//! | `POST /admin/steer` | `{"table":"blacklist","op":"add","digest":N}` | queue a steering-table edit |
+//! | `POST /admin/mode`  | `{"shard":N,"mode":"lite"\|"general"\|"auto"}` | pin / release one shard's mode |
+//! | `POST /admin/shed`  | `{"force":true\|false\|null}` | pin / release load shedding |
+//! | `POST /admin/pace`  | `{"rate_mpps":2.5\|null}` | live rate override (paced runs) |
+//! | `POST /admin/drain` | — | gracefully drain the current segment |
+//!
+//! Queued commands answer `202 Accepted` (applied at the next epoch);
+//! immediate atomics answer `200`; a full mailbox answers `409`;
+//! malformed bodies answer `400`/`422`.
 
-use smartwatch_runtime::Engine;
-use smartwatch_telemetry::http::{HttpResponse, HttpServer, Route};
+use smartwatch_runtime::{AdminCmd, Engine};
+use smartwatch_snic::Mode;
+use smartwatch_telemetry::http::{HttpRequest, HttpResponse, HttpServer, Route};
 use std::sync::Arc;
 
 /// Prometheus text exposition content type.
 pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
-/// The standard observability route set over one engine.
+/// The standard read-only observability route set over one engine.
 pub fn routes(engine: &Arc<Engine>) -> Vec<Route> {
     let metrics = Arc::clone(engine);
     let stats = Arc::clone(engine);
     let flight = Arc::clone(engine);
     vec![
-        (
-            "/metrics".to_string(),
-            Box::new(move || {
-                HttpResponse::ok(
-                    PROMETHEUS_CONTENT_TYPE,
-                    metrics.registry().snapshot().to_prometheus(),
-                )
-            }),
-        ),
-        (
-            "/stats.json".to_string(),
-            Box::new(move || HttpResponse::ok("application/json", stats.stats_json())),
-        ),
-        (
-            "/flight.json".to_string(),
-            Box::new(move || HttpResponse::ok("application/json", flight.flight().to_json())),
-        ),
+        Route::get("/metrics", move || {
+            HttpResponse::ok(
+                PROMETHEUS_CONTENT_TYPE,
+                metrics.registry().snapshot().to_prometheus(),
+            )
+        }),
+        Route::get("/stats.json", move || {
+            HttpResponse::ok("application/json", stats.stats_json())
+        }),
+        Route::get("/flight.json", move || {
+            HttpResponse::ok("application/json", flight.flight().to_json())
+        }),
     ]
 }
 
-/// Bind `addr` and serve [`routes`] over `engine` until the returned
-/// server is shut down (or dropped). Port 0 picks an ephemeral port;
-/// the bound address is announced on stderr so scripts can scrape it.
+/// The admin control surface over one engine (see the module docs for
+/// the endpoint table). Mounted *in addition to* [`routes`] by the
+/// service-mode drivers; the plain `--listen` observability plane stays
+/// read-only.
+pub fn admin_routes(engine: &Arc<Engine>) -> Vec<Route> {
+    let steer = Arc::clone(engine);
+    let mode = Arc::clone(engine);
+    let shed = Arc::clone(engine);
+    let pace = Arc::clone(engine);
+    let drain = Arc::clone(engine);
+    vec![
+        Route::on("/admin/steer", &["POST"], move |req| {
+            admin_steer(&steer, req)
+        }),
+        Route::on("/admin/mode", &["POST"], move |req| admin_mode(&mode, req)),
+        Route::on("/admin/shed", &["POST"], move |req| admin_shed(&shed, req)),
+        Route::on("/admin/pace", &["POST"], move |req| admin_pace(&pace, req)),
+        Route::on("/admin/drain", &["POST"], move |_req| {
+            drain.request_drain();
+            HttpResponse::text(202, "draining\n")
+        }),
+    ]
+}
+
+/// Parse the request body as a JSON object, or answer 400.
+fn body_json(req: &HttpRequest) -> Result<serde_json::Value, HttpResponse> {
+    serde_json::from_str::<serde_json::Value>(&req.body)
+        .map_err(|_| HttpResponse::text(400, "body must be a JSON object\n"))
+}
+
+/// Queue an [`AdminCmd`], mapping mailbox back-pressure to 409.
+fn queue(engine: &Engine, cmd: AdminCmd) -> HttpResponse {
+    if engine.admin(cmd) {
+        HttpResponse::text(202, "queued; applies at the next epoch boundary\n")
+    } else {
+        HttpResponse::text(409, "admin mailbox full; retry after the next epoch\n")
+    }
+}
+
+fn admin_steer(engine: &Engine, req: &HttpRequest) -> HttpResponse {
+    let doc = match body_json(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let digest = match doc.get("digest").and_then(|v| v.as_u64()) {
+        Some(d) => d,
+        None => return HttpResponse::text(422, "digest must be an unsigned integer\n"),
+    };
+    let table = doc.get("table").and_then(|v| v.as_str()).unwrap_or("");
+    let op = doc.get("op").and_then(|v| v.as_str()).unwrap_or("add");
+    let cmd = match (table, op) {
+        ("blacklist", "add") => AdminCmd::BlacklistAdd(digest),
+        ("blacklist", "remove") => AdminCmd::BlacklistRemove(digest),
+        ("whitelist", "add") => AdminCmd::WhitelistAdd(digest),
+        ("whitelist", "remove") => AdminCmd::WhitelistRemove(digest),
+        _ => {
+            return HttpResponse::text(
+                422,
+                "table must be blacklist|whitelist, op must be add|remove\n",
+            )
+        }
+    };
+    queue(engine, cmd)
+}
+
+fn admin_mode(engine: &Engine, req: &HttpRequest) -> HttpResponse {
+    let doc = match body_json(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let shard = match doc.get("shard").and_then(|v| v.as_u64()) {
+        Some(s) if (s as usize) < engine.config().shards => s as usize,
+        _ => return HttpResponse::text(422, "shard must index a configured shard\n"),
+    };
+    let mode = match doc.get("mode").and_then(|v| v.as_str()) {
+        Some("general") => Some(Mode::General),
+        Some("lite") => Some(Mode::Lite),
+        Some("auto") => None,
+        _ => return HttpResponse::text(422, "mode must be general|lite|auto\n"),
+    };
+    queue(engine, AdminCmd::ForceMode { shard, mode })
+}
+
+fn admin_shed(engine: &Engine, req: &HttpRequest) -> HttpResponse {
+    let doc = match body_json(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let force = match doc.get("force") {
+        Some(v) => match v.as_bool() {
+            Some(b) => Some(b),
+            None if v.is_null() => None,
+            None => return HttpResponse::text(422, "force must be true, false or null\n"),
+        },
+        None => return HttpResponse::text(422, "force must be true, false or null\n"),
+    };
+    queue(engine, AdminCmd::ForceShed(force))
+}
+
+fn admin_pace(engine: &Engine, req: &HttpRequest) -> HttpResponse {
+    let doc = match body_json(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    match doc.get("rate_mpps") {
+        Some(v) if v.is_null() => {
+            engine.set_rate_override(None);
+            HttpResponse::text(200, "rate override released\n")
+        }
+        Some(v) => match v.as_f64() {
+            Some(r) if r > 0.0 && r.is_finite() => {
+                engine.set_rate_override(Some(r));
+                HttpResponse::text(200, "rate override set\n")
+            }
+            _ => HttpResponse::text(422, "rate_mpps must be a positive number or null\n"),
+        },
+        None => HttpResponse::text(422, "rate_mpps must be a positive number or null\n"),
+    }
+}
+
+/// Bind `addr` and serve the read-only [`routes`] over `engine` until
+/// the returned server is shut down (or dropped). Port 0 picks an
+/// ephemeral port; the bound address is announced on stderr so scripts
+/// can scrape it.
 pub fn serve(addr: &str, engine: &Arc<Engine>) -> std::io::Result<HttpServer> {
     let server = HttpServer::serve(addr, routes(engine))?;
     eprintln!(
         "repro: serving /metrics /stats.json /flight.json on http://{}",
+        server.local_addr()
+    );
+    Ok(server)
+}
+
+/// Bind `addr` and serve [`routes`] *plus* [`admin_routes`] — the
+/// service-mode control socket.
+pub fn serve_admin(addr: &str, engine: &Arc<Engine>) -> std::io::Result<HttpServer> {
+    let mut all = routes(engine);
+    all.extend(admin_routes(engine));
+    let server = HttpServer::serve(addr, all)?;
+    eprintln!(
+        "repro: service admin socket on http://{} \
+         (GET /metrics /stats.json /flight.json; POST /admin/*)",
         server.local_addr()
     );
     Ok(server)
@@ -68,21 +218,35 @@ mod tests {
     use std::io::{Read, Write};
     use std::net::TcpStream;
 
-    fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    fn request(addr: std::net::SocketAddr, raw: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        let mut raw = String::new();
-        stream.read_to_string(&mut raw).unwrap();
-        let status: u16 = raw
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let status: u16 = out
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
             .unwrap_or(0);
-        let body = raw
+        let body = out
             .split_once("\r\n\r\n")
             .map(|(_, b)| b.to_string())
             .unwrap_or_default();
         (status, body)
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+        request(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
     }
 
     #[test]
@@ -104,6 +268,61 @@ mod tests {
         let (status, _) = get(addr, "/metrics");
         assert_eq!(status, 200);
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn admin_routes_queue_commands_and_validate_bodies() {
+        let engine = Arc::new(Engine::new(EngineConfig::new(2)));
+        let server = serve_admin("127.0.0.1:0", &engine).unwrap();
+        let addr = server.local_addr();
+
+        // Valid steering edits queue into the admin mailbox.
+        let (status, _) = post(
+            addr,
+            "/admin/steer",
+            r#"{"table":"blacklist","op":"add","digest":42}"#,
+        );
+        assert_eq!(status, 202);
+        let (status, _) = post(
+            addr,
+            "/admin/steer",
+            r#"{"table":"whitelist","op":"remove","digest":7}"#,
+        );
+        assert_eq!(status, 202);
+        let (status, _) = post(addr, "/admin/mode", r#"{"shard":1,"mode":"lite"}"#);
+        assert_eq!(status, 202);
+        let (status, _) = post(addr, "/admin/shed", r#"{"force":true}"#);
+        assert_eq!(status, 202);
+        assert_eq!(engine.admin_queued(), 4);
+
+        // Pace override applies immediately via the atomic.
+        let (status, _) = post(addr, "/admin/pace", r#"{"rate_mpps":2.5}"#);
+        assert_eq!(status, 200);
+        assert!(engine.rate_override().is_some());
+        let (status, _) = post(addr, "/admin/pace", r#"{"rate_mpps":null}"#);
+        assert_eq!(status, 200);
+        assert!(engine.rate_override().is_none());
+
+        // Drain raises the graceful-quiesce flag.
+        let (status, _) = post(addr, "/admin/drain", "");
+        assert_eq!(status, 202);
+        assert!(engine.drain_requested());
+        engine.clear_drain();
+
+        // Validation: bad table, out-of-range shard, malformed JSON,
+        // wrong method on an admin route.
+        let (status, _) = post(addr, "/admin/steer", r#"{"table":"greylist","digest":1}"#);
+        assert_eq!(status, 422);
+        let (status, _) = post(addr, "/admin/mode", r#"{"shard":9,"mode":"lite"}"#);
+        assert_eq!(status, 422);
+        let (status, _) = post(addr, "/admin/shed", "not json");
+        assert_eq!(status, 400);
+        let (status, _) = get(addr, "/admin/drain");
+        assert_eq!(status, 405);
+
+        // Nothing leaked into the queue from the rejected requests.
+        assert_eq!(engine.admin_queued(), 4);
         server.shutdown();
     }
 }

@@ -26,7 +26,16 @@ fn repro_list_shows_every_experiment() {
 fn repro_rejects_unknown_experiment() {
     let (_, stderr, ok) = run(env!("CARGO_BIN_EXE_repro"), &["fig99"]);
     assert!(!ok);
-    assert!(stderr.contains("no experiment matched"));
+    assert!(stderr.contains("unknown experiment \"fig99\""));
+}
+
+#[test]
+fn repro_rejects_unknown_flag_even_next_to_a_valid_experiment() {
+    // A typo'd flag must not be silently swallowed just because the
+    // other token names a real experiment.
+    let (_, stderr, ok) = run(env!("CARGO_BIN_EXE_repro"), &["fig3", "--bogus-flag"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag \"--bogus-flag\""));
 }
 
 #[test]

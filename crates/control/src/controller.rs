@@ -352,6 +352,9 @@ pub struct Controller {
     /// digest -> (last qualifying epoch, consecutive-epoch streak).
     streaks: HashMap<u64, (u64, u32), BuildDigestHasher>,
     shed: bool,
+    /// Admin override: `Some(v)` pins shedding to `v` and pauses the
+    /// hysteresis until cleared.
+    force_shed: Option<bool>,
     overload_streak: u32,
     calm_streak: u32,
     shed_epochs: u64,
@@ -402,6 +405,7 @@ impl Controller {
             shards: Vec::new(),
             streaks: HashMap::default(),
             shed: false,
+            force_shed: None,
             overload_streak: 0,
             calm_streak: 0,
             shed_epochs: 0,
@@ -565,6 +569,26 @@ impl Controller {
         }
     }
 
+    /// Pin shedding to the admin-forced value; the hysteresis streaks
+    /// are cleared so releasing the override decides afresh from the
+    /// next epoch's load, not a stale streak.
+    fn apply_forced_shed(&mut self, force: bool) {
+        self.overload_streak = 0;
+        self.calm_streak = 0;
+        if force == self.shed {
+            return;
+        }
+        self.shed = force;
+        self.dirty = true;
+        if force {
+            self.counters.shed_active.set(1.0);
+            self.push_event(ControlEvent::ShedOn { epoch: self.epoch });
+        } else {
+            self.counters.shed_active.set(0.0);
+            self.push_event(ControlEvent::ShedOff { epoch: self.epoch });
+        }
+    }
+
     fn build_snapshot(&mut self) -> Arc<SteeringSnapshot> {
         self.snapshot_version += 1;
         self.counters.snapshot_publishes.inc();
@@ -617,7 +641,10 @@ impl Controller {
         let whitelist_evictions = self.counters.whitelist_expired.get() - evict_before;
 
         let offered_mpps = offered_delta_total as f64 / elapsed / 1e6;
-        self.decide_shed(offered_mpps, max_backlog);
+        match self.force_shed {
+            Some(force) => self.apply_forced_shed(force),
+            None => self.decide_shed(offered_mpps, max_backlog),
+        }
         if self.shed {
             self.shed_epochs += 1;
         }
@@ -698,6 +725,48 @@ impl Controller {
     /// Current blacklist size (tests/diagnostics).
     pub fn blacklist_len(&self) -> usize {
         self.blacklist.len()
+    }
+
+    /// Admin edit: blacklist `digest` directly (no Verdict round-trip).
+    /// Revokes any standing whitelist entry (blacklist wins) and marks
+    /// the controller dirty so the next epoch republishes the steering
+    /// snapshot through the normal lock-free path. Returns whether the
+    /// tables changed.
+    pub fn admin_blacklist_insert(&mut self, digest: u64) -> bool {
+        let mut changed = self.blacklist.insert(digest, self.epoch);
+        changed |= self.whitelist.remove(&digest);
+        self.dirty |= changed;
+        changed
+    }
+
+    /// Admin edit: drop `digest` from the blacklist.
+    pub fn admin_blacklist_remove(&mut self, digest: u64) -> bool {
+        let changed = self.blacklist.remove(&digest);
+        self.dirty |= changed;
+        changed
+    }
+
+    /// Admin edit: whitelist `digest`. The operator is authoritative,
+    /// so a standing blacklist entry is revoked (unlike host verdicts,
+    /// where blacklist wins).
+    pub fn admin_whitelist_insert(&mut self, digest: u64) -> bool {
+        let mut changed = self.blacklist.remove(&digest);
+        changed |= self.whitelist.insert(digest, self.epoch);
+        self.dirty |= changed;
+        changed
+    }
+
+    /// Admin edit: drop `digest` from the whitelist.
+    pub fn admin_whitelist_remove(&mut self, digest: u64) -> bool {
+        let changed = self.whitelist.remove(&digest);
+        self.dirty |= changed;
+        changed
+    }
+
+    /// Admin edit: `Some(v)` pins shedding to `v` from the next epoch
+    /// (pausing the hysteresis); `None` hands control back to it.
+    pub fn admin_force_shed(&mut self, force: Option<bool>) {
+        self.force_shed = force;
     }
 
     /// End-of-run report. Non-destructive; callable repeatedly.
@@ -995,5 +1064,66 @@ mod tests {
         assert!(snap.counter("control.mode_switches").unwrap_or(0) >= 2);
         assert_eq!(snap.gauge("control.shed_active"), Some(1.0));
         assert!(snap.gauge("control.smoothed_mpps{shard=0}").is_some());
+    }
+
+    #[test]
+    fn admin_edits_mark_dirty_and_publish_next_epoch() {
+        let mut c = Controller::new(ControlConfig::default());
+        let mut cum = Vec::new();
+        // Settle: no publications while nothing changes.
+        c.epoch(&input(1.0, 2, 0.005, &mut cum));
+        let d = c.epoch(&input(1.0, 2, 0.005, &mut cum));
+        assert!(d.snapshot.is_none(), "steady state publishes nothing");
+
+        assert!(c.admin_blacklist_insert(0xBAD));
+        assert!(!c.admin_blacklist_insert(0xBAD), "idempotent");
+        let d = c.epoch(&input(1.0, 2, 0.005, &mut cum));
+        let snap = d.snapshot.expect("admin edit publishes");
+        assert!(snap.blacklist.contains(&0xBAD));
+
+        // Whitelisting the same digest revokes the blacklist entry:
+        // the operator is authoritative.
+        assert!(c.admin_whitelist_insert(0xBAD));
+        let d = c.epoch(&input(1.0, 2, 0.005, &mut cum));
+        let snap = d.snapshot.expect("edit publishes again");
+        assert!(!snap.blacklist.contains(&0xBAD));
+        assert!(snap.whitelist.contains(&0xBAD));
+
+        assert!(c.admin_whitelist_remove(0xBAD));
+        assert!(!c.admin_whitelist_remove(0xBAD));
+        let d = c.epoch(&input(1.0, 2, 0.005, &mut cum));
+        assert!(!d
+            .snapshot
+            .expect("removal publishes")
+            .whitelist
+            .contains(&0xBAD));
+    }
+
+    #[test]
+    fn forced_shed_overrides_hysteresis_both_ways() {
+        let mut c = Controller::new(ControlConfig::default());
+        let mut cum = Vec::new();
+        // Calm traffic, forced shed: engages in one epoch, no sustain
+        // streak needed, and every shard goes Lite.
+        c.admin_force_shed(Some(true));
+        let d = c.epoch(&input(0.5, 2, 0.005, &mut cum));
+        assert!(d.shed, "forced shed ignores calm load");
+        assert!(d.modes.iter().all(|&m| m == Mode::Lite));
+        assert!(d.snapshot.expect("shed flip publishes").shed);
+
+        // Overloaded traffic, forced off: shedding never engages.
+        c.admin_force_shed(Some(false));
+        for _ in 0..8 {
+            let d = c.epoch(&input(50.0, 2, 0.005, &mut cum));
+            assert!(!d.shed, "forced-off pins shedding under overload");
+        }
+
+        // Released: hysteresis resumes and overload re-engages it.
+        c.admin_force_shed(None);
+        let mut shed_again = false;
+        for _ in 0..8 {
+            shed_again |= c.epoch(&input(50.0, 2, 0.005, &mut cum)).shed;
+        }
+        assert!(shed_again, "hysteresis resumes after release");
     }
 }

@@ -29,6 +29,7 @@ use crate::control::{ControlLog, LogReader};
 use crate::escalate::{HostObs, HostPool, TriageNf};
 use crate::frame::{FramePool, FrameSlot};
 use crate::obs::{ThreadTrace, TraceSpec};
+use crate::service::{AdminCmd, AdminQueue};
 use crate::shard::{
     ControlHooks, Escalation, LaneRx, MergePolicy, ShardCounters, ShardEndState, ShardMsg,
     ShardObs, ShardStats, ShardWorker, StageHists, PROBE_HIST_SLOTS,
@@ -43,10 +44,11 @@ use smartwatch_net::hash::{queue_for_digest, shard_for_digest, splitmix64};
 use smartwatch_net::{FlowHasher, FrameStore, FrameView, Packet, RawTuple};
 use smartwatch_snic::{FlowCache, FlowCacheConfig, Mode};
 use smartwatch_telemetry::{
-    Counter, FlightKind, FlightRecorder, FlightRing, HistSnapshot, Registry, Tracer, WallAnchor,
+    mem, Counter, FlightKind, FlightRecorder, FlightRing, Gauge, HistSnapshot, Registry, Tracer,
+    WallAnchor,
 };
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -108,6 +110,15 @@ pub struct EngineConfig {
     /// so every thread's *first* batch is always traced and every live
     /// thread owns at least one span at any period.
     pub trace_sample: u64,
+    /// Serve mode: carry each shard's FlowCache across back-to-back
+    /// `run*` calls on the same engine instead of starting every
+    /// segment cold. Flow affinity is preserved (the RSS mapping is a
+    /// pure function of digest and shard count, both fixed per engine),
+    /// so shard `i` always gets shard `i`'s cache back. Batch buffer
+    /// pools and frame pools are *always* reused across runs — that is
+    /// the zero-steady-state-allocation claim the soak harness pins —
+    /// this flag only controls the flow *state*.
+    pub carry_flow_state: bool,
 }
 
 impl EngineConfig {
@@ -130,6 +141,7 @@ impl EngineConfig {
             cache_burst: smartwatch_snic::BURST,
             control: None,
             trace_sample: 0,
+            carry_flow_state: false,
         }
     }
 
@@ -211,6 +223,18 @@ impl FrameSource<'_> {
     }
 }
 
+/// Reusable run-scoped resources parked between `run*` calls so a
+/// long-running service allocates nothing per segment: per-queue batch
+/// buffer pools and (wire mode) frame pools always; per-shard
+/// FlowCaches when [`EngineConfig::carry_flow_state`] is set. The mesh
+/// shape is fixed per engine, so whatever is parked always fits.
+#[derive(Default)]
+struct Garage {
+    pools: Vec<BufferPool>,
+    frames: Vec<FramePool>,
+    caches: Vec<FlowCache>,
+}
+
 /// The sharded wall-clock engine.
 pub struct Engine {
     cfg: EngineConfig,
@@ -223,6 +247,22 @@ pub struct Engine {
     /// Controller decision audit mirrored out of the control thread so
     /// live readers (`/stats.json`) can see it mid-run.
     decisions: Arc<Mutex<VecDeque<DecisionRecord>>>,
+    /// Graceful-drain request: dispatchers observe it at checkpoints,
+    /// stop offering and quiesce the mesh (see [`Engine::request_drain`]).
+    drain: Arc<AtomicBool>,
+    /// Admin command mailbox, drained by the controller each epoch.
+    admin: Arc<AdminQueue>,
+    /// Admin commands the controller has applied (lifetime of the
+    /// engine, across runs).
+    admin_applied: Counter,
+    /// Live pacing override: `f64::to_bits` of the inter-arrival gap in
+    /// ns, `0` = none. Paced dispatchers re-read it at checkpoints.
+    pace_override: Arc<AtomicU64>,
+    /// Resident-set gauge (`runtime.mem.rss_bytes`), sampled per epoch
+    /// by the controller thread and at run boundaries.
+    mem_rss: Gauge,
+    /// Parked run-scoped resources (see [`Garage`]).
+    garage: Mutex<Garage>,
 }
 
 impl Engine {
@@ -243,7 +283,78 @@ impl Engine {
             tracer: None,
             flight: FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY),
             decisions: Arc::new(Mutex::new(VecDeque::new())),
+            drain: Arc::new(AtomicBool::new(false)),
+            admin: Arc::new(AdminQueue::new(1024)),
+            admin_applied: registry.counter("runtime.admin.applied", &[]),
+            pace_override: Arc::new(AtomicU64::new(0)),
+            mem_rss: registry.gauge("runtime.mem.rss_bytes", &[]),
+            garage: Mutex::new(Garage::default()),
         }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Ask the current run to drain gracefully: dispatchers observe the
+    /// flag at their 256-packet checkpoints, stop offering, flush their
+    /// staged batches and send the normal `Stop` markers, so the mesh
+    /// quiesces exactly as at end-of-trace and the segment report stays
+    /// conserved (`offered` reflects what was actually offered before
+    /// the drain). The flag stays raised until [`Engine::clear_drain`] —
+    /// a signal landing *between* segments still stops the next one.
+    pub fn request_drain(&self) {
+        self.drain.store(true, Ordering::Release);
+    }
+
+    /// Whether a drain has been requested and not yet cleared.
+    pub fn drain_requested(&self) -> bool {
+        self.drain.load(Ordering::Acquire)
+    }
+
+    /// Re-arm after a drained segment; the serve driver calls this at
+    /// the top of each segment it decides to run.
+    pub fn clear_drain(&self) {
+        self.drain.store(false, Ordering::Release);
+    }
+
+    /// Queue an admin command for the controller to apply at the next
+    /// epoch boundary (the engine must run with a control plane for
+    /// commands to take effect). Returns `false` when the bounded
+    /// mailbox is full — the caller should surface back-pressure to the
+    /// operator rather than silently dropping the edit.
+    pub fn admin(&self, cmd: AdminCmd) -> bool {
+        self.admin.push(cmd)
+    }
+
+    /// Admin commands waiting in the mailbox (not yet applied).
+    pub fn admin_queued(&self) -> usize {
+        self.admin.len()
+    }
+
+    /// Admin commands the controller has applied so far.
+    pub fn admin_applied(&self) -> u64 {
+        self.admin_applied.get()
+    }
+
+    /// Override the offered rate of *paced* runs live: dispatchers
+    /// re-read this at every 256-packet checkpoint and re-anchor their
+    /// arrival schedule, so the change takes effect mid-segment without
+    /// a restart. `None` returns pacing to the run's [`Pace`] plan.
+    /// Flat-out runs (no arrival schedule) ignore the override.
+    pub fn set_rate_override(&self, mpps: Option<f64>) {
+        let bits = match mpps {
+            Some(r) if r > 0.0 && r.is_finite() => (1000.0 / r).to_bits(),
+            _ => 0,
+        };
+        self.pace_override.store(bits, Ordering::Release);
+    }
+
+    /// The live rate override, if any, in Mpps.
+    pub fn rate_override(&self) -> Option<f64> {
+        let bits = self.pace_override.load(Ordering::Acquire);
+        (bits != 0).then(|| 1000.0 / f64::from_bits(bits))
     }
 
     /// The metric registry the engine publishes into.
@@ -394,6 +505,52 @@ impl Engine {
                     ("dropped".into(), u(self.flight.total_dropped())),
                 ]),
             ),
+            (
+                "mem".into(),
+                Value::Object(vec![("rss_bytes".into(), u(self.mem_rss.get() as u64))]),
+            ),
+            (
+                "pool".into(),
+                Value::Object(vec![
+                    (
+                        "allocated".into(),
+                        u(self.registry.counter("runtime.pool.allocated", &[]).get()),
+                    ),
+                    (
+                        "recycled".into(),
+                        u(self.registry.counter("runtime.pool.recycled", &[]).get()),
+                    ),
+                    (
+                        "frame_allocated".into(),
+                        u(self
+                            .registry
+                            .counter("runtime.frame_pool.allocated", &[])
+                            .get()),
+                    ),
+                    (
+                        "frame_recycled".into(),
+                        u(self
+                            .registry
+                            .counter("runtime.frame_pool.recycled", &[])
+                            .get()),
+                    ),
+                ]),
+            ),
+            (
+                "service".into(),
+                Value::Object(vec![
+                    ("draining".into(), Value::Bool(self.drain_requested())),
+                    ("admin_queued".into(), u(self.admin.len() as u64)),
+                    ("admin_applied".into(), u(self.admin_applied.get())),
+                    (
+                        "rate_override_mpps".into(),
+                        match self.rate_override() {
+                            Some(r) => Value::Number(Number::F(r)),
+                            None => Value::Null,
+                        },
+                    ),
+                ]),
+            ),
         ]);
         serde::json::write(&doc, false)
     }
@@ -481,6 +638,43 @@ impl Engine {
             .map(|q| QueueCounters::registered(&self.registry, q))
             .collect();
 
+        // Registry counters are cumulative for the life of the registry
+        // (that is what `/metrics` and `/stats.json` serve), but the
+        // report this call returns is *per run*: capture the baseline
+        // before any thread writes, subtract at report time. A single
+        // fresh-engine run subtracts zeros — byte-identical behaviour —
+        // while back-to-back serve segments each get their own books.
+        let shard_base: Vec<ShardStats> = counters
+            .iter()
+            .map(|c| c.snapshot(ShardEndState::default()))
+            .collect();
+        let queue_base: Vec<QueueStats> = qcounters.iter().map(QueueCounters::snapshot).collect();
+        let host_base = host_processed.get();
+        self.mem_rss.set(mem::rss_bytes() as f64);
+
+        // Un-park whatever the previous run left in the garage: buffer
+        // pools and frame pools are always reused (the soak harness pins
+        // `runtime.pool.allocated` flat across segments); FlowCaches
+        // only under `carry_flow_state`. The mesh shape is fixed per
+        // engine, so parked resources always fit.
+        let Garage {
+            pools: parked_pools,
+            frames: parked_frames,
+            caches: parked_caches,
+        } = std::mem::take(&mut *self.garage.lock().expect("garage poisoned"));
+        // FIFO un-parking preserves queue affinity (pop order matches
+        // park order, like the caches below): each queue gets its *own*
+        // warmed pool back. The salted RSS split is uneven, so a LIFO
+        // swap would hand the heaviest queue the lightest pool and pay
+        // a one-time re-allocation every time the assignment flips.
+        let mut parked_pools: VecDeque<BufferPool> = parked_pools.into();
+        let mut parked_frames: VecDeque<FramePool> = parked_frames.into();
+        let mut parked_caches: VecDeque<FlowCache> = if cfg.carry_flow_state {
+            parked_caches.into()
+        } else {
+            VecDeque::new()
+        };
+
         // ── Control plane (optional) ────────────────────────────────
         // Mode cells + snapshot cell + heavy-hitter channel wire the
         // controller thread to every dispatcher and every shard.
@@ -515,6 +709,9 @@ impl Engine {
                 trace: spec.as_ref().map(|s| s.thread("sw-control")),
                 audit: Arc::clone(&self.decisions),
                 audit_cap: ctrl_cfg.decision_capacity.max(1),
+                admin: Arc::clone(&self.admin),
+                admin_applied: self.admin_applied.clone(),
+                mem_rss: self.mem_rss.clone(),
             };
             let ctrl = Controller::with_registry(ctrl_cfg, &self.registry);
             let reader = log.reader();
@@ -561,7 +758,17 @@ impl Engine {
             (0..r).map(|_| Vec::with_capacity(n)).collect();
         let mut lane_rows: Vec<Vec<LaneRx>> = (0..n).map(|_| Vec::with_capacity(r)).collect();
         for row in producer_rows.iter_mut() {
-            let pool = BufferPool::new(n * (cfg.queue_batches + 2), cfg.batch, &self.registry);
+            // Recycle-channel capacity must cover the worst-case
+            // in-flight set — n full lanes plus each shard's batch in
+            // hand, the dispatcher's staged buffers and the one just
+            // acquired — with headroom, so the *entire* working set
+            // survives an end-of-run return and reparks with the pool.
+            // A cap at/below the in-flight peak trims buffers at every
+            // segment boundary and service mode re-allocates them each
+            // restart (the soak harness pins this at zero).
+            let pool = parked_pools.pop_front().unwrap_or_else(|| {
+                BufferPool::new(n * (cfg.queue_batches + 4), cfg.batch, &self.registry)
+            });
             for lanes in lane_rows.iter_mut() {
                 let (tx, rx) = spsc::<ShardMsg>(cfg.queue_batches);
                 row.push(tx);
@@ -576,10 +783,19 @@ impl Engine {
         // Shards: one thread each, consuming R lanes.
         let mut handles = Vec::with_capacity(n);
         for (i, lanes) in lane_rows.into_iter().enumerate() {
-            let mut cache_cfg = FlowCacheConfig::general(cfg.cache_row_bits);
-            cache_cfg.hash_seed = cfg.hash_seed;
-            let mut cache = FlowCache::new(cache_cfg);
-            cache.attach_telemetry(&self.registry);
+            // Shard `i` gets shard `i`'s cache back (pop order matches
+            // park order): RSS placement is a pure function of digest
+            // and shard count, so carried flow state stays affine.
+            let cache = match parked_caches.pop_front() {
+                Some(cache) => cache,
+                None => {
+                    let mut cache_cfg = FlowCacheConfig::general(cfg.cache_row_bits);
+                    cache_cfg.hash_seed = cfg.hash_seed;
+                    let mut cache = FlowCache::new(cache_cfg);
+                    cache.attach_telemetry(&self.registry);
+                    cache
+                }
+            };
             let escalation = match &pool {
                 Some(p) => Escalation::Pool(p.sender()),
                 None => Escalation::Inline(TriageNf::new(cfg.triage_threshold)),
@@ -622,7 +838,8 @@ impl Engine {
 
         // ── Dispatch: R threads, each replaying its sub-stream ──────
         let start = Instant::now();
-        std::thread::scope(|scope| {
+        let dends: Vec<DispatchEnd> = std::thread::scope(|scope| {
+            let mut dhandles = Vec::with_capacity(r);
             for ((q, stream), (row, pool)) in streams
                 .into_iter()
                 .enumerate()
@@ -631,11 +848,18 @@ impl Engine {
                 // Wire mode: each dispatcher owns a frame pool (the
                 // software RX ring) sized to the largest frame in the
                 // store; it warms up on the first burst and then
-                // recycles its 8 slots for the rest of the run.
+                // recycles its 8 slots for the rest of the run. Parked
+                // pools are reused when their slots still fit the
+                // store's largest frame.
                 let frames = match source {
-                    FrameSource::Wire(store) => {
-                        Some(FramePool::new(store.max_frame_len(), &self.registry))
-                    }
+                    FrameSource::Wire(store) => Some(
+                        parked_frames
+                            .pop_front()
+                            .filter(|fp| fp.frame_cap() >= store.max_frame_len())
+                            .unwrap_or_else(|| {
+                                FramePool::new(store.max_frame_len(), &self.registry)
+                            }),
+                    ),
                     FrameSource::Packets(_) => None,
                 };
                 let dispatcher = RxDispatcher {
@@ -649,23 +873,38 @@ impl Engine {
                     queue: &qcounters[q],
                     steer: queue_steer[q].take(),
                     plan,
+                    pace_override: self.pace_override.as_ref(),
+                    pace: PaceState::default(),
+                    drain: self.drain.as_ref(),
                     start,
                     flight: self.flight.ring(format!("sw-rxq-{q}")),
                     trace: spec.as_ref().map(|s| s.thread(format!("sw-rxq-{q}"))),
                 };
-                std::thread::Builder::new()
-                    .name(format!("sw-rxq-{q}"))
-                    .spawn_scoped(scope, move || dispatcher.run(source, stream))
-                    .expect("spawn dispatcher thread");
+                dhandles.push(
+                    std::thread::Builder::new()
+                        .name(format!("sw-rxq-{q}"))
+                        .spawn_scoped(scope, move || dispatcher.run(source, stream))
+                        .expect("spawn dispatcher thread"),
+                );
             }
+            dhandles
+                .into_iter()
+                .map(|h| h.join().expect("dispatcher thread panicked"))
+                .collect()
         });
 
         // ── Drain & join ────────────────────────────────────────────
         let mut ends: Vec<ShardEndState> = Vec::with_capacity(n);
+        let mut caches: Vec<FlowCache> = Vec::with_capacity(n);
         for h in handles {
-            ends.push(h.join().expect("shard thread panicked"));
+            let (end, cache) = h.join().expect("shard thread panicked");
+            ends.push(end);
+            caches.push(cache);
         }
         let elapsed = start.elapsed();
+        // Verdict-log occupancy at mesh quiesce, before the controller's
+        // final epoch drains its tail — the soak harness trends this.
+        let log_buffered = log.buffered() as u64;
         // Shut the host pool down *after* the shards: its channel drains
         // and remaining verdicts land in the log (reported, unapplied).
         if let Some(p) = pool {
@@ -680,19 +919,57 @@ impl Engine {
             handle.join().expect("controller thread panicked")
         });
 
+        // Re-park the run-scoped resources for the next segment, and
+        // settle the segment's books.
+        let interrupted = dends.iter().any(|d| d.interrupted);
+        {
+            let mut garage = self.garage.lock().expect("garage poisoned");
+            for d in dends {
+                garage.pools.push(d.pool);
+                if let Some(fp) = d.frames {
+                    garage.frames.push(fp);
+                }
+            }
+            // Frame pools a packet-mode segment did not need stay parked
+            // for the next wire segment.
+            garage.frames.extend(parked_frames);
+            garage.pools.extend(parked_pools);
+            if cfg.carry_flow_state {
+                garage.caches = caches;
+            }
+        }
+        self.mem_rss.set(mem::rss_bytes() as f64);
+
         let flowcache = FlowCacheSummary::aggregate(cfg.cache_burst, &ends);
         let shards: Vec<ShardStats> = counters
             .iter()
             .zip(&ends)
-            .map(|(c, e)| c.snapshot(*e))
+            .zip(&shard_base)
+            .map(|((c, e), base)| shard_stats_delta(c.snapshot(*e), base))
             .collect();
+        let queues: Vec<QueueStats> = qcounters
+            .iter()
+            .zip(&queue_base)
+            .map(|(q, base)| queue_stats_delta(q.snapshot(), base))
+            .collect();
+        // A drained segment offered exactly what its dispatchers got to
+        // before the flag: the per-queue tallies. An uninterrupted run
+        // keeps the stronger form — the whole source, independently
+        // cross-checked against the queue axis by `conserved()`.
+        let offered = if interrupted {
+            queues.iter().map(|q| q.offered).sum()
+        } else {
+            source.len() as u64
+        };
         let report = EngineReport {
-            offered: source.len() as u64,
+            offered,
             elapsed,
             shards,
-            queues: qcounters.iter().map(QueueCounters::snapshot).collect(),
-            host_processed: host_processed.get(),
+            queues,
+            host_processed: host_processed.get() - host_base,
             verdicts_published: log.len() as u64,
+            interrupted,
+            log_buffered,
             control,
             stage: StageSnapshot {
                 queue_ns: stage.queue_ns.snapshot(),
@@ -743,6 +1020,41 @@ fn pace_until(start: Instant, due: Duration) {
         } else {
             std::thread::yield_now();
         }
+    }
+}
+
+/// Per-run view of the cumulative per-shard registry counters: the
+/// counter-backed fields subtract the run's baseline; the end-state
+/// fields (steering-table sizes, cache residency) are absolute snapshots
+/// and pass through.
+fn shard_stats_delta(now: ShardStats, base: &ShardStats) -> ShardStats {
+    ShardStats {
+        ingested: now.ingested - base.ingested,
+        ingest_dropped: now.ingest_dropped - base.ingest_dropped,
+        shed: now.shed - base.shed,
+        steer_dropped: now.steer_dropped - base.steer_dropped,
+        processed: now.processed - base.processed,
+        verdict_dropped: now.verdict_dropped - base.verdict_dropped,
+        fast_path: now.fast_path - base.fast_path,
+        escalated: now.escalated - base.escalated,
+        escalation_dropped: now.escalation_dropped - base.escalation_dropped,
+        ctrl_applied: now.ctrl_applied - base.ctrl_applied,
+        alerts: now.alerts - base.alerts,
+        idle_parks: now.idle_parks - base.idle_parks,
+        blacklisted: now.blacklisted,
+        whitelisted: now.whitelisted,
+        cache_resident: now.cache_resident,
+    }
+}
+
+/// Per-run view of the cumulative per-queue registry counters.
+fn queue_stats_delta(now: QueueStats, base: &QueueStats) -> QueueStats {
+    QueueStats {
+        offered: now.offered - base.offered,
+        ingested: now.ingested - base.ingested,
+        ingest_dropped: now.ingest_dropped - base.ingest_dropped,
+        shed: now.shed - base.shed,
+        steer_dropped: now.steer_dropped - base.steer_dropped,
     }
 }
 
@@ -874,6 +1186,31 @@ struct QueueLocal {
     steer_dropped: u64,
 }
 
+/// What a dispatcher thread hands back at end of stream: its reusable
+/// pools (re-parked in the [`Garage`] for the next segment) and whether
+/// it stopped on a drain request rather than end-of-trace.
+struct DispatchEnd {
+    pool: BufferPool,
+    frames: Option<FramePool>,
+    interrupted: bool,
+}
+
+/// Live pacing-override state, re-read at every 256-packet checkpoint.
+/// When the override bits change, the arrival schedule re-anchors at
+/// the current packet's due time so the new gap applies *forward* —
+/// no retroactive burst, no stall. Releasing the override (bits = 0)
+/// returns to the plan's absolute schedule.
+#[derive(Default)]
+struct PaceState {
+    /// `f64::to_bits` of the overriding inter-arrival gap (ns); `0`
+    /// mirrors "no override".
+    bits: u64,
+    /// Due time (ns) of the packet the override anchored at.
+    anchor_due: f64,
+    /// Global index of the anchor packet.
+    anchor_i: usize,
+}
+
 /// One RX-queue dispatcher: owns its producers row of the mesh, its
 /// buffer pool, its steering reader, and replays its sub-stream at the
 /// globally-scheduled arrival times.
@@ -894,6 +1231,12 @@ struct RxDispatcher<'a> {
     queue: &'a QueueCounters,
     steer: Option<SnapshotReader<SteeringSnapshot>>,
     plan: PacePlan,
+    /// Engine-shared live rate override (see [`Engine::set_rate_override`]).
+    pace_override: &'a AtomicU64,
+    /// This dispatcher's current override anchoring.
+    pace: PaceState,
+    /// Engine-shared graceful-drain flag, observed at checkpoints.
+    drain: &'a AtomicBool,
     start: Instant,
     /// This queue's flight-recorder ring (always on; drop events only).
     flight: FlightRing,
@@ -916,7 +1259,7 @@ struct BlockState {
 const BURST: usize = 8;
 
 impl RxDispatcher<'_> {
-    fn run(self, source: FrameSource<'_>, stream: QueueStream) {
+    fn run(self, source: FrameSource<'_>, stream: QueueStream) -> DispatchEnd {
         match source {
             FrameSource::Packets(packets) => match stream {
                 QueueStream::All => self.dispatch(packets, 0..packets.len()),
@@ -933,7 +1276,7 @@ impl RxDispatcher<'_> {
         }
     }
 
-    fn dispatch(mut self, packets: &[Packet], stream: impl Iterator<Item = usize>) {
+    fn dispatch(mut self, packets: &[Packet], stream: impl Iterator<Item = usize>) -> DispatchEnd {
         let n = self.producers.len();
         let paced = self.plan.paced();
         let mut bufs: Vec<Vec<DigestedPacket>> = (0..n).map(|_| self.pool.acquire()).collect();
@@ -943,10 +1286,12 @@ impl RxDispatcher<'_> {
             sampled: false,
             idx: 0,
         };
+        let mut interrupted = false;
         for (k, i) in stream.enumerate() {
             let pkt = &packets[i];
-            if k.is_multiple_of(256) {
-                self.checkpoint(k, i, paced, &mut local, &mut block);
+            if k.is_multiple_of(256) && self.checkpoint(k, i, paced, &mut local, &mut block) {
+                interrupted = true;
+                break;
             }
             local.offered += 1;
             let (canon, digest) = self.hasher.digest_symmetric(&pkt.key);
@@ -958,7 +1303,7 @@ impl RxDispatcher<'_> {
             };
             self.offer(dp, paced, &mut bufs, &mut local);
         }
-        self.finish(bufs, paced, local, block);
+        self.finish(bufs, paced, local, block, interrupted)
     }
 
     /// The zero-copy wire path: replay packed frames in [`BURST`]-sized
@@ -971,7 +1316,11 @@ impl RxDispatcher<'_> {
     /// the model [`Packet`]s from view + sideband, and releases the
     /// slots. Steady state touches no allocator: the pool's 8 slots
     /// recycle for the whole run.
-    fn dispatch_frames(mut self, store: &FrameStore, stream: impl Iterator<Item = usize>) {
+    fn dispatch_frames(
+        mut self,
+        store: &FrameStore,
+        stream: impl Iterator<Item = usize>,
+    ) -> DispatchEnd {
         let n = self.producers.len();
         let paced = self.plan.paced();
         let mut frames = self
@@ -985,6 +1334,7 @@ impl RxDispatcher<'_> {
             sampled: false,
             idx: 0,
         };
+        let mut interrupted = false;
         let mut stream = stream;
         let mut k = 0usize;
         loop {
@@ -1004,8 +1354,9 @@ impl RxDispatcher<'_> {
                 break;
             }
             // BURST divides 256, so checkpoints land on burst starts.
-            if k.is_multiple_of(256) {
-                self.checkpoint(k, idx[0], paced, &mut local, &mut block);
+            if k.is_multiple_of(256) && self.checkpoint(k, idx[0], paced, &mut local, &mut block) {
+                interrupted = true;
+                break;
             }
             // RX: copy the frames into pooled slots.
             let mut slots: [Option<FrameSlot>; BURST] = Default::default();
@@ -1062,15 +1413,17 @@ impl RxDispatcher<'_> {
             }
             k += m;
         }
-        self.finish(bufs, paced, local, block);
+        self.frames = Some(frames);
+        self.finish(bufs, paced, local, block, interrupted)
     }
 
-    /// The 256-packet checkpoint shared by both dispatch paths: pace to
-    /// the block's first global arrival time, refresh the steering
-    /// snapshot, coalesce the finished block's black-box deltas
-    /// (`local` resets each checkpoint, so its values are exactly the
-    /// per-block deltas), fold the live counters, and make the block's
-    /// trace-sampling decision.
+    /// The 256-packet checkpoint shared by both dispatch paths: observe
+    /// a pending drain request (returns `true`: stop offering, quiesce),
+    /// re-read the live pace override, pace to the block's first global
+    /// arrival time, refresh the steering snapshot, coalesce the
+    /// finished block's black-box deltas (`local` resets each
+    /// checkpoint, so its values are exactly the per-block deltas), fold
+    /// the live counters, and make the block's trace-sampling decision.
     fn checkpoint(
         &mut self,
         k: usize,
@@ -1078,11 +1431,27 @@ impl RxDispatcher<'_> {
         paced: bool,
         local: &mut QueueLocal,
         block: &mut BlockState,
-    ) {
+    ) -> bool {
+        // Check *before* pacing: a drain request must not wait out a
+        // long inter-arrival sleep at low offered rates.
+        if self.drain.load(Ordering::Acquire) {
+            return true;
+        }
         if paced {
+            let bits = self.pace_override.load(Ordering::Acquire);
+            if bits != self.pace.bits {
+                // Re-anchor at this packet's due time under the *old*
+                // schedule, so the new gap applies strictly forward.
+                let due = self.due_ns(global_i);
+                self.pace = PaceState {
+                    bits,
+                    anchor_due: due,
+                    anchor_i: global_i,
+                };
+            }
             pace_until(
                 self.start,
-                Duration::from_nanos(self.plan.due_ns(global_i) as u64),
+                Duration::from_nanos(self.due_ns(global_i) as u64),
             );
         }
         // One atomic load; re-clones the snapshot Arc only when the
@@ -1110,6 +1479,18 @@ impl RxDispatcher<'_> {
             if block.sampled {
                 block.t0 = Instant::now();
             }
+        }
+        false
+    }
+
+    /// Arrival deadline of global packet `i` under the effective
+    /// schedule: the run's [`PacePlan`] by default, or the live
+    /// override's gap from its anchor when one is set.
+    fn due_ns(&self, i: usize) -> f64 {
+        if self.pace.bits == 0 {
+            self.plan.due_ns(i)
+        } else {
+            self.pace.anchor_due + (i - self.pace.anchor_i) as f64 * f64::from_bits(self.pace.bits)
         }
     }
 
@@ -1146,17 +1527,21 @@ impl RxDispatcher<'_> {
         }
     }
 
-    /// End-of-stream tail shared by both dispatch paths: close the
-    /// sampled trace span, flush every staged batch, send `Stop` down
-    /// every lane (never dropped — blocks until a slot frees), record
-    /// the final black-box deltas and fold the counters exactly.
+    /// End-of-stream tail shared by both dispatch paths — and by the
+    /// graceful-drain path, which is the point: a drained dispatcher
+    /// quiesces *exactly* like end-of-trace. Close the sampled trace
+    /// span, flush every staged batch, send `Stop` down every lane
+    /// (never dropped — blocks until a slot frees), record the final
+    /// black-box deltas, fold the counters exactly, and hand the pools
+    /// back for re-parking.
     fn finish(
         self,
         mut bufs: Vec<Vec<DigestedPacket>>,
         paced: bool,
         mut local: QueueLocal,
         block: BlockState,
-    ) {
+        interrupted: bool,
+    ) -> DispatchEnd {
         if block.sampled {
             if let Some(tt) = &self.trace {
                 tt.span_since(block.t0, "dispatch", "rxq");
@@ -1178,6 +1563,11 @@ impl RxDispatcher<'_> {
                 .record(FlightKind::SteerDrop, local.steer_dropped, block.idx + 1);
         }
         self.queue.fold(&mut local);
+        DispatchEnd {
+            pool: self.pool,
+            frames: self.frames,
+            interrupted,
+        }
     }
 
     fn flush(&self, s: usize, batch: Vec<DigestedPacket>, paced: bool, local: &mut QueueLocal) {
@@ -1226,6 +1616,13 @@ struct CtrlObs {
     trace: Option<ThreadTrace>,
     audit: Arc<Mutex<VecDeque<DecisionRecord>>>,
     audit_cap: usize,
+    /// The engine's admin mailbox, drained once per epoch.
+    admin: Arc<AdminQueue>,
+    /// `runtime.admin.applied` — commands the controller acted on.
+    admin_applied: Counter,
+    /// `runtime.mem.rss_bytes` — sampled once per epoch so the soak
+    /// harness gets a live residency trend without touching the engine.
+    mem_rss: Gauge,
 }
 
 /// Stable numeric encoding of a FlowCache mode for flight-event args.
@@ -1260,6 +1657,11 @@ fn controller_loop(
     let mut last = Instant::now();
     let mut prev_modes: Vec<Mode> = vec![Mode::General; counters.len()];
     let mut prev_shed = false;
+    // Standing per-shard mode overrides (`AdminCmd::ForceMode`): a
+    // controller-loop-local overlay applied *after* Algorithm 4 each
+    // epoch, so releasing one hands the shard straight back to the
+    // algorithm's current decision.
+    let mut force_modes: Vec<Option<Mode>> = vec![None; counters.len()];
     loop {
         let done = stop.load(Ordering::Acquire);
         if !done {
@@ -1268,6 +1670,49 @@ fn controller_loop(
         let now = Instant::now();
         let elapsed_secs = now.duration_since(last).as_secs_f64();
         last = now;
+        obs.mem_rss.set(mem::rss_bytes() as f64);
+
+        // Apply queued admin edits before the epoch decision: they
+        // mutate the controller's private tables (marking it dirty), so
+        // this epoch's snapshot publication carries them — the hot loop
+        // only ever sees them through the RCU path.
+        for cmd in obs.admin.drain() {
+            let applied = match cmd {
+                AdminCmd::BlacklistAdd(d) => {
+                    ctrl.admin_blacklist_insert(d);
+                    true
+                }
+                AdminCmd::BlacklistRemove(d) => {
+                    ctrl.admin_blacklist_remove(d);
+                    true
+                }
+                AdminCmd::WhitelistAdd(d) => {
+                    ctrl.admin_whitelist_insert(d);
+                    true
+                }
+                AdminCmd::WhitelistRemove(d) => {
+                    ctrl.admin_whitelist_remove(d);
+                    true
+                }
+                AdminCmd::ForceShed(f) => {
+                    ctrl.admin_force_shed(f);
+                    true
+                }
+                AdminCmd::ForceMode { shard, mode } => {
+                    if let Some(slot) = force_modes.get_mut(shard) {
+                        *slot = mode;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if applied {
+                obs.admin_applied.inc();
+                obs.flight
+                    .record(FlightKind::AdminEdit, cmd.code(), cmd.arg());
+            }
+        }
 
         // Escalation backlog: packets escalated but neither dropped at
         // the ring nor processed by the host yet. The pool is shared,
@@ -1309,19 +1754,27 @@ fn controller_loop(
             verdicts,
             heavy,
         });
-        for (cell, &m) in mode_cells.iter().zip(&decision.modes) {
+        // The effective modes are Algorithm 4's decision with any
+        // standing admin overrides layered on top.
+        let mut modes = decision.modes.clone();
+        for (m, f) in modes.iter_mut().zip(&force_modes) {
+            if let Some(forced) = f {
+                *m = *forced;
+            }
+        }
+        for (cell, &m) in mode_cells.iter().zip(&modes) {
             cell.set(m);
         }
         // Black-box the epoch's notable transitions before publishing:
         // per-shard mode flips, shed edges, promotions and evictions.
         let record = &decision.record;
-        for (i, (&m, &p)) in decision.modes.iter().zip(&prev_modes).enumerate() {
+        for (i, (&m, &p)) in modes.iter().zip(&prev_modes).enumerate() {
             if m != p {
                 obs.flight
                     .record(FlightKind::ModeSwitch, i as u64, mode_code(m));
             }
         }
-        prev_modes.clone_from(&decision.modes);
+        prev_modes.clone_from(&modes);
         if record.shed != prev_shed {
             let kind = if record.shed {
                 FlightKind::ShedOn
@@ -1639,6 +2092,14 @@ pub struct EngineReport {
     pub host_processed: u64,
     /// Verdicts published to the control log.
     pub verdicts_published: u64,
+    /// True when the run stopped on a graceful-drain request instead of
+    /// end-of-trace. `offered` then reflects what the dispatchers
+    /// actually offered before stopping, so conservation still holds.
+    pub interrupted: bool,
+    /// Verdict-log entries still resident (slowest reader's lag) at
+    /// mesh quiesce, before the controller's final drain — the soak
+    /// harness trends this for leak detection.
+    pub log_buffered: u64,
     /// Control-plane report (present when the engine ran with a
     /// controller attached).
     pub control: Option<ControlReport>,

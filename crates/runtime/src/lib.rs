@@ -45,6 +45,13 @@
 //! (`runtime.queue.*{queue=Q}`), queue-depth gauges, and aggregate
 //! per-stage latency histograms (`runtime.stage.*`).
 //!
+//! In service mode the engine stays resident across segments:
+//! [`service`] carries the bounded admin mailbox ([`AdminCmd`]) drained
+//! by the controller at epoch boundaries, [`Engine::request_drain`]
+//! quiesces a running segment gracefully, and batch/frame pools (plus,
+//! under [`EngineConfig::carry_flow_state`], the per-shard FlowCaches)
+//! are parked between runs so steady state allocates nothing.
+//!
 //! With [`EngineConfig::with_control`] the engine additionally runs the
 //! [`smartwatch_control`] adaptive control plane: a controller thread
 //! closes the paper's feedback loop each epoch — Algorithm 4 mode
@@ -61,6 +68,7 @@ pub mod engine;
 pub mod escalate;
 pub mod frame;
 pub(crate) mod obs;
+pub mod service;
 pub mod shard;
 pub mod spsc;
 
@@ -71,5 +79,6 @@ pub use engine::{
 };
 pub use escalate::{HostObs, HostPool, TriageNf};
 pub use frame::{FramePool, FrameSlot};
+pub use service::AdminCmd;
 pub use shard::{MergePolicy, ShardCounters, ShardStats};
 pub use smartwatch_control::{ControlConfig, ControlEvent, ControlReport, DecisionRecord};

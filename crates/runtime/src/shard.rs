@@ -466,8 +466,10 @@ impl ShardWorker {
     }
 
     /// Consume batches from the R ingest lanes until every lane's Stop
-    /// marker arrives, then final-sweep and exit.
-    pub(crate) fn run(self, lanes: Vec<LaneRx>) -> ShardEndState {
+    /// marker arrives, then final-sweep and exit. Returns the end state
+    /// plus the FlowCache itself, so the engine can carry flow state
+    /// across serve-mode segment restarts.
+    pub(crate) fn run(self, lanes: Vec<LaneRx>) -> (ShardEndState, FlowCache) {
         match self.merge {
             MergePolicy::Fair => self.run_fair(lanes),
             MergePolicy::Ordered => self.run_ordered(lanes),
@@ -479,7 +481,7 @@ impl ShardWorker {
     /// lane per sweep. The idle backoff escalates only when a full sweep
     /// found *every* lane empty — a shard with any lane delivering never
     /// parks.
-    fn run_fair(mut self, lanes: Vec<LaneRx>) -> ShardEndState {
+    fn run_fair(mut self, lanes: Vec<LaneRx>) -> (ShardEndState, FlowCache) {
         let r = lanes.len();
         let mut open = vec![true; r];
         let mut live = r;
@@ -544,7 +546,7 @@ impl ShardWorker {
     /// other lanes are drained into local pending lists meanwhile so
     /// their producers never block behind the stall (which could
     /// otherwise deadlock the mesh).
-    fn run_ordered(mut self, lanes: Vec<LaneRx>) -> ShardEndState {
+    fn run_ordered(mut self, lanes: Vec<LaneRx>) -> (ShardEndState, FlowCache) {
         let mut lanes: Vec<OrderedLane> = lanes
             .into_iter()
             .map(|lane| OrderedLane {
@@ -688,14 +690,14 @@ impl ShardWorker {
     /// Stop-marker tail: apply the last verdicts, flush heavy-hitter
     /// samples, run the detectors' end-of-trace sweep, release the log
     /// reader, and freeze the end state.
-    fn finish(mut self) -> ShardEndState {
+    fn finish(mut self) -> (ShardEndState, FlowCache) {
         self.apply_control();
         self.flush_heavy();
         let final_alerts = self.suite.finish(self.last_ts);
         self.counters.alerts.add(final_alerts.len() as u64);
         // Stop pinning the verdict log's buffer.
         self.log.release(self.reader);
-        ShardEndState {
+        let end = ShardEndState {
             blacklisted: self.blacklist.len() as u64,
             whitelisted: self.whitelist.len() as u64,
             cache_resident: self.cache.occupied() as u64,
@@ -703,7 +705,8 @@ impl ShardWorker {
             probe_hist: self.probe_hist,
             bursts: self.bursts,
             burst_pkts: self.burst_pkts,
-        }
+        };
+        (end, self.cache)
     }
 
     /// Per-batch control-plane housekeeping: advance the batch clock,

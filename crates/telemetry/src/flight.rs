@@ -51,6 +51,11 @@ pub enum FlightKind {
     ConservationDelta = 10,
     /// End-of-run marker with the conservation verdict.
     RunEnd = 11,
+    /// An admin command (steering edit, mode/shed/pace override) was
+    /// applied by the controller at an epoch boundary.
+    AdminEdit = 12,
+    /// A config hot-reload was validated and published (or rejected).
+    ConfigReload = 13,
 }
 
 impl FlightKind {
@@ -68,6 +73,8 @@ impl FlightKind {
             FlightKind::WhitelistEvict => "whitelist_evict",
             FlightKind::ConservationDelta => "conservation_delta",
             FlightKind::RunEnd => "run_end",
+            FlightKind::AdminEdit => "admin_edit",
+            FlightKind::ConfigReload => "config_reload",
         }
     }
 
@@ -85,6 +92,8 @@ impl FlightKind {
             FlightKind::WhitelistEvict => ("count", "epoch"),
             FlightKind::ConservationDelta => ("delta", "offered"),
             FlightKind::RunEnd => ("conserved", "offered"),
+            FlightKind::AdminEdit => ("cmd", "arg"),
+            FlightKind::ConfigReload => ("ok", "seq"),
         }
     }
 
@@ -101,6 +110,8 @@ impl FlightKind {
             9 => FlightKind::WhitelistEvict,
             10 => FlightKind::ConservationDelta,
             11 => FlightKind::RunEnd,
+            12 => FlightKind::AdminEdit,
+            13 => FlightKind::ConfigReload,
             _ => return None,
         })
     }
@@ -265,19 +276,29 @@ impl FlightRecorder {
     }
 
     /// Open a named ring (one per thread by convention). Rings are
-    /// listed in registration order in dumps.
+    /// listed in registration order in dumps. Re-opening a name returns
+    /// the *existing* ring, so a long-running service whose worker
+    /// threads restart per segment (`sw-shard-0`, `sw-rxq-0`, …) keeps
+    /// one bounded ring per thread name instead of growing a new ring
+    /// every restart — segment boundaries appear as consecutive events
+    /// in the same ring.
     pub fn ring(&self, name: impl Into<String>) -> FlightRing {
+        let name = name.into();
+        let mut rings = self.inner.rings.lock().unwrap();
+        if let Some(existing) = rings.iter().find(|r| r.name() == name) {
+            return existing.clone();
+        }
         let cap = self.inner.cap;
         let ring = FlightRing {
             inner: Arc::new(RingInner {
-                name: name.into(),
+                name,
                 cap,
                 epoch: self.inner.epoch,
                 slots: (0..cap).map(|_| Slot::default()).collect(),
                 head: AtomicU64::new(0),
             }),
         };
-        self.inner.rings.lock().unwrap().push(ring.clone());
+        rings.push(ring.clone());
         ring
     }
 
@@ -446,6 +467,28 @@ mod tests {
         writer.join().unwrap();
         assert_eq!(ring.recorded(), 50_000);
         let _ = checked;
+    }
+
+    #[test]
+    fn reopening_a_name_returns_the_same_bounded_ring() {
+        let rec = FlightRecorder::new(8);
+        let a = rec.ring("sw-shard-0");
+        a.record_at(1, FlightKind::RunEnd, 1, 100);
+        // A second "segment" reopens the ring by name: same storage,
+        // events append, and the recorder still lists one ring.
+        let b = rec.ring("sw-shard-0");
+        b.record_at(2, FlightKind::RunEnd, 1, 200);
+        assert_eq!(rec.snapshot().len(), 1);
+        assert_eq!(a.recorded(), 2);
+        let evs = a.snapshot();
+        assert_eq!(evs[0].b, 100);
+        assert_eq!(evs[1].b, 200);
+        assert_eq!(
+            rec.ring("other").recorded(),
+            0,
+            "new names still open fresh rings"
+        );
+        assert_eq!(rec.snapshot().len(), 2);
     }
 
     #[test]

@@ -1,11 +1,23 @@
-//! Minimal std-only HTTP/1.1 server for live observability endpoints.
+//! Minimal std-only HTTP/1.1 server for live observability and admin
+//! endpoints.
 //!
 //! No dependency beyond `std::net`: a single accept-loop thread parses
-//! `GET <path>` request lines and answers from registered route
-//! handlers, each a closure over snapshot reads (`Registry::snapshot`,
-//! `FlightRecorder::to_json`, …). Good enough for `curl`, a Prometheus
-//! scraper, or a browser pointed at a running engine — and nothing
-//! more: one connection at a time, short timeouts, `Connection: close`.
+//! request heads, reads bounded bodies, and answers from registered
+//! [`Route`] handlers, each a closure over snapshot reads
+//! (`Registry::snapshot`, `FlightRecorder::to_json`, …) or — for the
+//! serve-mode admin surface — over a command queue drained at epoch
+//! boundaries. Good enough for `curl`, a Prometheus scraper, or a
+//! browser pointed at a running engine — and nothing more: one
+//! connection at a time, short timeouts, `Connection: close`.
+//!
+//! Hardening (all enforced before a handler runs):
+//!
+//! * request head (request line + headers) capped at
+//!   [`MAX_HEAD_BYTES`] — anything longer is `431`;
+//! * bodies capped at [`MAX_BODY_BYTES`] — `413` beyond that;
+//! * malformed request lines are `400`;
+//! * a known path hit with an unsupported method is `405` with an
+//!   `Allow:` header listing what the route accepts.
 //!
 //! Shutdown is cooperative: [`HttpServer::shutdown`] raises a flag and
 //! pokes the listener with a loopback connection so `accept` returns.
@@ -16,6 +28,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+
+/// Maximum bytes of request line + headers accepted before `431`.
+pub const MAX_HEAD_BYTES: usize = 8192;
+
+/// Maximum request-body bytes accepted before `413`.
+pub const MAX_BODY_BYTES: usize = 65536;
 
 /// What a route handler returns.
 pub struct HttpResponse {
@@ -37,19 +55,82 @@ impl HttpResponse {
         }
     }
 
+    /// Arbitrary status with a plain-text body.
+    pub fn text(status: u16, body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
     fn status_text(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
             _ => "Error",
         }
     }
 }
 
-/// A route: exact path (query strings are stripped) plus its handler,
-/// called on the server thread for every matching request.
-pub type Route = (String, Box<dyn Fn() -> HttpResponse + Send + Sync>);
+/// A parsed request as handed to a route handler: method, exact path
+/// (query string stripped), and the body (empty for GET).
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, `PUT`, …), upper-case as sent.
+    pub method: String,
+    /// Path with any `?query` suffix removed.
+    pub path: String,
+    /// Request body, bounded by [`MAX_BODY_BYTES`].
+    pub body: String,
+}
+
+/// A registered endpoint: exact path, the methods it accepts, and its
+/// handler, called on the server thread for every matching request.
+pub struct Route {
+    path: String,
+    methods: &'static [&'static str],
+    handler: Box<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>,
+}
+
+impl Route {
+    /// A GET-only route whose handler ignores the request.
+    pub fn get(
+        path: impl Into<String>,
+        handler: impl Fn() -> HttpResponse + Send + Sync + 'static,
+    ) -> Route {
+        Route {
+            path: path.into(),
+            methods: &["GET"],
+            handler: Box::new(move |_| handler()),
+        }
+    }
+
+    /// A route accepting exactly `methods` (e.g. `&["POST"]` or
+    /// `&["GET", "PUT"]`), with the parsed request passed through.
+    pub fn on(
+        path: impl Into<String>,
+        methods: &'static [&'static str],
+        handler: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    ) -> Route {
+        Route {
+            path: path.into(),
+            methods,
+            handler: Box::new(handler),
+        }
+    }
+
+    /// The exact path this route answers.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
 
 struct ServerShared {
     stop: AtomicBool,
@@ -120,50 +201,51 @@ fn accept_loop(listener: TcpListener, routes: Vec<Route>, shared: Arc<ServerShar
     }
 }
 
+/// Read until the end of the request head. Returns the raw bytes read
+/// so far (head + any body prefix) and the head length, or `None` when
+/// the head exceeds [`MAX_HEAD_BYTES`].
+fn read_head(stream: &mut TcpStream) -> Option<(Vec<u8>, usize)> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if let Some(pos) = find_head_end(&buf) {
+            // The cap applies to the head itself, terminator or not.
+            return (pos <= MAX_HEAD_BYTES).then_some((buf, pos));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let pos = find_head_end(&buf).filter(|&p| p <= MAX_HEAD_BYTES)?;
+    Some((buf, pos))
+}
+
+/// Byte offset just past the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// `Content-Length` parsed out of the head, 0 when absent.
+fn content_length(head: &str) -> usize {
+    head.lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 fn handle_connection(mut stream: TcpStream, routes: &[Route]) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
 
-    // Read until the end of the request head (or 8 KiB, whichever is
-    // first) — bodies are ignored; these endpoints are GET-only.
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let raw_path = parts.next().unwrap_or("/");
-    let path = raw_path.split('?').next().unwrap_or("/");
-
-    let response = if method != "GET" {
-        HttpResponse {
-            status: 405,
-            content_type: "text/plain; charset=utf-8",
-            body: "only GET is supported\n".into(),
-        }
-    } else {
-        match routes.iter().find(|(p, _)| p == path) {
-            Some((_, handler)) => handler(),
-            None => {
-                let known: Vec<&str> = routes.iter().map(|(p, _)| p.as_str()).collect();
-                HttpResponse {
-                    status: 404,
-                    content_type: "text/plain; charset=utf-8",
-                    body: format!("no such route {path}; try: {}\n", known.join(" ")),
-                }
-            }
-        }
+    let response = match read_head(&mut stream) {
+        None => HttpResponse::text(431, "request head exceeds 8 KiB\n"),
+        Some((buf, head_len)) => respond(&mut stream, buf, head_len, routes),
     };
 
     let head = format!(
@@ -178,40 +260,106 @@ fn handle_connection(mut stream: TcpStream, routes: &[Route]) -> std::io::Result
     stream.flush()
 }
 
+fn respond(
+    stream: &mut TcpStream,
+    buf: Vec<u8>,
+    head_len: usize,
+    routes: &[Route],
+) -> HttpResponse {
+    let head = String::from_utf8_lossy(&buf[..head_len]).into_owned();
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (Some(method), Some(raw_path)) = (parts.next(), parts.next()) else {
+        return HttpResponse::text(400, "malformed request line\n");
+    };
+    if method.is_empty() || !raw_path.starts_with('/') {
+        return HttpResponse::text(400, "malformed request line\n");
+    }
+    let path = raw_path.split('?').next().unwrap_or("/").to_string();
+
+    let want = content_length(&head);
+    if want > MAX_BODY_BYTES {
+        return HttpResponse::text(413, "request body exceeds 64 KiB\n");
+    }
+    // The head read may already hold a body prefix; pull the rest.
+    let mut body = buf[head_len..].to_vec();
+    let mut chunk = [0u8; 512];
+    while body.len() < want {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    body.truncate(want);
+
+    let Some(route) = routes.iter().find(|r| r.path == path) else {
+        let known: Vec<&str> = routes.iter().map(|r| r.path.as_str()).collect();
+        return HttpResponse::text(
+            404,
+            format!("no such route {path}; try: {}\n", known.join(" ")),
+        );
+    };
+    if !route.methods.contains(&method) {
+        let mut resp = HttpResponse::text(
+            405,
+            format!("{path} supports: {}\n", route.methods.join(", ")),
+        );
+        // The Allow header is folded into the body text above; a
+        // dedicated header would need response-header plumbing that
+        // nothing consumes yet.
+        resp.content_type = "text/plain; charset=utf-8";
+        return resp;
+    }
+    let request = HttpRequest {
+        method: method.to_string(),
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    };
+    (route.handler)(&request)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn raw(addr: SocketAddr, request: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        let mut raw = String::new();
-        stream.read_to_string(&mut raw).unwrap();
-        let status: u16 = raw
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let status: u16 = out
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
             .unwrap_or(0);
-        let body = raw
+        let body = out
             .split_once("\r\n\r\n")
             .map(|(_, b)| b.to_string())
             .unwrap_or_default();
         (status, body)
     }
 
+    fn demo_routes() -> Vec<Route> {
+        vec![
+            Route::get("/metrics", || {
+                HttpResponse::ok("text/plain; version=0.0.4", "up 1\n")
+            }),
+            Route::get("/stats.json", || {
+                HttpResponse::ok("application/json", "{\"ok\":true}")
+            }),
+            Route::on("/echo", &["POST"], |req| {
+                HttpResponse::ok("text/plain", format!("{} {}", req.method, req.body))
+            }),
+        ]
+    }
+
     #[test]
     fn serves_routes_and_404s() {
-        let routes: Vec<Route> = vec![
-            (
-                "/metrics".to_string(),
-                Box::new(|| HttpResponse::ok("text/plain; version=0.0.4", "up 1\n")),
-            ),
-            (
-                "/stats.json".to_string(),
-                Box::new(|| HttpResponse::ok("application/json", "{\"ok\":true}")),
-            ),
-        ];
-        let server = HttpServer::serve("127.0.0.1:0", routes).unwrap();
+        let server = HttpServer::serve("127.0.0.1:0", demo_routes()).unwrap();
         let addr = server.local_addr();
 
         let (status, body) = get(addr, "/metrics");
@@ -230,17 +378,73 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_get() {
-        let routes: Vec<Route> = vec![(
-            "/".to_string(),
-            Box::new(|| HttpResponse::ok("text/plain", "hi")),
-        )];
-        let server = HttpServer::serve("127.0.0.1:0", routes).unwrap();
-        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-        write!(stream, "POST / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        let mut raw = String::new();
-        stream.read_to_string(&mut raw).unwrap();
-        assert!(raw.starts_with("HTTP/1.1 405"));
+    fn rejects_unsupported_methods_per_route() {
+        let server = HttpServer::serve("127.0.0.1:0", demo_routes()).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = raw(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 405);
+        assert!(body.contains("GET"), "405 names the allowed methods");
+
+        let (status, _) = raw(addr, "GET /echo HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 405, "POST-only route rejects GET");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_body_reaches_the_handler() {
+        let server = HttpServer::serve("127.0.0.1:0", demo_routes()).unwrap();
+        let addr = server.local_addr();
+        let payload = "digest=42";
+        let (status, body) = raw(
+            addr,
+            &format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{payload}",
+                payload.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, format!("POST {payload}"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let server = HttpServer::serve("127.0.0.1:0", demo_routes()).unwrap();
+        let addr = server.local_addr();
+        let huge = "x".repeat(MAX_HEAD_BYTES + 100);
+        let (status, _) = raw(
+            addr,
+            &format!("GET /metrics HTTP/1.1\r\nHost: x\r\nX-Pad: {huge}\r\n\r\n"),
+        );
+        assert_eq!(status, 431);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let server = HttpServer::serve("127.0.0.1:0", demo_routes()).unwrap();
+        let addr = server.local_addr();
+        let (status, _) = raw(
+            addr,
+            &format!(
+                "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            ),
+        );
+        assert_eq!(status, 413);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        let server = HttpServer::serve("127.0.0.1:0", demo_routes()).unwrap();
+        let addr = server.local_addr();
+        let (status, _) = raw(addr, "GARBAGE\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _) = raw(addr, "GET not-a-path HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 400, "path must start with /");
         server.shutdown();
     }
 }

@@ -36,6 +36,7 @@ pub mod export;
 mod flight;
 mod hist;
 pub mod http;
+pub mod mem;
 mod metrics;
 mod trace;
 mod wallclock;

@@ -138,6 +138,11 @@ impl Value {
         }
     }
 
+    /// True for JSON `null` (serde_json parity).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
     /// Object member lookup (`None` on non-objects or missing keys).
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object()
