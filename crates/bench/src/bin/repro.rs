@@ -25,7 +25,7 @@ use smartwatch_bench::exp_engine::{
 };
 use smartwatch_bench::exp_serve::{serve_bench_json, serve_run_full, ServeSpec};
 use smartwatch_bench::{all_experiments, signal, ExpCtx};
-use smartwatch_runtime::{Engine, EngineReport};
+use smartwatch_runtime::{DatapathMode, Engine, EngineReport};
 use std::sync::Arc;
 
 fn main() {
@@ -42,6 +42,7 @@ fn main() {
     let mut control_spec = ControlRunSpec::default();
     let mut serve_spec = ServeSpec::default();
     let mut rss_slack_mb: u64 = 64;
+    let mut rx_queues_given = false;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -54,6 +55,17 @@ fn main() {
                 engine_spec.rx_queues = parse_num(it.next(), "--rx-queues");
                 control_spec.rx_queues = engine_spec.rx_queues;
                 serve_spec.rx_queues = engine_spec.rx_queues;
+                rx_queues_given = true;
+            }
+            "--datapath" => {
+                engine_spec.datapath = match it.next().map(String::as_str) {
+                    Some("pipeline") => DatapathMode::Pipeline,
+                    Some("rtc") => DatapathMode::Rtc,
+                    _ => die("--datapath must be `pipeline` or `rtc`"),
+                };
+            }
+            "--pin-cores" => {
+                engine_spec.pin_cores = true;
             }
             "--packets" => {
                 engine_spec.packets = parse_num(it.next(), "--packets");
@@ -225,6 +237,18 @@ fn main() {
     if selected.is_empty() {
         usage();
         return;
+    }
+    // Contradictory topology flags fail fast, before any work: the RTC
+    // datapath has no RX dispatcher tier, so a `--rx-queues` the user
+    // explicitly asked for cannot be honoured (core count = --shards).
+    if engine_spec.datapath == DatapathMode::Rtc && rx_queues_given {
+        die(
+            "--rx-queues does not apply to `--datapath rtc`: fused run-to-completion \
+             cores own their own ingest, so the core count is --shards",
+        );
+    }
+    if engine_spec.pin_cores && engine_spec.datapath != DatapathMode::Rtc {
+        die("--pin-cores requires `--datapath rtc` (the mesh is not pinned)");
     }
 
     let experiments = all_experiments();
@@ -472,6 +496,7 @@ fn usage() {
          usage: repro <experiment…|all|list> [--scale N] [--json]\n\
                       [--metrics-json <path>] [--trace-out <path>]\n\
                 repro engine [--shards N] [--rx-queues R] [--packets N]\n\
+                      [--datapath pipeline|rtc] [--pin-cores]\n\
                       [--batch N] [--host-workers N] [--rate MPPS]\n\
                       [--cache-burst N]\n\
                       [--workload stress|stress64|mix]\n\
@@ -516,6 +541,13 @@ fn usage() {
          --cache-burst   (engine) FlowCache lookup burst width: shards\n\
                          prefetch N rows ahead before probing (default 8;\n\
                          0/1 = per-packet reference path, same decisions)\n\
+         --datapath      (engine) thread topology: `pipeline` (default)\n\
+                         runs R dispatchers feeding N shards over SPSC\n\
+                         lanes; `rtc` fuses dispatcher and shard into N\n\
+                         run-to-completion cores (zero queue crossings,\n\
+                         identical decisions; --rx-queues is rejected)\n\
+         --pin-cores     (engine, rtc only) pin core i to CPU i via\n\
+                         sched_setaffinity — best-effort, Linux only\n\
          --trace-sample  (engine/control) sample 1-in-N batches per\n\
                          engine thread into --trace-out (0 = off; the\n\
                          first batch per thread is always sampled)\n\
@@ -531,7 +563,8 @@ fn usage() {
          measured Mpps — machine-dependent, unlike every other experiment).\n\
          Default: 2 shards, 1 RX queue, 200k packets, flat-out, 64B\n\
          stress workload. `--rx-queues R` fans ingest out over R\n\
-         dispatcher threads (the multi-queue NIC model).\n\n\
+         dispatcher threads (the multi-queue NIC model); `--datapath\n\
+         rtc` replaces the mesh with N fused run-to-completion cores.\n\n\
          `repro control` replays one overload spike twice — with the\n\
          adaptive control plane (Alg. 4 mode switching, steering\n\
          snapshots, load shedding) and without — and reports both.\n\

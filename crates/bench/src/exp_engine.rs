@@ -10,7 +10,7 @@ use crate::output::Table;
 use crate::{workloads, ExpCtx};
 use serde::Serialize;
 use smartwatch_net::{FrameStore, Packet};
-use smartwatch_runtime::{Engine, EngineConfig, EngineReport, Pace};
+use smartwatch_runtime::{DatapathMode, Engine, EngineConfig, EngineReport, Pace};
 use smartwatch_telemetry::HistSnapshot;
 use smartwatch_trace::background::Preset;
 use smartwatch_trace::compile::compile_cycled;
@@ -133,7 +133,15 @@ pub struct EngineRunSpec {
     /// Worker shards (threads).
     pub shards: usize,
     /// RX dispatcher queues (threads) — the multi-queue NIC model.
+    /// Ignored under [`DatapathMode::Rtc`], where every fused core owns
+    /// its ingest (the CLI rejects the combination up front).
     pub rx_queues: usize,
+    /// Thread topology: the dispatcher→lane→shard mesh (`pipeline`,
+    /// the default) or fused run-to-completion cores (`rtc`).
+    pub datapath: DatapathMode,
+    /// Pin each fused RTC core to CPU *i* (`--pin-cores`; best-effort,
+    /// Linux `sched_setaffinity`, no-op elsewhere).
+    pub pin_cores: bool,
     /// Packets to replay (the workload is cycled to this length).
     pub packets: usize,
     /// Packets per dispatch batch.
@@ -171,6 +179,8 @@ impl Default for EngineRunSpec {
         EngineRunSpec {
             shards: 2,
             rx_queues: 1,
+            datapath: DatapathMode::Pipeline,
+            pin_cores: false,
             packets: 200_000,
             batch: 64,
             host_workers: 1,
@@ -234,6 +244,8 @@ pub fn engine_run_full(ctx: &ExpCtx, spec: &EngineRunSpec) -> (Table, EngineRepo
     );
     let mut cfg = EngineConfig::new(spec.shards);
     cfg.rx_queues = spec.rx_queues;
+    cfg.datapath = spec.datapath;
+    cfg.pin_cores = spec.pin_cores;
     cfg.batch = spec.batch;
     cfg.host_workers = spec.host_workers;
     cfg.cache_burst = spec.cache_burst;
@@ -278,21 +290,56 @@ pub(crate) fn serve_during<T>(
     out
 }
 
-/// One stage's tail latencies in the bench artifact.
+/// Stable one-word datapath label for tables and JSON artifacts.
+pub fn datapath_label(d: DatapathMode) -> &'static str {
+    match d {
+        DatapathMode::Pipeline => "pipeline",
+        DatapathMode::Rtc => "rtc",
+    }
+}
+
+/// One stage's tail latencies in the bench artifact, plus its share of
+/// the total time the four instrumented stages recorded (so a diff can
+/// say "queue wait went from 40% to 0%" without re-deriving sums). RTC
+/// runs have no queue crossings, so their queue-wait share is zero by
+/// construction.
 #[derive(Debug, Serialize)]
 struct StageJson {
     p50_ns: u64,
     p99_ns: u64,
     count: u64,
+    share: f64,
 }
 
 impl StageJson {
-    fn from(h: &HistSnapshot) -> StageJson {
+    fn from(h: &HistSnapshot, total_stage_ns: u64) -> StageJson {
         StageJson {
             p50_ns: h.p50,
             p99_ns: h.p99,
             count: h.count,
+            share: if total_stage_ns == 0 {
+                0.0
+            } else {
+                h.sum as f64 / total_stage_ns as f64
+            },
         }
+    }
+}
+
+/// Sum of recorded time across the four instrumented stages — the
+/// denominator of every [`StageJson::share`].
+fn total_stage_ns(r: &EngineReport) -> u64 {
+    r.stage.queue_ns.sum + r.stage.cache_ns.sum + r.stage.detect_ns.sum + r.stage.escalate_ns.sum
+}
+
+/// Mean wall-clock budget per processed packet, derived from the
+/// measured Mpps (1 Mpps ⇔ 1000 ns/pkt).
+fn ns_per_packet(r: &EngineReport) -> f64 {
+    let mpps = r.mpps();
+    if mpps > 0.0 {
+        1000.0 / mpps
+    } else {
+        0.0
     }
 }
 
@@ -339,6 +386,8 @@ struct EngineBenchJson {
     bench: String,
     shards: usize,
     rx_queues: usize,
+    datapath: String,
+    pin_cores: bool,
     batch: usize,
     workload: String,
     source: String,
@@ -348,6 +397,7 @@ struct EngineBenchJson {
     dropped: u64,
     drop_pct: f64,
     mpps: f64,
+    ns_per_packet: f64,
     escalated: u64,
     escalation_dropped: u64,
     host_processed: u64,
@@ -365,10 +415,13 @@ struct EngineBenchJson {
 /// with the headline throughput numbers and per-stage tail latencies, so
 /// runs are diffable across commits without parsing the rendered table.
 pub fn bench_json(spec: &EngineRunSpec, r: &EngineReport) -> String {
+    let stage_total = total_stage_ns(r);
     let v = EngineBenchJson {
         bench: "engine".to_string(),
         shards: spec.shards,
         rx_queues: spec.rx_queues,
+        datapath: datapath_label(spec.datapath).to_string(),
+        pin_cores: spec.pin_cores,
         batch: spec.batch,
         workload: format!("{:?}", spec.workload).to_lowercase(),
         source: spec.source.label().to_string(),
@@ -378,16 +431,17 @@ pub fn bench_json(spec: &EngineRunSpec, r: &EngineReport) -> String {
         dropped: r.ingest_dropped(),
         drop_pct: r.drop_rate() * 100.0,
         mpps: r.mpps(),
+        ns_per_packet: ns_per_packet(r),
         escalated: r.escalated(),
         escalation_dropped: r.escalation_dropped(),
         host_processed: r.host_processed,
         verdicts: r.verdicts_published,
         idle_parks: r.idle_parks(),
         conserved: r.conserved(),
-        queue_ns: StageJson::from(&r.stage.queue_ns),
-        cache_ns: StageJson::from(&r.stage.cache_ns),
-        detect_ns: StageJson::from(&r.stage.detect_ns),
-        escalate_ns: StageJson::from(&r.stage.escalate_ns),
+        queue_ns: StageJson::from(&r.stage.queue_ns, stage_total),
+        cache_ns: StageJson::from(&r.stage.cache_ns, stage_total),
+        detect_ns: StageJson::from(&r.stage.detect_ns, stage_total),
+        escalate_ns: StageJson::from(&r.stage.escalate_ns, stage_total),
         flowcache: FlowCacheJson::from(&r.flowcache),
     };
     serde_json::to_string_pretty(&v).expect("bench report serializes")
@@ -400,6 +454,7 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
         &[
             "shards",
             "rxq",
+            "datapath",
             "workload",
             "source",
             "pace",
@@ -425,6 +480,7 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
     t.row(vec![
         spec.shards.to_string(),
         spec.rx_queues.to_string(),
+        datapath_label(spec.datapath).to_string(),
         format!("{:?}", spec.workload).to_lowercase(),
         spec.source.label().to_string(),
         pace_cell,
@@ -449,6 +505,35 @@ fn render(spec: &EngineRunSpec, pace: Pace, r: &EngineReport) -> Table {
         "delivered batch size: mean {:.1} pkts (configured {})",
         r.stage.batch_pkts.mean, spec.batch
     ));
+    let total = total_stage_ns(r);
+    let share = |h: &HistSnapshot| {
+        if total == 0 {
+            0.0
+        } else {
+            h.sum as f64 / total as f64 * 100.0
+        }
+    };
+    t.note(format!(
+        "derived: {:.0} ns/pkt | stage time share: queue-wait {:.1}% | flowcache {:.1}% \
+         | detectors {:.1}% | escalation {:.1}%",
+        ns_per_packet(r),
+        share(&r.stage.queue_ns),
+        share(&r.stage.cache_ns),
+        share(&r.stage.detect_ns),
+        share(&r.stage.escalate_ns),
+    ));
+    if spec.datapath == DatapathMode::Rtc {
+        t.note(format!(
+            "run-to-completion datapath: {} fused core(s), zero queue crossings \
+             (queue-wait share is structurally 0){}",
+            spec.shards,
+            if spec.pin_cores {
+                " — cores pinned"
+            } else {
+                ""
+            }
+        ));
+    }
     let fc = &r.flowcache;
     t.note(format!(
         "flowcache: hit rate {:.1}% (P {} / E {} / miss {}), mean probe {:.2} buckets, \
@@ -545,6 +630,39 @@ mod tests {
         assert!(fc["bursts"].as_u64().unwrap() > 0, "batched path engaged");
         let depth = fc["mean_burst_depth"].as_f64().unwrap();
         assert!(depth > 1.0 && depth <= smartwatch_snic::BURST as f64);
+    }
+
+    #[test]
+    fn rtc_spec_runs_and_tags_the_artifact() {
+        let ctx = ExpCtx::new(1);
+        let spec = EngineRunSpec {
+            packets: 20_000,
+            datapath: DatapathMode::Rtc,
+            ..EngineRunSpec::default()
+        };
+        let (t, report) = engine_run_report(&ctx, &spec);
+        assert!(t.notes.iter().any(|n| n.contains("conservation: OK")));
+        assert!(t.notes.iter().any(|n| n.contains("run-to-completion")));
+        let v: serde_json::Value =
+            serde_json::from_str(&bench_json(&spec, &report)).expect("valid JSON");
+        assert_eq!(v["datapath"].as_str(), Some("rtc"));
+        assert_eq!(v["pin_cores"].as_bool(), Some(false));
+        let nspp = v["ns_per_packet"].as_f64().expect("ns_per_packet");
+        let mpps = v["mpps"].as_f64().expect("mpps");
+        assert!(
+            (nspp - 1000.0 / mpps).abs() < 1e-9,
+            "ns/pkt derives from Mpps"
+        );
+        // No lanes exist, so no queue-wait time is ever recorded.
+        assert_eq!(v["queue_ns"]["share"].as_f64(), Some(0.0));
+        let shares: f64 = ["queue_ns", "cache_ns", "detect_ns", "escalate_ns"]
+            .iter()
+            .map(|k| v[*k]["share"].as_f64().expect("stage share"))
+            .sum();
+        assert!(
+            (shares - 1.0).abs() < 1e-9,
+            "stage shares partition the recorded stage time, got {shares}"
+        );
     }
 
     #[test]

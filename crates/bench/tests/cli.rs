@@ -39,6 +39,64 @@ fn repro_rejects_unknown_flag_even_next_to_a_valid_experiment() {
 }
 
 #[test]
+fn repro_rejects_rx_queues_with_rtc_datapath() {
+    // The fused datapath has no dispatcher tier: an explicit
+    // `--rx-queues` cannot be honoured and must fail fast (exit 2)
+    // with a named explanation, not run with the flag silently ignored.
+    let (_, stderr, ok) = run(
+        env!("CARGO_BIN_EXE_repro"),
+        &["engine", "--datapath", "rtc", "--rx-queues", "2"],
+    );
+    assert!(!ok);
+    assert!(
+        stderr.contains("--rx-queues does not apply to `--datapath rtc`"),
+        "want the named contradiction, got: {stderr}"
+    );
+}
+
+#[test]
+fn repro_rejects_pin_cores_without_rtc() {
+    let (_, stderr, ok) = run(env!("CARGO_BIN_EXE_repro"), &["engine", "--pin-cores"]);
+    assert!(!ok);
+    assert!(stderr.contains("--pin-cores requires `--datapath rtc`"));
+}
+
+#[test]
+fn repro_rejects_a_bad_datapath_value() {
+    let (_, stderr, ok) = run(
+        env!("CARGO_BIN_EXE_repro"),
+        &["engine", "--datapath", "fused"],
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--datapath must be `pipeline` or `rtc`"));
+}
+
+#[test]
+fn repro_engine_rtc_runs_and_reports_the_datapath() {
+    let (stdout, _, ok) = run(
+        env!("CARGO_BIN_EXE_repro"),
+        &[
+            "engine",
+            "--datapath",
+            "rtc",
+            "--packets",
+            "20000",
+            "--json",
+        ],
+    );
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let row = &v["rows"][0];
+    assert!(
+        row.as_array()
+            .expect("row array")
+            .iter()
+            .any(|c| c.as_str() == Some("rtc")),
+        "datapath column carries the mode: {row}"
+    );
+}
+
+#[test]
 fn repro_json_output_parses() {
     let (stdout, _, ok) = run(env!("CARGO_BIN_EXE_repro"), &["fig3", "--json"]);
     assert!(ok);

@@ -90,13 +90,32 @@ impl FrameStore {
     /// payload length, payload digest and label, so
     /// [`FrameStore::packet`] round-trips the input losslessly.
     pub fn from_packets(packets: &[Packet]) -> FrameStore {
+        Self::from_packets_with(packets, wire::encode)
+    }
+
+    /// [`FrameStore::from_packets`] with IPv6 framing
+    /// ([`wire::encode_v6`], v4-compatible addresses): the replay walks
+    /// the v6 parse path while [`FrameStore::packet`] reconstructs the
+    /// same flow keys and header fields (the address fold is the identity
+    /// on the embedded v4 range). As with the v4 store, the sideband
+    /// `wire_len` is clamped up to the encoded frame length — v6 frames
+    /// are 20 bytes longer, so byte counters can differ from the v4
+    /// framing for sub-74-byte packets.
+    pub fn from_packets_v6(packets: &[Packet]) -> FrameStore {
+        Self::from_packets_with(packets, wire::encode_v6)
+    }
+
+    fn from_packets_with(
+        packets: &[Packet],
+        encode: impl Fn(&Packet) -> bytes::Bytes,
+    ) -> FrameStore {
         let mut store = FrameStore {
             bytes: Vec::with_capacity(packets.len() * 96),
             meta: Vec::with_capacity(packets.len()),
             max_frame: 0,
         };
         for p in packets {
-            let frame = wire::encode(p);
+            let frame = encode(p);
             let offset = store.bytes.len() as u32;
             store.bytes.extend_from_slice(&frame);
             store.max_frame = store.max_frame.max(frame.len());

@@ -151,8 +151,8 @@ impl FlowHasher {
         h = mix(h ^ b.wrapping_mul(K1));
         h = mix(h ^ p.wrapping_mul(K2));
         let canon = RawTuple {
-            src_ip: aip,
-            dst_ip: bip,
+            src_ip: u128::from(aip),
+            dst_ip: u128::from(bip),
             src_port: ap,
             dst_port: bp,
             proto: t.proto,
@@ -180,8 +180,8 @@ impl FlowHasher {
             b[i] = (u64::from(bip) << 16) | u64::from(bp);
             p[i] = u64::from(tuples[i].proto);
             canon[i] = RawTuple {
-                src_ip: aip,
-                dst_ip: bip,
+                src_ip: u128::from(aip),
+                dst_ip: u128::from(bip),
                 src_port: ap,
                 dst_port: bp,
                 proto: tuples[i].proto,
@@ -244,12 +244,22 @@ impl FlowHasher {
 /// Canonical orientation of a raw tuple: the same lexicographic
 /// `(ip, port)` endpoint ordering as [`FlowKey::canonical`], over wire
 /// integers.
+///
+/// Addresses fold through [`crate::key::fold_ip`] *before* comparison, so
+/// the orientation — and therefore the digest — is a pure function of the
+/// folded 32-bit flow-model addresses. For IPv4 tuples the fold is the
+/// identity, keeping [`FlowHasher::digest_raw`] bit-identical to
+/// [`FlowHasher::digest_symmetric`]; for IPv6 tuples it makes the raw
+/// digest agree with `digest_symmetric` of the folded [`FlowKey`] that
+/// every downstream consumer (verdict tables, FlowCache rows) sees.
 #[inline]
 fn canon_raw(t: &RawTuple) -> (u32, u16, u32, u16) {
-    if (t.src_ip, t.src_port) <= (t.dst_ip, t.dst_port) {
-        (t.src_ip, t.src_port, t.dst_ip, t.dst_port)
+    let src = crate::key::fold_ip(t.src_ip);
+    let dst = crate::key::fold_ip(t.dst_ip);
+    if (src, t.src_port) <= (dst, t.dst_port) {
+        (src, t.src_port, dst, t.dst_port)
     } else {
-        (t.dst_ip, t.dst_port, t.src_ip, t.src_port)
+        (dst, t.dst_port, src, t.src_port)
     }
 }
 
@@ -630,6 +640,36 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn v6_raw_digest_agrees_with_the_folded_flow_key_path() {
+        // IPv6 tuples enter the 32-bit flow model through fold_ip; the raw
+        // digest must agree with digest_symmetric of the folded FlowKey in
+        // both directions, so verdict tables keyed by the folded key still
+        // match the wire-ingested digests.
+        let h = FlowHasher::new(0xD1CE);
+        for i in 0..500u128 {
+            let src = (0x2001_0db8u128 << 96) | (i << 40) | 0x1234;
+            let dst = (0xfd00u128 << 112) | (i << 17) | 7;
+            let t = RawTuple {
+                src_ip: src,
+                dst_ip: dst,
+                src_port: 40_000 + (i as u16),
+                dst_port: 443,
+                proto: 6,
+            };
+            let rev = RawTuple {
+                src_ip: t.dst_ip,
+                dst_ip: t.src_ip,
+                src_port: t.dst_port,
+                dst_port: t.src_port,
+                proto: 6,
+            };
+            let folded = t.key();
+            assert_eq!(h.digest_raw(t), h.digest_symmetric(&folded));
+            assert_eq!(h.digest_raw(rev), h.digest_raw(t), "symmetric over v6");
         }
     }
 

@@ -176,13 +176,20 @@ impl FlowKey {
 /// This is the form the zero-copy ingest path extracts straight from frame
 /// bytes ([`crate::wire::FrameView::raw_tuple`]) and feeds to
 /// [`crate::FlowHasher::digest_raw`] / `digest_batch` without materialising
-/// a [`FlowKey`] first. Conversions to and from `FlowKey` are lossless.
+/// a [`FlowKey`] first.
+///
+/// Addresses are 128-bit so the same tuple covers IPv4 and IPv6 frames:
+/// an IPv4 address occupies the low 32 bits (the v4-compatible `::a.b.c.d`
+/// form), and every digest/key consumer reduces addresses through
+/// [`fold_ip`], which is the identity on that range. Conversions to and
+/// from `FlowKey` are lossless for IPv4; IPv6 addresses fold onto the
+/// 32-bit flow-model address space.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct RawTuple {
-    /// Source IPv4 address in host byte order.
-    pub src_ip: u32,
-    /// Destination IPv4 address in host byte order.
-    pub dst_ip: u32,
+    /// Source IP address in host byte order (IPv4 in the low 32 bits).
+    pub src_ip: u128,
+    /// Destination IP address in host byte order (IPv4 in the low 32 bits).
+    pub dst_ip: u128,
     /// Source transport port.
     pub src_port: u16,
     /// Destination transport port.
@@ -195,24 +202,43 @@ impl RawTuple {
     /// Extract the raw tuple from a [`FlowKey`].
     pub fn from_key(key: &FlowKey) -> RawTuple {
         RawTuple {
-            src_ip: u32::from(key.src_ip),
-            dst_ip: u32::from(key.dst_ip),
+            src_ip: u128::from(u32::from(key.src_ip)),
+            dst_ip: u128::from(u32::from(key.dst_ip)),
             src_port: key.src_port,
             dst_port: key.dst_port,
             proto: key.proto.number(),
         }
     }
 
-    /// Materialise the equivalent [`FlowKey`].
+    /// Materialise the equivalent [`FlowKey`], folding each address via
+    /// [`fold_ip`] (the identity for tuples extracted from IPv4 frames).
     pub fn key(&self) -> FlowKey {
         FlowKey::new(
-            Ipv4Addr::from(self.src_ip),
-            Ipv4Addr::from(self.dst_ip),
+            Ipv4Addr::from(fold_ip(self.src_ip)),
+            Ipv4Addr::from(fold_ip(self.dst_ip)),
             self.src_port,
             self.dst_port,
             Proto::from_number(self.proto),
         )
     }
+}
+
+/// Fold a 128-bit wire address onto the 32-bit flow-model address space.
+///
+/// The flow model (FlowKey, FlowCache rows, prefix steering) is 32-bit;
+/// IPv6 frames enter it through this fold. The big-endian 32-bit words are
+/// combined with distinct rotations so prefix-structured v6 addresses do
+/// not collapse, and the fold is the **identity for IPv4** (v4-compatible
+/// `::a.b.c.d` encodings and every tuple built from a `FlowKey`), which
+/// keeps [`crate::FlowHasher::digest_raw`] bit-identical to
+/// `digest_symmetric` on v4 traffic.
+#[inline]
+pub fn fold_ip(ip: u128) -> u32 {
+    let w0 = (ip >> 96) as u32;
+    let w1 = (ip >> 64) as u32;
+    let w2 = (ip >> 32) as u32;
+    let w3 = ip as u32;
+    w3 ^ w2.rotate_left(7) ^ w1.rotate_left(14) ^ w0.rotate_left(21)
 }
 
 /// Truncate an IPv4 address to its top `bits` bits (returned left-aligned,
@@ -300,6 +326,28 @@ mod tests {
             assert_eq!(t.key(), k);
             assert_eq!(t.proto, proto.number());
         }
+    }
+
+    #[test]
+    fn fold_ip_is_identity_on_v4_and_mixes_v6_words() {
+        for v4 in [
+            0u32,
+            1,
+            0x0A00_0001,
+            0xFFFF_FFFF,
+            u32::from(ip("192.168.37.41")),
+        ] {
+            assert_eq!(fold_ip(u128::from(v4)), v4, "fold must be identity on v4");
+        }
+        // Prefix-structured v6 addresses (same /64, varying interface id)
+        // must not collapse onto one folded value.
+        let base: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0000;
+        let folded: std::collections::HashSet<u32> =
+            (0..64u128).map(|i| fold_ip(base | i)).collect();
+        assert_eq!(folded.len(), 64);
+        // Word position matters: the same 32-bit value in different words
+        // folds differently.
+        assert_ne!(fold_ip(1u128 << 64), fold_ip(1u128 << 32));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use hash::{
     shard_for, shard_for_digest, AgingDigestSet, BuildDigestHasher, DigestSet, FlowHasher,
     HashDigest,
 };
-pub use key::{FlowKey, Proto, RawTuple};
+pub use key::{fold_ip, FlowKey, Proto, RawTuple};
 pub use label::{AttackKind, Label};
 pub use packet::{Packet, PacketBuilder};
 pub use tcp::TcpFlags;

@@ -48,6 +48,17 @@ impl std::error::Error for PcapError {}
 /// metadata and are *not* representable in pcap (by design: a pcap is
 /// what the monitor would actually capture).
 pub fn write(packets: &[Packet]) -> Vec<u8> {
+    write_with(packets, wire::encode)
+}
+
+/// [`write`] with IPv6 framing: every packet is encoded via
+/// [`wire::encode_v6`] (v4-compatible addresses), so the capture replays
+/// through the v6 parse path while reconstructing the same flow keys.
+pub fn write_v6(packets: &[Packet]) -> Vec<u8> {
+    write_with(packets, wire::encode_v6)
+}
+
+fn write_with(packets: &[Packet], encode: impl Fn(&Packet) -> bytes::Bytes) -> Vec<u8> {
     let mut buf = BytesMut::with_capacity(24 + packets.len() * 96);
     // Global header.
     buf.put_u32_le(MAGIC_USEC_LE);
@@ -59,7 +70,7 @@ pub fn write(packets: &[Packet]) -> Vec<u8> {
     buf.put_u32_le(LINKTYPE_ETHERNET);
 
     for p in packets {
-        let frame = wire::encode(p);
+        let frame = encode(p);
         let ts = p.ts.as_nanos();
         buf.put_u32_le((ts / 1_000_000_000) as u32);
         buf.put_u32_le(((ts % 1_000_000_000) / 1_000) as u32);
@@ -321,6 +332,34 @@ mod tests {
                 prop_assert_eq!(parsed.len(), pkts.len());
                 let reencoded = write(&parsed);
                 prop_assert_eq!(reencoded, bytes);
+            }
+
+            /// The IPv6 framing is the same byte-level fixed point:
+            /// `write_v6` → `read` (through the v6 parse path, folding
+            /// the v4-compatible addresses back) → `write_v6` reproduces
+            /// the capture exactly, and the parsed packets match the v4
+            /// read of the same workload field-for-field.
+            #[test]
+            fn v6_write_read_reencode_is_byte_identical(
+                pkts in prop::collection::vec(arb_packet(), 0..40)
+            ) {
+                let bytes6 = write_v6(&pkts);
+                let parsed6 = read(&bytes6).unwrap();
+                prop_assert_eq!(parsed6.len(), pkts.len());
+                let reencoded = write_v6(&parsed6);
+                prop_assert_eq!(reencoded, bytes6);
+                // Field-level agreement with the v4 framing (wire_len
+                // differs by the 20-byte larger v6 header when derived
+                // from the frame, so compare the header-borne fields).
+                let parsed4 = read(&write(&pkts)).unwrap();
+                for (a, b) in parsed6.iter().zip(&parsed4) {
+                    prop_assert_eq!(a.key, b.key);
+                    prop_assert_eq!(a.flags, b.flags);
+                    prop_assert_eq!(a.seq, b.seq);
+                    prop_assert_eq!(a.ack, b.ack);
+                    prop_assert_eq!(a.payload_len, b.payload_len);
+                    prop_assert_eq!(a.ts, b.ts);
+                }
             }
         }
     }

@@ -24,7 +24,7 @@
 //! steer_drop, per shard, per queue, and in total) holds for every
 //! shard count, queue count, and pacing mode.
 
-use crate::batch::{Batch, BufferPool, DigestedPacket};
+use crate::batch::{Backoff, Batch, BufferPool, DigestedPacket};
 use crate::control::{ControlLog, LogReader};
 use crate::escalate::{HostObs, HostPool, TriageNf};
 use crate::frame::{FramePool, FrameSlot};
@@ -53,12 +53,50 @@ use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// How the engine maps the pipeline onto threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatapathMode {
+    /// The R×N mesh: R RX-queue dispatcher threads digest and steer,
+    /// N shard threads process, bounded SPSC lanes in between. The
+    /// default, and the only mode where `rx_queues > 1` is meaningful.
+    Pipeline,
+    /// Run-to-completion: C = `shards` fused `sw-core-{i}` threads,
+    /// each owning one shard partition *and* its ingest. The pre-split
+    /// assigns packets by [`shard_for_digest`] directly (no salted
+    /// queue remix), so every flow's packets arrive at the core that
+    /// owns its FlowCache rows, and the fast path — ingest → digest →
+    /// FlowCache → detectors → verdict — runs in place with zero
+    /// inter-thread queue crossings. Host escalation and control-plane
+    /// sampling keep their existing channels. Decisions, counters and
+    /// the deterministic summary are identical to [`Pipeline`] for the
+    /// same seed (`DatapathMode::Pipeline` with `rx_queues = 1`);
+    /// only the thread topology — and therefore the wall clock —
+    /// changes.
+    ///
+    /// [`Pipeline`]: DatapathMode::Pipeline
+    /// [`shard_for_digest`]: smartwatch_net::hash::shard_for_digest
+    Rtc,
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker shards (threads). Each owns a FlowCache partition and a
     /// full detector suite.
     pub shards: usize,
+    /// Thread topology: the R×N dispatcher/shard mesh
+    /// ([`DatapathMode::Pipeline`], the default) or fused
+    /// run-to-completion cores ([`DatapathMode::Rtc`]). In RTC mode
+    /// `rx_queues` is ignored — the ingest unit count *is* the shard
+    /// count.
+    pub datapath: DatapathMode,
+    /// Pin engine worker threads to CPUs (thread index = core index):
+    /// RTC cores, and pipeline shard threads, call
+    /// `sched_setaffinity` at startup. Opt-in and best-effort — a
+    /// rejected mask (cpuset container, non-Linux build) leaves the
+    /// thread unpinned and the run proceeds. Decisions and counters
+    /// are identical either way; only scheduler placement changes.
+    pub pin_cores: bool,
     /// RX-queue dispatcher threads (the multi-queue NIC model). Each
     /// owns a digest-split sub-stream of the offered trace, its own
     /// buffer pool and steering-snapshot reader, and one SPSC lane per
@@ -128,6 +166,8 @@ impl EngineConfig {
     pub fn new(shards: usize) -> EngineConfig {
         EngineConfig {
             shards,
+            datapath: DatapathMode::Pipeline,
+            pin_cores: false,
             rx_queues: 1,
             merge: MergePolicy::Fair,
             batch: 64,
@@ -165,6 +205,17 @@ impl EngineConfig {
         cfg.merge = MergePolicy::Ordered;
         cfg.host_workers = 0;
         cfg
+    }
+
+    /// Ingest units the engine actually runs: the dispatcher count in
+    /// pipeline mode, the fused core (= shard) count in RTC mode. This
+    /// is how many `runtime.queue.*{queue=Q}` label sets the run
+    /// populates and how many entries [`EngineReport::queues`] carries.
+    pub fn ingest_units(&self) -> usize {
+        match self.datapath {
+            DatapathMode::Pipeline => self.rx_queues,
+            DatapathMode::Rtc => self.shards,
+        }
     }
 }
 
@@ -438,10 +489,13 @@ impl Engine {
             ]));
         }
 
-        let mut queues = Vec::with_capacity(cfg.rx_queues);
+        // Per-ingest-unit counters: one label set per dispatcher in
+        // pipeline mode, one per fused core in RTC mode.
+        let units = cfg.ingest_units();
+        let mut queues = Vec::with_capacity(units);
         let (mut q_offered, mut q_ingested) = (0u64, 0u64);
         let mut queues_balanced = true;
-        for q in 0..cfg.rx_queues {
+        for q in 0..units {
             let l = q.to_string();
             let labels: &[(&str, &str)] = &[("queue", &l)];
             let get = |name: &str| self.registry.counter(name, labels).get();
@@ -578,6 +632,9 @@ impl Engine {
     /// drained and every thread joined. [`Engine::run`] and
     /// [`Engine::run_frames`] are thin wrappers over this.
     pub fn run_source(&self, source: FrameSource<'_>, pace: Pace) -> EngineReport {
+        if self.cfg.datapath == DatapathMode::Rtc {
+            return self.run_rtc(source, pace);
+        }
         let cfg = &self.cfg;
         let n = cfg.shards;
         let r = cfg.rx_queues;
@@ -676,73 +733,8 @@ impl Engine {
         };
 
         // ── Control plane (optional) ────────────────────────────────
-        // Mode cells + snapshot cell + heavy-hitter channel wire the
-        // controller thread to every dispatcher and every shard.
-        let mut shard_hooks: Vec<Option<ControlHooks>> = (0..n).map(|_| None).collect();
-        let mut queue_steer: Vec<Option<SnapshotReader<SteeringSnapshot>>> =
-            (0..r).map(|_| None).collect();
-        let mut controller = None;
-        if let Some(mut ctrl_cfg) = cfg.control.clone() {
-            ctrl_cfg.hash_seed = cfg.hash_seed;
-            let mode_cells: Vec<Arc<ModeCell>> =
-                (0..n).map(|_| Arc::new(ModeCell::default())).collect();
-            let snap_cell = Arc::new(SnapshotCell::new(SteeringSnapshot::empty()));
-            let (heavy_tx, heavy_rx) = std::sync::mpsc::sync_channel::<(u64, u64)>(8192);
-            for (i, slot) in shard_hooks.iter_mut().enumerate() {
-                *slot = Some(ControlHooks {
-                    mode: Arc::clone(&mode_cells[i]),
-                    steer: snap_cell.reader(),
-                    heavy_tx: heavy_tx.clone(),
-                });
-            }
-            drop(heavy_tx);
-            // One independent RCU reader per dispatcher: refreshes are
-            // per-queue (a lagging queue never staleness-couples the
-            // others), and the steer/shed drops each queue takes are
-            // accounted in its own counters.
-            for slot in queue_steer.iter_mut() {
-                *slot = Some(snap_cell.reader());
-            }
-            let epoch = Duration::from_millis(ctrl_cfg.epoch_ms.max(1));
-            let obs = CtrlObs {
-                flight: self.flight.ring("sw-control"),
-                trace: spec.as_ref().map(|s| s.thread("sw-control")),
-                audit: Arc::clone(&self.decisions),
-                audit_cap: ctrl_cfg.decision_capacity.max(1),
-                admin: Arc::clone(&self.admin),
-                admin_applied: self.admin_applied.clone(),
-                mem_rss: self.mem_rss.clone(),
-            };
-            let ctrl = Controller::with_registry(ctrl_cfg, &self.registry);
-            let reader = log.reader();
-            let stop = Arc::new(AtomicBool::new(false));
-            let thread_args = (
-                Arc::clone(&log),
-                counters.clone(),
-                host_processed.clone(),
-                Arc::clone(&stop),
-            );
-            let handle = std::thread::Builder::new()
-                .name("sw-control".into())
-                .spawn(move || {
-                    let (log, counters, host_processed, stop) = thread_args;
-                    controller_loop(
-                        ctrl,
-                        log,
-                        reader,
-                        heavy_rx,
-                        counters,
-                        host_processed,
-                        mode_cells,
-                        snap_cell,
-                        stop,
-                        epoch,
-                        obs,
-                    )
-                })
-                .expect("spawn controller thread");
-            controller = Some((handle, stop));
-        }
+        let (mut shard_hooks, mut queue_steer, controller) =
+            self.spawn_control(r, &spec, &log, &counters, &host_processed);
 
         // ── The R×N lane mesh ───────────────────────────────────────
         // One single-producer ring per (queue, shard) pair, so the SPSC
@@ -780,7 +772,10 @@ impl Engine {
             pools.push(pool);
         }
 
-        // Shards: one thread each, consuming R lanes.
+        // Shards: one thread each, consuming R lanes. The shared finish
+        // line makes the end-of-stream log apply deterministic (see
+        // `ShardWorker::finish`).
+        let finish_line = Arc::new(std::sync::Barrier::new(n));
         let mut handles = Vec::with_capacity(n);
         for (i, lanes) in lane_rows.into_iter().enumerate() {
             // Shard `i` gets shard `i`'s cache back (pop order matches
@@ -817,6 +812,7 @@ impl Engine {
                     flight: self.flight.ring(format!("sw-shard-{i}")),
                     trace: spec.as_ref().map(|s| s.thread(format!("sw-shard-{i}"))),
                 },
+                Arc::clone(&finish_line),
             );
             handles.push(
                 std::thread::Builder::new()
@@ -983,6 +979,382 @@ impl Engine {
         // Close out the black box: a conservation failure records its
         // delta (the smoking gun a post-mortem dump starts from), and
         // every run ends with a RunEnd marker.
+        let eng_ring = self.flight.ring("sw-engine");
+        if !report.conserved() {
+            let accounted = report
+                .shards
+                .iter()
+                .map(|s| s.ingested + s.ingest_dropped + s.shed + s.steer_dropped)
+                .sum::<u64>();
+            eng_ring.record(
+                FlightKind::ConservationDelta,
+                report.offered.abs_diff(accounted),
+                report.offered,
+            );
+        }
+        eng_ring.record(
+            FlightKind::RunEnd,
+            u64::from(report.conserved()),
+            report.offered,
+        );
+        report
+    }
+
+    /// Wire up the optional control plane for one run: per-shard mode
+    /// cells and hooks, one independent RCU steering reader per ingest
+    /// unit (dispatcher or fused core — refreshes stay per-unit so a
+    /// lagging unit never staleness-couples the others), and the
+    /// controller thread. Shared by both datapaths.
+    #[allow(clippy::type_complexity)]
+    fn spawn_control(
+        &self,
+        ingest_units: usize,
+        spec: &Option<TraceSpec>,
+        log: &Arc<ControlLog>,
+        counters: &[ShardCounters],
+        host_processed: &Counter,
+    ) -> (
+        Vec<Option<ControlHooks>>,
+        Vec<Option<SnapshotReader<SteeringSnapshot>>>,
+        Option<(std::thread::JoinHandle<ControlReport>, Arc<AtomicBool>)>,
+    ) {
+        let n = counters.len();
+        let mut shard_hooks: Vec<Option<ControlHooks>> = (0..n).map(|_| None).collect();
+        let mut queue_steer: Vec<Option<SnapshotReader<SteeringSnapshot>>> =
+            (0..ingest_units).map(|_| None).collect();
+        let mut controller = None;
+        if let Some(mut ctrl_cfg) = self.cfg.control.clone() {
+            ctrl_cfg.hash_seed = self.cfg.hash_seed;
+            let mode_cells: Vec<Arc<ModeCell>> =
+                (0..n).map(|_| Arc::new(ModeCell::default())).collect();
+            let snap_cell = Arc::new(SnapshotCell::new(SteeringSnapshot::empty()));
+            let (heavy_tx, heavy_rx) = std::sync::mpsc::sync_channel::<(u64, u64)>(8192);
+            for (i, slot) in shard_hooks.iter_mut().enumerate() {
+                *slot = Some(ControlHooks {
+                    mode: Arc::clone(&mode_cells[i]),
+                    steer: snap_cell.reader(),
+                    heavy_tx: heavy_tx.clone(),
+                });
+            }
+            drop(heavy_tx);
+            for slot in queue_steer.iter_mut() {
+                *slot = Some(snap_cell.reader());
+            }
+            let epoch = Duration::from_millis(ctrl_cfg.epoch_ms.max(1));
+            let obs = CtrlObs {
+                flight: self.flight.ring("sw-control"),
+                trace: spec.as_ref().map(|s| s.thread("sw-control")),
+                audit: Arc::clone(&self.decisions),
+                audit_cap: ctrl_cfg.decision_capacity.max(1),
+                admin: Arc::clone(&self.admin),
+                admin_applied: self.admin_applied.clone(),
+                mem_rss: self.mem_rss.clone(),
+            };
+            let ctrl = Controller::with_registry(ctrl_cfg, &self.registry);
+            let reader = log.reader();
+            let stop = Arc::new(AtomicBool::new(false));
+            let thread_args = (
+                Arc::clone(log),
+                counters.to_vec(),
+                host_processed.clone(),
+                Arc::clone(&stop),
+            );
+            let handle = std::thread::Builder::new()
+                .name("sw-control".into())
+                .spawn(move || {
+                    let (log, counters, host_processed, stop) = thread_args;
+                    controller_loop(
+                        ctrl,
+                        log,
+                        reader,
+                        heavy_rx,
+                        counters,
+                        host_processed,
+                        mode_cells,
+                        snap_cell,
+                        stop,
+                        epoch,
+                        obs,
+                    )
+                })
+                .expect("spawn controller thread");
+            controller = Some((handle, stop));
+        }
+        (shard_hooks, queue_steer, controller)
+    }
+
+    /// The run-to-completion datapath: C = `shards` fused `sw-core-{i}`
+    /// threads, each owning one shard partition *and* its ingest. The
+    /// pre-split assigns packets by
+    /// [`shard_for_digest`](smartwatch_net::hash::shard_for_digest)
+    /// directly — no salted queue remix — so a core's sub-stream is
+    /// exactly the stream its FlowCache partition would have received
+    /// through the mesh, and the fused loop (ingest → digest →
+    /// FlowCache → detectors → verdict) runs it in place with zero
+    /// inter-thread queue crossings on the fast path. Host escalation
+    /// and control-plane sampling keep their existing channels; drain,
+    /// garage and serve semantics carry over unchanged. Each core keeps
+    /// per-core ingest books under the same `queue=` labels the
+    /// dispatchers use (in RTC the ingest unit *is* the core), so the
+    /// two-axis conservation identity holds exactly as in pipeline
+    /// mode — and for the same seed the deterministic summary is
+    /// byte-identical to a single-queue pipeline run.
+    fn run_rtc(&self, source: FrameSource<'_>, pace: Pace) -> EngineReport {
+        let cfg = &self.cfg;
+        let n = cfg.shards;
+        assert!(
+            source.len() <= u32::MAX as usize,
+            "sequence indices are u32 at split time"
+        );
+        let log = Arc::new(ControlLog::new());
+        let stage = StageHists::registered(&self.registry);
+        let host_processed = self.registry.counter("runtime.host.processed", &[]);
+        let anchor = WallAnchor::new();
+        let spec: Option<TraceSpec> =
+            self.tracer
+                .as_ref()
+                .filter(|_| cfg.trace_sample > 0)
+                .map(|t| TraceSpec {
+                    tracer: t.clone(),
+                    anchor,
+                    every: cfg.trace_sample,
+                });
+        self.decisions
+            .lock()
+            .expect("decision audit poisoned")
+            .clear();
+
+        let pool = (cfg.host_workers > 0).then(|| {
+            let threshold = cfg.triage_threshold;
+            HostPool::spawn(
+                cfg.host_workers,
+                cfg.host_queue,
+                Arc::clone(&log),
+                host_processed.clone(),
+                HostObs::new(stage.escalate_ns.clone(), spec.clone()),
+                move |_| Box::new(TriageNf::new(threshold)),
+            )
+        });
+        let hasher = FlowHasher::new(cfg.hash_seed);
+        let counters: Vec<ShardCounters> = (0..n)
+            .map(|i| ShardCounters::registered(&self.registry, i))
+            .collect();
+        let qcounters: Vec<QueueCounters> = (0..n)
+            .map(|q| QueueCounters::registered(&self.registry, q))
+            .collect();
+        let shard_base: Vec<ShardStats> = counters
+            .iter()
+            .map(|c| c.snapshot(ShardEndState::default()))
+            .collect();
+        let queue_base: Vec<QueueStats> = qcounters.iter().map(QueueCounters::snapshot).collect();
+        let host_base = host_processed.get();
+        self.mem_rss.set(mem::rss_bytes() as f64);
+        // Best-effort pin bookkeeping (`--pin-cores`): counts kernel-
+        // accepted masks, so an operator can see when a cpuset container
+        // silently refused the pinning they asked for.
+        let core_pinned = self.registry.counter("runtime.core.pinned", &[]);
+
+        let Garage {
+            pools: parked_pools,
+            frames: parked_frames,
+            caches: parked_caches,
+        } = std::mem::take(&mut *self.garage.lock().expect("garage poisoned"));
+        let mut parked_pools: VecDeque<BufferPool> = parked_pools.into();
+        let mut parked_frames: VecDeque<FramePool> = parked_frames.into();
+        let mut parked_caches: VecDeque<FlowCache> = if cfg.carry_flow_state {
+            parked_caches.into()
+        } else {
+            VecDeque::new()
+        };
+
+        // Control plane: same wiring as the mesh, with one steering
+        // reader per fused core instead of per dispatcher.
+        let (mut shard_hooks, mut queue_steer, controller) =
+            self.spawn_control(n, &spec, &log, &counters, &host_processed);
+
+        // ── RTC pre-split ───────────────────────────────────────────
+        // Straight `shard_for_digest`: the packets a core ingests are
+        // exactly the packets whose FlowCache rows it owns. Untimed,
+        // like the RSS split — hardware flow steering is free.
+        let plan = PacePlan::resolve(pace, source.len());
+        let streams = split_rtc(source, n, &hasher);
+
+        // ── Fused cores: spawn, run to completion, join ─────────────
+        let start = Instant::now();
+        let finish_line = Arc::new(std::sync::Barrier::new(n));
+        let rends: Vec<RtcEnd> = std::thread::scope(|scope| {
+            // Construct every core — registering every log reader —
+            // *before* spawning any thread: a fused core starts
+            // publishing triage verdicts the moment it runs, and a
+            // reader registered after the log has compacted past the
+            // early publications would silently miss that prefix.
+            // (The mesh gets this ordering for free: dispatchers spawn
+            // after every shard worker is built.)
+            let mut cores = Vec::with_capacity(n);
+            for (i, stream) in streams.into_iter().enumerate() {
+                let cache = match parked_caches.pop_front() {
+                    Some(cache) => cache,
+                    None => {
+                        let mut cache_cfg = FlowCacheConfig::general(cfg.cache_row_bits);
+                        cache_cfg.hash_seed = cfg.hash_seed;
+                        let mut cache = FlowCache::new(cache_cfg);
+                        cache.attach_telemetry(&self.registry);
+                        cache
+                    }
+                };
+                let escalation = match &pool {
+                    Some(p) => Escalation::Pool(p.sender()),
+                    None => Escalation::Inline(TriageNf::new(cfg.triage_threshold)),
+                };
+                // One staging buffer, processed in place at batch
+                // boundaries: the pool stays tiny because nothing is
+                // ever in flight on a lane.
+                let bufs = parked_pools
+                    .pop_front()
+                    .unwrap_or_else(|| BufferPool::new(4, cfg.batch, &self.registry));
+                let frames = match source {
+                    FrameSource::Wire(store) => Some(
+                        parked_frames
+                            .pop_front()
+                            .filter(|fp| fp.frame_cap() >= store.max_frame_len())
+                            .unwrap_or_else(|| {
+                                FramePool::new(store.max_frame_len(), &self.registry)
+                            }),
+                    ),
+                    FrameSource::Packets(_) => None,
+                };
+                let worker = ShardWorker::new(
+                    cache,
+                    escalation,
+                    Arc::clone(&log),
+                    counters[i].clone(),
+                    stage.clone(),
+                    host_processed.clone(),
+                    cfg.enforce_verdicts,
+                    hasher,
+                    cfg.merge,
+                    cfg.batch,
+                    cfg.cache_burst,
+                    shard_hooks[i].take(),
+                    ShardObs {
+                        flight: self.flight.ring(format!("sw-core-{i}")),
+                        // The core's sampled block spans cover
+                        // processing; the worker emits none of its own.
+                        trace: None,
+                    },
+                    Arc::clone(&finish_line),
+                );
+                let core = RtcCore {
+                    batch: cfg.batch,
+                    enforce_verdicts: cfg.enforce_verdicts,
+                    hasher,
+                    pool: bufs,
+                    frames,
+                    queue: &qcounters[i],
+                    steer: queue_steer[i].take(),
+                    plan,
+                    pace_override: self.pace_override.as_ref(),
+                    pace: PaceState::default(),
+                    drain: self.drain.as_ref(),
+                    start,
+                    flight: self.flight.ring(format!("sw-core-{i}")),
+                    trace: spec.as_ref().map(|s| s.thread(format!("sw-core-{i}"))),
+                    backoff: Backoff::new(),
+                    worker,
+                };
+                cores.push((core, stream));
+            }
+            let mut handles = Vec::with_capacity(n);
+            for (i, (core, stream)) in cores.into_iter().enumerate() {
+                let pin = cfg.pin_cores;
+                let pinned = core_pinned.clone();
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("sw-core-{i}"))
+                        .spawn_scoped(scope, move || {
+                            if pin && smartwatch_snic::pin_current_thread(i) {
+                                pinned.inc();
+                            }
+                            core.run(source, stream)
+                        })
+                        .expect("spawn rtc core thread"),
+                );
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rtc core thread panicked"))
+                .collect()
+        });
+        let elapsed = start.elapsed();
+        let log_buffered = log.buffered() as u64;
+        if let Some(p) = pool {
+            p.shutdown();
+        }
+        let control = controller.map(|(handle, stop)| {
+            stop.store(true, Ordering::Release);
+            handle.thread().unpark();
+            handle.join().expect("controller thread panicked")
+        });
+
+        // Re-park and settle, exactly as the mesh does.
+        let mut ends: Vec<ShardEndState> = Vec::with_capacity(n);
+        let mut caches: Vec<FlowCache> = Vec::with_capacity(n);
+        let mut interrupted = false;
+        {
+            let mut garage = self.garage.lock().expect("garage poisoned");
+            for e in rends {
+                interrupted |= e.interrupted;
+                ends.push(e.end);
+                caches.push(e.cache);
+                garage.pools.push(e.pool);
+                if let Some(fp) = e.frames {
+                    garage.frames.push(fp);
+                }
+            }
+            garage.frames.extend(parked_frames);
+            garage.pools.extend(parked_pools);
+            if cfg.carry_flow_state {
+                garage.caches = caches;
+            }
+        }
+        self.mem_rss.set(mem::rss_bytes() as f64);
+
+        let flowcache = FlowCacheSummary::aggregate(cfg.cache_burst, &ends);
+        let shards: Vec<ShardStats> = counters
+            .iter()
+            .zip(&ends)
+            .zip(&shard_base)
+            .map(|((c, e), base)| shard_stats_delta(c.snapshot(*e), base))
+            .collect();
+        let queues: Vec<QueueStats> = qcounters
+            .iter()
+            .zip(&queue_base)
+            .map(|(q, base)| queue_stats_delta(q.snapshot(), base))
+            .collect();
+        let offered = if interrupted {
+            queues.iter().map(|q| q.offered).sum()
+        } else {
+            source.len() as u64
+        };
+        let report = EngineReport {
+            offered,
+            elapsed,
+            shards,
+            queues,
+            host_processed: host_processed.get() - host_base,
+            verdicts_published: log.len() as u64,
+            interrupted,
+            log_buffered,
+            control,
+            stage: StageSnapshot {
+                queue_ns: stage.queue_ns.snapshot(),
+                cache_ns: stage.cache_ns.snapshot(),
+                detect_ns: stage.detect_ns.snapshot(),
+                escalate_ns: stage.escalate_ns.snapshot(),
+                batch_pkts: stage.batch_pkts.snapshot(),
+            },
+            flowcache,
+        };
         let eng_ring = self.flight.ring("sw-engine");
         if !report.conserved() {
             let accounted = report
@@ -1171,6 +1543,389 @@ fn split_streams(
         picked[queue_for_digest(digest, salt, r)].push(i as u32);
     }
     picked.into_iter().map(QueueStream::Picked).collect()
+}
+
+/// The RTC pre-split: assign each packet to the fused core that owns
+/// its shard partition — [`shard_for_digest`] over the flow digest
+/// directly, with no salted queue remix in between. Each core's
+/// sub-stream preserves global arrival order, so it is *exactly* the
+/// stream its FlowCache partition would have received through the
+/// dispatcher mesh. Untimed, like the RSS split (hardware flow
+/// steering is free); the timed fused loop still digests every packet
+/// itself, so per-packet work matches the pipeline's dispatcher and
+/// the Mpps comparison stays honest.
+fn split_rtc(source: FrameSource<'_>, n: usize, hasher: &FlowHasher) -> Vec<QueueStream> {
+    if n == 1 {
+        return vec![QueueStream::All];
+    }
+    let len = source.len();
+    let mut picked: Vec<Vec<u32>> = (0..n).map(|_| Vec::with_capacity(len / n + 1)).collect();
+    for i in 0..len {
+        let digest = match source {
+            FrameSource::Packets(packets) => hasher.hash_symmetric(&packets[i].key),
+            FrameSource::Wire(store) => hasher.digest_raw(store.view(i).raw_tuple()).1,
+        };
+        picked[shard_for_digest(digest, n)].push(i as u32);
+    }
+    picked.into_iter().map(QueueStream::Picked).collect()
+}
+
+/// What a fused core hands back when its stream ends: the shard end
+/// state and FlowCache (for the report and serve-mode carry), its
+/// reusable pools (re-parked in the [`Garage`]), and whether it
+/// stopped on a drain request.
+struct RtcEnd {
+    end: ShardEndState,
+    cache: FlowCache,
+    pool: BufferPool,
+    frames: Option<FramePool>,
+    interrupted: bool,
+}
+
+/// One fused run-to-completion core: a dispatcher-style ingest front
+/// end and a [`ShardWorker`] back end in a single thread, with no lane
+/// between them. The ingest side mirrors [`RxDispatcher`] — 256-packet
+/// checkpoints (drain observation, live pace-override re-anchoring,
+/// steering refresh, black-box coalescing, counter folds), steering
+/// enforcement at ingest, [`PacePlan`] arrival scheduling — and stages
+/// packets into one pooled buffer. At every `batch`-packet boundary
+/// (exactly where the mesh dispatcher would have flushed a lane batch)
+/// the core ticks the worker's control clock and processes the staged
+/// batch in place, so per-shard decision streams are identical to the
+/// pipeline's. Paced waits use the shard [`Backoff`] ladder — spin →
+/// yield → park, counted as `idle_parks` — so an idle core at low
+/// offered rates never busy-spins a CPU.
+struct RtcCore<'a> {
+    batch: usize,
+    enforce_verdicts: bool,
+    hasher: FlowHasher,
+    /// Staging-buffer pool; one buffer lives for the whole run (there
+    /// are no lanes to keep buffers in flight on).
+    pool: BufferPool,
+    /// Wire mode only: this core's frame pool (the software RX ring).
+    frames: Option<FramePool>,
+    /// This core's ingest books, under the same `queue=` labels the
+    /// dispatchers use: in RTC the ingest unit *is* the core.
+    queue: &'a QueueCounters,
+    steer: Option<SnapshotReader<SteeringSnapshot>>,
+    plan: PacePlan,
+    pace_override: &'a AtomicU64,
+    pace: PaceState,
+    drain: &'a AtomicBool,
+    start: Instant,
+    flight: FlightRing,
+    trace: Option<ThreadTrace>,
+    /// Idle ladder for paced arrival gaps (parks count as
+    /// `idle_parks`, same as a starved pipeline shard).
+    backoff: Backoff,
+    /// The fused processing back end; owns the FlowCache partition,
+    /// detector suite, verdict sets and per-shard counters.
+    worker: ShardWorker,
+}
+
+impl RtcCore<'_> {
+    fn run(self, source: FrameSource<'_>, stream: QueueStream) -> RtcEnd {
+        match source {
+            FrameSource::Packets(packets) => match stream {
+                QueueStream::All => self.run_packets(packets, 0..packets.len()),
+                QueueStream::Picked(idx) => {
+                    self.run_packets(packets, idx.into_iter().map(|i| i as usize))
+                }
+            },
+            FrameSource::Wire(store) => match stream {
+                QueueStream::All => self.run_frames(store, 0..store.len()),
+                QueueStream::Picked(idx) => {
+                    self.run_frames(store, idx.into_iter().map(|i| i as usize))
+                }
+            },
+        }
+    }
+
+    /// Synthetic path: digest and process the core's sub-stream in
+    /// arrival order, batch by batch, entirely on this thread.
+    fn run_packets(mut self, packets: &[Packet], stream: impl Iterator<Item = usize>) -> RtcEnd {
+        let paced = self.plan.paced();
+        let mut buf: Vec<DigestedPacket> = self.pool.acquire();
+        let mut local = QueueLocal::default();
+        let mut block = BlockState {
+            t0: self.start,
+            sampled: false,
+            idx: 0,
+        };
+        let mut interrupted = false;
+        for (k, i) in stream.enumerate() {
+            let pkt = &packets[i];
+            if k.is_multiple_of(256) && self.checkpoint(k, i, paced, &mut local, &mut block) {
+                interrupted = true;
+                break;
+            }
+            local.offered += 1;
+            let (canon, digest) = self.hasher.digest_symmetric(&pkt.key);
+            let dp = DigestedPacket {
+                pkt: *pkt,
+                canon,
+                digest,
+                seq: i as u64,
+            };
+            self.ingest(dp, &mut buf, &mut local);
+        }
+        self.finish(buf, local, block, interrupted)
+    }
+
+    /// Zero-copy wire path: the same [`BURST`]-wide load → parse in
+    /// place → `digest_batch8` front end as the mesh dispatcher, fused
+    /// straight into this core's processing loop.
+    fn run_frames(mut self, store: &FrameStore, stream: impl Iterator<Item = usize>) -> RtcEnd {
+        let paced = self.plan.paced();
+        let mut frames = self
+            .frames
+            .take()
+            .expect("wire ingest requires a frame pool");
+        let mut buf: Vec<DigestedPacket> = self.pool.acquire();
+        let mut local = QueueLocal::default();
+        let mut block = BlockState {
+            t0: self.start,
+            sampled: false,
+            idx: 0,
+        };
+        let mut interrupted = false;
+        let mut stream = stream;
+        let mut k = 0usize;
+        loop {
+            let mut idx = [0usize; BURST];
+            let mut m = 0;
+            while m < BURST {
+                match stream.next() {
+                    Some(i) => {
+                        idx[m] = i;
+                        m += 1;
+                    }
+                    None => break,
+                }
+            }
+            if m == 0 {
+                break;
+            }
+            // BURST divides 256, so checkpoints land on burst starts.
+            if k.is_multiple_of(256) && self.checkpoint(k, idx[0], paced, &mut local, &mut block) {
+                interrupted = true;
+                break;
+            }
+            let mut slots: [Option<FrameSlot>; BURST] = Default::default();
+            for (slot, &i) in slots.iter_mut().zip(&idx[..m]) {
+                *slot = Some(frames.load(store.frame(i)));
+            }
+            let mut burst: [Option<DigestedPacket>; BURST] = Default::default();
+            {
+                let mut tuples = [RawTuple::default(); BURST];
+                let mut views: [Option<FrameView<'_>>; BURST] = Default::default();
+                for j in 0..m {
+                    let slot = slots[j].as_ref().expect("slot loaded");
+                    let v = FrameView::parse(frames.frame(slot))
+                        .expect("frame validated at store construction");
+                    tuples[j] = v.raw_tuple();
+                    views[j] = Some(v);
+                }
+                if m == BURST {
+                    let digested = self.hasher.digest_batch8(&tuples);
+                    for j in 0..BURST {
+                        let v = views[j].expect("view parsed");
+                        let (canon, digest) = digested[j];
+                        burst[j] = Some(DigestedPacket {
+                            pkt: store.meta(idx[j]).packet(&v),
+                            canon,
+                            digest,
+                            seq: idx[j] as u64,
+                        });
+                    }
+                } else {
+                    for j in 0..m {
+                        let v = views[j].expect("view parsed");
+                        let (canon, digest) = self.hasher.digest_raw(tuples[j]);
+                        burst[j] = Some(DigestedPacket {
+                            pkt: store.meta(idx[j]).packet(&v),
+                            canon,
+                            digest,
+                            seq: idx[j] as u64,
+                        });
+                    }
+                }
+            }
+            for slot in slots.iter_mut() {
+                if let Some(s) = slot.take() {
+                    frames.release(s);
+                }
+            }
+            for dp in burst.iter_mut().take(m) {
+                local.offered += 1;
+                self.ingest(dp.take().expect("digested"), &mut buf, &mut local);
+            }
+            k += m;
+        }
+        self.frames = Some(frames);
+        self.finish(buf, local, block, interrupted)
+    }
+
+    /// The fused core's 256-packet checkpoint: drain observation, pace
+    /// re-anchoring and the arrival wait, steering refresh, black-box
+    /// coalescing and the live counter fold — the dispatcher checkpoint
+    /// verbatim, except the paced wait runs on the shard [`Backoff`]
+    /// ladder (spin → yield → park, parks counted as `idle_parks`)
+    /// because the fused core is also the shard: at zero offered load
+    /// it must not busy-spin the CPU its own processing runs on.
+    fn checkpoint(
+        &mut self,
+        k: usize,
+        global_i: usize,
+        paced: bool,
+        local: &mut QueueLocal,
+        block: &mut BlockState,
+    ) -> bool {
+        if self.drain.load(Ordering::Acquire) {
+            return true;
+        }
+        if paced {
+            let bits = self.pace_override.load(Ordering::Acquire);
+            if bits != self.pace.bits {
+                let due = self.due_ns(global_i);
+                self.pace = PaceState {
+                    bits,
+                    anchor_due: due,
+                    anchor_i: global_i,
+                };
+            }
+            let due = Duration::from_nanos(self.due_ns(global_i) as u64);
+            while self.start.elapsed() < due {
+                if self.backoff.idle() {
+                    self.worker.counters.idle_parks.inc();
+                }
+            }
+            self.backoff.reset();
+        }
+        if let Some(sr) = self.steer.as_mut() {
+            sr.refresh();
+        }
+        if k > 0 {
+            block.idx = (k / 256) as u64;
+            if local.shed > 0 {
+                self.flight
+                    .record(FlightKind::ShedDrop, local.shed, block.idx);
+            }
+            if local.steer_dropped > 0 {
+                self.flight
+                    .record(FlightKind::SteerDrop, local.steer_dropped, block.idx);
+            }
+            self.queue.fold(local);
+        }
+        if let Some(tt) = self.trace.as_mut() {
+            if k > 0 && block.sampled {
+                tt.span_since(block.t0, "rtc block", "core");
+            }
+            block.sampled = tt.tick();
+            if block.sampled {
+                block.t0 = Instant::now();
+            }
+        }
+        false
+    }
+
+    /// Arrival deadline of global packet `i` under the effective
+    /// schedule (plan, or the live override from its anchor).
+    fn due_ns(&self, i: usize) -> f64 {
+        if self.pace.bits == 0 {
+            self.plan.due_ns(i)
+        } else {
+            self.pace.anchor_due + (i - self.pace.anchor_i) as f64 * f64::from_bits(self.pace.bits)
+        }
+    }
+
+    /// Ingest one digested packet: steering enforcement exactly as the
+    /// dispatcher's `offer` (blacklist drop, shed filter — accounted
+    /// per shard and per core), then stage; a full staging buffer is
+    /// processed in place. The pre-split guarantees every packet here
+    /// belongs to this core's partition, so there is no shard index to
+    /// compute and nothing to route.
+    fn ingest(
+        &mut self,
+        dp: DigestedPacket,
+        buf: &mut Vec<DigestedPacket>,
+        local: &mut QueueLocal,
+    ) {
+        if let Some(sr) = &self.steer {
+            let snap = sr.current();
+            if self.enforce_verdicts && snap.blacklist.contains(&dp.digest.0) {
+                self.worker.counters.steer_dropped.inc();
+                local.steer_dropped += 1;
+                return;
+            }
+            if snap.shed && !snap.whitelist.contains(&dp.digest.0) {
+                self.worker.counters.shed.inc();
+                local.shed += 1;
+                return;
+            }
+        }
+        buf.push(dp);
+        if buf.len() == self.batch {
+            self.process_staged(buf, local);
+        }
+    }
+
+    /// Process the staged batch in place: account ingest (a fused core
+    /// never drops at ingest — with no lane to overrun, a paced core
+    /// self-backpressures instead, so `ingest_dropped` stays 0), tick
+    /// the worker's control clock at exactly the boundary the mesh
+    /// would have flushed a lane batch, run the pipeline, fold the
+    /// counters. There is no queue crossing — `runtime.stage.queue_ns`
+    /// records nothing in RTC mode, which is the point.
+    fn process_staged(&mut self, buf: &mut Vec<DigestedPacket>, local: &mut QueueLocal) {
+        let len = buf.len() as u64;
+        self.worker.counters.ingested.add(len);
+        local.ingested += len;
+        self.worker.stage.batch_pkts.record(len);
+        self.worker.control_tick();
+        self.worker.process_batch(buf);
+        self.worker.flush_local();
+        buf.clear();
+    }
+
+    /// End of stream (or drain): process the partial tail batch, close
+    /// the sampled span, settle the books exactly, hand the pools back
+    /// for re-parking and run the worker's stop tail (final verdicts,
+    /// detector sweep, end-state freeze).
+    fn finish(
+        mut self,
+        mut buf: Vec<DigestedPacket>,
+        mut local: QueueLocal,
+        block: BlockState,
+        interrupted: bool,
+    ) -> RtcEnd {
+        if !buf.is_empty() {
+            self.process_staged(&mut buf, &mut local);
+        }
+        if block.sampled {
+            if let Some(tt) = &self.trace {
+                tt.span_since(block.t0, "rtc block", "core");
+            }
+        }
+        if local.shed > 0 {
+            self.flight
+                .record(FlightKind::ShedDrop, local.shed, block.idx + 1);
+        }
+        if local.steer_dropped > 0 {
+            self.flight
+                .record(FlightKind::SteerDrop, local.steer_dropped, block.idx + 1);
+        }
+        self.queue.fold(&mut local);
+        self.pool.give_back(buf);
+        let (end, cache) = self.worker.finish();
+        RtcEnd {
+            end,
+            cache,
+            pool: self.pool,
+            frames: self.frames,
+            interrupted,
+        }
+    }
 }
 
 /// Plain-integer per-queue tallies, folded into the shared

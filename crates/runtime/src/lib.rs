@@ -30,7 +30,12 @@
 //! * [`engine`] — the [`Engine`]: R RX-queue dispatchers
 //!   ([`EngineConfig::rx_queues`], the multi-queue NIC model) feeding
 //!   the shards over an R×N mesh of SPSC lanes, pacing ([`Pace`]),
-//!   graceful drain, and the merged [`EngineReport`].
+//!   graceful drain, and the merged [`EngineReport`]. A second thread
+//!   topology, [`DatapathMode::Rtc`], fuses dispatcher and shard into
+//!   C run-to-completion `sw-core-{i}` threads (pre-split by
+//!   `shard_for_digest`, zero queue crossings on the fast path,
+//!   optional [`EngineConfig::pin_cores`] CPU affinity) with decisions
+//!   and counters identical to the mesh for the same seed.
 //!
 //! Every RSS dispatcher uses the *symmetric* shard mapping
 //! [`smartwatch_net::hash::shard_for_digest`] over the dispatch-time
@@ -74,8 +79,8 @@ pub mod spsc;
 
 pub use control::{ControlLog, LogReader};
 pub use engine::{
-    decision_value, hist_value, Engine, EngineConfig, EngineReport, FlowCacheSummary, FrameSource,
-    Pace, QueueStats, StageSnapshot,
+    decision_value, hist_value, DatapathMode, Engine, EngineConfig, EngineReport, FlowCacheSummary,
+    FrameSource, Pace, QueueStats, StageSnapshot,
 };
 pub use escalate::{HostObs, HostPool, TriageNf};
 pub use frame::{FramePool, FrameSlot};

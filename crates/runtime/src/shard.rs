@@ -34,7 +34,7 @@ use smartwatch_snic::{FlowCache, Outcome};
 use smartwatch_telemetry::{Counter, FlightKind, FlightRing, Gauge, Histogram, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::SyncSender;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// Message from the dispatcher to a shard.
@@ -411,6 +411,13 @@ pub(crate) struct ShardWorker {
     obs: ShardObs,
     local: LocalBatchStats,
     reader: LogReader,
+    /// End-of-stream finish line shared by all shard workers of a run.
+    /// With inline triage every verdict publisher *is* a shard, so
+    /// waiting here before polling the final log tail guarantees each
+    /// shard applies the complete log — `ctrl_applied` and the verdict
+    /// sets become deterministic regardless of which worker (pipeline
+    /// shard or fused RTC core) reaches end-of-stream first.
+    finish_line: Arc<Barrier>,
     /// Batches consumed — the monotone clock the aging sets tick on.
     batches: u64,
     seen: u64,
@@ -433,6 +440,7 @@ impl ShardWorker {
         burst: usize,
         hooks: Option<ControlHooks>,
         obs: ShardObs,
+        finish_line: Arc<Barrier>,
     ) -> ShardWorker {
         let reader = log.reader();
         ShardWorker {
@@ -459,6 +467,7 @@ impl ShardWorker {
             obs,
             local: LocalBatchStats::default(),
             reader,
+            finish_line,
             batches: 0,
             seen: 0,
             last_ts: smartwatch_net::Ts::ZERO,
@@ -689,8 +698,15 @@ impl ShardWorker {
 
     /// Stop-marker tail: apply the last verdicts, flush heavy-hitter
     /// samples, run the detectors' end-of-trace sweep, release the log
-    /// reader, and freeze the end state.
-    fn finish(mut self) -> (ShardEndState, FlowCache) {
+    /// reader, and freeze the end state. `pub(crate)` because the
+    /// run-to-completion cores drive the worker directly (no lanes) and
+    /// close it out themselves at end of stream.
+    pub(crate) fn finish(mut self) -> (ShardEndState, FlowCache) {
+        // Wait for every sibling worker to reach end-of-stream before
+        // polling the final tail: inline-triage publishers are all
+        // quiesced past this line, so the tail is the *complete* log
+        // and the apply below is deterministic.
+        self.finish_line.wait();
         self.apply_control();
         self.flush_heavy();
         let final_alerts = self.suite.finish(self.last_ts);
@@ -712,7 +728,10 @@ impl ShardWorker {
     /// Per-batch control-plane housekeeping: advance the batch clock,
     /// apply pending verdicts, pick up the controller's mode decision
     /// and the latest steering snapshot, and run the periodic sweeps.
-    fn control_tick(&mut self) {
+    /// `pub(crate)`: the run-to-completion cores call this at exactly
+    /// the batch boundaries the lane path would have produced, so the
+    /// batch clock (and everything TTL'd on it) advances identically.
+    pub(crate) fn control_tick(&mut self) {
         self.batches += 1;
         self.apply_control();
         if let Some(h) = &mut self.hooks {
@@ -781,7 +800,9 @@ impl ShardWorker {
 
     /// Fold the batch's plain-integer tallies into the shared atomics —
     /// the only place the hot path touches contended cache lines.
-    fn flush_local(&mut self) {
+    /// `pub(crate)` for the run-to-completion cores, which flush once
+    /// per fused batch like the lane path does.
+    pub(crate) fn flush_local(&mut self) {
         let l = &mut self.local;
         if l.processed > 0 {
             self.counters.processed.add(l.processed);
@@ -832,8 +853,10 @@ impl ShardWorker {
     /// with the rows already in flight. Verdicts, pinning, escalation and
     /// detector effects all happen in stage B in exact arrival order, so
     /// the engine's `deterministic_summary` is byte-identical to the
-    /// per-packet reference path (`burst <= 1`).
-    fn process_batch(&mut self, pkts: &[DigestedPacket]) {
+    /// per-packet reference path (`burst <= 1`). `pub(crate)` for the
+    /// run-to-completion cores, which feed it the same batch-sized
+    /// groups the lane path would have delivered.
+    pub(crate) fn process_batch(&mut self, pkts: &[DigestedPacket]) {
         if self.burst <= 1 {
             for dp in pkts {
                 self.process_packet(dp);
@@ -986,6 +1009,7 @@ mod tests {
                 flight: flight.ring("sw-shard-0"),
                 trace: None,
             },
+            Arc::new(Barrier::new(1)),
         );
 
         // Distinct SSH flows: auth-port TCP traffic escalates until the

@@ -1,0 +1,281 @@
+//! Run-to-completion datapath invariants: fusing dispatcher and shard
+//! into one `sw-core-{i}` thread per partition must change the thread
+//! topology and *nothing else*. Per-shard decision streams, the
+//! FlowCache access mix, probe histograms and the two-axis conservation
+//! identity are pinned byte-identical to the pipeline datapath for the
+//! same seed across synthetic, compiled (v4 and v6) and pcap-sourced
+//! replays — exactly the way `cache_burst` pinned the batched lookup
+//! path. Paced RTC cores must idle on the spin→yield→park backoff
+//! ladder (counted as `idle_parks`), never busy-spin, and never drop at
+//! ingest (no lane to overrun: the core self-backpressures).
+
+use smartwatch_net::{pcap, Dur, FlowKey, FrameStore, PacketBuilder, Ts};
+use smartwatch_runtime::{DatapathMode, Engine, EngineConfig, Pace};
+use smartwatch_trace::background::{preset_trace, Preset};
+use smartwatch_trace::compile::{compile, compile_v6};
+use smartwatch_trace::Trace;
+use std::net::Ipv4Addr;
+
+fn workload(flows: usize, seed: u64) -> Trace {
+    preset_trace(Preset::Caida2018, flows, Dur::from_millis(500), seed)
+}
+
+/// CAIDA background plus an SSH brute-force sweep: enough escalations
+/// and verdicts to exercise triage, blacklists and verdict drops.
+fn hostile_workload(total: usize) -> Vec<smartwatch_net::Packet> {
+    let base = workload(150, 0xD00D);
+    let mut packets = Vec::with_capacity(total);
+    for i in 0..total {
+        if i % 7 == 0 {
+            let key = FlowKey::tcp(
+                Ipv4Addr::new(203, 0, 113, 9),
+                40_000 + (i % 32) as u16,
+                Ipv4Addr::new(10, 0, 0, 1),
+                22,
+            );
+            packets.push(PacketBuilder::new(key, Ts::from_nanos(i as u64 * 1000)).build());
+        } else {
+            packets.push(base.packets()[i % base.len()]);
+        }
+    }
+    packets
+}
+
+/// A pipeline run and an RTC run of the same config over the same
+/// source: deterministic recipe (inline triage, single-queue mesh on
+/// the pipeline side) so the summaries are comparable byte-for-byte.
+fn run_both(
+    shards: usize,
+    cache_burst: usize,
+    run: impl Fn(&Engine) -> smartwatch_runtime::EngineReport,
+) -> (
+    smartwatch_runtime::EngineReport,
+    smartwatch_runtime::EngineReport,
+) {
+    let mut cfg = EngineConfig::new(shards);
+    cfg.rx_queues = 1;
+    cfg.host_workers = 0;
+    cfg.cache_burst = cache_burst;
+    let pipeline = run(&Engine::new(cfg.clone()));
+    cfg.datapath = DatapathMode::Rtc;
+    let rtc = run(&Engine::new(cfg));
+    (pipeline, rtc)
+}
+
+fn assert_equivalent(
+    pipeline: &smartwatch_runtime::EngineReport,
+    rtc: &smartwatch_runtime::EngineReport,
+    what: &str,
+) {
+    assert_eq!(
+        pipeline.deterministic_summary(),
+        rtc.deterministic_summary(),
+        "RTC decision streams diverged from pipeline: {what}"
+    );
+    assert!(pipeline.conserved(), "pipeline conservation: {what}");
+    assert!(rtc.conserved(), "RTC conservation: {what}");
+    // The FlowCache books must agree access for access, not just in
+    // the decision stream: hit mix, probe lengths, prefetch pipeline.
+    let (p, r) = (&pipeline.flowcache, &rtc.flowcache);
+    assert_eq!(p.p_hits, r.p_hits, "p_hits: {what}");
+    assert_eq!(p.e_hits, r.e_hits, "e_hits: {what}");
+    assert_eq!(p.misses, r.misses, "misses: {what}");
+    assert_eq!(p.to_host, r.to_host, "to_host: {what}");
+    assert_eq!(p.ring_pushes, r.ring_pushes, "ring_pushes: {what}");
+    assert_eq!(p.probe_hist, r.probe_hist, "probe_hist: {what}");
+    assert_eq!(p.bursts, r.bursts, "bursts: {what}");
+    assert_eq!(p.burst_pkts, r.burst_pkts, "burst_pkts: {what}");
+}
+
+#[test]
+fn rtc_is_byte_identical_to_pipeline_on_synthetic_replay() {
+    let trace = workload(300, 0xBEEF);
+    for shards in [1usize, 2, 4] {
+        for burst in [1usize, 8] {
+            let (pipeline, rtc) =
+                run_both(shards, burst, |e| e.run(trace.packets(), Pace::Flatout));
+            assert_equivalent(
+                &pipeline,
+                &rtc,
+                &format!("synthetic shards={shards} burst={burst}"),
+            );
+            assert_eq!(
+                rtc.queues.len(),
+                shards,
+                "RTC ingest books are per-core (queues = cores)"
+            );
+        }
+    }
+}
+
+#[test]
+fn rtc_is_byte_identical_to_pipeline_on_compiled_wire_replay() {
+    let trace = workload(300, 0xBEEF);
+    let store = compile(&trace);
+    for shards in [1usize, 2] {
+        let (pipeline, rtc) = run_both(shards, 8, |e| e.run_frames(&store, Pace::Flatout));
+        assert_equivalent(&pipeline, &rtc, &format!("compiled-v4 shards={shards}"));
+    }
+    // The synthetic replay of the same trace agrees too — the fused
+    // wire front end digests bit-identically to the packet path.
+    let (synthetic, _) = run_both(2, 8, |e| e.run(trace.packets(), Pace::Flatout));
+    let (_, wire_rtc) = run_both(2, 8, |e| e.run_frames(&store, Pace::Flatout));
+    assert_eq!(
+        synthetic.deterministic_summary(),
+        wire_rtc.deterministic_summary(),
+        "RTC wire replay diverged from the synthetic pipeline run"
+    );
+}
+
+#[test]
+fn rtc_is_byte_identical_to_pipeline_on_v6_wire_replay() {
+    // IPv6 framing of the same trace: the fused v6 parse-and-fold
+    // ingest reconstructs the same flows, so RTC must equal pipeline
+    // on the same v6 store (v6 is not compared against synthetic —
+    // sideband wire lengths clamp to the 20-byte-longer v6 frames).
+    let trace = workload(250, 0x6666);
+    let store = compile_v6(&trace);
+    for shards in [1usize, 2] {
+        let (pipeline, rtc) = run_both(shards, 8, |e| e.run_frames(&store, Pace::Flatout));
+        assert_equivalent(&pipeline, &rtc, &format!("compiled-v6 shards={shards}"));
+    }
+}
+
+#[test]
+fn rtc_is_byte_identical_to_pipeline_on_pcap_replay() {
+    let trace = workload(200, 99);
+    let bytes = pcap::write(trace.packets());
+    let store = FrameStore::from_pcap(&bytes).expect("own pcap output parses");
+    for shards in [1usize, 2] {
+        let (pipeline, rtc) = run_both(shards, 8, |e| e.run_frames(&store, Pace::Flatout));
+        assert_equivalent(&pipeline, &rtc, &format!("pcap shards={shards}"));
+    }
+}
+
+#[test]
+fn rtc_matches_pipeline_under_hostile_traffic_and_verdicts() {
+    // Escalations, inline triage verdicts, blacklist enforcement: the
+    // full prevention loop must be decision-identical when fused.
+    let packets = hostile_workload(30_000);
+    for shards in [1usize, 2] {
+        let run = |e: &Engine| {
+            let r = e.run(&packets, Pace::Flatout);
+            assert!(r.conserved());
+            r
+        };
+        let mut cfg = EngineConfig::new(shards);
+        cfg.rx_queues = 1;
+        cfg.host_workers = 0;
+        cfg.triage_threshold = 8;
+        let pipeline = run(&Engine::new(cfg.clone()));
+        cfg.datapath = DatapathMode::Rtc;
+        let rtc = run(&Engine::new(cfg));
+        assert_equivalent(&pipeline, &rtc, &format!("hostile shards={shards}"));
+        assert!(
+            rtc.verdicts_published > 0,
+            "the sweep must actually drive triage verdicts"
+        );
+        assert!(
+            rtc.shards.iter().map(|s| s.verdict_dropped).sum::<u64>() > 0,
+            "blacklist verdicts must drop packets in RTC mode too"
+        );
+    }
+}
+
+#[test]
+fn paced_rtc_core_idles_on_the_backoff_ladder_without_drops() {
+    // At a low offered rate the fused core spends most of its time
+    // waiting out arrival gaps. That wait must escalate down the
+    // spin→yield→park ladder (observable as idle_parks — no busy-spin
+    // at zero load) and must never drop at ingest: with no lane to
+    // overrun, the core self-backpressures.
+    let packets = workload(100, 42).into_packets();
+    let mut cfg = EngineConfig::new(1);
+    cfg.host_workers = 0;
+    cfg.datapath = DatapathMode::Rtc;
+    let report = Engine::new(cfg).run(&packets, Pace::RateMpps(0.05));
+    assert!(report.conserved());
+    assert_eq!(report.ingest_dropped(), 0, "RTC never drops at ingest");
+    assert_eq!(report.processed(), packets.len() as u64);
+    assert!(
+        report.idle_parks() > 0,
+        "paced RTC waits must park via the Backoff ladder, not busy-spin \
+         (idle_parks={})",
+        report.idle_parks()
+    );
+}
+
+#[test]
+fn rtc_serve_segments_reuse_parked_pools_and_carry_flow_state() {
+    // Garage semantics carry over: back-to-back segments on one engine
+    // re-use the staging buffer pools and frame pools (zero steady-state
+    // allocation), and `carry_flow_state` hands each core its own cache
+    // back.
+    let trace = workload(200, 0xCAFE);
+    let store = compile(&trace);
+    let mut cfg = EngineConfig::new(2);
+    cfg.host_workers = 0;
+    cfg.datapath = DatapathMode::Rtc;
+    cfg.carry_flow_state = true;
+    let engine = Engine::new(cfg);
+    let first = engine.run_frames(&store, Pace::Flatout);
+    assert!(first.conserved());
+    let allocated_after_first = engine
+        .registry()
+        .counter("runtime.pool.allocated", &[])
+        .get();
+    let frame_allocated_after_first = engine
+        .registry()
+        .counter("runtime.frame_pool.allocated", &[])
+        .get();
+    let second = engine.run_frames(&store, Pace::Flatout);
+    assert!(second.conserved());
+    assert_eq!(
+        engine
+            .registry()
+            .counter("runtime.pool.allocated", &[])
+            .get(),
+        allocated_after_first,
+        "second RTC segment must run on re-parked staging buffers"
+    );
+    assert_eq!(
+        engine
+            .registry()
+            .counter("runtime.frame_pool.allocated", &[])
+            .get(),
+        frame_allocated_after_first,
+        "second RTC segment must run on re-parked frame pools"
+    );
+    // Carried caches: the second segment starts warm, so resident flow
+    // records at least match the first segment's end state.
+    let resident_first: u64 = first.shards.iter().map(|s| s.cache_resident).sum();
+    let resident_second: u64 = second.shards.iter().map(|s| s.cache_resident).sum();
+    assert!(
+        resident_second >= resident_first,
+        "carried flow state must persist across RTC segments"
+    );
+}
+
+#[test]
+fn pinned_rtc_run_is_identical_to_unpinned() {
+    // --pin-cores is strictly a placement knob: kernel-accepted or
+    // refused, decisions and counters cannot change.
+    let trace = workload(200, 0x9191);
+    let mut cfg = EngineConfig::new(2);
+    cfg.rx_queues = 1;
+    cfg.host_workers = 0;
+    cfg.datapath = DatapathMode::Rtc;
+    let unpinned = Engine::new(cfg.clone()).run(trace.packets(), Pace::Flatout);
+    cfg.pin_cores = true;
+    let engine = Engine::new(cfg);
+    let pinned = engine.run(trace.packets(), Pace::Flatout);
+    assert_eq!(
+        unpinned.deterministic_summary(),
+        pinned.deterministic_summary(),
+        "pinning must be architecturally inert"
+    );
+    // Best-effort accounting: on Linux the mask is normally accepted;
+    // either way the counter never exceeds the core count.
+    let accepted = engine.registry().counter("runtime.core.pinned", &[]).get();
+    assert!(accepted <= 2, "at most one pin per fused core");
+}

@@ -18,12 +18,14 @@
 //! [`concurrent`] demonstrates the same row semantics under real atomics
 //! and multi-threaded contention.
 
-// `deny` rather than `forbid`: the one scoped exception is the software
-// prefetch intrinsic in [`prefetch`], which is unsafe by signature only
-// (see the safety note there). Everything else stays safe Rust.
+// `deny` rather than `forbid`: the two scoped exceptions are the
+// software prefetch intrinsic in [`prefetch`] (unsafe by signature
+// only; see the safety note there) and the `sched_setaffinity` FFI
+// declaration in [`affinity`]. Everything else stays safe Rust.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod burstlog;
 pub mod cme;
 pub mod concurrent;
@@ -36,6 +38,7 @@ pub mod prefetch;
 pub mod record;
 pub mod ring;
 
+pub use affinity::pin_current_thread;
 pub use cme::SwitchOver;
 pub use des::{simulate, simulate_instrumented, DesConfig, DesReport, LatencyDist};
 pub use flowcache::{Access, CacheStats, FlowCache, FlowCacheConfig, Mode, Outcome, BURST};

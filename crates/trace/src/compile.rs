@@ -35,6 +35,22 @@ pub fn compile_cycled(trace: &Trace, total: usize) -> FrameStore {
     compile(trace).cycled_to(total)
 }
 
+/// [`compile`] with IPv6 framing: every packet is wire-encoded as an
+/// Ethernet II / IPv6 frame with v4-compatible addresses
+/// (`smartwatch_net::wire::encode_v6`), so the replay exercises the v6
+/// parse-and-fold ingest path while reconstructing the same flow keys —
+/// and therefore the same digests, shard placement and decisions — as
+/// the v4 compilation of the same trace.
+pub fn compile_v6(trace: &Trace) -> FrameStore {
+    FrameStore::from_packets_v6(trace.packets())
+}
+
+/// [`compile_v6`] cycled to exactly `total` packets over a shared arena.
+pub fn compile_v6_cycled(trace: &Trace, total: usize) -> FrameStore {
+    assert!(!trace.is_empty(), "cannot compile an empty trace");
+    compile_v6(trace).cycled_to(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +75,32 @@ mod tests {
             assert_eq!(store.packet(i), *p, "packet {i}");
             assert_eq!(store.meta(i).wire_len, 64);
         }
+    }
+
+    #[test]
+    fn v6_compile_reconstructs_the_same_flows_as_v4() {
+        // The v6 framing must be decision-equivalent: same keys, flags,
+        // seq/ack, payload lengths and timestamps as the v4 compilation
+        // (wire_len may grow to the 20-byte-larger v6 frame).
+        let t = preset_trace(Preset::Caida2018, 200, Dur::from_millis(50), 0xC0DE);
+        let v4 = compile(&t);
+        let v6 = compile_v6(&t);
+        assert_eq!(v6.len(), v4.len());
+        for i in 0..v6.len() {
+            let a = v4.packet(i);
+            let b = v6.packet(i);
+            assert_eq!(b.key, a.key, "packet {i}");
+            assert_eq!(b.flags, a.flags);
+            assert_eq!(b.seq, a.seq);
+            assert_eq!(b.ack, a.ack);
+            assert_eq!(b.payload_len, a.payload_len);
+            assert_eq!(b.ts, a.ts);
+            assert_eq!(b.label, a.label);
+            assert!(b.wire_len >= a.wire_len, "v6 frames are never shorter");
+        }
+        let cycled = compile_v6_cycled(&t, t.len() * 2 + 5);
+        assert_eq!(cycled.len(), t.len() * 2 + 5);
+        assert_eq!(cycled.bytes_len(), v6.bytes_len(), "arena shared");
     }
 
     #[test]
